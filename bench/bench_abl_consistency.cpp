@@ -1,0 +1,65 @@
+// Ablation A5: memory-consistency strictness of the WTI write buffer. The
+// paper uses sequential consistency "for the sake of simplicity" and notes
+// the comparison "remains valid with a weaker model as the one used in
+// commercial designs". Our SC implementation drains the write buffer
+// before servicing a load miss; relaxing that (processor-consistency /
+// TSO-flavoured: loads may bypass buffered writes to other addresses)
+// removes the drain stalls. This sweep measures how much performance SC
+// costs WTI — i.e. how much headroom a weaker model would add.
+//
+// NOTE: the relaxed mode keeps per-location coherence but weakens
+// cross-location ordering; flag-handoff idioms are no longer guaranteed,
+// so only data-race-free (lock/barrier) workloads run here.
+
+#include <cstdio>
+
+#include "apps/ocean.hpp"
+#include "apps/micro.hpp"
+#include "core/system.hpp"
+
+using namespace ccnoc;
+
+namespace {
+
+core::RunResult run(bool strict_sc, unsigned arch, unsigned n, bool ocean) {
+  core::SystemConfig cfg = arch == 1
+                               ? core::SystemConfig::architecture1(n, mem::Protocol::kWti)
+                               : core::SystemConfig::architecture2(n, mem::Protocol::kWti);
+  cfg.dcache.drain_on_load_miss = strict_sc;
+  core::System sys(cfg);
+  if (ocean) {
+    apps::Ocean::Config oc;
+    oc.rows_per_thread = 2;
+    oc.iterations = 2;
+    apps::Ocean w(oc);
+    return sys.run(w);
+  }
+  apps::HotCounter w(120);
+  return sys.run(w);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: SC drain-on-load-miss vs relaxed WTI ordering ===\n");
+  for (bool ocean : {true, false}) {
+    std::printf("\n%s\n", ocean ? "Ocean (barrier-synchronized)" : "Hot counter (lock-synchronized)");
+    std::printf("%6s %6s %14s %14s %10s\n", "arch", "n", "SC [Kcyc]", "relaxed [Kcyc]",
+                "speedup");
+    for (unsigned arch : {1u, 2u}) {
+      for (unsigned n : {4u, 16u}) {
+        auto sc = run(true, arch, n, ocean);
+        auto rx = run(false, arch, n, ocean);
+        std::printf("%6u %6u %14.1f %14.1f %9.2fx%s\n", arch, n,
+                    double(sc.exec_cycles) / 1e3, double(rx.exec_cycles) / 1e3,
+                    double(sc.exec_cycles) / double(rx.exec_cycles),
+                    (sc.verified && rx.verified) ? "" : " [UNVERIFIED]");
+      }
+    }
+  }
+  std::printf(
+      "\n(speedup > 1: cycles the strict drain costs. The paper's claim that\n"
+      " the comparison remains valid under a weaker model holds if the gain\n"
+      " is modest and similar across architectures.)\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Extension: three-way write-policy comparison. The paper (§2) divides
+// hardware protocols into write-update and write-invalidate and studies
+// only the latter; this bench adds the directory-based write-through-
+// update protocol (WTU) next to the paper's WTI and WB-MESI on the same
+// platforms, showing where patching copies in place beats destroying them
+// (producer/consumer-style sharing) and where it loses (update storms to
+// actively-written data nobody re-reads).
+
+#include <cstdio>
+
+#include "apps/micro.hpp"
+#include "paper_sweep.hpp"
+
+using namespace ccnoc;
+
+namespace {
+
+core::RunResult run3(apps::Workload& w, mem::Protocol p, unsigned arch, unsigned n) {
+  core::SystemConfig cfg = arch == 1 ? core::SystemConfig::architecture1(n, p)
+                                     : core::SystemConfig::architecture2(n, p);
+  core::System sys(cfg);
+  return sys.run(w);
+}
+
+void print_row(const char* label, core::RunResult wti, core::RunResult wtu,
+               core::RunResult mesi) {
+  std::printf("%-26s %10.1f %10.1f %10.1f | %12llu %12llu %12llu%s\n", label,
+              double(wti.exec_cycles) / 1e3, double(wtu.exec_cycles) / 1e3,
+              double(mesi.exec_cycles) / 1e3,
+              static_cast<unsigned long long>(wti.noc_bytes),
+              static_cast<unsigned long long>(wtu.noc_bytes),
+              static_cast<unsigned long long>(mesi.noc_bytes),
+              (wti.verified && wtu.verified && mesi.verified) ? "" : " [UNVERIFIED]");
+}
+
+}  // namespace
+
+int main() {
+  const unsigned n = 8;
+  std::printf("=== Extension: write-update (WTU) vs the paper's protocols ===\n");
+  std::printf("architecture 2, n=%u\n\n", n);
+  std::printf("%-26s %10s %10s %10s | %12s %12s %12s\n", "workload", "WTI[Kc]",
+              "WTU[Kc]", "MESI[Kc]", "WTI bytes", "WTU bytes", "MESI bytes");
+
+  {
+    apps::ProducerConsumer a(60, 6), b(60, 6), c(60, 6);
+    print_row("producer-consumer", run3(a, mem::Protocol::kWti, 2, n),
+              run3(b, mem::Protocol::kWtu, 2, n),
+              run3(c, mem::Protocol::kWbMesi, 2, n));
+  }
+  {
+    apps::HotCounter a(120), b(120), c(120);
+    print_row("hot counter (locks)", run3(a, mem::Protocol::kWti, 2, n),
+              run3(b, mem::Protocol::kWtu, 2, n),
+              run3(c, mem::Protocol::kWbMesi, 2, n));
+  }
+  {
+    auto mk = [] {
+      apps::UniformRandom::Config c;
+      c.ops_per_thread = 1200;
+      c.local_fraction = 0.2;
+      c.store_fraction = 0.5;
+      return apps::UniformRandom(c);
+    };
+    auto a = mk(), b = mk(), c = mk();
+    print_row("shared random, write-heavy", run3(a, mem::Protocol::kWti, 2, n),
+              run3(b, mem::Protocol::kWtu, 2, n),
+              run3(c, mem::Protocol::kWbMesi, 2, n));
+  }
+  {
+    auto mk = [] {
+      apps::Ocean::Config oc;
+      oc.rows_per_thread = 2;
+      oc.iterations = 2;
+      return apps::Ocean(oc);
+    };
+    auto a = mk(), b = mk(), c = mk();
+    print_row("ocean", run3(a, mem::Protocol::kWti, 2, n),
+              run3(b, mem::Protocol::kWtu, 2, n),
+              run3(c, mem::Protocol::kWbMesi, 2, n));
+  }
+
+  std::printf(
+      "\nReading: WTU shines when consumers re-read produced values (their\n"
+      "copies are patched, spins never refetch); it pays for updating copies\n"
+      "that are never read again. The paper's choice of write-invalidate\n"
+      "(\"the most commonly used and surely the best in our context\") holds\n"
+      "for the application workloads, while the sharing microbenchmarks show\n"
+      "the update niche.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 4 reproduction: execution time in megacycles for Ocean and Water,
+// on both architectures, both write policies, n ∈ {4, 16, 32, 64}.
+//
+// The paper's observations this bench should reproduce in shape:
+//   * SMP/architecture 1: WTI ≈ WB-MESI up to 32 CPUs; above 32 the
+//     centralized banks favour WB ("centralized better than WTI").
+//   * DS/architecture 2: faster overall (up to ~30% on Ocean), WTI
+//     competitive with WB throughout ("distributed: WTI viable").
+//   * Water: the two protocols perform the same.
+
+#include <cstdio>
+
+#include "paper_sweep.hpp"
+
+using namespace ccnoc;
+
+int main() {
+  std::printf("=== Figure 4: execution time (megacycles) ===\n");
+  for (const char* app : {"ocean", "water"}) {
+    for (unsigned arch : {1u, 2u}) {
+      std::printf("\n%s — %s\n", app, bench::arch_label(arch));
+      std::printf("%6s %14s %14s %10s\n", "n", "WTI [Mcyc]", "MESI [Mcyc]",
+                  "WTI/MESI");
+      for (unsigned n : bench::sweep_sizes()) {
+        auto wti = bench::run_point(app, arch, mem::Protocol::kWti, n);
+        auto mesi = bench::run_point(app, arch, mem::Protocol::kWbMesi, n);
+        double ratio = mesi.result.exec_cycles == 0
+                           ? 0.0
+                           : double(wti.result.exec_cycles) /
+                                 double(mesi.result.exec_cycles);
+        std::printf("%6u %14.3f %14.3f %9.2fx%s%s\n", n,
+                    wti.result.exec_megacycles(), mesi.result.exec_megacycles(),
+                    ratio, wti.result.verified ? "" : "  [WTI UNVERIFIED]",
+                    mesi.result.verified ? "" : "  [MESI UNVERIFIED]");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 5 reproduction: total NoC traffic in bytes over a complete run.
+//
+// Paper observation to reproduce in shape: traffic is of the same order of
+// magnitude for both protocols, with no consistent winner — write-through's
+// per-store words roughly balance write-back's block allocations and
+// write-backs.
+
+#include <cstdio>
+
+#include "paper_sweep.hpp"
+
+using namespace ccnoc;
+
+int main() {
+  std::printf("=== Figure 5: total NoC traffic (bytes) ===\n");
+  for (const char* app : {"ocean", "water"}) {
+    for (unsigned arch : {1u, 2u}) {
+      std::printf("\n%s — %s\n", app, bench::arch_label(arch));
+      std::printf("%6s %16s %16s %10s\n", "n", "WTI [bytes]", "MESI [bytes]",
+                  "WTI/MESI");
+      for (unsigned n : bench::sweep_sizes()) {
+        auto wti = bench::run_point(app, arch, mem::Protocol::kWti, n);
+        auto mesi = bench::run_point(app, arch, mem::Protocol::kWbMesi, n);
+        double ratio = mesi.result.noc_bytes == 0
+                           ? 0.0
+                           : double(wti.result.noc_bytes) / double(mesi.result.noc_bytes);
+        std::printf("%6u %16llu %16llu %9.2fx\n", n,
+                    static_cast<unsigned long long>(wti.result.noc_bytes),
+                    static_cast<unsigned long long>(mesi.result.noc_bytes), ratio);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Microbenchmarks (google-benchmark) for the simulator's hot primitives:
+// event-queue throughput, interconnect injection, cache hit path, directory
+// operations and full small-platform runs. These bound the host-side cost
+// of the CABA simulation itself, not the simulated platform's performance.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/micro.hpp"
+#include "cache/cache_node.hpp"
+#include "core/system.hpp"
+#include "mem/bank.hpp"
+#include "mem/directory.hpp"
+#include "noc/gmn.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace ccnoc;
+
+static void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.schedule_in(sim::Cycle(i % 97 + 1), [&sink] { ++sink; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+static void BM_EventQueueSelfChaining(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t count = 0;
+    const std::uint64_t target = std::uint64_t(state.range(0));
+    std::function<void()> chain = [&] {
+      if (++count < target) q.schedule_in(1, chain);
+    };
+    q.schedule_in(1, chain);
+    q.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueSelfChaining)->Arg(4096);
+
+namespace {
+struct NullEndpoint final : noc::Endpoint {
+  void deliver(const noc::Packet&) override {}
+};
+}  // namespace
+
+static void BM_GmnInjection(benchmark::State& state) {
+  sim::Simulator sim;
+  noc::GmnNetwork net(sim, 16);
+  std::vector<std::unique_ptr<NullEndpoint>> eps;
+  for (sim::NodeId i = 0; i < 16; ++i) {
+    eps.push_back(std::make_unique<NullEndpoint>());
+    net.attach(i, *eps.back());
+  }
+  noc::Message m;
+  m.type = noc::MsgType::kReadShared;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    net.send(sim::NodeId(i % 15), 15, m);
+    ++i;
+    if (i % 1024 == 0) sim.run_to_completion();
+  }
+  sim.run_to_completion();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmnInjection);
+
+static void BM_CacheHitPath(benchmark::State& state) {
+  sim::Simulator sim;
+  mem::AddressMap map(1, 1);
+  noc::GmnNetwork net(sim, map.num_nodes());
+  mem::Bank bank(sim, net, map, 0, mem::Protocol::kWbMesi);
+  cache::CacheNode node(sim, net, map, 0, mem::Protocol::kWbMesi,
+                        cache::CacheConfig{}, cache::CacheConfig{});
+  // Warm one block.
+  cache::MemAccess a;
+  a.addr = 0x100;
+  a.size = 4;
+  std::uint64_t v = 0;
+  node.dcache().access(a, &v, [](std::uint64_t) {});
+  sim.run_to_completion();
+  for (auto _ : state) {
+    auto res = node.dcache().access(a, &v, [](std::uint64_t) {});
+    benchmark::DoNotOptimize(res);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitPath);
+
+static void BM_DirectoryOps(benchmark::State& state) {
+  mem::Directory dir(64);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    sim::Addr block = (i % 4096) * 32;
+    dir.add_sharer(block, sim::NodeId(i % 64));
+    benchmark::DoNotOptimize(dir.lookup(block));
+    if (i % 7 == 0) dir.clear_all_except(block);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryOps);
+
+static void BM_FullPlatformHotCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SystemConfig cfg = core::SystemConfig::architecture2(
+        unsigned(state.range(0)), mem::Protocol::kWbMesi);
+    core::System sys(cfg);
+    apps::HotCounter w(20);
+    auto r = sys.run(w);
+    if (!r.verified) state.SkipWithError("verification failed");
+    state.counters["sim_cycles"] = double(r.exec_cycles);
+    state.counters["sim_events"] = double(r.events);
+  }
+}
+BENCHMARK(BM_FullPlatformHotCounter)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "apps/ocean.hpp"
+#include "apps/water.hpp"
+#include "core/system.hpp"
+
+/// Shared harness for the paper-reproduction benches (Figures 4/5/6): one
+/// run of Ocean or Water on a paper platform (architecture × protocol × n),
+/// with the workload scaled the same way the paper scales it (constant
+/// work per processor: Ocean's grid dimension and Water's molecule count
+/// follow the processor count) but at a size that simulates in seconds.
+///
+/// Set CCNOC_BENCH_SCALE=small to shrink the sweep (n ≤ 16) for smoke runs.
+
+namespace ccnoc::bench {
+
+inline std::unique_ptr<apps::Workload> make_app(const std::string& name) {
+  if (name == "ocean") {
+    apps::Ocean::Config c;
+    c.rows_per_thread = 2;   // grid = 2n+2 (paper: 4n+2; same scaling law)
+    c.iterations = 2;
+    c.compute_per_cell = 8;
+    return std::make_unique<apps::Ocean>(c);
+  }
+  if (name == "water") {
+    apps::Water::Config c;   // paper molecule rule: 27 (n ≤ 16) / 64
+    c.steps = 2;
+    return std::make_unique<apps::Water>(c);
+  }
+  CCNOC_ASSERT(false, "unknown benchmark app " + name);
+  return nullptr;
+}
+
+struct PaperRun {
+  std::string app;
+  unsigned arch = 1;
+  mem::Protocol proto = mem::Protocol::kWti;
+  unsigned n = 4;
+  core::RunResult result;
+};
+
+inline PaperRun run_point(const std::string& app, unsigned arch, mem::Protocol proto,
+                          unsigned n) {
+  core::SystemConfig cfg = arch == 1 ? core::SystemConfig::architecture1(n, proto)
+                                     : core::SystemConfig::architecture2(n, proto);
+  core::System sys(cfg);
+  auto workload = make_app(app);
+  PaperRun pr{app, arch, proto, n, sys.run(*workload)};
+  if (!pr.result.verified) {
+    std::fprintf(stderr, "WARNING: %s %s arch%u n=%u failed verification!\n",
+                 app.c_str(), to_string(proto), arch, n);
+  }
+  return pr;
+}
+
+inline std::vector<unsigned> sweep_sizes() {
+  const char* scale = std::getenv("CCNOC_BENCH_SCALE");
+  if (scale != nullptr && std::string(scale) == "small") return {4, 16};
+  return {4, 16, 32, 64};  // the paper's platform sizes
+}
+
+inline const char* arch_label(unsigned arch) {
+  return arch == 1 ? "architecture 1 (SMP, 2 banks)" : "architecture 2 (DS, n+3 banks)";
+}
+
+}  // namespace ccnoc::bench

@@ -1,0 +1,66 @@
+// Ocean memory-bank contention study (the paper's architecture 1 vs 2
+// comparison, §6.1): runs the Ocean workload on both architectures at
+// several platform sizes and reports execution time, the average queueing
+// delay at the hottest memory bank, and the stall breakdown — showing why
+// the distributed layout wins and where write-through starts to hurt on
+// centralized memory.
+
+#include <cstdio>
+#include <string>
+
+#include "apps/ocean.hpp"
+#include "core/system.hpp"
+
+using namespace ccnoc;
+
+namespace {
+
+struct Row {
+  double exec_mcyc;
+  double bank_queue;  // worst average queue delay over banks, cycles
+  double d_stall_pct;
+  bool verified;
+};
+
+Row run(unsigned arch, mem::Protocol proto, unsigned n) {
+  core::SystemConfig cfg = arch == 1 ? core::SystemConfig::architecture1(n, proto)
+                                     : core::SystemConfig::architecture2(n, proto);
+  core::System sys(cfg);
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = 2;
+  oc.iterations = 2;
+  apps::Ocean w(oc);
+  auto r = sys.run(w);
+
+  double worst_queue = 0.0;
+  for (unsigned b = 0; b < cfg.num_banks; ++b) {
+    const auto& s = sys.simulator().stats().sample("bank" + std::to_string(b) +
+                                                   ".queue_delay");
+    worst_queue = std::max(worst_queue, s.mean());
+  }
+  return Row{r.exec_megacycles(), worst_queue, r.d_stall_pct(n), r.verified};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ocean under memory-bank contention (grid rows spread per layout)\n");
+  std::printf("%5s %-8s | %12s %12s | %14s %14s | %10s\n", "n", "proto",
+              "arch1 [Mcyc]", "arch2 [Mcyc]", "arch1 bankQ", "arch2 bankQ",
+              "speedup");
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    for (mem::Protocol p : {mem::Protocol::kWti, mem::Protocol::kWbMesi}) {
+      Row a1 = run(1, p, n);
+      Row a2 = run(2, p, n);
+      std::printf("%5u %-8s | %12.3f %12.3f | %11.1f cyc %11.1f cyc | %9.2fx%s\n",
+                  n, to_string(p), a1.exec_mcyc, a2.exec_mcyc, a1.bank_queue,
+                  a2.bank_queue, a1.exec_mcyc / a2.exec_mcyc,
+                  (a1.verified && a2.verified) ? "" : "  [UNVERIFIED]");
+    }
+  }
+  std::printf(
+      "\nbankQ = mean queueing delay at the hottest bank. Architecture 1 funnels\n"
+      "every access into one bank; its queue explodes with n, which is the\n"
+      "contention the paper identifies on centralized-memory platforms.\n");
+  return 0;
+}

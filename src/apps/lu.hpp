@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/workload.hpp"
+
+/// \file lu.hpp
+/// LU-like workload (SPLASH-2 LU, contiguous blocks): blocked dense LU
+/// factorization without pivoting. The matrix is partitioned into B×B
+/// blocks, each a separate shared allocation (so architecture 2 spreads
+/// them across banks); blocks are owned by threads in a 2-D scatter. Every
+/// outer step runs three barrier-separated phases — diagonal factorization,
+/// perimeter solves, interior updates — whose writes are disjoint per
+/// phase, so the result is bit-identical for every interleaving and
+/// `verify` replays the factorization host-side.
+
+namespace ccnoc::apps {
+
+class Lu final : public Workload {
+ public:
+  struct Config {
+    unsigned matrix_dim = 16;  ///< N: the matrix is N×N doubles
+    unsigned block_dim = 4;    ///< B: blocks are B×B
+    sim::Cycle compute_per_flop = 4;
+    std::uint64_t code_bytes = 3072;
+  };
+
+  explicit Lu(Config cfg) : cfg_(cfg) {
+    CCNOC_ASSERT(cfg_.matrix_dim % cfg_.block_dim == 0,
+                 "matrix dimension must be a multiple of the block dimension");
+  }
+  Lu();
+
+  [[nodiscard]] std::string name() const override { return "lu"; }
+  void setup(os::Kernel& kernel, unsigned nthreads) override;
+  cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) override;
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override;
+
+  [[nodiscard]] unsigned num_blocks() const { return nb_; }
+
+ private:
+  [[nodiscard]] static double initial_value(unsigned r, unsigned c, unsigned n);
+  [[nodiscard]] sim::Addr elem(unsigned bi, unsigned bj, unsigned r, unsigned c) const {
+    return blocks_[std::size_t(bi) * nb_ + bj] + 8 * (sim::Addr(r) * cfg_.block_dim + c);
+  }
+  [[nodiscard]] unsigned owner(unsigned bi, unsigned bj) const {
+    return (bi + bj * nb_) % nthreads_;
+  }
+
+  Config cfg_;
+  unsigned nthreads_ = 0;
+  unsigned nb_ = 0;  ///< blocks per dimension
+  std::vector<sim::Addr> blocks_;
+  sim::Addr barrier_ = 0;
+  sim::Addr code_ = 0;
+};
+
+inline Lu::Lu() : Lu(Config{}) {}
+
+}  // namespace ccnoc::apps

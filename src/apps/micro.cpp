@@ -1,0 +1,211 @@
+#include "apps/micro.hpp"
+
+#include "sim/rng.hpp"
+
+namespace ccnoc::apps {
+
+using cpu::ThreadContext;
+using cpu::ThreadOp;
+using cpu::ThreadProgram;
+
+// ---------------------------------------------------------------- HotCounter
+
+void HotCounter::setup(os::Kernel& kernel, unsigned nthreads) {
+  nthreads_ = nthreads;
+  lock_ = kernel.create_lock();
+  counter_ = kernel.layout().alloc_shared(4, 4);
+  kernel.memory().write_u32(counter_, 0);
+  code_ = kernel.layout().alloc_code(512);
+}
+
+ThreadProgram HotCounter::make_program(ThreadContext& ctx) {
+  const unsigned n = increments_;
+  const sim::Addr lock = lock_;
+  const sim::Addr counter = counter_;
+  const sim::Addr code = code_;
+  return [](ThreadContext& c, unsigned reps, sim::Addr lk, sim::Addr cnt,
+            sim::Addr cd) -> ThreadProgram {
+    c.set_code_region(cd, 512);
+    for (unsigned i = 0; i < reps; ++i) {
+      co_yield ThreadOp::lock_acquire(lk);
+      co_yield ThreadOp::load(cnt);
+      co_yield ThreadOp::store(cnt, c.last_load_value + 1);
+      co_yield ThreadOp::lock_release(lk);
+      co_yield ThreadOp::compute(5);
+    }
+  }(ctx, n, lock, counter, code);
+}
+
+bool HotCounter::verify(const mem::DirectMemoryIf& dm) const {
+  return dm.read_u32(counter_) == nthreads_ * increments_;
+}
+
+// ---------------------------------------------------------- ProducerConsumer
+
+void ProducerConsumer::setup(os::Kernel& kernel, unsigned nthreads) {
+  CCNOC_ASSERT(nthreads % 2 == 0, "producer-consumer needs an even thread count");
+  pairs_ = nthreads / 2;
+  mailboxes_.clear();
+  error_cells_.clear();
+  for (unsigned p = 0; p < pairs_; ++p) {
+    sim::Addr mb = kernel.layout().alloc_shared(4 * (payload_words_ + 1), 32);
+    for (unsigned w = 0; w <= payload_words_; ++w) kernel.memory().write_u32(mb + 4 * w, 0);
+    mailboxes_.push_back(mb);
+    sim::Addr err = kernel.layout().alloc_shared(4, 4);
+    kernel.memory().write_u32(err, 0);
+    error_cells_.push_back(err);
+  }
+  code_ = kernel.layout().alloc_code(1024);
+}
+
+ThreadProgram ProducerConsumer::make_program(ThreadContext& ctx) {
+  const unsigned pair = ctx.tid / 2;
+  const bool is_producer = (ctx.tid % 2) == 0;
+  const sim::Addr mb = mailboxes_[pair];
+  const sim::Addr err = error_cells_[pair];
+  const unsigned rounds = rounds_;
+  const unsigned words = payload_words_;
+  const sim::Addr code = code_;
+
+  if (is_producer) {
+    return [](ThreadContext& c, sim::Addr mbox, unsigned r, unsigned w,
+              sim::Addr cd) -> ThreadProgram {
+      c.set_code_region(cd, 1024);
+      for (unsigned round = 1; round <= r; ++round) {
+        // Wait until the consumer drained the previous round.
+        do {
+          co_yield ThreadOp::load(mbox);
+          if (c.last_load_value != 0) co_yield ThreadOp::compute(10);
+        } while (c.last_load_value != 0);
+        // Payload first, then the flag: a consumer that observes the flag
+        // must observe the payload (sequential consistency).
+        for (unsigned i = 1; i <= w; ++i) {
+          co_yield ThreadOp::store(mbox + 4 * i, round * 1000 + i);
+        }
+        co_yield ThreadOp::store(mbox, round);
+      }
+    }(ctx, mb, rounds, words, code);
+  }
+  return [](ThreadContext& c, sim::Addr mbox, sim::Addr ecell, unsigned r, unsigned w,
+            sim::Addr cd) -> ThreadProgram {
+    c.set_code_region(cd, 1024);
+    std::uint32_t errors = 0;
+    for (unsigned round = 1; round <= r; ++round) {
+      do {
+        co_yield ThreadOp::load(mbox);
+        if (c.last_load_value != round) co_yield ThreadOp::compute(10);
+      } while (c.last_load_value != round);
+      for (unsigned i = 1; i <= w; ++i) {
+        co_yield ThreadOp::load(mbox + 4 * i);
+        if (c.last_load_value != round * 1000 + i) ++errors;
+      }
+      co_yield ThreadOp::store(mbox, 0);  // hand the mailbox back
+    }
+    co_yield ThreadOp::store(ecell, errors);
+  }(ctx, mb, err, rounds, words, code);
+}
+
+bool ProducerConsumer::verify(const mem::DirectMemoryIf& dm) const {
+  for (sim::Addr e : error_cells_) {
+    if (dm.read_u32(e) != 0) return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- UniformRandom
+
+void UniformRandom::setup(os::Kernel& kernel, unsigned nthreads) {
+  nthreads_ = nthreads;
+  shared_ = kernel.layout().alloc_shared(4 * std::uint64_t(cfg_.shared_words), 32);
+  for (unsigned w = 0; w < cfg_.shared_words; ++w) {
+    kernel.memory().write_u32(shared_ + 4 * w, w);
+  }
+  done_cells_.clear();
+  for (unsigned t = 0; t < nthreads; ++t) {
+    sim::Addr d = kernel.layout().alloc_shared(4, 4);
+    kernel.memory().write_u32(d, 0);
+    done_cells_.push_back(d);
+  }
+  code_ = kernel.layout().alloc_code(2048);
+}
+
+ThreadProgram UniformRandom::make_program(ThreadContext& ctx) {
+  const Config cfg = cfg_;
+  const sim::Addr shared = shared_;
+  const sim::Addr done = done_cells_[ctx.tid];
+  const sim::Addr code = code_;
+  return [](ThreadContext& c, Config cf, sim::Addr sh, sim::Addr dn,
+            sim::Addr cd) -> ThreadProgram {
+    c.set_code_region(cd, 2048);
+    sim::Rng rng(cf.seed * 1315423911u + c.tid + 1);
+    std::uint64_t checksum = 0;
+    const unsigned local_words = 256;
+    for (unsigned i = 0; i < cf.ops_per_thread; ++i) {
+      const bool local = rng.next_double() < cf.local_fraction;
+      const bool store = rng.next_double() < cf.store_fraction;
+      sim::Addr a = local ? c.local_base + 4 * rng.next_below(local_words)
+                          : sh + 4 * rng.next_below(cf.shared_words);
+      if (store) {
+        co_yield ThreadOp::store(a, std::uint32_t(checksum + i));
+      } else {
+        co_yield ThreadOp::load(a);
+        checksum += c.last_load_value;
+      }
+      if (cf.compute_between > 0) co_yield ThreadOp::compute(cf.compute_between);
+    }
+    co_yield ThreadOp::store(dn, 1);
+  }(ctx, cfg, shared, done, code);
+}
+
+bool UniformRandom::verify(const mem::DirectMemoryIf& dm) const {
+  for (sim::Addr d : done_cells_) {
+    if (dm.read_u32(d) != 1) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ PingPong
+
+void PingPong::setup(os::Kernel& kernel, unsigned nthreads) {
+  CCNOC_ASSERT(nthreads >= 2, "ping-pong needs two threads");
+  data_ = kernel.layout().alloc_shared(32, 32);
+  flags_ = kernel.layout().alloc_shared(32, 32);  // separate block from data
+  kernel.memory().write_u32(data_, 0);
+  kernel.memory().write_u32(flags_, 0);
+  code_ = kernel.layout().alloc_code(512);
+}
+
+ThreadProgram PingPong::make_program(ThreadContext& ctx) {
+  const unsigned role = ctx.tid;  // 0 = A, 1 = B, others idle
+  const unsigned rounds = rounds_;
+  const sim::Addr data = data_;
+  const sim::Addr turn = flags_;
+  const sim::Addr code = code_;
+
+  if (role > 1) {
+    return [](ThreadContext& c, sim::Addr cd) -> ThreadProgram {
+      c.set_code_region(cd, 512);
+      co_yield ThreadOp::compute(1);
+    }(ctx, code);
+  }
+  return [](ThreadContext& c, unsigned me, unsigned r, sim::Addr d, sim::Addr t,
+            sim::Addr cd) -> ThreadProgram {
+    c.set_code_region(cd, 512);
+    for (unsigned round = 0; round < r; ++round) {
+      do {
+        co_yield ThreadOp::load(t);
+        if (c.last_load_value % 2 != me) co_yield ThreadOp::compute(8);
+      } while (c.last_load_value % 2 != me);
+      co_yield ThreadOp::load(d);
+      co_yield ThreadOp::store(d, c.last_load_value + 1);
+      co_yield ThreadOp::load(t);
+      co_yield ThreadOp::store(t, c.last_load_value + 1);
+    }
+  }(ctx, role, rounds, data, turn, code);
+}
+
+bool PingPong::verify(const mem::DirectMemoryIf& dm) const {
+  return dm.read_u32(data_) == 2 * rounds_ && dm.read_u32(flags_) == 2 * rounds_;
+}
+
+}  // namespace ccnoc::apps

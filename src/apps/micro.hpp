@@ -1,0 +1,114 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/workload.hpp"
+
+/// \file micro.hpp
+/// Directed microworkloads used by the integration tests, the Table-1 hop
+/// study and the ablations. Each stresses one coherence behaviour and has
+/// an exact functional oracle.
+
+namespace ccnoc::apps {
+
+/// Every thread increments one lock-protected shared counter `increments`
+/// times. Oracle: counter == nthreads * increments. Stresses lock
+/// migration, upgrades (MESI) and invalidation storms (WTI).
+class HotCounter final : public Workload {
+ public:
+  explicit HotCounter(unsigned increments = 200) : increments_(increments) {}
+
+  [[nodiscard]] std::string name() const override { return "hot-counter"; }
+  void setup(os::Kernel& kernel, unsigned nthreads) override;
+  cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) override;
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override;
+
+ private:
+  unsigned increments_;
+  unsigned nthreads_ = 0;
+  sim::Addr counter_ = 0;
+  sim::Addr lock_ = 0;
+  sim::Addr code_ = 0;
+};
+
+/// Pairs of threads hand values through a flag-protected mailbox:
+/// the producer writes `rounds` payload words then sets the flag; the
+/// consumer spins on the flag, checks the payload, records mismatches, and
+/// clears the flag. Oracle: zero mismatches — a direct sequential-
+/// consistency / write-visibility check.
+class ProducerConsumer final : public Workload {
+ public:
+  explicit ProducerConsumer(unsigned rounds = 50, unsigned payload_words = 6)
+      : rounds_(rounds), payload_words_(payload_words) {}
+
+  [[nodiscard]] std::string name() const override { return "producer-consumer"; }
+  void setup(os::Kernel& kernel, unsigned nthreads) override;
+  cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) override;
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override;
+
+ private:
+  unsigned rounds_;
+  unsigned payload_words_;
+  unsigned pairs_ = 0;
+  std::vector<sim::Addr> mailboxes_;   // per pair: [flag][payload...]
+  std::vector<sim::Addr> error_cells_; // per pair: consumer-recorded mismatches
+  sim::Addr code_ = 0;
+};
+
+/// Threads read and write a shared array with uniformly random indices,
+/// mixed with thread-local accesses and compute, at a configurable
+/// store fraction. Each thread also accumulates a checksum of its loads
+/// into its local region. No sharing-order oracle (data races are part of
+/// the workload); verify only checks that every thread recorded its
+/// completion token. Used for traffic/ablation sweeps.
+class UniformRandom final : public Workload {
+ public:
+  struct Config {
+    unsigned ops_per_thread = 2000;
+    unsigned shared_words = 4096;
+    double store_fraction = 0.3;
+    double local_fraction = 0.4;  ///< fraction of accesses going to local data
+    std::uint64_t seed = 7;
+    sim::Cycle compute_between = 4;
+  };
+
+  explicit UniformRandom(Config cfg) : cfg_(cfg) {}
+  UniformRandom();
+
+  [[nodiscard]] std::string name() const override { return "uniform-random"; }
+  void setup(os::Kernel& kernel, unsigned nthreads) override;
+  cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) override;
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override;
+
+ private:
+  Config cfg_;
+  unsigned nthreads_ = 0;
+  sim::Addr shared_ = 0;
+  std::vector<sim::Addr> done_cells_;
+  sim::Addr code_ = 0;
+};
+
+/// Two threads bounce one block: A writes it, B reads+writes it, in strict
+/// alternation via two flags. Oracle: final generation counter. Maximal
+/// coherence ping-pong; the Table-1 hop-count study uses it.
+class PingPong final : public Workload {
+ public:
+  explicit PingPong(unsigned rounds = 100) : rounds_(rounds) {}
+
+  [[nodiscard]] std::string name() const override { return "ping-pong"; }
+  void setup(os::Kernel& kernel, unsigned nthreads) override;
+  cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) override;
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override;
+
+ private:
+  unsigned rounds_;
+  sim::Addr data_ = 0;   // the bounced word
+  sim::Addr flags_ = 0;  // [turn] word: 0 = A's turn, 1 = B's turn
+  sim::Addr code_ = 0;
+};
+
+// Out-of-class so the nested Config's default member initializers are
+// complete (GCC 12 rejects `Config cfg = {}` default arguments in-class).
+inline UniformRandom::UniformRandom() : UniformRandom(Config{}) {}
+
+}  // namespace ccnoc::apps

@@ -1,0 +1,115 @@
+#include "apps/ocean.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace ccnoc::apps {
+
+using cpu::ThreadContext;
+using cpu::ThreadOp;
+using cpu::ThreadProgram;
+
+double Ocean::initial_value(unsigned r, unsigned c, unsigned dim) {
+  // Smooth deterministic field with a hot boundary, reminiscent of Ocean's
+  // stream function: boundary rows/columns are fixed, interior starts flat.
+  if (r == 0 || c == 0 || r == dim - 1 || c == dim - 1) {
+    return 4.0 + std::sin(0.37 * double(r)) + std::cos(0.23 * double(c));
+  }
+  return 1.0;
+}
+
+void Ocean::setup(os::Kernel& kernel, unsigned nthreads) {
+  nthreads_ = nthreads;
+  dim_ = cfg_.rows_per_thread * nthreads + 2;
+  rows_.clear();
+  rows_.reserve(dim_);
+  for (unsigned r = 0; r < dim_; ++r) {
+    rows_.push_back(kernel.layout().alloc_shared(8 * std::uint64_t(dim_), 32));
+  }
+  for (unsigned r = 0; r < dim_; ++r) {
+    for (unsigned c = 0; c < dim_; ++c) {
+      kernel.memory().write_f64(cell_addr(r, c), initial_value(r, c, dim_));
+    }
+  }
+  barrier_ = kernel.create_barrier(nthreads);
+  code_ = kernel.layout().alloc_code(cfg_.code_bytes);
+}
+
+ThreadProgram Ocean::make_program(ThreadContext& ctx) {
+  struct Params {
+    const Ocean* self;
+    unsigned first_row;
+    unsigned last_row;  // exclusive
+  };
+  Params p{this, 1 + ctx.tid * cfg_.rows_per_thread,
+           1 + (ctx.tid + 1) * cfg_.rows_per_thread};
+
+  return [](ThreadContext& c, Params prm) -> ThreadProgram {
+    const Ocean& oc = *prm.self;
+    c.set_code_region(oc.code_, oc.cfg_.code_bytes);
+    for (unsigned iter = 0; iter < oc.cfg_.iterations; ++iter) {
+      for (unsigned color = 0; color < 2; ++color) {
+        double residual = 0.0;
+        for (unsigned r = prm.first_row; r < prm.last_row; ++r) {
+          for (unsigned col = 1; col < oc.dim_ - 1; ++col) {
+            if (((r + col) & 1u) != color) continue;
+            co_yield ThreadOp::load(oc.cell_addr(r - 1, col), 8);
+            const double up = std::bit_cast<double>(c.last_load_value);
+            co_yield ThreadOp::load(oc.cell_addr(r + 1, col), 8);
+            const double down = std::bit_cast<double>(c.last_load_value);
+            co_yield ThreadOp::load(oc.cell_addr(r, col - 1), 8);
+            const double left = std::bit_cast<double>(c.last_load_value);
+            co_yield ThreadOp::load(oc.cell_addr(r, col + 1), 8);
+            const double right = std::bit_cast<double>(c.last_load_value);
+            co_yield ThreadOp::load(oc.cell_addr(r, col), 8);
+            const double old = std::bit_cast<double>(c.last_load_value);
+
+            const double next = 0.25 * (up + down + left + right);
+            residual += std::fabs(next - old);
+            co_yield ThreadOp::compute(oc.cfg_.compute_per_cell);
+            co_yield ThreadOp::store(oc.cell_addr(r, col),
+                                     std::bit_cast<std::uint64_t>(next), 8);
+          }
+          // Per-row residual bookkeeping in the thread-local region
+          // (stack traffic, as in the real benchmark).
+          co_yield ThreadOp::store(
+              c.local_base + 8 * ((r - prm.first_row) % 64),
+              std::bit_cast<std::uint64_t>(residual), 8);
+        }
+        co_yield ThreadOp::barrier(oc.barrier_);
+      }
+    }
+  }(ctx, p);
+}
+
+bool Ocean::verify(const mem::DirectMemoryIf& dm) const {
+  // Golden host-side replay: red-black sweeps are interleaving-independent,
+  // so the sequential result must match the simulated memory bit for bit.
+  std::vector<double> g(std::size_t(dim_) * dim_);
+  for (unsigned r = 0; r < dim_; ++r) {
+    for (unsigned c = 0; c < dim_; ++c) {
+      g[std::size_t(r) * dim_ + c] = initial_value(r, c, dim_);
+    }
+  }
+  auto at = [&](unsigned r, unsigned c) -> double& {
+    return g[std::size_t(r) * dim_ + c];
+  };
+  for (unsigned iter = 0; iter < cfg_.iterations; ++iter) {
+    for (unsigned color = 0; color < 2; ++color) {
+      for (unsigned r = 1; r < dim_ - 1; ++r) {
+        for (unsigned c = 1; c < dim_ - 1; ++c) {
+          if (((r + c) & 1u) != color) continue;
+          at(r, c) = 0.25 * (at(r - 1, c) + at(r + 1, c) + at(r, c - 1) + at(r, c + 1));
+        }
+      }
+    }
+  }
+  for (unsigned r = 0; r < dim_; ++r) {
+    for (unsigned c = 0; c < dim_; ++c) {
+      if (dm.read_f64(cell_addr(r, c)) != at(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ccnoc::apps

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/workload.hpp"
+
+/// \file ocean.hpp
+/// Ocean-like workload (SPLASH-2 Ocean, contiguous partitions): red-black
+/// Gauss–Seidel relaxation of a square grid. Rows are partitioned
+/// contiguously across threads; a sense-reversing barrier separates the red
+/// and black half-sweeps of every iteration, and each thread writes a
+/// per-row residual into its thread-local region (stack traffic). Each grid
+/// row is a separate shared allocation, so architecture 2 spreads rows over
+/// the shared banks as the paper's layout does.
+///
+/// Red cells read only black neighbours and vice versa, so the result is
+/// bit-identical for every legal interleaving — `verify` replays the sweeps
+/// host-side and compares all cells bitwise: the end-to-end coherence
+/// oracle for the big Figure 4/5/6 runs.
+
+namespace ccnoc::apps {
+
+class Ocean final : public Workload {
+ public:
+  struct Config {
+    unsigned rows_per_thread = 4;  ///< grid dim = rows_per_thread * T + 2
+    unsigned iterations = 3;       ///< full red+black sweeps
+    sim::Cycle compute_per_cell = 8;
+    std::uint64_t code_bytes = 2048;
+  };
+
+  explicit Ocean(Config cfg) : cfg_(cfg) {}
+  Ocean();
+
+  [[nodiscard]] std::string name() const override { return "ocean"; }
+  void setup(os::Kernel& kernel, unsigned nthreads) override;
+  cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) override;
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override;
+
+  [[nodiscard]] unsigned dim() const { return dim_; }
+
+ private:
+  [[nodiscard]] sim::Addr cell_addr(unsigned r, unsigned c) const {
+    return rows_[r] + 8 * sim::Addr(c);
+  }
+  [[nodiscard]] static double initial_value(unsigned r, unsigned c, unsigned dim);
+
+  Config cfg_;
+  unsigned nthreads_ = 0;
+  unsigned dim_ = 0;
+  std::vector<sim::Addr> rows_;
+  sim::Addr barrier_ = 0;
+  sim::Addr code_ = 0;
+};
+
+// Out-of-class so the nested Config's default member initializers are
+// complete (GCC 12 rejects `Config cfg = {}` default arguments in-class).
+inline Ocean::Ocean() : Ocean(Config{}) {}
+
+}  // namespace ccnoc::apps

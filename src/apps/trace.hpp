@@ -1,0 +1,73 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+/// \file trace.hpp
+/// Trace-driven workload: replays per-thread memory-reference traces
+/// through the simulated hierarchy — the classical methodology of the
+/// paper's related work ([4, 18] are trace-driven studies) and a useful
+/// substrate for downstream users who have address traces rather than
+/// programs.
+///
+/// Trace text format, one record per line (`#` comments allowed):
+///
+///     <tid> L <addr-hex> <size>            load
+///     <tid> S <addr-hex> <size> <value>    store
+///     <tid> C <cycles>                     compute gap
+///     <tid> B                              global barrier
+///
+/// Addresses are offsets into one shared region the player allocates.
+/// Stores record a last-writer oracle per word; after the run every traced
+/// word must hold the value of its last store in trace order **per
+/// location with a single writer**; multi-writer words are skipped by the
+/// oracle (their final value depends on interleaving).
+
+namespace ccnoc::apps {
+
+struct TraceRecord {
+  enum class Kind : std::uint8_t { kLoad, kStore, kCompute, kBarrier };
+  Kind kind = Kind::kLoad;
+  sim::Addr offset = 0;  ///< offset into the shared region
+  std::uint8_t size = 4;
+  std::uint64_t value = 0;  ///< store value / compute cycles
+};
+
+class TracePlayer final : public Workload {
+ public:
+  /// Build from parsed per-thread traces.
+  explicit TracePlayer(std::vector<std::vector<TraceRecord>> per_thread);
+
+  /// Parse the text format above. Throws std::logic_error on bad input.
+  static TracePlayer parse(const std::string& text, unsigned nthreads);
+
+  /// Deterministic synthetic trace generator (uniform-random references at
+  /// a given store fraction with barrier epochs), for tests and benches.
+  static TracePlayer synthetic(unsigned nthreads, unsigned ops_per_thread,
+                               unsigned region_words, double store_fraction,
+                               std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "trace-player"; }
+  void setup(os::Kernel& kernel, unsigned nthreads) override;
+  cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) override;
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override;
+
+  [[nodiscard]] std::size_t records(unsigned tid) const {
+    return traces_.at(tid).size();
+  }
+
+ private:
+  std::vector<std::vector<TraceRecord>> traces_;
+  sim::Addr region_ = 0;
+  std::uint64_t region_bytes_ = 0;
+  sim::Addr barrier_ = 0;
+  sim::Addr code_ = 0;
+  /// Last-writer oracle: word offset → (value, single_writer).
+  std::map<sim::Addr, std::pair<std::uint64_t, bool>> oracle_;
+  std::map<sim::Addr, std::uint8_t> verify_sizes_;
+};
+
+}  // namespace ccnoc::apps

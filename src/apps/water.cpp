@@ -1,0 +1,176 @@
+#include "apps/water.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+namespace ccnoc::apps {
+
+using cpu::ThreadContext;
+using cpu::ThreadOp;
+using cpu::ThreadProgram;
+
+double Water::initial_pos(unsigned m, unsigned axis) {
+  // Deterministic pseudo-lattice with a per-molecule perturbation.
+  const double base = double((m * 7 + axis * 3) % 11);
+  return base + 0.125 * double((m * 2654435761u + axis) % 64) / 64.0;
+}
+
+void Water::pair_force(const double* pi, const double* pj, std::int64_t* out) {
+  const double dx = pj[0] - pi[0];
+  const double dy = pj[1] - pi[1];
+  const double dz = pj[2] - pi[2];
+  const double r2 = dx * dx + dy * dy + dz * dz + 1.0;  // softened
+  const double f = 1.0 / r2;
+  out[0] = std::llround(f * dx * kScale);
+  out[1] = std::llround(f * dy * kScale);
+  out[2] = std::llround(f * dz * kScale);
+}
+
+void Water::setup(os::Kernel& kernel, unsigned nthreads) {
+  nthreads_ = nthreads;
+  mols_ = cfg_.molecules;
+  if (mols_ == 0) mols_ = nthreads <= 16 ? 27 : 64;  // paper's Figure 4 note
+  if (mols_ < nthreads) mols_ = nthreads;
+
+  pos_.clear();
+  force_.clear();
+  locks_.clear();
+  for (unsigned m = 0; m < mols_; ++m) {
+    pos_.push_back(kernel.layout().alloc_shared(48, 32));
+    force_.push_back(kernel.layout().alloc_shared(24, 32));
+    for (unsigned a = 0; a < 3; ++a) {
+      kernel.memory().write_f64(pos_addr(m, a), initial_pos(m, a));
+      kernel.memory().write_f64(vel_addr(m, a), 0.0);
+      kernel.memory().write_u64(force_addr(m, a), 0);
+    }
+  }
+  for (unsigned l = 0; l < cfg_.num_locks; ++l) locks_.push_back(kernel.create_lock());
+  barrier_ = kernel.create_barrier(nthreads);
+  code_ = kernel.layout().alloc_code(cfg_.code_bytes);
+}
+
+ThreadProgram Water::make_program(ThreadContext& ctx) {
+  return [](ThreadContext& c, const Water* wp, unsigned tid,
+            unsigned nthreads) -> ThreadProgram {
+    const Water& w = *wp;
+    c.set_code_region(w.code_, w.cfg_.code_bytes);
+    // Private force accumulator, as in SPLASH-2 Water-nsquared: pair
+    // contributions land in a per-process array (thread-local memory) and
+    // are flushed to the shared array once per molecule per step under the
+    // molecule's stripe lock.
+    std::vector<std::int64_t> acc(std::size_t(w.mols_) * 3, 0);
+    std::vector<bool> touched(w.mols_, false);
+
+    for (unsigned step = 0; step < w.cfg_.steps; ++step) {
+      // ---- force phase: each (i, j) pair computed once, by i's owner ----
+      for (unsigned i = tid; i < w.mols_; i += nthreads) {
+        double pi[3];
+        for (unsigned a = 0; a < 3; ++a) {
+          co_yield ThreadOp::load(w.pos_addr(i, a), 8);
+          pi[a] = std::bit_cast<double>(c.last_load_value);
+        }
+        touched[i] = true;
+        for (unsigned j = i + 1; j < w.mols_; ++j) {
+          double pj[3];
+          for (unsigned a = 0; a < 3; ++a) {
+            co_yield ThreadOp::load(w.pos_addr(j, a), 8);
+            pj[a] = std::bit_cast<double>(c.last_load_value);
+          }
+          std::int64_t f[3];
+          pair_force(pi, pj, f);
+          co_yield ThreadOp::compute(w.cfg_.force_compute);
+          for (unsigned a = 0; a < 3; ++a) {
+            acc[std::size_t(i) * 3 + a] += f[a];
+            acc[std::size_t(j) * 3 + a] -= f[a];
+          }
+          touched[j] = true;
+          // The private accumulator lives in thread-local memory: one
+          // read-modify-write per pair (cache-hot, no sharing).
+          const sim::Addr la = c.local_base + 8 * (j % 64);
+          co_yield ThreadOp::load(la, 8);
+          co_yield ThreadOp::store(la, c.last_load_value + 1, 8);
+        }
+      }
+      // ---- flush phase: one locked update per touched molecule ----
+      for (unsigned j = 0; j < w.mols_; ++j) {
+        if (!touched[j]) continue;
+        const sim::Addr jlock = w.locks_[j % w.cfg_.num_locks];
+        co_yield ThreadOp::lock_acquire(jlock);
+        for (unsigned a = 0; a < 3; ++a) {
+          co_yield ThreadOp::load(w.force_addr(j, a), 8);
+          const std::int64_t cur = std::int64_t(c.last_load_value);
+          co_yield ThreadOp::store(
+              w.force_addr(j, a), std::uint64_t(cur + acc[std::size_t(j) * 3 + a]), 8);
+          acc[std::size_t(j) * 3 + a] = 0;
+        }
+        co_yield ThreadOp::lock_release(jlock);
+        touched[j] = false;
+      }
+      co_yield ThreadOp::barrier(w.barrier_);
+
+      // ---- update phase: integrate owned molecules, clear accumulators ----
+      for (unsigned i = tid; i < w.mols_; i += nthreads) {
+        for (unsigned a = 0; a < 3; ++a) {
+          co_yield ThreadOp::load(w.force_addr(i, a), 8);
+          const double f = double(std::int64_t(c.last_load_value)) / kScale;
+          co_yield ThreadOp::load(w.vel_addr(i, a), 8);
+          double v = std::bit_cast<double>(c.last_load_value);
+          v += f * kDt;
+          co_yield ThreadOp::store(w.vel_addr(i, a), std::bit_cast<std::uint64_t>(v), 8);
+          co_yield ThreadOp::load(w.pos_addr(i, a), 8);
+          double p = std::bit_cast<double>(c.last_load_value);
+          p += v * kDt;
+          co_yield ThreadOp::compute(6);
+          co_yield ThreadOp::store(w.pos_addr(i, a), std::bit_cast<std::uint64_t>(p), 8);
+          co_yield ThreadOp::store(w.force_addr(i, a), 0, 8);
+        }
+      }
+      co_yield ThreadOp::barrier(w.barrier_);
+    }
+  }(ctx, this, ctx.tid, nthreads_);
+}
+
+bool Water::verify(const mem::DirectMemoryIf& dm) const {
+  // Golden replay: fixed-point force accumulation commutes, so a sequential
+  // replay produces the exact bits of any legal parallel interleaving.
+  std::vector<std::array<double, 3>> pos(mols_), vel(mols_);
+  std::vector<std::array<std::int64_t, 3>> force(mols_);
+  for (unsigned m = 0; m < mols_; ++m) {
+    for (unsigned a = 0; a < 3; ++a) {
+      pos[m][a] = initial_pos(m, a);
+      vel[m][a] = 0.0;
+      force[m][a] = 0;
+    }
+  }
+  for (unsigned step = 0; step < cfg_.steps; ++step) {
+    for (unsigned i = 0; i < mols_; ++i) {
+      for (unsigned j = i + 1; j < mols_; ++j) {
+        std::int64_t f[3];
+        pair_force(pos[i].data(), pos[j].data(), f);
+        for (unsigned a = 0; a < 3; ++a) {
+          force[i][a] += f[a];
+          force[j][a] -= f[a];
+        }
+      }
+    }
+    for (unsigned i = 0; i < mols_; ++i) {
+      for (unsigned a = 0; a < 3; ++a) {
+        const double f = double(force[i][a]) / kScale;
+        vel[i][a] += f * kDt;
+        pos[i][a] += vel[i][a] * kDt;
+        force[i][a] = 0;
+      }
+    }
+  }
+  for (unsigned m = 0; m < mols_; ++m) {
+    for (unsigned a = 0; a < 3; ++a) {
+      if (dm.read_f64(pos_addr(m, a)) != pos[m][a]) return false;
+      if (dm.read_f64(vel_addr(m, a)) != vel[m][a]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ccnoc::apps

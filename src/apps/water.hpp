@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/workload.hpp"
+
+/// \file water.hpp
+/// Water-like workload (SPLASH-2 Water-nsquared): N-body molecular-dynamics
+/// steps over M molecules. Each step:
+///
+///   1. force phase — the owner of the lower-indexed molecule computes each
+///      (i, j) pair once, accumulating its own contribution locally and
+///      adding the partner's through a lock-protected read-modify-write
+///      (striped molecule locks), as Water's inter-molecular phase does;
+///   2. barrier;
+///   3. update phase — each owner integrates velocity/position of its
+///      molecules from the accumulated force and clears the accumulator;
+///   4. barrier.
+///
+/// Forces accumulate in *fixed point* (int64), so the result is independent
+/// of accumulation order and `verify` can replay the run host-side and
+/// compare positions bit-for-bit despite thread interleaving.
+
+namespace ccnoc::apps {
+
+class Water final : public Workload {
+ public:
+  struct Config {
+    /// 0 = the paper's rule: 27 molecules for small platforms (≤16 CPUs),
+    /// 64 for large ones, but never fewer than the thread count.
+    unsigned molecules = 0;
+    unsigned steps = 2;
+    sim::Cycle force_compute = 12;  ///< cycles per pair interaction
+    unsigned num_locks = 16;        ///< striped molecule locks
+    std::uint64_t code_bytes = 3072;
+  };
+
+  explicit Water(Config cfg) : cfg_(cfg) {}
+  Water();
+
+  [[nodiscard]] std::string name() const override { return "water"; }
+  void setup(os::Kernel& kernel, unsigned nthreads) override;
+  cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) override;
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override;
+
+  [[nodiscard]] unsigned molecule_count() const { return mols_; }
+
+  /// Fixed-point scale for force accumulation.
+  static constexpr double kScale = double(1 << 20);
+  static constexpr double kDt = 1.0 / 64.0;
+
+  /// Pairwise force kernel, shared with the golden replay: soft inverse-
+  /// square attraction along each axis, returned in fixed point.
+  static void pair_force(const double* pi, const double* pj, std::int64_t* out);
+
+ private:
+  [[nodiscard]] sim::Addr pos_addr(unsigned m, unsigned axis) const {
+    return pos_[m] + 8 * axis;
+  }
+  [[nodiscard]] sim::Addr vel_addr(unsigned m, unsigned axis) const {
+    return pos_[m] + 24 + 8 * axis;
+  }
+  [[nodiscard]] sim::Addr force_addr(unsigned m, unsigned axis) const {
+    return force_[m] + 8 * axis;
+  }
+  [[nodiscard]] static double initial_pos(unsigned m, unsigned axis);
+
+  Config cfg_;
+  unsigned nthreads_ = 0;
+  unsigned mols_ = 0;
+  std::vector<sim::Addr> pos_;    ///< per molecule: pos xyz + vel xyz (48 B)
+  std::vector<sim::Addr> force_;  ///< per molecule: 3 × int64 accumulators
+  std::vector<sim::Addr> locks_;
+  sim::Addr barrier_ = 0;
+  sim::Addr code_ = 0;
+};
+
+// Out-of-class so the nested Config's default member initializers are
+// complete (GCC 12 rejects `Config cfg = {}` default arguments in-class).
+inline Water::Water() : Water(Config{}) {}
+
+}  // namespace ccnoc::apps

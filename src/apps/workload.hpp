@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "cpu/thread.hpp"
+#include "mem/direct_memory.hpp"
+#include "os/kernel.hpp"
+
+/// \file workload.hpp
+/// Execution-driven workload interface. A workload allocates its data
+/// through the OS layout (so placement follows the architecture under
+/// study), writes initial values through the untimed memory backdoor, and
+/// provides one coroutine per thread that issues every load/store/sync op
+/// through the simulated hierarchy. After the run, `verify` replays the
+/// computation host-side and checks the simulated memory bit-for-bit —
+/// the platform's end-to-end coherence oracle.
+
+namespace ccnoc::apps {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Allocate and initialize memory, locks and barriers. Called once,
+  /// after the kernel created `nthreads` thread contexts.
+  virtual void setup(os::Kernel& kernel, unsigned nthreads) = 0;
+
+  /// Build the body of thread `ctx.tid`.
+  virtual cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) = 0;
+
+  /// Check the final simulated memory against a host-side golden
+  /// execution. Returns true when the run is correct.
+  [[nodiscard]] virtual bool verify(const mem::DirectMemoryIf& dm) const = 0;
+};
+
+}  // namespace ccnoc::apps

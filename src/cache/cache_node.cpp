@@ -1,0 +1,32 @@
+#include "cache/cache_node.hpp"
+
+namespace ccnoc::cache {
+
+CacheNode::CacheNode(sim::Simulator& sim, noc::Network& net, const mem::AddressMap& map,
+                     unsigned cpu_index, mem::Protocol proto, CacheConfig dcfg,
+                     CacheConfig icfg)
+    : node_(map.cache_node(cpu_index)), proto_(proto) {
+  std::string base = "cpu" + std::to_string(cpu_index);
+  if (is_write_through(proto)) {
+    dcache_ = std::make_unique<WtiController>(sim, net, map, node_, /*port=*/0, dcfg,
+                                              base + ".dcache");
+  } else {
+    dcache_ = std::make_unique<MesiController>(sim, net, map, node_, /*port=*/0, dcfg,
+                                               base + ".dcache");
+  }
+  icache_ = std::make_unique<ICacheController>(sim, net, map, node_, icfg,
+                                               base + ".icache");
+  net.attach(node_, *this);
+}
+
+void CacheNode::deliver(const noc::Packet& pkt) {
+  // Responses echo the requesting sub-port; directory commands carry the
+  // default port 0 and always concern the (coherent) data cache.
+  if (pkt.msg.port == 1) {
+    icache_->on_packet(pkt);
+  } else {
+    dcache_->on_packet(pkt);
+  }
+}
+
+}  // namespace ccnoc::cache

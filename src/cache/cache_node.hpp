@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+
+#include "cache/icache_controller.hpp"
+#include "cache/mesi_controller.hpp"
+#include "cache/wti_controller.hpp"
+#include "mem/protocol.hpp"
+
+/// \file cache_node.hpp
+/// One processor node on the NoC: a protocol-specific data cache plus a
+/// read-only instruction cache sharing a single interconnect port (the
+/// paper minimizes NoC area this way). The node demultiplexes incoming
+/// packets to the right controller using the message sub-port field;
+/// directory commands (invalidate/fetch) always target the data cache.
+
+namespace ccnoc::cache {
+
+class CacheNode final : public noc::Endpoint {
+ public:
+  CacheNode(sim::Simulator& sim, noc::Network& net, const mem::AddressMap& map,
+            unsigned cpu_index, mem::Protocol proto, CacheConfig dcfg, CacheConfig icfg);
+
+  void deliver(const noc::Packet& pkt) override;
+
+  [[nodiscard]] CacheController& dcache() { return *dcache_; }
+  [[nodiscard]] CacheController& icache() { return *icache_; }
+  [[nodiscard]] sim::NodeId node_id() const { return node_; }
+  [[nodiscard]] mem::Protocol protocol() const { return proto_; }
+
+  [[nodiscard]] bool idle() const { return dcache_->idle() && icache_->idle(); }
+
+ private:
+  sim::NodeId node_;
+  mem::Protocol proto_;
+  std::unique_ptr<CacheController> dcache_;
+  std::unique_ptr<ICacheController> icache_;
+};
+
+}  // namespace ccnoc::cache

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "sim/types.hpp"
+
+/// \file config.hpp
+/// Cache geometry and policy knobs. Defaults mirror the paper's Table 2:
+/// 4 KB direct-mapped caches with 32-byte blocks and an 8-word write buffer.
+
+namespace ccnoc::cache {
+
+struct CacheConfig {
+  unsigned size_bytes = 4096;
+  unsigned block_bytes = 32;
+  unsigned ways = 1;  ///< 1 = direct-mapped (the paper's configuration)
+
+  /// WTI only: write-buffer capacity in entries (one buffered store each;
+  /// the paper's buffer is 8 words / 32 bytes).
+  unsigned write_buffer_entries = 8;
+
+  /// WB-MESI only: eviction (write-back) buffer entries held until the
+  /// bank acknowledges.
+  unsigned writeback_buffer_entries = 4;
+
+  /// WTI only: drain the write buffer before servicing a load miss. Keeps
+  /// the platform sequentially consistent (DESIGN.md §5); switchable for
+  /// the relaxed-ordering ablation.
+  bool drain_on_load_miss = true;
+
+  [[nodiscard]] unsigned num_lines() const { return size_bytes / block_bytes; }
+  [[nodiscard]] unsigned num_sets() const { return num_lines() / ways; }
+};
+
+}  // namespace ccnoc::cache

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cache/config.hpp"
+#include "cache/tag_array.hpp"
+#include "mem/address_map.hpp"
+#include "noc/network.hpp"
+#include "sim/simulator.hpp"
+
+/// \file controller.hpp
+/// Common machinery of the cache-side protocol engines. A controller
+/// serves one in-order processor port (at most one outstanding CPU access,
+/// as the paper requires: "uniform access and in-order request issues") and
+/// reacts to directory commands arriving from the NoC at any time.
+
+namespace ccnoc::cache {
+
+/// Atomic read-modify-write flavour of a store-class access.
+enum class AtomicKind : std::uint8_t {
+  kNone,  ///< plain store
+  kSwap,  ///< write \p value, return the old value
+  kAdd,   ///< add \p value, return the old value (fetch-and-add)
+};
+
+/// One processor memory access.
+struct MemAccess {
+  bool is_store = false;
+  AtomicKind atomic = AtomicKind::kNone;
+  sim::Addr addr = 0;
+  std::uint8_t size = sim::kWordBytes;  ///< 1, 2, 4 or 8 bytes
+  std::uint64_t value = 0;              ///< store data / atomic operand
+
+  [[nodiscard]] bool is_atomic() const { return atomic != AtomicKind::kNone; }
+};
+
+enum class AccessResult {
+  kHit,      ///< completed synchronously; load value returned via out-param
+  kPending,  ///< completion callback will fire later
+};
+
+/// The processor-facing cache interface: what `cpu::Processor` needs from
+/// a data or instruction cache, independent of the coherence organization
+/// (directory controllers here; the snoopy-bus controllers in
+/// `ccnoc::snoop` implement the same contract).
+class CacheIface {
+ public:
+  /// Completion callback: receives the load value (0 for stores).
+  using CompleteFn = std::function<void(std::uint64_t)>;
+
+  virtual ~CacheIface() = default;
+
+  /// Issue a processor access. The caller must not issue another access for
+  /// this cache until a kHit return or the completion callback.
+  virtual AccessResult access(const MemAccess& a, std::uint64_t* hit_value,
+                              CompleteFn on_complete) = 0;
+
+  /// Context-switch memory barrier (see CacheController::drain).
+  virtual AccessResult drain(CompleteFn on_drained) {
+    (void)on_drained;
+    return AccessResult::kHit;
+  }
+
+  [[nodiscard]] virtual const CacheConfig& config() const = 0;
+  [[nodiscard]] virtual bool idle() const = 0;
+};
+
+class CacheController : public CacheIface {
+ public:
+  CacheController(sim::Simulator& sim, noc::Network& net, const mem::AddressMap& map,
+                  sim::NodeId node, std::uint8_t port, CacheConfig cfg, std::string name);
+  CacheController(const CacheController&) = delete;
+  CacheController& operator=(const CacheController&) = delete;
+
+  /// A NoC packet addressed to this controller's port.
+  virtual void on_packet(const noc::Packet& pkt) = 0;
+
+  // `drain` (the context-switch memory barrier: a migrating thread's
+  // buffered stores must complete in program order before it resumes
+  // elsewhere) keeps CacheIface's immediate default; the write-through
+  // controller overrides it.
+
+  [[nodiscard]] const CacheConfig& config() const override { return cfg_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TagArray& tags() { return tags_; }
+
+  /// Untimed post-run flush: copy Modified lines back into \p write so the
+  /// final memory image is complete for verification. Write-back caches may
+  /// legitimately end a run with dirty lines; write-through caches never do.
+  template <typename WriteFn>
+  void flush_dirty(WriteFn&& write) const {
+    tags_.for_each_line([&](const CacheLine& l) {
+      if (l.state == LineState::kModified) {
+        write(l.block, l.data.data(), cfg_.block_bytes);
+      }
+    });
+  }
+
+ protected:
+  void send_to_bank(sim::Addr addr, noc::Message m);
+  void send_to_node(sim::NodeId dst, noc::Message m);
+
+  [[nodiscard]] std::uint64_t read_line(const CacheLine& l, sim::Addr a,
+                                        unsigned size) const;
+  void write_line(CacheLine& l, sim::Addr a, unsigned size, std::uint64_t v);
+
+  sim::Counter& stat(const std::string& suffix) {
+    return sim_.stats().counter(name_ + "." + suffix);
+  }
+
+  sim::Simulator& sim_;
+  noc::Network& net_;
+  const mem::AddressMap& map_;
+  sim::NodeId node_;
+  std::uint8_t port_;
+  CacheConfig cfg_;
+  std::string name_;
+  TagArray tags_;
+  std::uint64_t next_txn_ = 1;
+};
+
+}  // namespace ccnoc::cache

@@ -1,0 +1,52 @@
+#include "cache/icache_controller.hpp"
+
+#include <cstring>
+
+namespace ccnoc::cache {
+
+using noc::Message;
+using noc::MsgType;
+
+AccessResult ICacheController::access(const MemAccess& a, std::uint64_t* hit_value,
+                                      CompleteFn on_complete) {
+  CCNOC_ASSERT(!a.is_store, "store issued to the instruction cache");
+  CCNOC_ASSERT(!pending_, "I-cache already has a pending fetch");
+  sim::Addr block = tags_.block_of(a.addr);
+  if (CacheLine* l = tags_.find(block)) {
+    stat("hits").inc();
+    tags_.touch(*l);
+    *hit_value = read_line(*l, a.addr, a.size);
+    return AccessResult::kHit;
+  }
+  stat("misses").inc();
+  pending_ = true;
+  pending_access_ = a;
+  pending_cb_ = std::move(on_complete);
+  Message m;
+  m.type = MsgType::kReadShared;
+  m.addr = block;
+  m.txn = next_txn_++;
+  m.track = false;  // read-only code: not registered in the directory
+  send_to_bank(block, std::move(m));
+  return AccessResult::kPending;
+}
+
+void ICacheController::on_packet(const noc::Packet& pkt) {
+  CCNOC_ASSERT(pkt.msg.type == MsgType::kReadResponse,
+               std::string("I-cache received ") + to_string(pkt.msg.type));
+  CCNOC_ASSERT(pending_, "unexpected I-cache refill");
+  CacheLine& l = tags_.victim(pkt.msg.addr);
+  l.block = pkt.msg.addr;
+  l.state = LineState::kShared;
+  std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
+  tags_.touch(l);
+  sim_.stats().histogram(name_ + ".hops.fetch_miss", 16).add(pkt.msg.path_hops);
+
+  std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
+  pending_ = false;
+  auto cb = std::move(pending_cb_);
+  pending_cb_ = nullptr;
+  cb(v);
+}
+
+}  // namespace ccnoc::cache

@@ -1,0 +1,296 @@
+#include "cache/mesi_controller.hpp"
+
+#include <cstring>
+
+namespace ccnoc::cache {
+
+using noc::Grant;
+using noc::Message;
+using noc::MsgType;
+
+MesiController::MesiController(sim::Simulator& sim, noc::Network& net,
+                               const mem::AddressMap& map, sim::NodeId node,
+                               std::uint8_t port, CacheConfig cfg, std::string name)
+    : CacheController(sim, net, map, node, port, cfg, std::move(name)) {}
+
+AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value,
+                                    CompleteFn on_complete) {
+  CCNOC_ASSERT(pending_ == Pending::kNone, "MESI controller already has a pending access");
+  sim::Addr block = tags_.block_of(a.addr);
+  CacheLine* l = tags_.find(block);
+
+  if (!a.is_store) {
+    if (l != nullptr) {
+      stat("load_hits").inc();
+      tags_.touch(*l);
+      *hit_value = read_line(*l, a.addr, a.size);
+      return AccessResult::kHit;
+    }
+    stat("load_misses").inc();
+    start_miss(a, std::move(on_complete));
+    return AccessResult::kPending;
+  }
+
+  if (l != nullptr) {
+    if (l->state == LineState::kModified || l->state == LineState::kExclusive) {
+      // Figure 1: store hit in M costs nothing; store hit in E silently
+      // transitions to M (the directory already records us as owner).
+      if (l->state == LineState::kExclusive) stat("silent_e_to_m").inc();
+      stat("store_hits_em").inc();
+      l->state = LineState::kModified;
+      std::uint64_t old = 0;
+      if (a.is_atomic()) {
+        old = read_line(*l, a.addr, a.size);
+        *hit_value = old;
+      }
+      std::uint64_t next = a.atomic == AtomicKind::kAdd ? old + a.value : a.value;
+      write_line(*l, a.addr, a.size, next);
+      tags_.touch(*l);
+      return AccessResult::kHit;
+    }
+    // Store hit in Shared: blocking upgrade (2 or 4 hops).
+    stat("store_hits_s").inc();
+    pending_ = Pending::kResponse;
+    pending_access_ = a;
+    pending_cb_ = std::move(on_complete);
+    pending_line_ = l;
+    pending_is_upgrade_ = true;
+    Message m;
+    m.type = MsgType::kUpgrade;
+    m.addr = block;
+    m.txn = next_txn_++;
+    send_to_bank(block, std::move(m));
+    return AccessResult::kPending;
+  }
+
+  // Store miss: write-allocate with ReadExclusive (up to the paper's
+  // Figure 2 six-hop sequence).
+  stat("store_misses").inc();
+  start_miss(a, std::move(on_complete));
+  return AccessResult::kPending;
+}
+
+void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
+  pending_access_ = a;
+  pending_cb_ = std::move(cb);
+  pending_is_upgrade_ = false;
+
+  sim::Addr block = tags_.block_of(a.addr);
+  CacheLine& victim = tags_.victim(block);
+  if (victim.state == LineState::kModified &&
+      wb_buffer_.size() >= cfg_.writeback_buffer_entries) {
+    // All write-back buffer entries are awaiting acknowledgement; the miss
+    // launches once one frees.
+    stat("wb_buffer_stalls").inc();
+    pending_ = Pending::kWbSlot;
+    pending_line_ = &victim;
+    return;
+  }
+  if (victim.state == LineState::kModified) {
+    do_writeback(victim);
+  } else {
+    victim.state = LineState::kInvalid;  // silent clean eviction
+  }
+  pending_line_ = &victim;
+  pending_ = Pending::kResponse;
+  launch_miss();
+}
+
+void MesiController::launch_miss() {
+  sim::Addr block = tags_.block_of(pending_access_.addr);
+  Message m;
+  m.type = pending_access_.is_store ? MsgType::kReadExclusive : MsgType::kReadShared;
+  m.addr = block;
+  m.txn = next_txn_++;
+  send_to_bank(block, std::move(m));
+}
+
+void MesiController::do_writeback(CacheLine& victim) {
+  CCNOC_ASSERT(victim.state == LineState::kModified, "write-back of a clean line");
+  stat("writebacks").inc();
+  WbEntry& e = wb_buffer_[victim.block];
+  e.data = victim.data;
+
+  Message m;
+  m.type = MsgType::kWriteBack;
+  m.addr = victim.block;
+  m.txn = next_txn_++;
+  m.data_len = std::uint8_t(cfg_.block_bytes);
+  std::memcpy(m.data.data(), victim.data.data(), cfg_.block_bytes);
+  send_to_bank(victim.block, std::move(m));
+
+  victim.state = LineState::kInvalid;
+}
+
+void MesiController::on_packet(const noc::Packet& pkt) {
+  switch (pkt.msg.type) {
+    case MsgType::kReadResponse: handle_read_response(pkt); break;
+    case MsgType::kUpgradeAck: handle_upgrade_ack(pkt); break;
+    case MsgType::kInvalidate: handle_invalidate(pkt); break;
+    case MsgType::kFetch: handle_fetch(pkt, /*invalidate=*/false); break;
+    case MsgType::kFetchInv: handle_fetch(pkt, /*invalidate=*/true); break;
+    case MsgType::kWriteBackAck: handle_writeback_ack(pkt); break;
+    case MsgType::kInvalidateAck:
+      // A sharer's direct acknowledgement for our in-flight upgrade.
+      CCNOC_ASSERT(pending_ == Pending::kResponse && pending_is_upgrade_,
+                   "direct ack without an outstanding upgrade");
+      ++direct_acks_got_;
+      maybe_finish_direct_upgrade();
+      break;
+    default:
+      CCNOC_ASSERT(false, std::string("MESI cache received ") + to_string(pkt.msg.type));
+  }
+}
+
+void MesiController::handle_read_response(const noc::Packet& pkt) {
+  CCNOC_ASSERT(pending_ == Pending::kResponse && !pending_is_upgrade_,
+               "unexpected read response");
+  CCNOC_ASSERT(pkt.msg.data_len == cfg_.block_bytes, "short read response");
+  CacheLine& l = *pending_line_;
+  l.block = pkt.msg.addr;
+  std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
+  switch (pkt.msg.grant) {
+    case Grant::kShared: l.state = LineState::kShared; break;
+    case Grant::kExclusive: l.state = LineState::kExclusive; break;
+    case Grant::kModified: l.state = LineState::kModified; break;
+  }
+  const char* kind = pending_access_.is_store ? ".hops.write_miss" : ".hops.read_miss";
+  sim_.stats().histogram(name_ + kind, 16).add(pkt.msg.path_hops);
+  finish_pending(l);
+}
+
+void MesiController::handle_upgrade_ack(const noc::Packet& pkt) {
+  CCNOC_ASSERT(pending_ == Pending::kResponse && pending_is_upgrade_,
+               "unexpected upgrade ack");
+  if (pkt.msg.ack_count > 0) {
+    have_upgrade_ack_ = true;
+    direct_acks_needed_ = pkt.msg.ack_count;
+    saved_upgrade_msg_ = pkt.msg;
+    maybe_finish_direct_upgrade();
+    return;
+  }
+  CacheLine& l = *pending_line_;
+  if (pkt.msg.carries_data()) {
+    // Our Shared copy was invalidated while the upgrade was in flight; the
+    // directory re-supplied the block.
+    stat("upgrade_data_refills").inc();
+    l.block = pkt.msg.addr;
+    std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
+  } else {
+    CCNOC_ASSERT(l.state == LineState::kShared && l.block == pkt.msg.addr,
+                 "upgrade ack without data for a lost line");
+  }
+  sim_.stats().histogram(name_ + ".hops.write_hit_s", 16).add(pkt.msg.path_hops);
+  finish_pending(l);
+}
+
+void MesiController::maybe_finish_direct_upgrade() {
+  if (!have_upgrade_ack_ || direct_acks_got_ < direct_acks_needed_) return;
+  stat("direct_ack_upgrades").inc();
+  const noc::Message msg = saved_upgrade_msg_;
+  have_upgrade_ack_ = false;
+  direct_acks_needed_ = 0;
+  direct_acks_got_ = 0;
+
+  // Release the bank's per-block transaction lock, then complete locally.
+  Message done;
+  done.type = MsgType::kTxnDone;
+  done.addr = msg.addr;
+  send_to_bank(msg.addr, std::move(done));
+
+  CacheLine& l = *pending_line_;
+  if (msg.carries_data()) {
+    stat("upgrade_data_refills").inc();
+    l.block = msg.addr;
+    std::memcpy(l.data.data(), msg.data.data(), cfg_.block_bytes);
+  } else {
+    CCNOC_ASSERT(l.state == LineState::kShared && l.block == msg.addr,
+                 "direct upgrade ack without data for a lost line");
+  }
+  sim_.stats().histogram(name_ + ".hops.write_hit_s", 16).add(msg.path_hops);
+  finish_pending(l);
+}
+
+void MesiController::finish_pending(CacheLine& l) {
+  std::uint64_t value = 0;
+  if (pending_access_.is_store) {
+    // MESI atomics are cache-side: exclusivity is held when the local
+    // read-modify-write executes, so the operation is globally atomic.
+    std::uint64_t old = 0;
+    if (pending_access_.is_atomic()) {
+      old = read_line(l, pending_access_.addr, pending_access_.size);
+      value = old;
+    }
+    l.state = LineState::kModified;
+    std::uint64_t next = pending_access_.atomic == AtomicKind::kAdd
+                             ? old + pending_access_.value
+                             : pending_access_.value;
+    write_line(l, pending_access_.addr, pending_access_.size, next);
+  } else {
+    value = read_line(l, pending_access_.addr, pending_access_.size);
+  }
+  tags_.touch(l);
+  pending_ = Pending::kNone;
+  pending_line_ = nullptr;
+  pending_is_upgrade_ = false;
+  auto cb = std::move(pending_cb_);
+  pending_cb_ = nullptr;
+  cb(value);
+}
+
+void MesiController::handle_invalidate(const noc::Packet& pkt) {
+  stat("invalidations").inc();
+  if (CacheLine* l = tags_.find(pkt.msg.addr)) {
+    CCNOC_ASSERT(l->state == LineState::kShared, "invalidate hit a non-Shared line");
+    l->state = LineState::kInvalid;
+  }
+  Message ack;
+  ack.type = MsgType::kInvalidateAck;
+  ack.addr = pkt.msg.addr;
+  ack.txn = pkt.msg.txn;
+  // Direct-ack rounds (paper §4.2) acknowledge straight to the requester.
+  send_to_node(pkt.msg.direct_ack ? pkt.msg.requester : pkt.src, std::move(ack));
+}
+
+void MesiController::handle_fetch(const noc::Packet& pkt, bool invalidate) {
+  stat(invalidate ? "fetch_invs" : "fetches").inc();
+  Message resp;
+  resp.type = MsgType::kFetchResponse;
+  resp.addr = pkt.msg.addr;
+  resp.txn = pkt.msg.txn;
+
+  if (CacheLine* l = tags_.find(pkt.msg.addr)) {
+    CCNOC_ASSERT(l->state == LineState::kModified || l->state == LineState::kExclusive,
+                 "fetch hit a non-owned line");
+    resp.data_len = std::uint8_t(cfg_.block_bytes);
+    std::memcpy(resp.data.data(), l->data.data(), cfg_.block_bytes);
+    l->state = invalidate ? LineState::kInvalid : LineState::kShared;
+  } else if (auto it = wb_buffer_.find(pkt.msg.addr); it != wb_buffer_.end()) {
+    // The block is in flight to memory; serve the fetch from the write-back
+    // buffer (the bank reconciles the duplicate data).
+    resp.data_len = std::uint8_t(cfg_.block_bytes);
+    std::memcpy(resp.data.data(), it->second.data.data(), cfg_.block_bytes);
+  } else {
+    // Silently evicted clean Exclusive copy: the memory copy is current;
+    // an empty response tells the bank to use its own data.
+    stat("fetch_misses").inc();
+  }
+  send_to_node(pkt.src, std::move(resp));
+}
+
+void MesiController::handle_writeback_ack(const noc::Packet& pkt) {
+  auto erased = wb_buffer_.erase(tags_.block_of(pkt.msg.addr));
+  CCNOC_ASSERT(erased == 1, "write-back ack for unknown block");
+  if (pending_ == Pending::kWbSlot) {
+    CacheLine& victim = *pending_line_;
+    if (victim.state == LineState::kModified) {
+      do_writeback(victim);
+    } else {
+      victim.state = LineState::kInvalid;
+    }
+    pending_ = Pending::kResponse;
+    launch_miss();
+  }
+}
+
+}  // namespace ccnoc::cache

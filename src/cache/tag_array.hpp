@@ -1,0 +1,102 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "noc/message.hpp"
+#include "sim/types.hpp"
+
+/// \file tag_array.hpp
+/// Set-associative tag + data array with LRU replacement. The paper's
+/// caches are direct-mapped (ways = 1); associativity is kept general for
+/// the cache-geometry ablation. Lines store full block addresses as tags
+/// and carry bit-accurate block data.
+
+namespace ccnoc::cache {
+
+/// MESI line states; WTI uses only kInvalid and kShared ("Valid").
+enum class LineState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+[[nodiscard]] inline const char* to_string(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+    case LineState::kModified: return "M";
+  }
+  return "?";
+}
+
+struct CacheLine {
+  sim::Addr block = 0;  ///< block-aligned address (valid when state != I)
+  LineState state = LineState::kInvalid;
+  std::uint64_t lru = 0;
+  std::array<std::uint8_t, noc::kMaxBlockBytes> data{};
+};
+
+class TagArray {
+ public:
+  explicit TagArray(const CacheConfig& cfg) : cfg_(cfg), lines_(cfg.num_lines()) {
+    CCNOC_ASSERT(cfg.num_lines() % cfg.ways == 0, "lines not divisible by ways");
+    CCNOC_ASSERT((cfg.block_bytes & (cfg.block_bytes - 1)) == 0, "block size not pow2");
+    CCNOC_ASSERT(cfg.block_bytes <= noc::kMaxBlockBytes, "block too large");
+  }
+
+  [[nodiscard]] sim::Addr block_of(sim::Addr a) const {
+    return a & ~sim::Addr(cfg_.block_bytes - 1);
+  }
+
+  /// Returns the line holding \p block, or nullptr on miss.
+  [[nodiscard]] CacheLine* find(sim::Addr block) {
+    auto [base, ways] = set_range(block);
+    for (unsigned w = 0; w < ways; ++w) {
+      CacheLine& l = lines_[base + w];
+      if (l.state != LineState::kInvalid && l.block == block) return &l;
+    }
+    return nullptr;
+  }
+
+  /// Replacement victim for \p block: an invalid way if any, else LRU.
+  [[nodiscard]] CacheLine& victim(sim::Addr block) {
+    auto [base, ways] = set_range(block);
+    CacheLine* best = &lines_[base];
+    for (unsigned w = 0; w < ways; ++w) {
+      CacheLine& l = lines_[base + w];
+      if (l.state == LineState::kInvalid) return l;
+      if (l.lru < best->lru) best = &l;
+    }
+    return *best;
+  }
+
+  void touch(CacheLine& l) { l.lru = ++lru_clock_; }
+
+  /// Count of non-invalid lines (tests / occupancy stats).
+  [[nodiscard]] unsigned valid_lines() const {
+    unsigned n = 0;
+    for (const auto& l : lines_) n += (l.state != LineState::kInvalid);
+    return n;
+  }
+
+  void invalidate_all() {
+    for (auto& l : lines_) l.state = LineState::kInvalid;
+  }
+
+  /// Visit every line (post-run flush, occupancy checks in tests).
+  template <typename F>
+  void for_each_line(F&& fn) const {
+    for (const auto& l : lines_) fn(l);
+  }
+
+ private:
+  [[nodiscard]] std::pair<std::size_t, unsigned> set_range(sim::Addr block) const {
+    std::size_t set = std::size_t(block / cfg_.block_bytes) % cfg_.num_sets();
+    return {set * cfg_.ways, cfg_.ways};
+  }
+
+  CacheConfig cfg_;
+  std::vector<CacheLine> lines_;
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace ccnoc::cache

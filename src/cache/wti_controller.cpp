@@ -1,0 +1,286 @@
+#include "cache/wti_controller.hpp"
+
+#include <cstring>
+
+namespace ccnoc::cache {
+
+using noc::Message;
+using noc::MsgType;
+
+WtiController::WtiController(sim::Simulator& sim, noc::Network& net,
+                             const mem::AddressMap& map, sim::NodeId node,
+                             std::uint8_t port, CacheConfig cfg, std::string name)
+    : CacheController(sim, net, map, node, port, cfg, std::move(name)) {}
+
+AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
+                                   CompleteFn on_complete) {
+  CCNOC_ASSERT(pending_ == Pending::kNone, "WTI controller already has a pending access");
+  sim::Addr block = tags_.block_of(a.addr);
+
+  if (!a.is_store) {
+    if (CacheLine* l = tags_.find(block)) {
+      stat("load_hits").inc();
+      tags_.touch(*l);
+      *hit_value = read_line(*l, a.addr, a.size);
+      return AccessResult::kHit;
+    }
+    stat("load_misses").inc();
+    pending_access_ = a;
+    pending_cb_ = std::move(on_complete);
+    if (cfg_.drain_on_load_miss && !wbuf_.empty()) {
+      // Sequential consistency: older buffered writes become globally
+      // visible before this read is ordered.
+      pending_ = Pending::kLoadDrain;
+      stat("load_drain_waits").inc();
+    } else {
+      pending_ = Pending::kLoadResponse;
+      issue_read();
+    }
+    return AccessResult::kPending;
+  }
+
+  if (a.is_atomic()) {
+    // Atomics execute at the bank (blocking). The local copy is dropped —
+    // the bank treats the requester like any other sharer — and ordering
+    // with older buffered writes is preserved by draining first.
+    stat("atomic_swaps").inc();
+    if (CacheLine* l = tags_.find(block)) l->state = LineState::kInvalid;
+    pending_access_ = a;
+    pending_cb_ = std::move(on_complete);
+    if (!wbuf_.empty()) {
+      pending_ = Pending::kSwapDrain;
+    } else {
+      pending_ = Pending::kSwapResponse;
+      issue_swap();
+    }
+    return AccessResult::kPending;
+  }
+
+  // Store: non-blocking through the write buffer unless it is full.
+  if (wbuf_.size() >= cfg_.write_buffer_entries) {
+    stat("wbuf_full_stalls").inc();
+    pending_ = Pending::kStoreBuffer;
+    pending_access_ = a;
+    pending_cb_ = std::move(on_complete);
+    return AccessResult::kPending;
+  }
+  perform_store(a);
+  return AccessResult::kHit;
+}
+
+void WtiController::perform_store(const MemAccess& a) {
+  sim::Addr block = tags_.block_of(a.addr);
+  if (CacheLine* l = tags_.find(block)) {
+    // Write-through with local update on hit: the copy stays Valid and the
+    // directory will not invalidate the writer.
+    stat("store_hits").inc();
+    write_line(*l, a.addr, a.size, a.value);
+    tags_.touch(*l);
+  } else {
+    stat("store_misses").inc();  // no-allocate
+  }
+  wbuf_.push_back(BufEntry{a.addr, a.size, a.value});
+  sim_.stats().sample(name_ + ".wbuf_occupancy").add(double(wbuf_.size()));
+  start_drain();
+}
+
+void WtiController::start_drain() {
+  if (drain_in_flight_ || wbuf_.empty()) return;
+  const BufEntry& e = wbuf_.front();
+  Message m;
+  m.type = MsgType::kWriteWord;
+  m.addr = e.addr;
+  m.access_size = e.size;
+  m.data_len = e.size;
+  m.txn = next_txn_++;
+  std::memcpy(m.data.data(), &e.value, e.size);
+  drain_in_flight_ = true;
+  send_to_bank(e.addr, std::move(m));
+}
+
+void WtiController::issue_read() {
+  Message m;
+  m.type = MsgType::kReadShared;
+  m.addr = tags_.block_of(pending_access_.addr);
+  m.txn = next_txn_++;
+  send_to_bank(m.addr, std::move(m));
+}
+
+void WtiController::issue_swap() {
+  Message m;
+  m.type = pending_access_.atomic == AtomicKind::kAdd ? MsgType::kAtomicAdd
+                                                      : MsgType::kAtomicSwap;
+  m.addr = pending_access_.addr;
+  m.access_size = pending_access_.size;
+  m.data_len = pending_access_.size;
+  m.txn = next_txn_++;
+  std::memcpy(m.data.data(), &pending_access_.value, pending_access_.size);
+  send_to_bank(m.addr, std::move(m));
+}
+
+void WtiController::on_packet(const noc::Packet& pkt) {
+  switch (pkt.msg.type) {
+    case MsgType::kReadResponse: handle_read_response(pkt); break;
+    case MsgType::kWriteAck: handle_write_ack(pkt); break;
+    case MsgType::kSwapResponse: handle_swap_response(pkt); break;
+    case MsgType::kInvalidate: handle_invalidate(pkt); break;
+    case MsgType::kUpdateWord: handle_update(pkt); break;
+    case MsgType::kInvalidateAck:
+      // A sharer's direct acknowledgement for our in-flight write.
+      CCNOC_ASSERT(drain_in_flight_, "direct ack without an outstanding write");
+      ++direct_acks_got_;
+      maybe_finish_direct_write();
+      break;
+    default:
+      CCNOC_ASSERT(false, std::string("WTI cache received ") + to_string(pkt.msg.type));
+  }
+}
+
+void WtiController::handle_read_response(const noc::Packet& pkt) {
+  CCNOC_ASSERT(pending_ == Pending::kLoadResponse, "unexpected read response");
+  CCNOC_ASSERT(pkt.msg.data_len == cfg_.block_bytes, "short read response");
+  CacheLine& l = tags_.victim(pkt.msg.addr);
+  l.block = pkt.msg.addr;
+  l.state = LineState::kShared;  // "Valid"
+  std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
+  tags_.touch(l);
+
+  sim_.stats().histogram(name_ + ".hops.read_miss", 16).add(pkt.msg.path_hops);
+  std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
+  pending_ = Pending::kNone;
+  auto cb = std::move(pending_cb_);
+  pending_cb_ = nullptr;
+  cb(v);
+}
+
+void WtiController::handle_write_ack(const noc::Packet& pkt) {
+  CCNOC_ASSERT(drain_in_flight_ && !wbuf_.empty(), "stray write ack");
+  if (pkt.msg.ack_count > 0) {
+    // Direct-ack round: sharers acknowledge straight to us; the write is
+    // performed once response + all acks have arrived.
+    have_write_ack_ = true;
+    direct_acks_needed_ = pkt.msg.ack_count;
+    saved_ack_hops_ = pkt.msg.path_hops;
+    maybe_finish_direct_write();
+    return;
+  }
+  sim_.stats().histogram(name_ + ".hops.write_through", 16).add(pkt.msg.path_hops);
+  wbuf_.pop_front();
+  drain_in_flight_ = false;
+  start_drain();
+
+  if (pending_ == Pending::kStoreBuffer) {
+    // A slot is free: the stalled store executes now.
+    MemAccess a = pending_access_;
+    pending_ = Pending::kNone;
+    auto cb = std::move(pending_cb_);
+    pending_cb_ = nullptr;
+    perform_store(a);
+    cb(0);
+  } else if (pending_ == Pending::kLoadDrain && wbuf_.empty()) {
+    pending_ = Pending::kLoadResponse;
+    issue_read();
+  } else if (pending_ == Pending::kSwapDrain && wbuf_.empty()) {
+    pending_ = Pending::kSwapResponse;
+    issue_swap();
+  } else if (pending_ == Pending::kDrainWait && wbuf_.empty()) {
+    pending_ = Pending::kNone;
+    auto cb = std::move(pending_cb_);
+    pending_cb_ = nullptr;
+    cb(0);
+  }
+}
+
+void WtiController::maybe_finish_direct_write() {
+  if (!have_write_ack_ || direct_acks_got_ < direct_acks_needed_) return;
+  stat("direct_ack_writes").inc();
+  sim_.stats().histogram(name_ + ".hops.write_through", 16).add(saved_ack_hops_);
+  // Release the bank's per-block transaction lock.
+  Message done;
+  done.type = MsgType::kTxnDone;
+  done.addr = wbuf_.front().addr;
+  send_to_bank(done.addr, std::move(done));
+
+  have_write_ack_ = false;
+  direct_acks_needed_ = 0;
+  direct_acks_got_ = 0;
+  wbuf_.pop_front();
+  drain_in_flight_ = false;
+  start_drain();
+
+  if (pending_ == Pending::kStoreBuffer) {
+    MemAccess a = pending_access_;
+    pending_ = Pending::kNone;
+    auto cb = std::move(pending_cb_);
+    pending_cb_ = nullptr;
+    perform_store(a);
+    cb(0);
+  } else if (pending_ == Pending::kLoadDrain && wbuf_.empty()) {
+    pending_ = Pending::kLoadResponse;
+    issue_read();
+  } else if (pending_ == Pending::kSwapDrain && wbuf_.empty()) {
+    pending_ = Pending::kSwapResponse;
+    issue_swap();
+  } else if (pending_ == Pending::kDrainWait && wbuf_.empty()) {
+    pending_ = Pending::kNone;
+    auto cb = std::move(pending_cb_);
+    pending_cb_ = nullptr;
+    cb(0);
+  }
+}
+
+AccessResult WtiController::drain(CompleteFn on_drained) {
+  CCNOC_ASSERT(pending_ == Pending::kNone, "drain during a pending access");
+  if (wbuf_.empty()) return AccessResult::kHit;
+  stat("explicit_drains").inc();
+  pending_ = Pending::kDrainWait;
+  pending_cb_ = std::move(on_drained);
+  return AccessResult::kPending;
+}
+
+void WtiController::handle_swap_response(const noc::Packet& pkt) {
+  CCNOC_ASSERT(pending_ == Pending::kSwapResponse, "unexpected swap response");
+  sim_.stats().histogram(name_ + ".hops.atomic_swap", 16).add(pkt.msg.path_hops);
+  std::uint64_t old = 0;
+  std::memcpy(&old, pkt.msg.data.data(), pkt.msg.data_len);
+  pending_ = Pending::kNone;
+  auto cb = std::move(pending_cb_);
+  pending_cb_ = nullptr;
+  cb(old);
+}
+
+void WtiController::handle_update(const noc::Packet& pkt) {
+  // Write-update flavour: a foreign store patches our copy in place. A
+  // stale-sharer ack tells the directory to stop updating us.
+  stat("updates").inc();
+  Message ack;
+  ack.type = MsgType::kUpdateAck;
+  ack.addr = pkt.msg.addr;
+  ack.txn = pkt.msg.txn;
+  if (CacheLine* l = tags_.find(tags_.block_of(pkt.msg.addr))) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, pkt.msg.data.data(), pkt.msg.access_size);
+    write_line(*l, pkt.msg.addr, pkt.msg.access_size, v);
+    ack.had_copy = true;
+  } else {
+    ack.had_copy = false;
+  }
+  send_to_node(pkt.src, std::move(ack));
+}
+
+void WtiController::handle_invalidate(const noc::Packet& pkt) {
+  stat("invalidations").inc();
+  if (CacheLine* l = tags_.find(pkt.msg.addr)) {
+    l->state = LineState::kInvalid;
+  }
+  // Always acknowledge: the directory may hold a stale presence bit. In a
+  // direct-ack round the acknowledgement goes straight to the requesting
+  // cache (paper §4.2), otherwise to the memory node.
+  Message ack;
+  ack.type = MsgType::kInvalidateAck;
+  ack.addr = pkt.msg.addr;
+  ack.txn = pkt.msg.txn;
+  send_to_node(pkt.msg.direct_ack ? pkt.msg.requester : pkt.src, std::move(ack));
+}
+
+}  // namespace ccnoc::cache

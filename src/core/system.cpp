@@ -1,0 +1,143 @@
+#include "core/system.hpp"
+
+#include <sstream>
+
+namespace ccnoc::core {
+
+SystemConfig SystemConfig::architecture1(unsigned n, mem::Protocol p) {
+  SystemConfig c;
+  c.num_cpus = n;
+  c.num_banks = 2;
+  c.arch = os::ArchKind::kCentralized;
+  c.protocol = p;
+  c.kernel.policy = os::SchedPolicy::kSmp;
+  return c;
+}
+
+SystemConfig SystemConfig::architecture2(unsigned n, mem::Protocol p) {
+  SystemConfig c;
+  c.num_cpus = n;
+  c.num_banks = n + 3;
+  c.arch = os::ArchKind::kDistributed;
+  c.protocol = p;
+  c.kernel.policy = os::SchedPolicy::kDs;
+  return c;
+}
+
+std::string SystemConfig::describe() const {
+  std::ostringstream os;
+  os << to_string(protocol) << " " << to_string(arch) << " n=" << num_cpus
+     << " m=" << num_banks << " " << to_string(kernel.policy)
+     << (network == NetworkKind::kGmn    ? " GMN"
+         : network == NetworkKind::kMesh ? " mesh"
+                                         : " bus");
+  return os.str();
+}
+
+System::System(SystemConfig cfg)
+    : cfg_(cfg), sim_(cfg.seed), map_(cfg.num_cpus, cfg.num_banks) {
+  // One platform-wide block size: caches and banks must agree on the
+  // coherence granule.
+  CCNOC_ASSERT(cfg_.dcache.block_bytes == cfg_.icache.block_bytes,
+               "I/D caches must share one block size");
+  cfg_.bank.block_bytes = cfg_.dcache.block_bytes;
+
+  const std::size_t nodes = map_.num_nodes();
+  switch (cfg_.network) {
+    case NetworkKind::kGmn: {
+      noc::GmnConfig g = cfg_.gmn;
+      if (g.min_latency == 0) g = noc::GmnConfig::for_nodes(nodes);
+      net_ = std::make_unique<noc::GmnNetwork>(sim_, nodes, g);
+      break;
+    }
+    case NetworkKind::kMesh:
+      net_ = std::make_unique<noc::MeshNetwork>(sim_, nodes, cfg_.mesh);
+      break;
+    case NetworkKind::kBus:
+      net_ = std::make_unique<noc::BusNetwork>(sim_, nodes);
+      break;
+  }
+
+  std::vector<mem::Bank*> bank_ptrs;
+  for (unsigned b = 0; b < cfg_.num_banks; ++b) {
+    banks_.push_back(
+        std::make_unique<mem::Bank>(sim_, *net_, map_, b, cfg_.protocol, cfg_.bank));
+    bank_ptrs.push_back(banks_.back().get());
+  }
+  dmem_ = std::make_unique<mem::BankedDirectMemory>(map_, std::move(bank_ptrs));
+
+  for (unsigned c = 0; c < cfg_.num_cpus; ++c) {
+    nodes_.push_back(std::make_unique<cache::CacheNode>(
+        sim_, *net_, map_, c, cfg_.protocol, cfg_.dcache, cfg_.icache));
+    cpus_.push_back(std::make_unique<cpu::Processor>(sim_, *nodes_.back(), c, cfg_.cpu));
+  }
+
+  kernel_ = std::make_unique<os::Kernel>(map_, *dmem_, cfg_.arch, cfg_.kernel);
+}
+
+RunResult System::run(apps::Workload& workload, unsigned nthreads,
+                      sim::Cycle max_cycles) {
+  if (nthreads == 0) nthreads = cfg_.num_cpus;
+
+  for (unsigned t = 0; t < nthreads; ++t) {
+    kernel_->create_thread(/*home_cpu=*/t % cfg_.num_cpus);
+  }
+  workload.setup(*kernel_, nthreads);
+  for (const auto& tptr : kernel_->threads()) {
+    kernel_->set_program(*tptr, workload.make_program(*tptr));
+  }
+
+  std::vector<cpu::Processor*> cpu_ptrs;
+  for (auto& p : cpus_) cpu_ptrs.push_back(p.get());
+  kernel_->launch(cpu_ptrs);
+
+  RunResult r;
+  r.events = sim_.run_to_completion(max_cycles);
+  r.completed = kernel_->all_finished();
+
+  // Execution time = last cycle a processor retired work (the event queue
+  // drain point also includes trailing protocol settle traffic).
+  sim::Cycle end = 0;
+  for (auto& p : cpus_) {
+    end = std::max(end, p->last_active_cycle());
+    r.d_stall_cycles += p->d_stall_cycles();
+    r.i_stall_cycles += p->i_stall_cycles();
+    r.instructions += p->instructions();
+  }
+  r.exec_cycles = end;
+  r.noc_bytes = net_->total_bytes();
+  r.noc_packets = net_->total_packets();
+
+  flush_caches();
+  r.verified = r.completed && workload.verify(*dmem_);
+  return r;
+}
+
+void System::flush_caches() {
+  for (auto& n : nodes_) {
+    n->dcache().flush_dirty([this](sim::Addr a, const void* data, unsigned len) {
+      dmem_->write(a, data, len);
+    });
+  }
+}
+
+bool System::quiescent() const {
+  for (const auto& n : nodes_) {
+    if (!n->idle()) return false;
+  }
+  for (const auto& b : banks_) {
+    if (!b->idle()) return false;
+  }
+  return true;
+}
+
+RunResult run_paper_config(unsigned arch, mem::Protocol proto, unsigned n,
+                           apps::Workload& workload, sim::Cycle max_cycles) {
+  CCNOC_ASSERT(arch == 1 || arch == 2, "paper defines architectures 1 and 2");
+  SystemConfig cfg = arch == 1 ? SystemConfig::architecture1(n, proto)
+                               : SystemConfig::architecture2(n, proto);
+  System sys(cfg);
+  return sys.run(workload, 0, max_cycles);
+}
+
+}  // namespace ccnoc::core

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "cache/cache_node.hpp"
+#include "cpu/processor.hpp"
+#include "mem/address_map.hpp"
+#include "mem/bank.hpp"
+#include "mem/direct_memory.hpp"
+#include "noc/bus.hpp"
+#include "noc/gmn.hpp"
+#include "noc/mesh.hpp"
+#include "os/kernel.hpp"
+#include "sim/simulator.hpp"
+
+/// \file system.hpp
+/// Platform builder and experiment runner. A `System` wires the paper's
+/// modelled architecture (paper Figure 3): n SPARC-like processors with
+/// 4 KB I/D caches sharing one NoC port each, m memory banks with full-map
+/// directories, a GMN (or real mesh) interconnect, and the lightweight OS.
+/// `run()` executes one workload to completion and collects the metrics the
+/// paper's figures report.
+
+namespace ccnoc::core {
+
+enum class NetworkKind {
+  kGmn,   ///< the paper's cycle-approximate crossbar (default)
+  kMesh,  ///< real 2-D mesh with XY routing
+  kBus,   ///< single shared bus (the related-work baseline interconnect)
+};
+
+struct SystemConfig {
+  unsigned num_cpus = 4;
+  unsigned num_banks = 2;
+  os::ArchKind arch = os::ArchKind::kCentralized;
+  mem::Protocol protocol = mem::Protocol::kWti;
+  NetworkKind network = NetworkKind::kGmn;
+
+  cache::CacheConfig dcache{};
+  cache::CacheConfig icache{};
+  mem::BankConfig bank{};
+  noc::GmnConfig gmn{.min_latency = 0};  ///< used when network == kGmn; zero
+                                         ///< min_latency = derive from node count
+  noc::MeshConfig mesh{};
+  os::KernelConfig kernel{};
+  cpu::CpuConfig cpu{};
+  std::uint64_t seed = 1;
+
+  /// Paper architecture 1: 2 banks, centralized layout, SMP scheduler.
+  static SystemConfig architecture1(unsigned n, mem::Protocol p);
+  /// Paper architecture 2: n+3 banks, distributed layout, DS scheduler.
+  static SystemConfig architecture2(unsigned n, mem::Protocol p);
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Everything the paper's evaluation plots, for one run.
+struct RunResult {
+  bool completed = false;  ///< finished before the cycle guard
+  bool verified = false;   ///< golden host-side replay matched
+  sim::Cycle exec_cycles = 0;
+  std::uint64_t noc_bytes = 0;
+  std::uint64_t noc_packets = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t d_stall_cycles = 0;
+  std::uint64_t i_stall_cycles = 0;
+  std::uint64_t events = 0;
+
+  [[nodiscard]] double exec_megacycles() const { return double(exec_cycles) / 1e6; }
+  /// Figure 6 quantity: data-cache stall cycles as a share of execution.
+  [[nodiscard]] double d_stall_pct(unsigned num_cpus) const {
+    return exec_cycles == 0
+               ? 0.0
+               : 100.0 * double(d_stall_cycles) / (double(exec_cycles) * num_cpus);
+  }
+  [[nodiscard]] double i_stall_pct(unsigned num_cpus) const {
+    return exec_cycles == 0
+               ? 0.0
+               : 100.0 * double(i_stall_cycles) / (double(exec_cycles) * num_cpus);
+  }
+};
+
+class System {
+ public:
+  explicit System(SystemConfig cfg);
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Run \p workload with \p nthreads threads (0 = one per CPU) to
+  /// completion, bounded by \p max_cycles. One run per System instance.
+  RunResult run(apps::Workload& workload, unsigned nthreads = 0,
+                sim::Cycle max_cycles = 4'000'000'000ull);
+
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] noc::Network& network() { return *net_; }
+  [[nodiscard]] mem::DirectMemoryIf& memory() { return *dmem_; }
+  [[nodiscard]] os::Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] cpu::Processor& processor(unsigned i) { return *cpus_.at(i); }
+  [[nodiscard]] cache::CacheNode& cache_node(unsigned i) { return *nodes_.at(i); }
+  [[nodiscard]] mem::Bank& bank(unsigned i) { return *banks_.at(i); }
+  [[nodiscard]] const mem::AddressMap& address_map() const { return map_; }
+
+  /// Untimed flush of every Modified line into the banks (needed before
+  /// verifying a write-back run).
+  void flush_caches();
+
+  /// True when every cache and bank has no in-flight transaction.
+  [[nodiscard]] bool quiescent() const;
+
+ private:
+  SystemConfig cfg_;
+  sim::Simulator sim_;
+  mem::AddressMap map_;
+  std::unique_ptr<noc::Network> net_;
+  std::vector<std::unique_ptr<mem::Bank>> banks_;
+  std::vector<std::unique_ptr<cache::CacheNode>> nodes_;
+  std::vector<std::unique_ptr<cpu::Processor>> cpus_;
+  std::unique_ptr<mem::BankedDirectMemory> dmem_;
+  std::unique_ptr<os::Kernel> kernel_;
+};
+
+/// Convenience one-shot: build the paper platform for (arch, protocol, n),
+/// run the workload, return the result.
+RunResult run_paper_config(unsigned arch, mem::Protocol proto, unsigned n,
+                           apps::Workload& workload,
+                           sim::Cycle max_cycles = 4'000'000'000ull);
+
+}  // namespace ccnoc::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "cpu/thread.hpp"
+#include "sim/types.hpp"
+
+/// \file interfaces.hpp
+/// Hooks the processor model calls into the OS layer (`ccnoc::os`
+/// implements both). They are defined here so `ccnoc::cpu` does not depend
+/// on the OS module.
+
+namespace ccnoc::cpu {
+
+/// Expands composite synchronization ops (lock acquire/release, barrier)
+/// into primitive-op micro-programs executed inline by the processor. The
+/// expansions perform real loads/stores/swaps on simulated shared memory,
+/// so synchronization generates genuine coherence traffic.
+class SyncLibrary {
+ public:
+  virtual ~SyncLibrary() = default;
+  virtual ThreadProgram expand(const ThreadOp& op, ThreadContext& ctx) = 0;
+};
+
+/// Scheduling policy. The processor invokes `tick` every `tick_period`
+/// cycles of thread execution; the returned micro-program models the
+/// scheduler's own memory accesses (run-queue locks and list updates — the
+/// SMP-configuration contention source of paper §5.2). The functional
+/// decision (continue / migrate / switch) is made by the implementation and
+/// observed through `next_thread`.
+class SchedulerIf {
+ public:
+  virtual ~SchedulerIf() = default;
+
+  [[nodiscard]] virtual sim::Cycle tick_period() const = 0;
+
+  /// Scheduler-entry micro-program for \p cpu. May decide to deschedule the
+  /// current thread; the processor asks `next_thread` afterwards.
+  virtual ThreadProgram tick(unsigned cpu, ThreadContext& current) = 0;
+
+  /// Whether the last tick descheduled the current thread on \p cpu.
+  [[nodiscard]] virtual bool should_switch(unsigned cpu) = 0;
+
+  /// Hand the descheduled thread back to the run queue. The processor calls
+  /// this only after the context-switch memory barrier (write-buffer drain)
+  /// completed, so no other CPU can resume the thread with stores still in
+  /// flight.
+  virtual void deschedule(unsigned cpu, ThreadContext& t) = 0;
+
+  /// Pick the next thread to run on \p cpu (nullptr = idle).
+  virtual ThreadContext* next_thread(unsigned cpu) = 0;
+
+  /// The thread running on \p cpu finished.
+  virtual void thread_finished(unsigned cpu, ThreadContext& t) = 0;
+};
+
+}  // namespace ccnoc::cpu

@@ -1,0 +1,243 @@
+#include "cpu/processor.hpp"
+
+#include <algorithm>
+
+namespace ccnoc::cpu {
+
+Processor::Processor(sim::Simulator& sim, cache::CacheIface& dcache,
+                     cache::CacheIface& icache, unsigned cpu_index, CpuConfig cfg)
+    : sim_(sim),
+      dcache_(dcache),
+      icache_(icache),
+      cpu_(cpu_index),
+      cfg_(cfg),
+      name_("cpu" + std::to_string(cpu_index)) {}
+
+void Processor::start() {
+  if (sched_) next_tick_ = sim_.now() + sched_->tick_period();
+  schedule_step(1);
+}
+
+void Processor::wake() {
+  if (thread_ != nullptr || have_op_ || step_scheduled_ || sched_ == nullptr) return;
+  thread_ = sched_->next_thread(cpu_);
+  if (thread_) schedule_step(1);
+}
+
+void Processor::schedule_step(sim::Cycle delay) {
+  CCNOC_ASSERT(!step_scheduled_, "processor step double-scheduled");
+  step_scheduled_ = true;
+  sim_.schedule_in(std::max<sim::Cycle>(delay, 1), [this] {
+    step_scheduled_ = false;
+    step();
+  });
+}
+
+void Processor::step() {
+  if (!have_op_) {
+    if (!fetch_next_op()) {
+      export_stats();
+      return;  // idle: no thread to run
+    }
+  }
+  if (!ifetch_pending_.empty()) {
+    continue_ifetch();
+    return;
+  }
+  execute_data();
+}
+
+bool Processor::fetch_next_op() {
+  while (true) {
+    if (thread_ == nullptr) return false;
+
+    // Timer tick: enter the scheduler between ops (never mid-composite).
+    if (sched_ != nullptr && service_stack_.empty() && sim_.now() >= next_tick_) {
+      service_stack_.push_back(sched_->tick(cpu_, *thread_));
+      in_scheduler_ = true;
+      // Interrupt entry saves the interrupted thread's registers: the
+      // scheduler's own loads must not clobber a value the thread loaded
+      // just before the tick and has not consumed yet.
+      saved_load_value_ = thread_->last_load_value;
+      sim_.stats().counter(name_ + ".scheduler_ticks").inc();
+    }
+
+    if (!service_stack_.empty()) {
+      ThreadProgram& g = service_stack_.back();
+      if (!g.next()) {
+        service_stack_.pop_back();
+        if (service_stack_.empty() && in_scheduler_) {
+          in_scheduler_ = false;
+          thread_->last_load_value = saved_load_value_;  // register restore
+          next_tick_ = sim_.now() + sched_->tick_period();
+          if (sched_->should_switch(cpu_)) {
+            ++context_switches_;
+            // Context-switch memory barrier: the departing thread's
+            // buffered stores must be globally visible before it can
+            // resume (with program order intact) on another processor.
+            auto res = dcache_.drain([this](std::uint64_t) {
+              sched_->deschedule(cpu_, *thread_);
+              thread_ = sched_->next_thread(cpu_);
+              if (thread_ != nullptr) schedule_step(1);
+            });
+            if (res == cache::AccessResult::kPending) return false;
+            sched_->deschedule(cpu_, *thread_);
+            thread_ = sched_->next_thread(cpu_);
+            if (thread_ == nullptr) return false;
+          }
+        }
+        continue;
+      }
+      cur_op_ = g.value();
+    } else {
+      if (!thread_->program.next()) {
+        thread_->finished = true;
+        if (sched_ != nullptr) {
+          sched_->thread_finished(cpu_, *thread_);
+          thread_ = sched_->next_thread(cpu_);
+        } else {
+          thread_ = nullptr;
+        }
+        if (thread_ == nullptr) return false;
+        continue;
+      }
+      cur_op_ = thread_->program.value();
+    }
+
+    switch (cur_op_.kind) {
+      case OpKind::kLockAcquire:
+      case OpKind::kLockRelease:
+      case OpKind::kBarrier:
+      case OpKind::kYield:
+        CCNOC_ASSERT(sync_ != nullptr, "composite op without a sync library");
+        service_stack_.push_back(sync_->expand(cur_op_, *thread_));
+        continue;
+      default:
+        break;
+    }
+
+    have_op_ = true;
+    ++ops_;
+    ++thread_->ops_executed;
+    instructions_ += cur_op_.icount;
+    prepare_ifetch();
+    return true;
+  }
+}
+
+void Processor::prepare_ifetch() {
+  ifetch_pending_.clear();
+  if (!cfg_.model_ifetch || thread_ == nullptr || thread_->code_size == 0) return;
+
+  const unsigned bb = icache_.config().block_bytes;
+  ThreadContext& t = *thread_;
+  // One full pass over the code region covers every block; cap there.
+  std::uint64_t bytes =
+      std::min<std::uint64_t>(std::uint64_t(cur_op_.icount) * 4, t.code_size);
+  std::uint64_t pos = t.pc_off;
+  sim::Addr last_block = ~sim::Addr(0);
+  while (bytes > 0) {
+    sim::Addr pc = t.code_base + pos;
+    sim::Addr blk = pc & ~sim::Addr(bb - 1);
+    if (blk != last_block) {
+      ifetch_pending_.push_back(blk);
+      last_block = blk;
+    }
+    std::uint64_t in_block = bb - (pc & (bb - 1));
+    std::uint64_t step = std::min<std::uint64_t>(bytes, in_block);
+    pos = (pos + step) % t.code_size;
+    bytes -= step;
+  }
+  t.pc_off = pos;
+}
+
+void Processor::continue_ifetch() {
+  while (!ifetch_pending_.empty()) {
+    sim::Addr blk = ifetch_pending_.back();
+    cache::MemAccess a;
+    a.addr = blk;
+    a.size = sim::kWordBytes;
+    std::uint64_t dummy = 0;
+    wait_started_ = sim_.now();
+    auto res = icache_.access(a, &dummy, [this](std::uint64_t) {
+      i_stall_ += sim_.now() - wait_started_;
+      CCNOC_ASSERT(!ifetch_pending_.empty(), "ifetch completion with empty queue");
+      ifetch_pending_.pop_back();
+      last_active_ = sim_.now();
+      if (!ifetch_pending_.empty()) {
+        continue_ifetch();
+      } else {
+        execute_data();
+      }
+    });
+    if (res == cache::AccessResult::kPending) return;
+    ifetch_pending_.pop_back();
+  }
+  execute_data();
+}
+
+void Processor::execute_data() {
+  last_active_ = sim_.now();
+  switch (cur_op_.kind) {
+    case OpKind::kCompute:
+      finish_op(std::max<sim::Cycle>(cur_op_.value, 1));
+      return;
+    case OpKind::kLoad:
+    case OpKind::kStore:
+    case OpKind::kAtomicSwap:
+    case OpKind::kAtomicAdd: {
+      cache::MemAccess a;
+      a.is_store = cur_op_.kind != OpKind::kLoad;
+      if (cur_op_.kind == OpKind::kAtomicSwap) a.atomic = cache::AtomicKind::kSwap;
+      if (cur_op_.kind == OpKind::kAtomicAdd) a.atomic = cache::AtomicKind::kAdd;
+      a.addr = cur_op_.addr;
+      a.size = cur_op_.size;
+      a.value = cur_op_.value;
+      if (a.is_store) {
+        ++thread_->stores;
+      } else {
+        ++thread_->loads;
+      }
+      std::uint64_t v = 0;
+      wait_started_ = sim_.now();
+      auto res = dcache_.access(
+          a, &v, [this](std::uint64_t val) { resume_after_data(val); });
+      if (res == cache::AccessResult::kHit) {
+        if (cur_op_.kind != OpKind::kStore) thread_->last_load_value = v;
+        finish_op(std::max<sim::Cycle>(cur_op_.icount, cfg_.min_op_cycles));
+      }
+      return;
+    }
+    default:
+      CCNOC_ASSERT(false, "composite op reached execute_data");
+  }
+}
+
+void Processor::resume_after_data(std::uint64_t value) {
+  d_stall_ += sim_.now() - wait_started_;
+  last_active_ = sim_.now();
+  if (cur_op_.kind != OpKind::kStore) thread_->last_load_value = value;
+  finish_op(std::max<sim::Cycle>(cur_op_.icount, cfg_.min_op_cycles));
+}
+
+void Processor::finish_op(sim::Cycle cost) {
+  have_op_ = false;
+  schedule_step(cost);
+}
+
+void Processor::export_stats() {
+  auto& st = sim_.stats();
+  auto set = [&](const std::string& k, std::uint64_t v) {
+    auto& c = st.counter(name_ + k);
+    c.reset();
+    c.inc(v);
+  };
+  set(".d_stall_cycles", d_stall_);
+  set(".i_stall_cycles", i_stall_);
+  set(".instructions", instructions_);
+  set(".ops", ops_);
+  set(".context_switches", context_switches_);
+  set(".last_active", last_active_);
+}
+
+}  // namespace ccnoc::cpu

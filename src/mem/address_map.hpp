@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+/// \file address_map.hpp
+/// Physical address map of the platform. Each memory bank owns one
+/// fixed-size, power-of-two region of the address space; an address's bank
+/// index is simply its high bits. Cache nodes are numbered 0..n-1 and bank
+/// nodes n..n+m-1 on the NoC, as in the paper's modelled architectures.
+
+namespace ccnoc::mem {
+
+class AddressMap {
+ public:
+  /// \param num_cpus   number of processor/cache nodes (NoC ids 0..n-1)
+  /// \param num_banks  number of memory bank nodes (NoC ids n..n+m-1)
+  /// \param bank_shift log2 of the per-bank region size (default 16 MB)
+  AddressMap(unsigned num_cpus, unsigned num_banks, unsigned bank_shift = 24)
+      : num_cpus_(num_cpus), num_banks_(num_banks), bank_shift_(bank_shift) {}
+
+  [[nodiscard]] unsigned num_cpus() const { return num_cpus_; }
+  [[nodiscard]] unsigned num_banks() const { return num_banks_; }
+  [[nodiscard]] unsigned num_nodes() const { return num_cpus_ + num_banks_; }
+
+  [[nodiscard]] sim::Addr bank_region_bytes() const { return sim::Addr(1) << bank_shift_; }
+
+  [[nodiscard]] unsigned bank_index_of(sim::Addr a) const {
+    auto idx = unsigned(a >> bank_shift_);
+    CCNOC_ASSERT(idx < num_banks_, "address outside mapped banks");
+    return idx;
+  }
+
+  [[nodiscard]] sim::NodeId cache_node(unsigned cpu) const {
+    CCNOC_ASSERT(cpu < num_cpus_, "bad cpu index");
+    return sim::NodeId(cpu);
+  }
+
+  [[nodiscard]] sim::NodeId bank_node(unsigned bank) const {
+    CCNOC_ASSERT(bank < num_banks_, "bad bank index");
+    return sim::NodeId(num_cpus_ + bank);
+  }
+
+  [[nodiscard]] sim::NodeId bank_node_of(sim::Addr a) const {
+    return bank_node(bank_index_of(a));
+  }
+
+  [[nodiscard]] sim::Addr bank_base(unsigned bank) const {
+    CCNOC_ASSERT(bank < num_banks_, "bad bank index");
+    return sim::Addr(bank) << bank_shift_;
+  }
+
+  [[nodiscard]] bool is_cache_node(sim::NodeId n) const { return n < num_cpus_; }
+  [[nodiscard]] bool is_bank_node(sim::NodeId n) const {
+    return n >= num_cpus_ && n < num_cpus_ + num_banks_;
+  }
+
+ private:
+  unsigned num_cpus_;
+  unsigned num_banks_;
+  unsigned bank_shift_;
+};
+
+}  // namespace ccnoc::mem

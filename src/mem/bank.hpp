@@ -1,0 +1,125 @@
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "mem/address_map.hpp"
+#include "mem/directory.hpp"
+#include "mem/protocol.hpp"
+#include "mem/storage.hpp"
+#include "noc/network.hpp"
+#include "sim/simulator.hpp"
+
+/// \file bank.hpp
+/// A main-memory bank node: byte storage + Censier–Feautrier directory +
+/// the memory-side half of the coherence protocol (paper §4.2). Matching
+/// the paper's implementation, every coherence transfer is routed through
+/// the memory node — there are no cache-to-cache shortcuts — and requests
+/// to the same block are serialized by a per-block transaction table.
+///
+/// Timing: every request passes through the bank's single service port
+/// (busy-until reservation), which is what creates the memory-bank
+/// contention the paper studies on architecture 1.
+
+namespace ccnoc::mem {
+
+struct BankConfig {
+  sim::Cycle block_service = 8;  ///< latency of a block read/write + directory
+  sim::Cycle word_service = 2;   ///< latency of a word write + directory
+  /// Pipelining: a new request may start this many cycles after the
+  /// previous one (VCI memories accept back-to-back cells); bank
+  /// *throughput* is 1/initiation_interval while each request still takes
+  /// its full service latency.
+  sim::Cycle initiation_interval = 2;
+  unsigned block_bytes = 32;
+
+  /// Paper §4.2's suggested optimization: sharers acknowledge
+  /// invalidations directly to the requesting cache ("leveraging the
+  /// memory node and saving one hop transfer"). The requester collects
+  /// the acks and releases the block with a TxnDone, so per-block
+  /// serialization — and with it sequential consistency — is preserved.
+  /// Applies to WTI write-through rounds and MESI upgrades.
+  bool direct_inval_ack = false;
+};
+
+class Bank final : public noc::Endpoint {
+ public:
+  Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
+       unsigned bank_index, Protocol proto, BankConfig cfg = {});
+
+  void deliver(const noc::Packet& pkt) override;
+
+  /// Direct storage access for program loading and result verification
+  /// (zero simulated cost; never used during timed execution by the CPUs).
+  PagedStorage& storage() { return storage_; }
+  const PagedStorage& storage() const { return storage_; }
+
+  [[nodiscard]] const Directory& directory() const { return dir_; }
+  [[nodiscard]] sim::NodeId node_id() const { return node_; }
+  [[nodiscard]] const BankConfig& config() const { return cfg_; }
+
+  /// True when no transaction is in flight and nothing is queued — used by
+  /// tests to check quiescence.
+  [[nodiscard]] bool idle() const { return txns_.empty() && waiting_.empty(); }
+
+ private:
+  struct Txn {
+    noc::Message req;
+    sim::NodeId src = sim::kInvalidNode;
+    unsigned pending_acks = 0;
+    bool waiting_data = false;
+    sim::NodeId data_from = sim::kInvalidNode;
+    bool had_inval_round = false;
+    bool had_fetch_round = false;
+    bool direct_mode = false;   ///< acks flow to the requester; block frees
+                                ///< on its TxnDone
+    unsigned direct_acks = 0;   ///< ack count reported to the requester
+  };
+
+  void enqueue_request(const noc::Packet& pkt);
+  void start_service(noc::Message req, sim::NodeId src);
+  void process_request(sim::Addr block);
+
+  void process_read_shared(Txn& t);
+  void process_read_exclusive(Txn& t);
+  void process_upgrade(Txn& t);
+  void process_write_word(Txn& t);
+
+  void handle_write_back(const noc::Packet& pkt);
+  void handle_invalidate_ack(const noc::Packet& pkt);
+  void handle_update_ack(const noc::Packet& pkt);
+  void handle_fetch_response(const noc::Packet& pkt);
+  void handle_txn_done(const noc::Packet& pkt);
+
+  void on_acks_complete(sim::Addr block, Txn& t);
+  void on_data_arrived(sim::Addr block, Txn& t, const noc::Message& data_msg);
+
+  void send_invalidations(sim::Addr block, Txn& t, sim::NodeId except);
+  void send_updates(sim::Addr block, Txn& t, sim::NodeId except);
+  void request_fetch(sim::Addr block, Txn& t, noc::MsgType fetch_type);
+
+  void respond(const Txn& t, noc::Message&& m, unsigned path_hops);
+  void complete_txn(sim::Addr block);
+
+  [[nodiscard]] sim::Addr block_of(sim::Addr a) const {
+    return a & ~sim::Addr(cfg_.block_bytes - 1);
+  }
+  void read_block(sim::Addr block, noc::Message& m) const;
+
+  sim::Simulator& sim_;
+  noc::Network& net_;
+  const AddressMap& map_;
+  Protocol proto_;
+  BankConfig cfg_;
+  sim::NodeId node_;
+
+  PagedStorage storage_;
+  Directory dir_;
+  sim::Cycle port_free_ = 0;
+
+  std::unordered_map<sim::Addr, Txn> txns_;  // key: block address
+  std::unordered_map<sim::Addr, std::deque<noc::Packet>> waiting_;
+  std::string stat_prefix_;
+};
+
+}  // namespace ccnoc::mem

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "mem/address_map.hpp"
+#include "mem/bank.hpp"
+
+/// \file direct_memory.hpp
+/// Untimed backdoor into the banks' storage, used for program loading
+/// (initial data, lock/barrier words) and post-run result verification.
+/// Never used on a timed path — the CPUs only reach memory through the
+/// caches and the NoC.
+
+namespace ccnoc::mem {
+
+class DirectMemoryIf {
+ public:
+  virtual ~DirectMemoryIf() = default;
+  virtual void write(sim::Addr a, const void* data, unsigned len) = 0;
+  virtual void read(sim::Addr a, void* out, unsigned len) const = 0;
+
+  void write_u32(sim::Addr a, std::uint32_t v) { write(a, &v, 4); }
+  void write_u64(sim::Addr a, std::uint64_t v) { write(a, &v, 8); }
+  void write_f64(sim::Addr a, double v) { write(a, &v, 8); }
+  [[nodiscard]] std::uint32_t read_u32(sim::Addr a) const {
+    std::uint32_t v = 0;
+    read(a, &v, 4);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t read_u64(sim::Addr a) const {
+    std::uint64_t v = 0;
+    read(a, &v, 8);
+    return v;
+  }
+  [[nodiscard]] double read_f64(sim::Addr a) const {
+    double v = 0;
+    read(a, &v, 8);
+    return v;
+  }
+};
+
+/// DirectMemoryIf over the platform's banks.
+class BankedDirectMemory final : public DirectMemoryIf {
+ public:
+  BankedDirectMemory(const AddressMap& map, std::vector<Bank*> banks)
+      : map_(map), banks_(std::move(banks)) {
+    CCNOC_ASSERT(banks_.size() == map_.num_banks(), "bank list size mismatch");
+  }
+
+  void write(sim::Addr a, const void* data, unsigned len) override {
+    // Writes may span bank boundaries only if the caller allocated across
+    // banks, which the layout never does; keep it strict.
+    banks_[map_.bank_index_of(a)]->storage().write(a, data, len);
+  }
+
+  void read(sim::Addr a, void* out, unsigned len) const override {
+    banks_[map_.bank_index_of(a)]->storage().read(a, out, len);
+  }
+
+ private:
+  const AddressMap& map_;
+  std::vector<Bank*> banks_;
+};
+
+}  // namespace ccnoc::mem

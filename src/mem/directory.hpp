@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+/// \file directory.hpp
+/// Censier–Feautrier full-map directory (paper §1, ref [5]): one presence
+/// bit per cache plus a dirty flag per memory block. With at most 64
+/// processors (the paper's largest platform) the presence vector fits one
+/// 64-bit word. Entries are stored sparsely — blocks never cached have no
+/// entry — which keeps the host-memory footprint proportional to the
+/// touched working set.
+
+namespace ccnoc::mem {
+
+struct DirEntry {
+  std::uint64_t presence = 0;  ///< bit i set ⇔ cache i may hold a copy
+  bool dirty = false;          ///< an owner holds the block in E or M
+  sim::NodeId owner = sim::kInvalidNode;
+
+  [[nodiscard]] bool has_sharer() const { return presence != 0; }
+  [[nodiscard]] unsigned sharer_count() const { return unsigned(__builtin_popcountll(presence)); }
+  [[nodiscard]] bool is_sharer(sim::NodeId c) const { return (presence >> c) & 1; }
+};
+
+class Directory {
+ public:
+  explicit Directory(unsigned num_caches) : num_caches_(num_caches) {
+    CCNOC_ASSERT(num_caches <= 64, "full-map directory supports up to 64 caches");
+  }
+
+  /// Entry lookup; returns an all-clear entry for untouched blocks.
+  [[nodiscard]] DirEntry lookup(sim::Addr block) const {
+    auto it = entries_.find(block);
+    return it == entries_.end() ? DirEntry{} : it->second;
+  }
+
+  void add_sharer(sim::Addr block, sim::NodeId c) {
+    check(c);
+    auto& e = entries_[block];
+    e.presence |= std::uint64_t(1) << c;
+  }
+
+  void remove_sharer(sim::Addr block, sim::NodeId c) {
+    check(c);
+    auto it = entries_.find(block);
+    if (it == entries_.end()) return;
+    it->second.presence &= ~(std::uint64_t(1) << c);
+    if (it->second.owner == c) {
+      it->second.owner = sim::kInvalidNode;
+      it->second.dirty = false;
+    }
+    gc(it);
+  }
+
+  /// Grant exclusive ownership: sole presence bit + dirty flag. Used when a
+  /// MESI cache is given E or M (E may silently become M, so the directory
+  /// conservatively treats both as "must fetch from owner").
+  void set_exclusive(sim::Addr block, sim::NodeId c) {
+    check(c);
+    auto& e = entries_[block];
+    e.presence = std::uint64_t(1) << c;
+    e.dirty = true;
+    e.owner = c;
+  }
+
+  /// Owner downgraded (M→S after a Fetch): memory now clean, owner remains
+  /// a sharer.
+  void clear_dirty(sim::Addr block) {
+    auto it = entries_.find(block);
+    if (it == entries_.end()) return;
+    it->second.dirty = false;
+    it->second.owner = sim::kInvalidNode;
+  }
+
+  /// Drop every presence bit except (optionally) \p keep.
+  void clear_all_except(sim::Addr block, sim::NodeId keep = sim::kInvalidNode) {
+    auto it = entries_.find(block);
+    if (it == entries_.end()) return;
+    std::uint64_t mask =
+        (keep == sim::kInvalidNode) ? 0 : (it->second.presence & (std::uint64_t(1) << keep));
+    it->second.presence = mask;
+    it->second.dirty = false;
+    it->second.owner = sim::kInvalidNode;
+    gc(it);
+  }
+
+  /// Sharer node ids, excluding \p except.
+  [[nodiscard]] std::vector<sim::NodeId> sharers(sim::Addr block,
+                                                 sim::NodeId except = sim::kInvalidNode) const {
+    std::vector<sim::NodeId> out;
+    auto it = entries_.find(block);
+    if (it == entries_.end()) return out;
+    std::uint64_t bits = it->second.presence;
+    if (except != sim::kInvalidNode) bits &= ~(std::uint64_t(1) << except);
+    while (bits) {
+      unsigned c = unsigned(__builtin_ctzll(bits));
+      out.push_back(sim::NodeId(c));
+      bits &= bits - 1;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t tracked_blocks() const { return entries_.size(); }
+
+ private:
+  void check(sim::NodeId c) const { CCNOC_ASSERT(c < num_caches_, "cache id out of range"); }
+
+  void gc(std::unordered_map<sim::Addr, DirEntry>::iterator it) {
+    if (it->second.presence == 0 && !it->second.dirty) entries_.erase(it);
+  }
+
+  unsigned num_caches_;
+  std::unordered_map<sim::Addr, DirEntry> entries_;
+};
+
+}  // namespace ccnoc::mem

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The two write policies compared by the paper.
+
+namespace ccnoc::mem {
+
+enum class Protocol {
+  kWti,     ///< write-through + write-invalidate (V/I caches, clean memory)
+  kWbMesi,  ///< write-back MESI (Illinois-style) + write-invalidate
+  kWtu,     ///< write-through + write-update (extension: the paper's §2
+            ///< "other" hardware-protocol category — sharers' copies are
+            ///< patched in place instead of invalidated)
+};
+
+[[nodiscard]] inline const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kWti: return "WTI";
+    case Protocol::kWbMesi: return "WB-MESI";
+    case Protocol::kWtu: return "WTU";
+  }
+  return "?";
+}
+
+/// Both write-through flavours use the same cache-side controller.
+[[nodiscard]] inline bool is_write_through(Protocol p) {
+  return p == Protocol::kWti || p == Protocol::kWtu;
+}
+
+}  // namespace ccnoc::mem

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "noc/network.hpp"
+
+/// \file bus.hpp
+/// A single shared bus (extension): every packet, regardless of source and
+/// destination, serializes on one medium. This is the interconnect the
+/// paper's related work ([4, 11, 18]) evaluated write policies on — and
+/// the reason write-through was "well known in the literature to give poor
+/// performances": the bus's aggregate bandwidth does not grow with the
+/// node count, so per-store write-through traffic saturates it. The
+/// `bench_ext_bus` study contrasts the same platforms on this bus and on
+/// the NoC models, reproducing the paper's motivating argument.
+
+namespace ccnoc::noc {
+
+struct BusConfig {
+  /// Fixed per-transaction cost (arbitration + address phase). This is the
+  /// term that historically punished write-through on buses: every store
+  /// is a full bus transaction no matter how small its payload.
+  sim::Cycle arbitration = 8;
+};
+
+class BusNetwork final : public Network {
+ public:
+  BusNetwork(sim::Simulator& s, std::size_t nodes, BusConfig cfg = {})
+      : Network(s), cfg_(cfg) {
+    (void)nodes;  // a bus has no per-node resources
+  }
+
+ protected:
+  void route(Packet&& pkt) override {
+    // One transfer at a time: arbitration + full-packet serialization on
+    // the shared medium. Global serialization trivially preserves
+    // per-flow FIFO order.
+    const sim::Cycle flits = flits_of(pkt);
+    sim::Cycle start = std::max(sim_.now(), bus_free_);
+    bus_free_ = start + cfg_.arbitration + flits;
+    sim_.stats().sample("bus.grant_delay").add(double(start - sim_.now()));
+    deliver_at(bus_free_, std::move(pkt));
+  }
+
+ private:
+  BusConfig cfg_;
+  sim::Cycle bus_free_ = 0;
+};
+
+}  // namespace ccnoc::noc

@@ -1,0 +1,61 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+
+namespace ccnoc::noc {
+
+MeshNetwork::MeshNetwork(sim::Simulator& s, std::size_t nodes, MeshConfig cfg)
+    : Network(s),
+      topo_(nodes),
+      cfg_(cfg),
+      link_free_(std::size_t(topo_.width()) * std::size_t(topo_.height()) * 4, 0),
+      inject_free_(nodes, 0),
+      eject_free_(nodes, 0) {}
+
+void MeshNetwork::route(Packet&& pkt) {
+  const sim::Cycle flits = flits_of(pkt);
+  const Coord src = topo_.coord_of(pkt.src);
+  const Coord dst = topo_.coord_of(pkt.dst);
+
+  // Injection port.
+  sim::Cycle t = std::max(sim_.now(), inject_free_[pkt.src]);
+  inject_free_[pkt.src] = t + flits;
+  t += cfg_.router_delay;
+
+  // Walk the XY path, reserving each directed link.
+  Coord cur = src;
+  int hop_count = 0;
+  auto traverse = [&](Dir d, Coord next) {
+    sim::NodeId cur_id = sim::NodeId(cur.y * topo_.width() + cur.x);
+    std::size_t li = link_index(cur_id, d);
+    t = std::max(t, link_free_[li]);
+    link_free_[li] = t + flits;
+    t += cfg_.router_delay + 1;
+    cur = next;
+    ++hop_count;
+  };
+  while (cur.x != dst.x) {
+    if (cur.x < dst.x) {
+      traverse(kEast, Coord{cur.x + 1, cur.y});
+    } else {
+      traverse(kWest, Coord{cur.x - 1, cur.y});
+    }
+  }
+  while (cur.y != dst.y) {
+    if (cur.y < dst.y) {
+      traverse(kSouth, Coord{cur.x, cur.y + 1});
+    } else {
+      traverse(kNorth, Coord{cur.x, cur.y - 1});
+    }
+  }
+
+  // Ejection port serializes the whole packet onto the endpoint.
+  t = std::max(t, eject_free_[pkt.dst]);
+  eject_free_[pkt.dst] = t + flits;
+  t += flits;
+
+  sim_.stats().histogram("noc.mesh_hops", 32).add(std::uint64_t(hop_count));
+  deliver_at(t, std::move(pkt));
+}
+
+}  // namespace ccnoc::noc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "noc/network.hpp"
+#include "noc/topology.hpp"
+
+/// \file mesh.hpp
+/// A real 2-D mesh with XY dimension-ordered routing and per-link
+/// serialization — the interconnect the paper's GMN approximates. Used by
+/// the network-model ablation (`bench_abl_network`) to check that the
+/// GMN approximation does not change the study's conclusions.
+///
+/// Each directed link (and each injection/ejection port) is a busy-until
+/// resource; a packet reserves its whole XY path at injection, queueing
+/// behind earlier packets on every contended link. XY routing makes every
+/// (src,dst) flow take one fixed path, so per-flow FIFO order holds.
+
+namespace ccnoc::noc {
+
+struct MeshConfig {
+  sim::Cycle router_delay = 2;  ///< per-hop pipeline latency, cycles
+};
+
+class MeshNetwork final : public Network {
+ public:
+  MeshNetwork(sim::Simulator& s, std::size_t nodes, MeshConfig cfg = {});
+
+  [[nodiscard]] const MeshTopology& topology() const { return topo_; }
+
+ protected:
+  void route(Packet&& pkt) override;
+
+ private:
+  enum Dir { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
+  [[nodiscard]] std::size_t link_index(sim::NodeId node, Dir d) const {
+    return std::size_t(node) * 4 + std::size_t(d);
+  }
+
+  MeshTopology topo_;
+  MeshConfig cfg_;
+  std::vector<sim::Cycle> link_free_;     // 4 directed links per router
+  std::vector<sim::Cycle> inject_free_;   // local input port per router
+  std::vector<sim::Cycle> eject_free_;    // local output port per router
+};
+
+}  // namespace ccnoc::noc

@@ -1,0 +1,31 @@
+#include "noc/message.hpp"
+
+namespace ccnoc::noc {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kReadShared: return "ReadShared";
+    case MsgType::kReadExclusive: return "ReadExclusive";
+    case MsgType::kUpgrade: return "Upgrade";
+    case MsgType::kWriteWord: return "WriteWord";
+    case MsgType::kAtomicSwap: return "AtomicSwap";
+    case MsgType::kAtomicAdd: return "AtomicAdd";
+    case MsgType::kSwapResponse: return "SwapResponse";
+    case MsgType::kWriteBack: return "WriteBack";
+    case MsgType::kReadResponse: return "ReadResponse";
+    case MsgType::kUpgradeAck: return "UpgradeAck";
+    case MsgType::kWriteAck: return "WriteAck";
+    case MsgType::kWriteBackAck: return "WriteBackAck";
+    case MsgType::kInvalidate: return "Invalidate";
+    case MsgType::kUpdateWord: return "UpdateWord";
+    case MsgType::kUpdateAck: return "UpdateAck";
+    case MsgType::kFetch: return "Fetch";
+    case MsgType::kFetchInv: return "FetchInv";
+    case MsgType::kInvalidateAck: return "InvalidateAck";
+    case MsgType::kFetchResponse: return "FetchResponse";
+    case MsgType::kTxnDone: return "TxnDone";
+  }
+  return "?";
+}
+
+}  // namespace ccnoc::noc

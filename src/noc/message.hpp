@@ -1,0 +1,93 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+/// \file message.hpp
+/// Coherence message vocabulary carried by NoC packets. These are the
+/// protocol actions of paper §4: cache→memory requests, memory→cache
+/// responses and directory-initiated commands. Both WTI and WB-MESI are
+/// expressed with this one vocabulary (each protocol uses a subset).
+
+namespace ccnoc::noc {
+
+enum class MsgType : std::uint8_t {
+  // cache → memory requests
+  kReadShared,     ///< read miss: fetch a clean copy (WTI & MESI)
+  kReadExclusive,  ///< MESI write-allocate: fetch block with exclusivity
+  kUpgrade,        ///< MESI store hit in S: request exclusivity, no data
+  kWriteWord,      ///< WTI write-through of one word (1..8 bytes)
+  kAtomicSwap,     ///< WTI atomic swap at the bank (SPARC ldstub/swap-like)
+  kAtomicAdd,      ///< WTI atomic fetch-and-add at the bank
+  kWriteBack,      ///< MESI eviction of a Modified block (carries data)
+  // memory → cache responses
+  kReadResponse,    ///< block data; grant field says Shared or Exclusive
+  kUpgradeAck,      ///< exclusivity granted (may carry data if copy was lost)
+  kWriteAck,        ///< WTI write-through completed at the bank
+  kSwapResponse,    ///< old value read by an atomic swap
+  kWriteBackAck,    ///< write-back accepted; eviction buffer entry may free
+  // directory → cache commands
+  kInvalidate,   ///< discard your copy, then ack
+  kUpdateWord,   ///< write-update: patch this word in your copy, then ack
+  kFetch,        ///< owner: supply data, downgrade M→S
+  kFetchInv,     ///< owner: supply data, invalidate
+  // cache → memory command responses
+  kInvalidateAck,
+  kUpdateAck,      ///< update applied; had_copy=false reports a stale sharer
+  kFetchResponse,  ///< block data from the (former) owner
+  kTxnDone,        ///< requester → memory: direct-ack transaction finished,
+                   ///< release the block (paper §4.2 optimization)
+};
+
+[[nodiscard]] const char* to_string(MsgType t);
+
+/// Exclusivity grant carried by kReadResponse.
+enum class Grant : std::uint8_t {
+  kShared,     ///< install in S (other sharers exist)
+  kExclusive,  ///< install in E (MESI read with no other sharer)
+  kModified,   ///< install directly in M (MESI write-allocate)
+};
+
+/// Maximum cache block size the inline message payload supports.
+inline constexpr unsigned kMaxBlockBytes = 64;
+
+/// One coherence message. Data travels inline (no heap) because the
+/// simulator moves millions of these per run.
+struct Message {
+  MsgType type = MsgType::kReadShared;
+  sim::Addr addr = 0;              ///< block address (word address for kWriteWord)
+  sim::NodeId requester = sim::kInvalidNode;  ///< original requesting cache node
+  std::uint64_t txn = 0;           ///< transaction id assigned by the requester
+  Grant grant = Grant::kShared;
+  std::uint8_t access_size = 0;    ///< bytes for kWriteWord (1, 2, 4 or 8)
+  std::uint8_t data_len = 0;       ///< valid bytes in \p data
+  std::uint8_t path_hops = 0;      ///< critical-path NoC traversals of the whole
+                                   ///< transaction, filled in on responses
+                                   ///< (paper Table 1 accounting)
+  std::uint8_t port = 0;           ///< sub-port within the requesting node
+                                   ///< (0 = D-cache, 1 = I-cache); echoed on
+                                   ///< responses so the node can demux
+  bool track = true;               ///< false for instruction fetches (read-only code)
+  bool had_copy = true;            ///< kUpdateAck: whether the sharer still held
+                                   ///< the block (false ⇒ stale presence bit)
+  bool direct_ack = false;         ///< kInvalidate: acknowledge straight to
+                                   ///< `requester` instead of the memory node
+                                   ///< (paper §4.2's one-hop-saving optimization)
+  std::uint8_t ack_count = 0;      ///< on responses: invalidation acks the
+                                   ///< requester must collect before the
+                                   ///< operation is globally performed
+  std::array<std::uint8_t, kMaxBlockBytes> data{};
+
+  [[nodiscard]] bool carries_data() const { return data_len != 0; }
+};
+
+/// Wire size of a message in bytes: a fixed header (command, address,
+/// ids — 8 bytes, as a VCI-like command cell) plus the payload.
+[[nodiscard]] inline unsigned wire_bytes(const Message& m) {
+  return 8u + m.data_len;
+}
+
+}  // namespace ccnoc::noc

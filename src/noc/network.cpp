@@ -1,0 +1,48 @@
+#include "noc/network.hpp"
+
+namespace ccnoc::noc {
+
+void Network::attach(sim::NodeId id, Endpoint& ep) {
+  if (endpoints_.size() <= id) endpoints_.resize(id + 1, nullptr);
+  CCNOC_ASSERT(endpoints_[id] == nullptr, "node attached twice");
+  endpoints_[id] = &ep;
+}
+
+void Network::send(sim::NodeId src, sim::NodeId dst, const Message& msg) {
+  CCNOC_ASSERT(src < endpoints_.size() && endpoints_[src] != nullptr, "unknown src node");
+  CCNOC_ASSERT(dst < endpoints_.size() && endpoints_[dst] != nullptr, "unknown dst node");
+  CCNOC_ASSERT(src != dst, "NoC loopback send");
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.msg = msg;
+  pkt.sent_at = sim_.now();
+  pkt.id = next_pkt_id_++;
+
+  total_bytes_ += wire_bytes(msg);
+  ++total_packets_;
+  auto& st = sim_.stats();
+  st.counter("noc.bytes").inc(wire_bytes(msg));
+  st.counter("noc.packets").inc();
+  st.counter(std::string("noc.pkt.") + to_string(msg.type)).inc();
+
+  route(std::move(pkt));
+}
+
+void Network::deliver_at(sim::Cycle when, Packet&& pkt) {
+  CCNOC_ASSERT(when >= sim_.now(), "delivery in the past");
+  sim_.stats().sample("noc.latency").add(double(when - pkt.sent_at));
+  sim_.queue().schedule_at(when, [this, p = std::move(pkt)]() mutable {
+    if (sim_.logger().enabled(sim::LogLevel::Trace)) {
+      char addr[32];
+      std::snprintf(addr, sizeof addr, "0x%llx",
+                    static_cast<unsigned long long>(p.msg.addr));
+      sim_.trace("noc", std::string(to_string(p.msg.type)) + " " +
+                            std::to_string(p.src) + "->" + std::to_string(p.dst) +
+                            " addr=" + addr);
+    }
+    endpoints_[p.dst]->deliver(p);
+  });
+}
+
+}  // namespace ccnoc::noc

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+/// \file network.hpp
+/// Abstract interconnect. Both implementations (GMN crossbar and 2-D mesh)
+/// guarantee per-(source, destination) FIFO delivery order — the property
+/// deterministic XY routing gives a real mesh — which the coherence
+/// protocols rely on (e.g. WriteBack before FetchResponse from one cache).
+
+namespace ccnoc::noc {
+
+/// A message in flight, with routing and accounting metadata.
+struct Packet {
+  sim::NodeId src = sim::kInvalidNode;
+  sim::NodeId dst = sim::kInvalidNode;
+  Message msg;
+  sim::Cycle sent_at = 0;
+  std::uint64_t id = 0;
+};
+
+/// Something attached to a NoC port (a cache node or a memory bank node).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void deliver(const Packet& pkt) = 0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& s) : sim_(s) {}
+  virtual ~Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register \p ep as the receiver for node \p id. Must be called for every
+  /// node before the first send.
+  void attach(sim::NodeId id, Endpoint& ep);
+
+  /// Inject a message. Delivery is scheduled through the concrete
+  /// interconnect model; per-flow FIFO order is preserved.
+  void send(sim::NodeId src, sim::NodeId dst, const Message& msg);
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+
+  [[nodiscard]] std::size_t num_nodes() const { return endpoints_.size(); }
+
+ protected:
+  /// Concrete model: compute the delivery cycle for \p pkt (reserving
+  /// whatever shared resources it occupies) and schedule delivery.
+  virtual void route(Packet&& pkt) = 0;
+
+  void deliver_at(sim::Cycle when, Packet&& pkt);
+
+  sim::Simulator& sim_;
+
+ private:
+  std::vector<Endpoint*> endpoints_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t next_pkt_id_ = 0;
+};
+
+/// Flit payload width. A 32-byte block plus header is ~10 flits.
+inline constexpr unsigned kFlitBytes = 4;
+
+[[nodiscard]] inline sim::Cycle flits_of(const Packet& pkt) {
+  return (wire_bytes(pkt.msg) + kFlitBytes - 1) / kFlitBytes;
+}
+
+}  // namespace ccnoc::noc

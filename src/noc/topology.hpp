@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+/// \file topology.hpp
+/// 2-D mesh geometry helpers: node placement on the smallest near-square
+/// grid and XY (dimension-ordered) routing distance.
+
+namespace ccnoc::noc {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+class MeshTopology {
+ public:
+  explicit MeshTopology(std::size_t nodes) {
+    width_ = int(std::ceil(std::sqrt(double(nodes))));
+    if (width_ < 1) width_ = 1;
+    height_ = int((nodes + std::size_t(width_) - 1) / std::size_t(width_));
+    nodes_ = nodes;
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+
+  [[nodiscard]] Coord coord_of(sim::NodeId n) const {
+    return Coord{int(n) % width_, int(n) / width_};
+  }
+
+  /// Manhattan distance — the hop count of XY routing.
+  [[nodiscard]] int distance(sim::NodeId a, sim::NodeId b) const {
+    Coord ca = coord_of(a), cb = coord_of(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+  }
+
+ private:
+  int width_ = 1;
+  int height_ = 1;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace ccnoc::noc

@@ -1,0 +1,77 @@
+#include "os/kernel.hpp"
+
+namespace ccnoc::os {
+
+Kernel::Kernel(const mem::AddressMap& map, mem::DirectMemoryIf& dm, ArchKind arch,
+               KernelConfig cfg)
+    : map_(map), dm_(dm), cfg_(cfg), layout_(map, arch), sync_(cfg.sync) {
+  if (cfg_.policy == SchedPolicy::kSmp) {
+    smp_ = std::make_unique<SmpScheduler>(layout_, dm_, map.num_cpus(), cfg_.sched,
+                                          cfg_.seed);
+  } else {
+    ds_ = std::make_unique<DsScheduler>(layout_, dm_, map.num_cpus(), cfg_.sched);
+  }
+}
+
+cpu::SchedulerIf& Kernel::scheduler() {
+  if (smp_) return *smp_;
+  return *ds_;
+}
+
+cpu::ThreadContext& Kernel::create_thread(unsigned home_cpu) {
+  auto t = std::make_unique<cpu::ThreadContext>();
+  t->tid = unsigned(threads_.size());
+  t->home_cpu = home_cpu;
+  t->stack_base = layout_.alloc_local(t->tid, cfg_.stack_bytes);
+  t->local_base = t->stack_base;
+  threads_.push_back(std::move(t));
+  return *threads_.back();
+}
+
+sim::Addr Kernel::create_lock() {
+  sim::Addr a = layout_.alloc_shared(4, 4);
+  SyncLib::init_lock(dm_, a);
+  return a;
+}
+
+sim::Addr Kernel::create_barrier(unsigned nthreads) {
+  sim::Addr a = layout_.alloc_shared(BarrierLayout::kBytes, 32);
+  SyncLib::init_barrier(dm_, a, nthreads);
+  return a;
+}
+
+void Kernel::launch(const std::vector<cpu::Processor*>& cpus) {
+  CCNOC_ASSERT(cpus.size() == map_.num_cpus(), "processor count mismatch");
+  for (cpu::Processor* p : cpus) p->bind(&scheduler(), &sync_);
+
+  if (cfg_.policy == SchedPolicy::kSmp) {
+    // First-come first-served: the first n threads start on the n CPUs,
+    // the rest wait in the global queue (and may run anywhere).
+    std::size_t next = 0;
+    for (cpu::Processor* p : cpus) {
+      if (next < threads_.size()) p->assign_thread(threads_[next++].get());
+    }
+    for (; next < threads_.size(); ++next) smp_->enqueue(*threads_[next]);
+  } else {
+    std::vector<bool> cpu_busy(cpus.size(), false);
+    for (auto& t : threads_) {
+      CCNOC_ASSERT(t->home_cpu < cpus.size(), "thread pinned to unknown CPU");
+      if (!cpu_busy[t->home_cpu]) {
+        cpus[t->home_cpu]->assign_thread(t.get());
+        cpu_busy[t->home_cpu] = true;
+      } else {
+        ds_->enqueue(*t);
+      }
+    }
+  }
+  for (cpu::Processor* p : cpus) p->start();
+}
+
+bool Kernel::all_finished() const {
+  for (const auto& t : threads_) {
+    if (!t->finished) return false;
+  }
+  return true;
+}
+
+}  // namespace ccnoc::os

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cpu/processor.hpp"
+#include "os/layout.hpp"
+#include "os/scheduler.hpp"
+#include "os/sync.hpp"
+
+/// \file kernel.hpp
+/// The lightweight OS model (paper ref [14]): thread lifecycle, the memory
+/// layout policy, POSIX-like synchronization objects and one of the two
+/// scheduling configurations. `Kernel` is the single object workloads and
+/// the platform builder talk to.
+
+namespace ccnoc::os {
+
+enum class SchedPolicy { kSmp, kDs };
+
+[[nodiscard]] inline const char* to_string(SchedPolicy p) {
+  return p == SchedPolicy::kSmp ? "SMP" : "DS";
+}
+
+struct KernelConfig {
+  SchedPolicy policy = SchedPolicy::kSmp;
+  SchedulerConfig sched{};
+  SyncConfig sync{};
+  std::uint64_t stack_bytes = 4096;  ///< per-thread stack/local region
+  std::uint64_t seed = 42;
+};
+
+class Kernel {
+ public:
+  Kernel(const mem::AddressMap& map, mem::DirectMemoryIf& dm, ArchKind arch,
+         KernelConfig cfg);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Create a thread context pinned (for DS) to \p home_cpu, with its stack
+  /// placed by the layout policy. The program is attached separately, after
+  /// the workload has allocated its data.
+  cpu::ThreadContext& create_thread(unsigned home_cpu);
+
+  void set_program(cpu::ThreadContext& t, cpu::ThreadProgram program) {
+    t.program = std::move(program);
+  }
+
+  /// Allocate and initialize a mutex in shared memory.
+  sim::Addr create_lock();
+
+  /// Allocate and initialize a barrier for \p nthreads in shared memory.
+  sim::Addr create_barrier(unsigned nthreads);
+
+  /// Bind scheduler + sync library to the processors, hand out initial
+  /// threads and start execution.
+  void launch(const std::vector<cpu::Processor*>& cpus);
+
+  [[nodiscard]] MemoryLayout& layout() { return layout_; }
+  [[nodiscard]] SyncLib& sync_lib() { return sync_; }
+  [[nodiscard]] cpu::SchedulerIf& scheduler();
+  [[nodiscard]] mem::DirectMemoryIf& memory() { return dm_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<cpu::ThreadContext>>& threads() const {
+    return threads_;
+  }
+  [[nodiscard]] bool all_finished() const;
+  [[nodiscard]] SchedPolicy policy() const { return cfg_.policy; }
+  [[nodiscard]] std::uint64_t migrations() const {
+    return smp_ ? smp_->migrations() : 0;
+  }
+
+ private:
+  const mem::AddressMap& map_;
+  mem::DirectMemoryIf& dm_;
+  KernelConfig cfg_;
+  MemoryLayout layout_;
+  SyncLib sync_;
+  std::unique_ptr<SmpScheduler> smp_;
+  std::unique_ptr<DsScheduler> ds_;
+  std::vector<std::unique_ptr<cpu::ThreadContext>> threads_;
+};
+
+}  // namespace ccnoc::os

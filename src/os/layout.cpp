@@ -1,0 +1,57 @@
+#include "os/layout.hpp"
+
+namespace ccnoc::os {
+
+MemoryLayout::MemoryLayout(const mem::AddressMap& map, ArchKind arch)
+    : map_(map), arch_(arch), cursor_(map.num_banks(), 64) {
+  // Cursors start at offset 64: the first block of each bank is reserved so
+  // that no valid allocation sits at a bank's base address.
+  if (arch_ == ArchKind::kCentralized) {
+    CCNOC_ASSERT(map.num_banks() >= 2, "architecture 1 needs 2 banks");
+  } else {
+    CCNOC_ASSERT(map.num_banks() >= map.num_cpus() + 1,
+                 "architecture 2 needs a bank per CPU plus shared banks");
+  }
+}
+
+sim::Addr MemoryLayout::alloc_in_bank(unsigned bank, std::uint64_t size, unsigned align) {
+  CCNOC_ASSERT(bank < map_.num_banks(), "allocation in unknown bank");
+  CCNOC_ASSERT(align != 0 && (align & (align - 1)) == 0, "alignment not a power of two");
+  std::uint64_t& cur = cursor_[bank];
+  cur = (cur + align - 1) & ~std::uint64_t(align - 1);
+  CCNOC_ASSERT(cur + size <= map_.bank_region_bytes(), "bank region exhausted");
+  sim::Addr a = map_.bank_base(bank) + cur;
+  cur += size;
+  return a;
+}
+
+sim::Addr MemoryLayout::alloc_shared(std::uint64_t size, unsigned align) {
+  if (arch_ == ArchKind::kCentralized) return alloc_in_bank(0, size, align);
+  // Architecture 2 spreads shared data over *all* banks ("spread as fairly
+  // as possible the accesses to all memory banks", paper §5.2) — chunked
+  // allocations (grid rows, molecule records) round-robin across the die.
+  unsigned bank = shared_rr_++ % map_.num_banks();
+  return alloc_in_bank(bank, size, align);
+}
+
+sim::Addr MemoryLayout::alloc_local(unsigned tid, std::uint64_t size, unsigned align) {
+  if (arch_ == ArchKind::kCentralized) return alloc_in_bank(0, size, align);
+  return alloc_in_bank(tid % map_.num_cpus(), size, align);
+}
+
+sim::Addr MemoryLayout::alloc_kernel(unsigned cpu, std::uint64_t size, unsigned align) {
+  if (arch_ == ArchKind::kCentralized) return alloc_in_bank(0, size, align);
+  return alloc_in_bank(cpu % map_.num_cpus(), size, align);
+}
+
+sim::Addr MemoryLayout::alloc_code(std::uint64_t size, unsigned align) {
+  if (arch_ == ArchKind::kCentralized) return alloc_in_bank(1, size, align);
+  return alloc_in_bank(map_.num_cpus(), size, align);
+}
+
+std::uint64_t MemoryLayout::used_in_bank(unsigned bank) const {
+  CCNOC_ASSERT(bank < map_.num_banks(), "unknown bank");
+  return cursor_[bank] - 64;
+}
+
+}  // namespace ccnoc::os

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "mem/address_map.hpp"
+
+/// \file layout.hpp
+/// Memory layout policy (paper §5.2 "Memory layout"):
+///
+/// * Architecture 1 (centralized, 2 banks, SMP kernel): every shared and
+///   local datum, thread stacks and kernel structures live in bank 0 —
+///   maximal contention on one bank; code lives in bank 1.
+/// * Architecture 2 (distributed, n+3 banks, DS kernel): thread i's stack
+///   and local data live in its dedicated bank i; shared static/dynamic
+///   data spread round-robin over all banks ("spread as fairly as possible
+///   the accesses to all memory banks"); kernel per-CPU schedulers live in
+///   the per-CPU banks; code lives in shared bank n.
+
+namespace ccnoc::os {
+
+enum class ArchKind {
+  kCentralized,  ///< the paper's architecture 1
+  kDistributed,  ///< the paper's architecture 2
+};
+
+[[nodiscard]] inline const char* to_string(ArchKind a) {
+  return a == ArchKind::kCentralized ? "arch1-centralized" : "arch2-distributed";
+}
+
+class MemoryLayout {
+ public:
+  MemoryLayout(const mem::AddressMap& map, ArchKind arch);
+
+  /// Bump-allocate \p size bytes in \p bank, aligned to \p align.
+  sim::Addr alloc_in_bank(unsigned bank, std::uint64_t size, unsigned align = 32);
+
+  /// Shared data (application-visible). Arch 2 round-robins whole
+  /// allocations across all banks, so chunked allocations (e.g. one grid
+  /// row per call) spread accesses over the die as the paper does.
+  sim::Addr alloc_shared(std::uint64_t size, unsigned align = 32);
+
+  /// Thread-private data (stacks, local arrays) of thread \p tid.
+  sim::Addr alloc_local(unsigned tid, std::uint64_t size, unsigned align = 32);
+
+  /// Kernel/scheduler structures. Pass the owning CPU for per-CPU
+  /// structures (arch 2) or any value for the global ones (arch 1).
+  sim::Addr alloc_kernel(unsigned cpu, std::uint64_t size, unsigned align = 32);
+
+  /// Read-only code segments (never tracked by the directory).
+  sim::Addr alloc_code(std::uint64_t size, unsigned align = 32);
+
+  [[nodiscard]] ArchKind arch() const { return arch_; }
+  [[nodiscard]] const mem::AddressMap& map() const { return map_; }
+
+  /// Bytes allocated in \p bank so far (tests / reports).
+  [[nodiscard]] std::uint64_t used_in_bank(unsigned bank) const;
+
+ private:
+  const mem::AddressMap& map_;
+  ArchKind arch_;
+  std::vector<std::uint64_t> cursor_;  // per-bank offset from bank base
+  unsigned shared_rr_ = 0;
+};
+
+}  // namespace ccnoc::os

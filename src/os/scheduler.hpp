@@ -1,0 +1,87 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "cpu/interfaces.hpp"
+#include "os/layout.hpp"
+#include "os/sync.hpp"
+#include "sim/rng.hpp"
+
+/// \file scheduler.hpp
+/// The two scheduler configurations of the paper's lightweight OS (§5.2):
+///
+/// * `SmpScheduler` — symmetric scheduling: one global run queue protected
+///   by one lock, both living in shared memory (bank 0 on architecture 1).
+///   Every timer tick the CPU takes the lock and walks the queue words;
+///   with some probability the running task migrates (it is swapped with a
+///   queued task, landing later on another CPU with a cold cache). The
+///   centralized structure is a real contention point, as the paper notes.
+/// * `DsScheduler` — decentralized scheduling: per-CPU run queues in
+///   per-CPU memory banks, tasks pinned to their home CPU, ticks touch only
+///   local structures. No migration.
+///
+/// Functional bookkeeping (which ThreadContext runs where) is host-side;
+/// the *memory traffic* of scheduling — lock acquisition and queue-word
+/// reads/writes — is executed for real through the caches.
+
+namespace ccnoc::os {
+
+struct SchedulerConfig {
+  /// Timer-tick period. A 1 ms tick on a ~100 MHz embedded core is ~100k
+  /// cycles; shorter periods turn the SMP global scheduler lock into a
+  /// permanent convoy on large platforms.
+  sim::Cycle tick_period = 100000;
+  unsigned queue_words = 8;      ///< run-queue words touched per tick
+  double migrate_prob = 0.25;    ///< SMP: per-tick migration probability
+  sim::Cycle spin_backoff = 20;  ///< scheduler-lock spin pause
+};
+
+class SmpScheduler final : public cpu::SchedulerIf {
+ public:
+  SmpScheduler(MemoryLayout& layout, mem::DirectMemoryIf& dm, unsigned num_cpus,
+               SchedulerConfig cfg, std::uint64_t seed);
+
+  [[nodiscard]] sim::Cycle tick_period() const override { return cfg_.tick_period; }
+  cpu::ThreadProgram tick(unsigned cpu, cpu::ThreadContext& current) override;
+  [[nodiscard]] bool should_switch(unsigned cpu) override;
+  void deschedule(unsigned cpu, cpu::ThreadContext& t) override;
+  cpu::ThreadContext* next_thread(unsigned cpu) override;
+  void thread_finished(unsigned cpu, cpu::ThreadContext& t) override;
+
+  /// Seed the global ready queue with not-yet-running threads.
+  void enqueue(cpu::ThreadContext& t) { ready_.push_back(&t); }
+
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+
+ private:
+  SchedulerConfig cfg_;
+  sim::Rng rng_;
+  sim::Addr area_;  ///< [lock][queue words...] in shared memory
+  std::deque<cpu::ThreadContext*> ready_;
+  std::vector<bool> switch_flag_;
+  std::uint64_t migrations_ = 0;
+};
+
+class DsScheduler final : public cpu::SchedulerIf {
+ public:
+  DsScheduler(MemoryLayout& layout, mem::DirectMemoryIf& dm, unsigned num_cpus,
+              SchedulerConfig cfg);
+
+  [[nodiscard]] sim::Cycle tick_period() const override { return cfg_.tick_period; }
+  cpu::ThreadProgram tick(unsigned cpu, cpu::ThreadContext& current) override;
+  [[nodiscard]] bool should_switch(unsigned cpu) override { (void)cpu; return false; }
+  void deschedule(unsigned cpu, cpu::ThreadContext& t) override { enqueue(t); (void)cpu; }
+  cpu::ThreadContext* next_thread(unsigned cpu) override;
+  void thread_finished(unsigned cpu, cpu::ThreadContext& t) override;
+
+  /// Queue a thread on its home CPU's local run queue.
+  void enqueue(cpu::ThreadContext& t) { ready_[t.home_cpu].push_back(&t); }
+
+ private:
+  SchedulerConfig cfg_;
+  std::vector<sim::Addr> areas_;  ///< per-CPU [lock][queue words...]
+  std::vector<std::deque<cpu::ThreadContext*>> ready_;
+};
+
+}  // namespace ccnoc::os

@@ -1,0 +1,32 @@
+#include "sim/event_queue.hpp"
+
+namespace ccnoc::sim {
+
+void EventQueue::schedule_at(Cycle when, Callback cb) {
+  CCNOC_ASSERT(when >= now_, "event scheduled in the past");
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because the element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+std::uint64_t EventQueue::run(Cycle limit) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().when <= limit) {
+    step();
+    ++n;
+  }
+  if (now_ < limit && limit != ~Cycle{0}) now_ = limit;
+  return n;
+}
+
+}  // namespace ccnoc::sim

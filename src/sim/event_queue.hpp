@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+/// \file event_queue.hpp
+/// Deterministic discrete-event queue. Events scheduled for the same cycle
+/// fire in insertion order (a monotonically increasing sequence number breaks
+/// ties), so a given configuration and seed always replays identically.
+
+namespace ccnoc::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule \p cb to run \p delay cycles after the current time.
+  void schedule_in(Cycle delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Schedule \p cb at absolute cycle \p when (must not be in the past).
+  void schedule_at(Cycle when, Callback cb);
+
+  /// Run the next event (advancing time to its timestamp).
+  /// Returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue drains or \p limit cycles elapse.
+  /// Returns the number of events executed.
+  std::uint64_t run(Cycle limit = ~Cycle{0});
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ccnoc::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+/// \file generator.hpp
+/// Minimal C++20 generator coroutine. Workloads (`ccnoc::apps`) are written
+/// as ordinary nested-loop code that `co_yield`s one ThreadOp at a time; the
+/// processor model pulls ops lazily and resumes the coroutine when each
+/// memory access completes. Values read from simulated memory travel back
+/// through the thread context (side channel), keeping the promise type tiny.
+
+namespace ccnoc::sim {
+
+template <typename T>
+class Generator {
+ public:
+  struct promise_type {
+    T value{};
+    std::exception_ptr exception;
+
+    Generator get_return_object() {
+      return Generator{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(T v) {
+      value = std::move(v);
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Generator() = default;
+  explicit Generator(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Generator(Generator&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Generator& operator=(Generator&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+  ~Generator() { destroy(); }
+
+  /// Advance to the next yield. Returns false when the coroutine finished.
+  bool next() {
+    if (!handle_ || handle_.done()) return false;
+    handle_.resume();
+    if (handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+    return !handle_.done();
+  }
+
+  /// Most recently yielded value. Only valid after next() returned true.
+  [[nodiscard]] const T& value() const { return handle_.promise().value; }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace ccnoc::sim

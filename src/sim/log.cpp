@@ -1,0 +1,17 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace ccnoc::sim {
+
+void Logger::emit(Cycle now, const std::string& component, const std::string& msg) const {
+  std::ostringstream os;
+  os << "[" << now << "] " << component << ": " << msg;
+  if (sink_) {
+    sink_(os.str());
+  } else {
+    std::fprintf(stderr, "%s\n", os.str().c_str());
+  }
+}
+
+}  // namespace ccnoc::sim

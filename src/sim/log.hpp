@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/types.hpp"
+
+/// \file log.hpp
+/// Minimal leveled tracing. Disabled by default; examples and debugging turn
+/// it on to watch protocol transactions flow through the platform. The sink
+/// is pluggable so tests can capture trace output.
+
+namespace ccnoc::sim {
+
+enum class LogLevel : int { None = 0, Info = 1, Debug = 2, Trace = 3 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(const std::string&)>;
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] bool enabled(LogLevel lvl) const { return int(lvl) <= int(level_); }
+
+  void emit(Cycle now, const std::string& component, const std::string& msg) const;
+
+ private:
+  LogLevel level_ = LogLevel::None;
+  Sink sink_;
+};
+
+}  // namespace ccnoc::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Deterministic xorshift64* generator. The simulator never uses
+/// std::random_device or global state: every random decision flows from the
+/// platform seed, so runs replay bit-identically.
+
+namespace ccnoc::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed ? seed : 1) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform value in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound ? next_u64() % bound : 0;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return double(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ccnoc::sim

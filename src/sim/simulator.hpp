@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+/// \file simulator.hpp
+/// The shared simulation context handed to every component: the event queue,
+/// the statistics registry, the logger and the platform RNG. Owning all four
+/// in one object makes a platform instance fully self-contained, so several
+/// platforms (e.g. a WTI run and a MESI run) can coexist in one process.
+
+namespace ccnoc::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  EventQueue& queue() { return queue_; }
+  StatsRegistry& stats() { return stats_; }
+  Logger& logger() { return logger_; }
+  Rng& rng() { return rng_; }
+
+  [[nodiscard]] Cycle now() const { return queue_.now(); }
+
+  void schedule_in(Cycle delay, EventQueue::Callback cb) {
+    queue_.schedule_in(delay, std::move(cb));
+  }
+
+  /// Drain the event queue, stopping after \p max_cycles as a hang guard.
+  /// Returns the number of events executed.
+  std::uint64_t run_to_completion(Cycle max_cycles = ~Cycle{0}) {
+    return queue_.run(max_cycles == ~Cycle{0} ? max_cycles : queue_.now() + max_cycles);
+  }
+
+  void trace(const std::string& component, const std::string& msg) {
+    if (logger_.enabled(LogLevel::Trace)) logger_.emit(now(), component, msg);
+  }
+  void debug(const std::string& component, const std::string& msg) {
+    if (logger_.enabled(LogLevel::Debug)) logger_.emit(now(), component, msg);
+  }
+
+ private:
+  EventQueue queue_;
+  StatsRegistry stats_;
+  Logger logger_;
+  Rng rng_;
+};
+
+}  // namespace ccnoc::sim

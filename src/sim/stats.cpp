@@ -1,0 +1,22 @@
+#include "sim/stats.hpp"
+
+#include <sstream>
+
+namespace ccnoc::sim {
+
+std::string StatsRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c.value() << "\n";
+  }
+  for (const auto& [name, s] : samples_) {
+    os << name << " : n=" << s.count() << " mean=" << s.mean() << " min=" << s.min()
+       << " max=" << s.max() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " : n=" << h.total() << " mean=" << h.mean() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ccnoc::sim

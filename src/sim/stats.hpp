@@ -1,0 +1,109 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+/// \file stats.hpp
+/// Lightweight statistics primitives: named counters, scalar samples and
+/// fixed-bucket histograms, grouped in a registry so a whole platform's
+/// metrics can be dumped or queried by name after a run.
+
+namespace ccnoc::sim {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Streaming scalar statistic (count / sum / min / max / mean).
+class Sample {
+ public:
+  void add(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  void reset() { *this = Sample{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Histogram over integral values with unit-width buckets up to a cap;
+/// overflow values are accumulated in the last bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets = 64) : buckets_(buckets, 0) {}
+
+  void add(std::uint64_t v) {
+    ++total_;
+    sum_ += v;
+    std::size_t b = std::min<std::uint64_t>(v, buckets_.size() - 1);
+    ++buckets_[b];
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double mean() const { return total_ ? double(sum_) / double(total_) : 0.0; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Name → statistic registry. Objects are created on first use; pointers
+/// remain stable (node-based map), so components may cache them.
+class StatsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Sample& sample(const std::string& name) { return samples_[name]; }
+  Histogram& histogram(const std::string& name, std::size_t buckets = 64) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{buckets}).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, Sample>& samples() const { return samples_; }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Human-readable dump of every statistic, one per line.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Sample> samples_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ccnoc::sim

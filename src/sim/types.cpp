@@ -1,0 +1,14 @@
+#include "sim/types.hpp"
+
+#include <stdexcept>
+
+namespace ccnoc::sim {
+
+void assertion_failure(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  std::string what = std::string("CCNOC_ASSERT failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line) + " — " + msg;
+  throw std::logic_error(what);
+}
+
+}  // namespace ccnoc::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/// \file types.hpp
+/// Fundamental scalar types shared by every ccnoc module, plus the
+/// invariant-checking macro used throughout the simulator.
+
+namespace ccnoc::sim {
+
+/// Simulation time, in clock cycles. The whole platform is modelled in a
+/// single clock domain, as in the paper's CABA platforms.
+using Cycle = std::uint64_t;
+
+/// Physical byte address in the simulated platform's memory map.
+using Addr = std::uint64_t;
+
+/// Identifier of a NoC node (a cache+processor node or a memory bank node).
+using NodeId = std::uint16_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = 0xffff;
+
+/// Word size of the modelled SPARC-V8-like processor, in bytes.
+inline constexpr unsigned kWordBytes = 4;
+
+[[noreturn]] void assertion_failure(const char* expr, const char* file, int line,
+                                    const std::string& msg);
+
+}  // namespace ccnoc::sim
+
+/// Invariant check that stays on in release builds: the simulator's
+/// correctness claims (coherence, SC, protocol hop counts) rest on these.
+#define CCNOC_ASSERT(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ccnoc::sim::assertion_failure(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                        \
+  } while (false)

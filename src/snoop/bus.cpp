@@ -1,0 +1,99 @@
+#include "snoop/bus.hpp"
+
+#include <algorithm>
+
+namespace ccnoc::snoop {
+
+const char* to_string(BusOp op) {
+  switch (op) {
+    case BusOp::kBusRead: return "BusRead";
+    case BusOp::kBusReadX: return "BusReadX";
+    case BusOp::kBusUpgr: return "BusUpgr";
+    case BusOp::kBusWriteWord: return "BusWriteWord";
+    case BusOp::kBusWriteBack: return "BusWriteBack";
+    case BusOp::kBusSwap: return "BusSwap";
+    case BusOp::kBusAdd: return "BusAdd";
+  }
+  return "?";
+}
+
+void SnoopBus::request(BusTxn txn, CompleteFn on_complete) {
+  CCNOC_ASSERT(memory_ != nullptr, "bus has no memory slave");
+  CCNOC_ASSERT(txn.initiator < agents_.size(), "unknown initiator");
+
+  // Bus occupancy: arbitration + address/snoop phase + data beats, plus the
+  // memory access when memory sources or absorbs data.
+  sim::Cycle grant_at = std::max(sim_.now(), busy_until_);
+  sim_.stats().sample("snoopbus.grant_delay").add(double(grant_at - sim_.now()));
+
+  unsigned request_beats = (txn.data_len + 3) / 4;
+  unsigned response_beats = 0;
+  bool memory_involved = true;
+  switch (txn.op) {
+    case BusOp::kBusRead:
+    case BusOp::kBusReadX:
+      response_beats = cfg_.block_bytes / 4;
+      break;
+    case BusOp::kBusUpgr:
+      memory_involved = false;
+      break;
+    case BusOp::kBusWriteWord:
+    case BusOp::kBusWriteBack:
+      break;
+    case BusOp::kBusSwap:
+    case BusOp::kBusAdd:
+      response_beats = (txn.size + 3) / 4;
+      break;
+  }
+  sim::Cycle busy = cfg_.arbitration + cfg_.address_phase +
+                    cfg_.beat * (request_beats + response_beats) +
+                    (memory_involved ? cfg_.memory_latency : 0);
+  sim::Cycle done = grant_at + busy;
+  busy_until_ = done;
+
+  ++total_txns_;
+  std::uint64_t bytes = 4u /*address cell*/ + txn.data_len + response_beats * 4u;
+  total_bytes_ += bytes;
+  auto& st = sim_.stats();
+  st.counter("snoopbus.transactions").inc();
+  st.counter("snoopbus.bytes").inc(bytes);
+  st.counter(std::string("snoopbus.op.") + to_string(txn.op)).inc();
+
+  // The address phase (snoop + memory service) is atomic at grant time;
+  // the completion is delivered at the end of the data phase.
+  sim_.queue().schedule_at(done, [this, txn = std::move(txn),
+                                  cb = std::move(on_complete)]() mutable {
+    grant(txn, cb);
+  });
+}
+
+void SnoopBus::grant(const BusTxn& txn, const CompleteFn& on_complete) {
+  SnoopReply merged;
+  SnoopReply flush;
+  bool have_flush = false;
+  for (unsigned i = 0; i < agents_.size(); ++i) {
+    if (i == txn.initiator) continue;
+    SnoopReply r = agents_[i]->snoop(txn);
+    merged.has_copy |= r.has_copy;
+    if (r.supplies_data) {
+      CCNOC_ASSERT(!have_flush, "two owners flushed the same block");
+      flush = r;
+      have_flush = true;
+    }
+  }
+  SnoopReply mem = memory_->service(txn, have_flush ? &flush : nullptr);
+
+  SnoopReply result;
+  result.has_copy = merged.has_copy;
+  result.supplies_data = have_flush;
+  if (have_flush && (txn.op == BusOp::kBusRead || txn.op == BusOp::kBusReadX)) {
+    result.data = flush.data;
+    result.data_len = flush.data_len;
+  } else {
+    result.data = mem.data;
+    result.data_len = mem.data_len;
+  }
+  on_complete(result);
+}
+
+}  // namespace ccnoc::snoop

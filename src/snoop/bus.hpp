@@ -1,0 +1,116 @@
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+/// \file bus.hpp
+/// Snooping bus substrate (extension): the organization the paper's
+/// related work ([4, 11, 18]) evaluated write policies on. One shared
+/// medium carries atomic transactions; every cache observes every
+/// transaction's address phase and reacts in place (invalidate, supply
+/// dirty data, assert "shared"). This is the platform on which
+/// write-through was historically measured to lose — `bench_ext_snoop`
+/// reproduces that classic result next to the paper's directory/NoC one.
+
+namespace ccnoc::snoop {
+
+enum class BusOp : std::uint8_t {
+  kBusRead,       ///< read miss: fetch a block, sharable
+  kBusReadX,      ///< write miss: fetch a block exclusively (others invalidate)
+  kBusUpgr,       ///< S→M upgrade: invalidate others, no data transfer
+  kBusWriteWord,  ///< write-through word to memory (others invalidate)
+  kBusWriteBack,  ///< dirty-block eviction to memory
+  kBusSwap,       ///< atomic swap performed at memory
+  kBusAdd,        ///< atomic fetch-and-add performed at memory
+};
+
+[[nodiscard]] const char* to_string(BusOp op);
+
+inline constexpr unsigned kMaxBusData = 64;
+
+struct BusTxn {
+  BusOp op = BusOp::kBusRead;
+  sim::Addr addr = 0;
+  unsigned initiator = 0;  ///< cache index (memory never initiates)
+  std::uint8_t size = 4;   ///< word ops: access size
+  std::uint8_t data_len = 0;
+  std::array<std::uint8_t, kMaxBusData> data{};
+};
+
+/// What a snooper reports during the address phase.
+struct SnoopReply {
+  bool has_copy = false;       ///< asserts the bus "shared" line
+  bool supplies_data = false;  ///< dirty owner flushes the block
+  std::uint8_t data_len = 0;
+  std::array<std::uint8_t, kMaxBusData> data{};
+};
+
+class SnoopAgent {
+ public:
+  virtual ~SnoopAgent() = default;
+  /// Observe \p txn (initiated by another agent) atomically at grant time.
+  virtual SnoopReply snoop(const BusTxn& txn) = 0;
+};
+
+/// The memory slave: the default data source/sink of every transaction.
+class MemorySlaveIf {
+ public:
+  virtual ~MemorySlaveIf() = default;
+  /// Service \p txn; \p flush holds a dirty owner's block when one
+  /// supplied data (memory absorbs it). Returns response data (block image
+  /// for reads, old value for atomics).
+  virtual SnoopReply service(const BusTxn& txn, const SnoopReply* flush) = 0;
+};
+
+struct SnoopBusConfig {
+  sim::Cycle arbitration = 2;    ///< request → grant
+  sim::Cycle address_phase = 1;  ///< address + snoop window
+  sim::Cycle beat = 1;           ///< cycles per 4-byte data beat
+  sim::Cycle memory_latency = 6; ///< added when memory sources the data
+  unsigned block_bytes = 32;
+};
+
+class SnoopBus {
+ public:
+  /// Completion: aggregated snoop result + response data for the initiator.
+  using CompleteFn = std::function<void(const SnoopReply&)>;
+
+  SnoopBus(sim::Simulator& sim, SnoopBusConfig cfg) : sim_(sim), cfg_(cfg) {}
+  SnoopBus(const SnoopBus&) = delete;
+  SnoopBus& operator=(const SnoopBus&) = delete;
+
+  /// Register a snooping cache; its index is its initiator id.
+  unsigned attach_cache(SnoopAgent& agent) {
+    agents_.push_back(&agent);
+    return unsigned(agents_.size() - 1);
+  }
+
+  void attach_memory(MemorySlaveIf& mem) { memory_ = &mem; }
+
+  /// Queue a transaction; grants are strictly FIFO (a fair bus arbiter),
+  /// each transaction is atomic, and the completion fires at the end of
+  /// its data phase.
+  void request(BusTxn txn, CompleteFn on_complete);
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_transactions() const { return total_txns_; }
+  [[nodiscard]] const SnoopBusConfig& config() const { return cfg_; }
+
+ private:
+  void grant(const BusTxn& txn, const CompleteFn& on_complete);
+
+  sim::Simulator& sim_;
+  SnoopBusConfig cfg_;
+  std::vector<SnoopAgent*> agents_;
+  MemorySlaveIf* memory_ = nullptr;
+  sim::Cycle busy_until_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_txns_ = 0;
+};
+
+}  // namespace ccnoc::snoop

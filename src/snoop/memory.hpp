@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstring>
+
+#include "mem/direct_memory.hpp"
+#include "mem/storage.hpp"
+#include "snoop/bus.hpp"
+
+/// \file memory.hpp
+/// The snooping platform's single main memory: services every bus
+/// transaction (block reads, write-through words, write-backs, atomics)
+/// and absorbs dirty flushes. Also exposes the untimed DirectMemoryIf
+/// backdoor for program loading and verification.
+
+namespace ccnoc::snoop {
+
+class SnoopMemory final : public MemorySlaveIf, public mem::DirectMemoryIf {
+ public:
+  explicit SnoopMemory(unsigned block_bytes = 32) : block_bytes_(block_bytes) {}
+
+  SnoopReply service(const BusTxn& txn, const SnoopReply* flush) override {
+    SnoopReply out;
+    const sim::Addr block = txn.addr & ~sim::Addr(block_bytes_ - 1);
+    // A dirty owner's flush reaches memory in the same transaction
+    // (Illinois-style: flush to both requester and memory).
+    if (flush != nullptr && flush->data_len == block_bytes_) {
+      storage_.write(block, flush->data.data(), block_bytes_);
+    }
+    switch (txn.op) {
+      case BusOp::kBusRead:
+      case BusOp::kBusReadX:
+        out.data_len = std::uint8_t(block_bytes_);
+        storage_.read(block, out.data.data(), block_bytes_);
+        break;
+      case BusOp::kBusUpgr:
+        break;
+      case BusOp::kBusWriteWord:
+        storage_.write(txn.addr, txn.data.data(), txn.size);
+        break;
+      case BusOp::kBusWriteBack:
+        CCNOC_ASSERT(txn.data_len == block_bytes_, "short bus write-back");
+        storage_.write(block, txn.data.data(), block_bytes_);
+        break;
+      case BusOp::kBusSwap:
+      case BusOp::kBusAdd: {
+        out.data_len = txn.size;
+        storage_.read(txn.addr, out.data.data(), txn.size);
+        std::uint64_t operand = 0;
+        std::memcpy(&operand, txn.data.data(), txn.size);
+        if (txn.op == BusOp::kBusAdd) {
+          storage_.write_uint(txn.addr, storage_.read_uint(txn.addr, txn.size) + operand,
+                              txn.size);
+        } else {
+          storage_.write(txn.addr, txn.data.data(), txn.size);
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  // Untimed backdoor (loading / verification).
+  void write(sim::Addr a, const void* data, unsigned len) override {
+    storage_.write(a, data, len);
+  }
+  void read(sim::Addr a, void* out, unsigned len) const override {
+    storage_.read(a, out, len);
+  }
+
+  [[nodiscard]] mem::PagedStorage& storage() { return storage_; }
+
+ private:
+  unsigned block_bytes_;
+  mem::PagedStorage storage_;
+};
+
+}  // namespace ccnoc::snoop

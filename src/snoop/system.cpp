@@ -1,0 +1,76 @@
+#include "snoop/system.hpp"
+
+namespace ccnoc::snoop {
+
+SnoopSystem::SnoopSystem(SnoopSystemConfig cfg)
+    : cfg_(cfg),
+      sim_(cfg.seed),
+      map_(cfg.num_cpus, 2),  // bank 0 = data, bank 1 = code (layout only)
+      bus_(sim_, [&] {
+        SnoopBusConfig b = cfg.bus;
+        b.block_bytes = cfg.dcache.block_bytes;
+        return b;
+      }()),
+      memory_(cfg.dcache.block_bytes) {
+  CCNOC_ASSERT(cfg_.dcache.block_bytes == cfg_.icache.block_bytes,
+               "I/D caches must share one block size");
+  bus_.attach_memory(memory_);
+  for (unsigned c = 0; c < cfg_.num_cpus; ++c) {
+    std::string base = "cpu" + std::to_string(c);
+    if (cfg_.protocol == SnoopProtocol::kWti) {
+      dcaches_.push_back(std::make_unique<SnoopWtiCache>(sim_, bus_, cfg_.dcache,
+                                                         base + ".dcache"));
+    } else {
+      dcaches_.push_back(std::make_unique<SnoopMesiCache>(sim_, bus_, cfg_.dcache,
+                                                          base + ".dcache"));
+    }
+    // The I-cache is read-only: the write-through controller with no stores
+    // is exactly a snooping read cache.
+    icaches_.push_back(
+        std::make_unique<SnoopWtiCache>(sim_, bus_, cfg_.icache, base + ".icache"));
+    cpus_.push_back(std::make_unique<cpu::Processor>(sim_, *dcaches_.back(),
+                                                     *icaches_.back(), c, cfg_.cpu));
+  }
+  kernel_ = std::make_unique<os::Kernel>(map_, memory_, os::ArchKind::kCentralized,
+                                         cfg_.kernel);
+}
+
+core::RunResult SnoopSystem::run(apps::Workload& workload, unsigned nthreads,
+                                 sim::Cycle max_cycles) {
+  if (nthreads == 0) nthreads = cfg_.num_cpus;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    kernel_->create_thread(t % cfg_.num_cpus);
+  }
+  workload.setup(*kernel_, nthreads);
+  for (const auto& tptr : kernel_->threads()) {
+    kernel_->set_program(*tptr, workload.make_program(*tptr));
+  }
+  std::vector<cpu::Processor*> cpu_ptrs;
+  for (auto& p : cpus_) cpu_ptrs.push_back(p.get());
+  kernel_->launch(cpu_ptrs);
+
+  core::RunResult r;
+  r.events = sim_.run_to_completion(max_cycles);
+  r.completed = kernel_->all_finished();
+
+  sim::Cycle end = 0;
+  for (auto& p : cpus_) {
+    end = std::max(end, p->last_active_cycle());
+    r.d_stall_cycles += p->d_stall_cycles();
+    r.i_stall_cycles += p->i_stall_cycles();
+    r.instructions += p->instructions();
+  }
+  r.exec_cycles = end;
+  r.noc_bytes = bus_.total_bytes();
+  r.noc_packets = bus_.total_transactions();
+
+  for (auto& d : dcaches_) {
+    d->flush_dirty([this](sim::Addr a, const void* data, unsigned len) {
+      memory_.write(a, data, len);
+    });
+  }
+  r.verified = r.completed && workload.verify(memory_);
+  return r;
+}
+
+}  // namespace ccnoc::snoop

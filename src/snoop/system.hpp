@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/system.hpp"
+#include "snoop/caches.hpp"
+#include "snoop/memory.hpp"
+
+/// \file system.hpp
+/// Snooping-bus platform builder (extension): n processors, each with a
+/// snooping D-cache and a read-only I-cache, one bus, one memory — the
+/// classic SMP organization of the paper's related work. Runs the same
+/// workloads, OS and processor model as the directory/NoC platform, so
+/// `bench_ext_snoop` can compare the two organizations like-for-like.
+
+namespace ccnoc::snoop {
+
+enum class SnoopProtocol { kWti, kMesi };
+
+[[nodiscard]] inline const char* to_string(SnoopProtocol p) {
+  return p == SnoopProtocol::kWti ? "snoop-WTI" : "snoop-MESI";
+}
+
+struct SnoopSystemConfig {
+  unsigned num_cpus = 4;
+  SnoopProtocol protocol = SnoopProtocol::kWti;
+  cache::CacheConfig dcache{};
+  cache::CacheConfig icache{};
+  SnoopBusConfig bus{};
+  os::KernelConfig kernel{};  ///< SMP by default, like a classic bus SMP
+  cpu::CpuConfig cpu{};
+  std::uint64_t seed = 1;
+};
+
+class SnoopSystem {
+ public:
+  explicit SnoopSystem(SnoopSystemConfig cfg);
+  SnoopSystem(const SnoopSystem&) = delete;
+  SnoopSystem& operator=(const SnoopSystem&) = delete;
+
+  /// Run one workload to completion (same contract as core::System::run).
+  core::RunResult run(apps::Workload& workload, unsigned nthreads = 0,
+                      sim::Cycle max_cycles = 4'000'000'000ull);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] SnoopBus& bus() { return bus_; }
+  [[nodiscard]] SnoopMemory& memory() { return memory_; }
+  [[nodiscard]] SnoopCacheBase& dcache(unsigned i) { return *dcaches_.at(i); }
+  [[nodiscard]] cpu::Processor& processor(unsigned i) { return *cpus_.at(i); }
+  [[nodiscard]] os::Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] const SnoopSystemConfig& config() const { return cfg_; }
+
+ private:
+  SnoopSystemConfig cfg_;
+  sim::Simulator sim_;
+  mem::AddressMap map_;  ///< partitions the address space for the OS layout
+  SnoopBus bus_;
+  SnoopMemory memory_;
+  std::vector<std::unique_ptr<SnoopCacheBase>> dcaches_;
+  std::vector<std::unique_ptr<SnoopWtiCache>> icaches_;
+  std::vector<std::unique_ptr<cpu::Processor>> cpus_;
+  std::unique_ptr<os::Kernel> kernel_;
+};
+
+}  // namespace ccnoc::snoop

@@ -1,0 +1,84 @@
+#include "apps/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "snoop/system.hpp"
+
+namespace ccnoc::apps {
+namespace {
+
+Lu::Config small() {
+  Lu::Config c;
+  c.matrix_dim = 16;
+  c.block_dim = 4;
+  c.compute_per_flop = 2;
+  return c;
+}
+
+struct Param {
+  mem::Protocol proto;
+  unsigned arch;
+  unsigned cpus;
+};
+
+class LuSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(LuSweep, FactorizationBitExact) {
+  Lu w(small());
+  auto r = core::run_paper_config(GetParam().arch, GetParam().proto, GetParam().cpus, w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, LuSweep,
+    ::testing::Values(Param{mem::Protocol::kWti, 1, 2}, Param{mem::Protocol::kWti, 2, 4},
+                      Param{mem::Protocol::kWbMesi, 1, 2},
+                      Param{mem::Protocol::kWbMesi, 2, 4},
+                      Param{mem::Protocol::kWtu, 2, 4},
+                      Param{mem::Protocol::kWbMesi, 2, 8}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string p = to_string(info.param.proto);
+      if (p == "WB-MESI") p = "MESI";
+      return p + "_arch" + std::to_string(info.param.arch) + "_n" +
+             std::to_string(info.param.cpus);
+    });
+
+TEST(LuTest, SingleThreadMatchesGolden) {
+  Lu w(small());
+  auto r = core::run_paper_config(2, mem::Protocol::kWbMesi, 1, w);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(LuTest, LargerMatrixStillExact) {
+  Lu::Config c;
+  c.matrix_dim = 24;
+  c.block_dim = 4;
+  c.compute_per_flop = 1;
+  Lu w(c);
+  auto r = core::run_paper_config(2, mem::Protocol::kWti, 4, w);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(w.num_blocks(), 6u);
+}
+
+TEST(LuTest, RunsOnTheSnoopingBusToo) {
+  for (snoop::SnoopProtocol p : {snoop::SnoopProtocol::kWti, snoop::SnoopProtocol::kMesi}) {
+    snoop::SnoopSystemConfig cfg;
+    cfg.num_cpus = 4;
+    cfg.protocol = p;
+    snoop::SnoopSystem sys(cfg);
+    Lu w(small());
+    EXPECT_TRUE(sys.run(w).verified) << to_string(p);
+  }
+}
+
+TEST(LuTest, RejectsMismatchedBlocking) {
+  Lu::Config c;
+  c.matrix_dim = 10;
+  c.block_dim = 4;
+  EXPECT_THROW(Lu w(c), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccnoc::apps

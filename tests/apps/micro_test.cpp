@@ -1,0 +1,87 @@
+#include "apps/micro.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+/// The microworkloads' functional oracles, swept across protocol ×
+/// architecture × processor count — the platform-level coherence and
+/// sequential-consistency property suite.
+
+namespace ccnoc::apps {
+namespace {
+
+struct Param {
+  mem::Protocol proto;
+  unsigned arch;
+  unsigned cpus;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(info.param.proto == mem::Protocol::kWti ? "WTI" : "MESI") +
+         "_arch" + std::to_string(info.param.arch) + "_n" +
+         std::to_string(info.param.cpus);
+}
+
+class MicroSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MicroSweep, HotCounterExact) {
+  HotCounter w(60);
+  auto r = core::run_paper_config(GetParam().arch, GetParam().proto, GetParam().cpus, w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(MicroSweep, ProducerConsumerSeesNoStaleData) {
+  ProducerConsumer w(25, 6);
+  auto r = core::run_paper_config(GetParam().arch, GetParam().proto, GetParam().cpus, w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(MicroSweep, UniformRandomCompletes) {
+  UniformRandom::Config c;
+  c.ops_per_thread = 400;
+  UniformRandom w(c);
+  auto r = core::run_paper_config(GetParam().arch, GetParam().proto, GetParam().cpus, w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.noc_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, MicroSweep,
+    ::testing::Values(Param{mem::Protocol::kWti, 1, 2}, Param{mem::Protocol::kWti, 1, 4},
+                      Param{mem::Protocol::kWti, 2, 4}, Param{mem::Protocol::kWti, 2, 8},
+                      Param{mem::Protocol::kWbMesi, 1, 2},
+                      Param{mem::Protocol::kWbMesi, 1, 4},
+                      Param{mem::Protocol::kWbMesi, 2, 4},
+                      Param{mem::Protocol::kWbMesi, 2, 8}),
+    param_name);
+
+TEST(PingPongTest, BlockBouncesBetweenTwoCaches) {
+  for (mem::Protocol p : {mem::Protocol::kWti, mem::Protocol::kWbMesi}) {
+    PingPong w(40);
+    auto r = core::run_paper_config(2, p, 2, w);
+    EXPECT_TRUE(r.verified) << to_string(p);
+  }
+}
+
+TEST(HotCounterTest, SingleThreadDegenerateCase) {
+  HotCounter w(100);
+  auto r = core::run_paper_config(2, mem::Protocol::kWbMesi, 1, w);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(MicroWorkloads, TrafficScalesWithContention) {
+  // More threads on one counter → more coherence traffic per increment.
+  HotCounter w2(50), w8(50);
+  auto r2 = core::run_paper_config(2, mem::Protocol::kWbMesi, 2, w2);
+  auto r8 = core::run_paper_config(2, mem::Protocol::kWbMesi, 8, w8);
+  ASSERT_TRUE(r2.verified);
+  ASSERT_TRUE(r8.verified);
+  EXPECT_GT(r8.noc_bytes, r2.noc_bytes);
+}
+
+}  // namespace
+}  // namespace ccnoc::apps

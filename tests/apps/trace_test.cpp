@@ -1,0 +1,108 @@
+#include "apps/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace ccnoc::apps {
+namespace {
+
+TEST(TraceParse, AcceptsTheDocumentedFormat) {
+  const char* text = R"(
+# two threads handing a value through memory
+0 S 100 4 42
+0 B
+1 B
+1 L 100 4
+1 S 200 4 7
+0 C 25
+)";
+  TracePlayer p = TracePlayer::parse(text, 2);
+  EXPECT_EQ(p.records(0), 3u);
+  EXPECT_EQ(p.records(1), 3u);
+}
+
+TEST(TraceParse, RejectsBadInput) {
+  EXPECT_THROW(TracePlayer::parse("5 L 100 4\n", 2), std::logic_error);  // bad tid
+  EXPECT_THROW(TracePlayer::parse("0 X 100 4\n", 2), std::logic_error);  // bad op
+  EXPECT_THROW(TracePlayer::parse("0 S 100 4\n", 2), std::logic_error);  // no value
+}
+
+TEST(TracePlayback, LastWriterOracleHolds) {
+  const char* text = R"(
+0 S 0 4 1
+0 S 0 4 2
+0 S 40 8 123456789
+1 S 80 4 5
+1 L 0 4
+)";
+  for (mem::Protocol proto : {mem::Protocol::kWti, mem::Protocol::kWbMesi}) {
+    TracePlayer p = TracePlayer::parse(text, 2);
+    core::System sys(core::SystemConfig::architecture2(2, proto));
+    auto r = sys.run(p, 2);
+    EXPECT_TRUE(r.completed) << to_string(proto);
+    EXPECT_TRUE(r.verified) << to_string(proto);
+  }
+}
+
+TEST(TracePlayback, BarriersSynchronizeThreads) {
+  // Thread 1 reads what thread 0 wrote before the barrier; since word 0x100
+  // has a single writer, the oracle pins its final value.
+  const char* text = R"(
+0 S 100 4 77
+0 B
+1 B
+1 L 100 4
+)";
+  TracePlayer p = TracePlayer::parse(text, 2);
+  core::System sys(core::SystemConfig::architecture1(2, mem::Protocol::kWti));
+  auto r = sys.run(p, 2);
+  EXPECT_TRUE(r.verified);
+}
+
+struct Param {
+  mem::Protocol proto;
+  unsigned arch;
+  unsigned cpus;
+};
+
+class SyntheticTraceSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SyntheticTraceSweep, RandomTraceVerifies) {
+  TracePlayer p = TracePlayer::synthetic(GetParam().cpus, /*ops=*/400,
+                                         /*region_words=*/512,
+                                         /*store_fraction=*/0.4, /*seed=*/11);
+  core::SystemConfig cfg = GetParam().arch == 1
+                               ? core::SystemConfig::architecture1(GetParam().cpus,
+                                                                   GetParam().proto)
+                               : core::SystemConfig::architecture2(GetParam().cpus,
+                                                                   GetParam().proto);
+  core::System sys(cfg);
+  auto r = sys.run(p, GetParam().cpus);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.noc_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, SyntheticTraceSweep,
+    ::testing::Values(Param{mem::Protocol::kWti, 1, 4}, Param{mem::Protocol::kWti, 2, 8},
+                      Param{mem::Protocol::kWbMesi, 1, 4},
+                      Param{mem::Protocol::kWbMesi, 2, 8},
+                      Param{mem::Protocol::kWtu, 2, 4}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(to_string(info.param.proto) == std::string("WB-MESI")
+                             ? "MESI"
+                             : to_string(info.param.proto)) +
+             "_arch" + std::to_string(info.param.arch) + "_n" +
+             std::to_string(info.param.cpus);
+    });
+
+TEST(SyntheticTrace, SameSeedSameTrace) {
+  TracePlayer a = TracePlayer::synthetic(4, 100, 256, 0.3, 5);
+  TracePlayer b = TracePlayer::synthetic(4, 100, 256, 0.3, 5);
+  for (unsigned t = 0; t < 4; ++t) EXPECT_EQ(a.records(t), b.records(t));
+}
+
+}  // namespace
+}  // namespace ccnoc::apps

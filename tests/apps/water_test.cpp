@@ -1,0 +1,89 @@
+#include "apps/water.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace ccnoc::apps {
+namespace {
+
+Water::Config small() {
+  Water::Config c;
+  c.molecules = 12;
+  c.steps = 2;
+  c.force_compute = 4;
+  return c;
+}
+
+struct Param {
+  mem::Protocol proto;
+  unsigned arch;
+  unsigned cpus;
+};
+
+class WaterSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(WaterSweep, BitExactAgainstGoldenReplay) {
+  Water w(small());
+  auto r = core::run_paper_config(GetParam().arch, GetParam().proto, GetParam().cpus, w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, WaterSweep,
+    ::testing::Values(Param{mem::Protocol::kWti, 1, 2}, Param{mem::Protocol::kWti, 2, 4},
+                      Param{mem::Protocol::kWbMesi, 1, 2},
+                      Param{mem::Protocol::kWbMesi, 2, 4},
+                      Param{mem::Protocol::kWti, 2, 8},
+                      Param{mem::Protocol::kWbMesi, 1, 8}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(info.param.proto == mem::Protocol::kWti ? "WTI" : "MESI") +
+             "_arch" + std::to_string(info.param.arch) + "_n" +
+             std::to_string(info.param.cpus);
+    });
+
+TEST(WaterTest, PaperMoleculeCountRule) {
+  Water w{Water::Config{}};
+  core::SystemConfig cfg = core::SystemConfig::architecture2(4, mem::Protocol::kWbMesi);
+  core::System sys(cfg);
+  ASSERT_TRUE(sys.run(w).verified);
+  EXPECT_EQ(w.molecule_count(), 27u);  // ≤16 CPUs → 27 molecules
+
+  Water w2{Water::Config{}};
+  core::SystemConfig cfg2 = core::SystemConfig::architecture2(32, mem::Protocol::kWbMesi);
+  cfg2.kernel.sched.tick_period = 50000;
+  core::System sys2(cfg2);
+  ASSERT_TRUE(sys2.run(w2).verified);
+  EXPECT_EQ(w2.molecule_count(), 64u);  // >16 CPUs → 64 molecules
+}
+
+TEST(WaterTest, FixedPointForcesCommute) {
+  // The same problem partitioned differently (2 vs 8 threads) must land on
+  // bit-identical positions: fixed-point accumulation is order-free.
+  Water w2(small()), w8(small());
+  ASSERT_TRUE(core::run_paper_config(2, mem::Protocol::kWbMesi, 2, w2).verified);
+  ASSERT_TRUE(core::run_paper_config(2, mem::Protocol::kWbMesi, 8, w8).verified);
+  // Both verified against the same golden → identical results.
+}
+
+TEST(WaterTest, PairForceIsAntisymmetricByConstruction) {
+  double a[3] = {0.0, 0.0, 0.0};
+  double b[3] = {1.0, 2.0, 3.0};
+  std::int64_t fab[3], fba[3];
+  Water::pair_force(a, b, fab);
+  Water::pair_force(b, a, fba);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(fab[i], -fba[i]);
+}
+
+TEST(WaterTest, LockStripingHandlesManyMolecules) {
+  Water::Config c = small();
+  c.molecules = 40;
+  c.num_locks = 4;  // heavy striping contention
+  Water w(c);
+  auto r = core::run_paper_config(1, mem::Protocol::kWti, 4, w);
+  EXPECT_TRUE(r.verified);
+}
+
+}  // namespace
+}  // namespace ccnoc::apps

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_node.hpp"
+#include "mem/bank.hpp"
+#include "noc/gmn.hpp"
+#include "sim/simulator.hpp"
+
+/// Two cache nodes + one bank on a real GMN: the minimal platform for
+/// driving the cache-side protocol FSMs of paper Figure 1 directly.
+/// `CachePairRig` is freestanding (usable from table-driven and fuzz
+/// tests); `CachePairFixture` wraps it as a gtest fixture.
+
+namespace ccnoc::cache::test {
+
+class CachePairRig {
+ public:
+  explicit CachePairRig(mem::Protocol proto, unsigned ncaches = 2)
+      : map(ncaches, 1),
+        net(sim, map.num_nodes(), noc::GmnConfig{.min_latency = 4, .fifo_depth = 16}),
+        bank(sim, net, map, 0, proto) {
+    for (unsigned c = 0; c < ncaches; ++c) {
+      nodes.push_back(std::make_unique<CacheNode>(sim, net, map, c, proto,
+                                                  CacheConfig{}, CacheConfig{}));
+    }
+  }
+
+  /// Issue an access on cache \p c and run the platform until it completes.
+  /// Returns the load (or swap) value.
+  std::uint64_t do_access(unsigned c, const MemAccess& a) {
+    std::uint64_t hit_value = 0;
+    bool done = false;
+    std::uint64_t result = 0;
+    auto res = nodes[c]->dcache().access(a, &hit_value, [&](std::uint64_t v) {
+      done = true;
+      result = v;
+    });
+    if (res == AccessResult::kHit) return hit_value;
+    sim.run_to_completion();
+    EXPECT_TRUE(done) << "access never completed";
+    return result;
+  }
+
+  std::uint64_t load(unsigned c, sim::Addr a, std::uint8_t size = 4) {
+    MemAccess m;
+    m.addr = a;
+    m.size = size;
+    return do_access(c, m);
+  }
+
+  void store(unsigned c, sim::Addr a, std::uint64_t v, std::uint8_t size = 4) {
+    MemAccess m;
+    m.is_store = true;
+    m.addr = a;
+    m.size = size;
+    m.value = v;
+    do_access(c, m);
+    sim.run_to_completion();  // let non-blocking write-throughs settle
+  }
+
+  std::uint64_t swap(unsigned c, sim::Addr a, std::uint64_t v) {
+    MemAccess m;
+    m.is_store = true;
+    m.atomic = AtomicKind::kSwap;
+    m.addr = a;
+    m.size = 4;
+    m.value = v;
+    std::uint64_t old = do_access(c, m);
+    sim.run_to_completion();
+    return old;
+  }
+
+  std::uint64_t fetch_add(unsigned c, sim::Addr a, std::uint64_t v) {
+    MemAccess m;
+    m.is_store = true;
+    m.atomic = AtomicKind::kAdd;
+    m.addr = a;
+    m.size = 4;
+    m.value = v;
+    std::uint64_t old = do_access(c, m);
+    sim.run_to_completion();
+    return old;
+  }
+
+  LineState state(unsigned c, sim::Addr a) {
+    if (auto* mc = dynamic_cast<MesiController*>(&nodes[c]->dcache())) {
+      return mc->line_state(a);
+    }
+    CacheLine* l = nodes[c]->dcache().tags().find(
+        nodes[c]->dcache().tags().block_of(a));
+    return l ? l->state : LineState::kInvalid;
+  }
+
+  std::uint64_t stat(unsigned c, const std::string& suffix) {
+    return sim.stats().counter_value("cpu" + std::to_string(c) + ".dcache." + suffix);
+  }
+
+  sim::Simulator sim;
+  mem::AddressMap map;
+  noc::GmnNetwork net;
+  mem::Bank bank;
+  std::vector<std::unique_ptr<CacheNode>> nodes;
+};
+
+class CachePairFixture : public ::testing::Test, public CachePairRig {
+ protected:
+  explicit CachePairFixture(mem::Protocol proto) : CachePairRig(proto) {}
+};
+
+}  // namespace ccnoc::cache::test

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache_fixture.hpp"
+#include "cache/mesi_controller.hpp"
+
+/// Figure 1 (right): the write-back MESI cache FSM, including the Figure 2
+/// write-allocate path and eviction write-backs.
+
+namespace ccnoc::cache {
+namespace {
+
+class MesiFsm : public test::CachePairFixture {
+ protected:
+  MesiFsm() : CachePairFixture(mem::Protocol::kWbMesi) {}
+};
+
+TEST_F(MesiFsm, SoloReadInstallsExclusive) {
+  bank.storage().write_uint(0x100, 0x42, 4);
+  EXPECT_EQ(load(0, 0x100), 0x42u);
+  EXPECT_EQ(state(0, 0x100), LineState::kExclusive);
+}
+
+TEST_F(MesiFsm, SecondReaderDowngradesOwnerToShared) {
+  load(0, 0x100);
+  EXPECT_EQ(load(1, 0x100), 0u);
+  EXPECT_EQ(state(0, 0x100), LineState::kShared);
+  EXPECT_EQ(state(1, 0x100), LineState::kShared);
+}
+
+TEST_F(MesiFsm, StoreHitInExclusiveSilentlyBecomesModified) {
+  load(0, 0x100);
+  ASSERT_EQ(state(0, 0x100), LineState::kExclusive);
+  std::uint64_t before = net.total_packets();
+  store(0, 0x100, 7);
+  EXPECT_EQ(state(0, 0x100), LineState::kModified);
+  EXPECT_EQ(net.total_packets(), before);  // zero hops (Table 1)
+  EXPECT_EQ(stat(0, "silent_e_to_m"), 1u);
+}
+
+TEST_F(MesiFsm, StoreHitInModifiedIsFree) {
+  load(0, 0x100);
+  store(0, 0x100, 1);
+  std::uint64_t before = net.total_packets();
+  store(0, 0x100, 2);
+  EXPECT_EQ(net.total_packets(), before);
+  EXPECT_EQ(load(0, 0x100), 2u);
+}
+
+TEST_F(MesiFsm, StoreHitInSharedUpgrades) {
+  load(0, 0x100);
+  load(1, 0x100);  // both Shared
+  store(0, 0x100, 9);
+  EXPECT_EQ(state(0, 0x100), LineState::kModified);
+  EXPECT_EQ(state(1, 0x100), LineState::kInvalid);  // invalidated
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.write_hit_s", 16);
+  ASSERT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);  // invalidation round: 4 hops
+}
+
+TEST_F(MesiFsm, UpgradeWithoutForeignSharersIsTwoHops) {
+  load(0, 0x100);
+  load(1, 0x100);   // 0 and 1 share
+  store(1, 0x100, 3);  // invalidates 0
+  load(0, 0x100);   // 1 downgraded M→S via fetch, both share again
+  store(1, 0x100, 4);  // hit in S; only 0 shares → invalidation round
+  auto& h = sim.stats().histogram("cpu1.dcache.hops.write_hit_s", 16);
+  EXPECT_GE(h.total(), 1u);
+}
+
+TEST_F(MesiFsm, StoreMissWriteAllocatesModified) {
+  store(0, 0x100, 5);
+  EXPECT_EQ(state(0, 0x100), LineState::kModified);
+  // Write-back protocol: memory not updated yet.
+  EXPECT_EQ(bank.storage().read_uint(0x100, 4), 0u);
+  EXPECT_EQ(load(0, 0x100), 5u);
+}
+
+TEST_F(MesiFsm, DirtyDataReachesSecondReaderThroughMemory) {
+  store(0, 0x100, 0xbeef);  // 0 holds M
+  EXPECT_EQ(load(1, 0x100), 0xbeefu);
+  EXPECT_EQ(state(0, 0x100), LineState::kShared);  // downgraded by the fetch
+  EXPECT_EQ(bank.storage().read_uint(0x100, 4), 0xbeefu);  // memory now clean
+  auto& h = sim.stats().histogram("cpu1.dcache.hops.read_miss", 16);
+  ASSERT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);  // 4-hop dirty read (Table 1)
+}
+
+TEST_F(MesiFsm, StoreMissOnForeignModifiedFetchInvalidates) {
+  store(0, 0x100, 1);  // 0 holds M
+  store(1, 0x100, 2);  // write-allocate: fetch-inv from 0
+  EXPECT_EQ(state(0, 0x100), LineState::kInvalid);
+  EXPECT_EQ(state(1, 0x100), LineState::kModified);
+  EXPECT_EQ(load(1, 0x100), 2u);
+  auto& h = sim.stats().histogram("cpu1.dcache.hops.write_miss", 16);
+  ASSERT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST_F(MesiFsm, EvictionOfModifiedWritesBack) {
+  store(0, 0x100, 0x77);   // M
+  load(0, 0x1100);         // conflicting block evicts it
+  sim.run_to_completion();
+  EXPECT_EQ(bank.storage().read_uint(0x100, 4), 0x77u);
+  EXPECT_EQ(stat(0, "writebacks"), 1u);
+  EXPECT_TRUE(nodes[0]->dcache().idle());  // write-back buffer drained
+}
+
+TEST_F(MesiFsm, EvictionOfCleanIsSilent) {
+  load(0, 0x100);          // E
+  std::uint64_t wb_before = stat(0, "writebacks");
+  load(0, 0x1100);         // evicts silently
+  sim.run_to_completion();
+  EXPECT_EQ(stat(0, "writebacks"), wb_before);
+}
+
+TEST_F(MesiFsm, ReReadAfterSilentExclusiveEvictionWorks) {
+  load(0, 0x100);   // E at cache 0; directory records owner
+  load(0, 0x1100);  // silent eviction
+  EXPECT_EQ(load(0, 0x100), 0u);  // directory self-heals (stale owner == requester)
+  EXPECT_EQ(state(0, 0x100), LineState::kExclusive);
+}
+
+TEST_F(MesiFsm, FetchAfterSilentEvictionUsesMemoryCopy) {
+  bank.storage().write_uint(0x100, 0xaa, 4);
+  load(0, 0x100);   // E at 0
+  load(0, 0x1100);  // silent eviction; directory still thinks 0 owns it
+  EXPECT_EQ(load(1, 0x100), 0xaau);  // fetch misses at 0, memory supplies
+  EXPECT_EQ(stat(0, "fetch_misses"), 1u);
+}
+
+TEST_F(MesiFsm, LoadValueComesFromForeignDirtyCopyNotStaleMemory) {
+  bank.storage().write_uint(0x100, 0x1, 4);
+  store(0, 0x100, 0x2);
+  EXPECT_EQ(load(1, 0x100), 0x2u);
+}
+
+TEST_F(MesiFsm, AtomicSwapOnSharedBlockIsGloballyAtomic) {
+  load(0, 0x100);
+  load(1, 0x100);
+  EXPECT_EQ(swap(0, 0x100, 1), 0u);
+  EXPECT_EQ(state(1, 0x100), LineState::kInvalid);
+  EXPECT_EQ(swap(1, 0x100, 2), 1u);
+  EXPECT_EQ(swap(0, 0x100, 3), 2u);
+}
+
+TEST_F(MesiFsm, WriteBackBufferServesCrossingFetch) {
+  store(0, 0x100, 0x55);  // M at 0
+  // Evict (write-back in flight) and immediately have cache 1 read the
+  // block: the read may cross the write-back.
+  std::uint64_t hv = 0;
+  MemAccess evict_trigger;
+  evict_trigger.addr = 0x1100;
+  evict_trigger.size = 4;
+  nodes[0]->dcache().access(evict_trigger, &hv, [](std::uint64_t) {});
+  MemAccess rd;
+  rd.addr = 0x100;
+  rd.size = 4;
+  std::uint64_t got = ~0ull;
+  nodes[1]->dcache().access(rd, &hv, [&](std::uint64_t v) { got = v; });
+  sim.run_to_completion();
+  EXPECT_EQ(got, 0x55u);
+  EXPECT_TRUE(nodes[0]->dcache().idle());
+  EXPECT_TRUE(nodes[1]->dcache().idle());
+  EXPECT_TRUE(bank.idle());
+}
+
+TEST_F(MesiFsm, BitAccurateAcrossSizes) {
+  store(0, 0x100, 0x1122334455667788ull, 8);
+  EXPECT_EQ(load(1, 0x100, 8), 0x1122334455667788ull);
+  EXPECT_EQ(load(1, 0x104, 4), 0x11223344u);
+  store(1, 0x102, 0xee, 1);
+  EXPECT_EQ(load(0, 0x100, 8), 0x1122334455ee7788ull);
+}
+
+TEST_F(MesiFsm, ReadMissCleanIsTwoHops) {
+  load(0, 0x100);
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.read_miss", 16);
+  ASSERT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+}
+
+}  // namespace
+}  // namespace ccnoc::cache

@@ -1,0 +1,106 @@
+#include "cache/tag_array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnoc::cache {
+namespace {
+
+CacheConfig cfg(unsigned size = 4096, unsigned block = 32, unsigned ways = 1) {
+  CacheConfig c;
+  c.size_bytes = size;
+  c.block_bytes = block;
+  c.ways = ways;
+  return c;
+}
+
+TEST(CacheConfig, PaperGeometry) {
+  CacheConfig c;  // defaults = Table 2
+  EXPECT_EQ(c.size_bytes, 4096u);
+  EXPECT_EQ(c.block_bytes, 32u);
+  EXPECT_EQ(c.ways, 1u);
+  EXPECT_EQ(c.num_lines(), 128u);
+  EXPECT_EQ(c.num_sets(), 128u);
+  EXPECT_EQ(c.write_buffer_entries, 8u);
+}
+
+TEST(TagArray, MissThenInstallThenHit) {
+  TagArray t(cfg());
+  EXPECT_EQ(t.find(0x100), nullptr);
+  CacheLine& v = t.victim(0x100);
+  v.block = 0x100;
+  v.state = LineState::kShared;
+  EXPECT_EQ(t.find(0x100), &v);
+  EXPECT_EQ(t.valid_lines(), 1u);
+}
+
+TEST(TagArray, DirectMappedConflict) {
+  TagArray t(cfg());
+  // 4096-byte direct-mapped, 32-byte blocks: addresses 4096 apart collide.
+  CacheLine& a = t.victim(0x0);
+  a.block = 0x0;
+  a.state = LineState::kShared;
+  CacheLine& b = t.victim(0x1000);
+  EXPECT_EQ(&a, &b);  // same set, same (only) way
+}
+
+TEST(TagArray, AssociativityAvoidsConflict) {
+  TagArray t(cfg(4096, 32, 2));
+  CacheLine& a = t.victim(0x0);
+  a.block = 0x0;
+  a.state = LineState::kShared;
+  CacheLine& b = t.victim(0x1000);
+  EXPECT_NE(&a, &b);  // second way available
+}
+
+TEST(TagArray, LruVictimSelection) {
+  TagArray t(cfg(4096, 32, 2));
+  CacheLine& a = t.victim(0x0);
+  a.block = 0x0;
+  a.state = LineState::kShared;
+  t.touch(a);
+  CacheLine& b = t.victim(0x1000);
+  b.block = 0x1000;
+  b.state = LineState::kShared;
+  t.touch(b);
+  t.touch(a);  // a is now most recent
+  CacheLine& v = t.victim(0x2000);
+  EXPECT_EQ(&v, &b);
+}
+
+TEST(TagArray, InvalidWayPreferredOverLru) {
+  TagArray t(cfg(4096, 32, 2));
+  CacheLine& a = t.victim(0x0);
+  a.block = 0x0;
+  a.state = LineState::kShared;
+  t.touch(a);
+  CacheLine& v = t.victim(0x1000);
+  EXPECT_EQ(v.state, LineState::kInvalid);
+  EXPECT_NE(&v, &a);
+}
+
+TEST(TagArray, BlockAlignment) {
+  TagArray t(cfg());
+  EXPECT_EQ(t.block_of(0x107), 0x100u);
+  EXPECT_EQ(t.block_of(0x11f), 0x100u);
+  EXPECT_EQ(t.block_of(0x120), 0x120u);
+}
+
+TEST(TagArray, InvalidateAllClears) {
+  TagArray t(cfg());
+  for (sim::Addr a = 0; a < 0x200; a += 32) {
+    CacheLine& l = t.victim(a);
+    l.block = a;
+    l.state = LineState::kModified;
+  }
+  EXPECT_GT(t.valid_lines(), 0u);
+  t.invalidate_all();
+  EXPECT_EQ(t.valid_lines(), 0u);
+}
+
+TEST(TagArray, RejectsBadGeometry) {
+  EXPECT_THROW(TagArray t(cfg(4096, 33, 1)), std::logic_error);   // non-pow2 block
+  EXPECT_THROW(TagArray t(cfg(4096, 128, 1)), std::logic_error);  // block > payload
+}
+
+}  // namespace
+}  // namespace ccnoc::cache

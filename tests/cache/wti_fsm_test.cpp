@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache_fixture.hpp"
+#include "cache/wti_controller.hpp"
+
+/// Figure 1 (left): the write-through-invalidate cache FSM, plus the
+/// 8-word write buffer semantics of §4.2.
+
+namespace ccnoc::cache {
+namespace {
+
+class WtiFsm : public test::CachePairFixture {
+ protected:
+  WtiFsm() : CachePairFixture(mem::Protocol::kWti) {}
+
+  WtiController& wti(unsigned c) {
+    return static_cast<WtiController&>(nodes[c]->dcache());
+  }
+};
+
+TEST_F(WtiFsm, LoadMissInstallsValid) {
+  bank.storage().write_uint(0x100, 0x42, 4);
+  EXPECT_EQ(state(0, 0x100), LineState::kInvalid);
+  EXPECT_EQ(load(0, 0x100), 0x42u);
+  EXPECT_EQ(state(0, 0x100), LineState::kShared);  // "Valid"
+  EXPECT_EQ(stat(0, "load_misses"), 1u);
+}
+
+TEST_F(WtiFsm, LoadHitCostsNothing) {
+  load(0, 0x100);
+  EXPECT_EQ(load(0, 0x104), 0u);
+  EXPECT_EQ(stat(0, "load_hits"), 1u);
+  EXPECT_EQ(stat(0, "load_misses"), 1u);
+}
+
+TEST_F(WtiFsm, StoreWritesThroughToMemory) {
+  store(0, 0x100, 0xdead);
+  EXPECT_EQ(bank.storage().read_uint(0x100, 4), 0xdeadu);
+  EXPECT_EQ(stat(0, "store_misses"), 1u);  // no-allocate
+  EXPECT_EQ(state(0, 0x100), LineState::kInvalid);
+}
+
+TEST_F(WtiFsm, StoreHitUpdatesLocalCopyAndStaysValid) {
+  load(0, 0x100);
+  store(0, 0x100, 77);
+  EXPECT_EQ(state(0, 0x100), LineState::kShared);
+  EXPECT_EQ(load(0, 0x100), 77u);  // local copy updated
+  EXPECT_EQ(bank.storage().read_uint(0x100, 4), 77u);
+  EXPECT_EQ(stat(0, "store_hits"), 1u);
+}
+
+TEST_F(WtiFsm, ForeignStoreInvalidatesMyCopy) {
+  load(0, 0x100);
+  ASSERT_EQ(state(0, 0x100), LineState::kShared);
+  store(1, 0x100, 5);
+  EXPECT_EQ(state(0, 0x100), LineState::kInvalid);
+  EXPECT_EQ(stat(0, "invalidations"), 1u);
+  EXPECT_EQ(load(0, 0x100), 5u);  // refetch sees the new value
+}
+
+TEST_F(WtiFsm, WriterIsNotInvalidatedByItsOwnStore) {
+  load(0, 0x100);
+  load(1, 0x100);
+  store(0, 0x100, 9);
+  EXPECT_EQ(state(0, 0x100), LineState::kShared);   // writer keeps copy
+  EXPECT_EQ(state(1, 0x100), LineState::kInvalid);  // foreign copy gone
+}
+
+TEST_F(WtiFsm, StoresAreNonBlockingUntilBufferFull) {
+  // Fill the 8-entry buffer with stores to distinct blocks; all return kHit
+  // synchronously (non-blocking).
+  for (unsigned i = 0; i < 8; ++i) {
+    MemAccess m;
+    m.is_store = true;
+    m.addr = 0x100 + 0x20 * i;
+    m.size = 4;
+    m.value = i;
+    std::uint64_t hv = 0;
+    auto res = nodes[0]->dcache().access(m, &hv, [](std::uint64_t) {});
+    EXPECT_EQ(res, AccessResult::kHit) << "store " << i << " blocked early";
+  }
+  EXPECT_EQ(wti(0).write_buffer_occupancy(), 8u);
+
+  // The ninth store must block until a slot frees.
+  MemAccess m;
+  m.is_store = true;
+  m.addr = 0x400;
+  m.size = 4;
+  m.value = 99;
+  std::uint64_t hv = 0;
+  bool done = false;
+  auto res = nodes[0]->dcache().access(m, &hv, [&](std::uint64_t) { done = true; });
+  EXPECT_EQ(res, AccessResult::kPending);
+  EXPECT_EQ(stat(0, "wbuf_full_stalls"), 1u);
+  sim.run_to_completion();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(bank.storage().read_uint(0x400, 4), 99u);
+}
+
+TEST_F(WtiFsm, BufferDrainsInProgramOrder) {
+  // Two stores to the same word: the later value must win at memory.
+  store(0, 0x100, 1);
+  store(0, 0x100, 2);
+  EXPECT_EQ(bank.storage().read_uint(0x100, 4), 2u);
+}
+
+TEST_F(WtiFsm, LoadMissDrainsWriteBufferFirst) {
+  // Sequential consistency: a load miss waits for buffered writes.
+  MemAccess st;
+  st.is_store = true;
+  st.addr = 0x100;
+  st.size = 4;
+  st.value = 123;
+  std::uint64_t hv = 0;
+  nodes[0]->dcache().access(st, &hv, [](std::uint64_t) {});
+
+  // Different block, so the value cannot come from a local copy.
+  MemAccess ld;
+  ld.addr = 0x200;
+  ld.size = 4;
+  bool done = false;
+  auto res = nodes[0]->dcache().access(ld, &hv, [&](std::uint64_t) { done = true; });
+  EXPECT_EQ(res, AccessResult::kPending);
+  EXPECT_EQ(stat(0, "load_drain_waits"), 1u);
+  sim.run_to_completion();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(bank.storage().read_uint(0x100, 4), 123u);  // write landed first
+}
+
+TEST_F(WtiFsm, AtomicSwapReturnsOldValue) {
+  store(0, 0x100, 5);
+  EXPECT_EQ(swap(1, 0x100, 1), 5u);
+  EXPECT_EQ(bank.storage().read_uint(0x100, 4), 1u);
+  // The swapper holds no copy afterwards (bank-side RMW, no allocate).
+  EXPECT_EQ(state(1, 0x100), LineState::kInvalid);
+}
+
+TEST_F(WtiFsm, AtomicSwapInvalidatesOwnStaleCopy) {
+  load(0, 0x100);
+  swap(0, 0x100, 1);
+  EXPECT_EQ(state(0, 0x100), LineState::kInvalid);
+}
+
+TEST_F(WtiFsm, ExplicitDrainCompletesWhenBufferEmpties) {
+  MemAccess st;
+  st.is_store = true;
+  st.addr = 0x100;
+  st.size = 4;
+  st.value = 7;
+  std::uint64_t hv = 0;
+  nodes[0]->dcache().access(st, &hv, [](std::uint64_t) {});
+
+  bool drained = false;
+  auto res = nodes[0]->dcache().drain([&](std::uint64_t) { drained = true; });
+  EXPECT_EQ(res, AccessResult::kPending);
+  sim.run_to_completion();
+  EXPECT_TRUE(drained);
+  EXPECT_TRUE(nodes[0]->dcache().idle());
+}
+
+TEST_F(WtiFsm, DrainOnEmptyBufferIsImmediate) {
+  auto res = nodes[0]->dcache().drain([](std::uint64_t) {});
+  EXPECT_EQ(res, AccessResult::kHit);
+}
+
+TEST_F(WtiFsm, EvictionIsSilentAndClean) {
+  // 4 KB direct-mapped: 0x100 and 0x1100 conflict.
+  store(0, 0x100, 11);
+  load(0, 0x100);
+  load(0, 0x1100);  // evicts 0x100 silently
+  EXPECT_EQ(state(0, 0x100), LineState::kInvalid);
+  EXPECT_EQ(state(0, 0x1100), LineState::kShared);
+  EXPECT_EQ(bank.storage().read_uint(0x100, 4), 11u);  // memory already had it
+}
+
+TEST_F(WtiFsm, HopCountsMatchTable1) {
+  // Read miss: 2 hops.
+  load(0, 0x100);
+  auto& rh = sim.stats().histogram("cpu0.dcache.hops.read_miss", 16);
+  ASSERT_EQ(rh.total(), 1u);
+  EXPECT_DOUBLE_EQ(rh.mean(), 2.0);
+
+  // Write with no foreign sharers: 2 hops.
+  store(0, 0x100, 1);
+  auto& wh = sim.stats().histogram("cpu0.dcache.hops.write_through", 16);
+  ASSERT_EQ(wh.total(), 1u);
+  EXPECT_DOUBLE_EQ(wh.mean(), 2.0);
+
+  // Write with a foreign sharer: 4 hops.
+  load(1, 0x100);
+  store(0, 0x100, 2);
+  EXPECT_EQ(wh.total(), 2u);
+  EXPECT_EQ(wh.bucket(4), 1u);
+}
+
+}  // namespace
+}  // namespace ccnoc::cache

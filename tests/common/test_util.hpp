@@ -1,0 +1,44 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "noc/network.hpp"
+#include "sim/simulator.hpp"
+
+/// Shared helpers for the unit tests.
+
+namespace ccnoc::test {
+
+/// NoC endpoint that records every delivered packet with its arrival cycle.
+class CapturingEndpoint final : public noc::Endpoint {
+ public:
+  explicit CapturingEndpoint(sim::Simulator& s) : sim_(s) {}
+
+  void deliver(const noc::Packet& pkt) override {
+    received.emplace_back(sim_.now(), pkt);
+  }
+
+  [[nodiscard]] std::size_t count() const { return received.size(); }
+  [[nodiscard]] sim::Cycle arrival(std::size_t i) const { return received.at(i).first; }
+  [[nodiscard]] const noc::Packet& packet(std::size_t i) const {
+    return received.at(i).second;
+  }
+
+  std::vector<std::pair<sim::Cycle, noc::Packet>> received;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+/// A small request message of the given type.
+inline noc::Message make_msg(noc::MsgType t, sim::Addr addr,
+                             std::uint8_t data_len = 0) {
+  noc::Message m;
+  m.type = t;
+  m.addr = addr;
+  m.data_len = data_len;
+  return m;
+}
+
+}  // namespace ccnoc::test

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+/// Table 2: the simulated platform characteristics.
+
+namespace ccnoc::core {
+namespace {
+
+TEST(Table2, Architecture1Preset) {
+  for (unsigned n : {4u, 16u, 32u, 64u}) {
+    SystemConfig c = SystemConfig::architecture1(n, mem::Protocol::kWti);
+    EXPECT_EQ(c.num_cpus, n);
+    EXPECT_EQ(c.num_banks, 2u);  // m = 2
+    EXPECT_EQ(c.arch, os::ArchKind::kCentralized);
+    EXPECT_EQ(c.kernel.policy, os::SchedPolicy::kSmp);
+  }
+}
+
+TEST(Table2, Architecture2Preset) {
+  for (unsigned n : {4u, 16u, 32u, 64u}) {
+    SystemConfig c = SystemConfig::architecture2(n, mem::Protocol::kWbMesi);
+    EXPECT_EQ(c.num_banks, n + 3);  // m = n + 3
+    EXPECT_EQ(c.arch, os::ArchKind::kDistributed);
+    EXPECT_EQ(c.kernel.policy, os::SchedPolicy::kDs);
+  }
+}
+
+TEST(Table2, CacheGeometryDefaults) {
+  SystemConfig c = SystemConfig::architecture1(4, mem::Protocol::kWti);
+  EXPECT_EQ(c.dcache.size_bytes, 4096u);       // 4 KB data cache
+  EXPECT_EQ(c.icache.size_bytes, 4096u);       // 4 KB instruction cache
+  EXPECT_EQ(c.dcache.block_bytes, 32u);        // 32-byte blocks
+  EXPECT_EQ(c.dcache.ways, 1u);                // direct-mapped
+  EXPECT_EQ(c.dcache.write_buffer_entries, 8u);  // 8-word write buffer
+}
+
+TEST(Table2, NocLatencyGrowsWithPlatformSize) {
+  SystemConfig c4 = SystemConfig::architecture2(4, mem::Protocol::kWti);
+  SystemConfig c64 = SystemConfig::architecture2(64, mem::Protocol::kWti);
+  auto l4 = noc::GmnConfig::for_nodes(c4.num_cpus + c4.num_banks);
+  auto l64 = noc::GmnConfig::for_nodes(c64.num_cpus + c64.num_banks);
+  EXPECT_LT(l4.min_latency, l64.min_latency);  // mesh latency ∝ √n
+}
+
+TEST(Table2, DescribeMentionsEveryKnob) {
+  SystemConfig c = SystemConfig::architecture1(16, mem::Protocol::kWbMesi);
+  std::string d = c.describe();
+  EXPECT_NE(d.find("WB-MESI"), std::string::npos);
+  EXPECT_NE(d.find("n=16"), std::string::npos);
+  EXPECT_NE(d.find("m=2"), std::string::npos);
+  EXPECT_NE(d.find("SMP"), std::string::npos);
+}
+
+TEST(RunResultTest, DerivedMetrics) {
+  RunResult r;
+  r.exec_cycles = 2'000'000;
+  r.d_stall_cycles = 4'000'000;  // over 4 CPUs
+  EXPECT_DOUBLE_EQ(r.exec_megacycles(), 2.0);
+  EXPECT_DOUBLE_EQ(r.d_stall_pct(4), 50.0);
+  RunResult zero;
+  EXPECT_DOUBLE_EQ(zero.d_stall_pct(4), 0.0);
+}
+
+}  // namespace
+}  // namespace ccnoc::core

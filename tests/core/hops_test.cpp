@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache_fixture.hpp"
+
+/// Table 1: cost in hops of each request class, measured on the live
+/// platform with directed two-cache scenarios. (The `bench_table1_hops`
+/// binary prints the same numbers as the paper's table.)
+
+namespace ccnoc::core {
+namespace {
+
+using cache::MemAccess;
+
+class WtiHops : public cache::test::CachePairFixture {
+ protected:
+  WtiHops() : CachePairFixture(mem::Protocol::kWti) {}
+};
+
+class MesiHops : public cache::test::CachePairFixture {
+ protected:
+  MesiHops() : CachePairFixture(mem::Protocol::kWbMesi) {}
+};
+
+TEST_F(WtiHops, ReadHitZeroReadMissTwo) {
+  load(0, 0x100);
+  std::uint64_t pkts = net.total_packets();
+  load(0, 0x104);  // hit: no packets
+  EXPECT_EQ(net.total_packets(), pkts);
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.read_miss", 16);
+  EXPECT_EQ(h.bucket(2), 1u);
+}
+
+TEST_F(WtiHops, WriteMissTwoOrFourHops) {
+  store(0, 0x100, 1);  // no sharers → 2
+  load(1, 0x100);
+  store(0, 0x100, 2);  // one foreign sharer → 4
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.write_through", 16);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST_F(WtiHops, WriteHitSameCostAsMissNonBlocking) {
+  load(0, 0x100);      // writer holds a copy
+  load(1, 0x100);      // plus a foreign sharer
+  // The store returns synchronously (non-blocking): Table 1's "n.b.".
+  MemAccess m;
+  m.is_store = true;
+  m.addr = 0x100;
+  m.size = 4;
+  m.value = 3;
+  std::uint64_t hv = 0;
+  auto res = nodes[0]->dcache().access(m, &hv, [](std::uint64_t) {});
+  EXPECT_EQ(res, cache::AccessResult::kHit);
+  sim.run_to_completion();
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.write_through", 16);
+  EXPECT_EQ(h.bucket(4), 1u);  // invalidation of cache 1: 4-hop path
+}
+
+TEST_F(MesiHops, ReadMissTwoHopsClean) {
+  load(0, 0x100);
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.read_miss", 16);
+  EXPECT_EQ(h.bucket(2), 1u);
+}
+
+TEST_F(MesiHops, ReadMissFourHopsWhenDirty) {
+  store(1, 0x100, 7);  // foreign Modified copy
+  load(0, 0x100);
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.read_miss", 16);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST_F(MesiHops, WriteMissTwoHopsNoSharers) {
+  store(0, 0x100, 1);
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.write_miss", 16);
+  EXPECT_EQ(h.bucket(2), 1u);
+}
+
+TEST_F(MesiHops, WriteMissFourHopsWithSharersOrOwner) {
+  load(1, 0x100);      // foreign copy (E)
+  store(0, 0x100, 1);  // fetch-inv round
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.write_miss", 16);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST_F(MesiHops, WriteHitSharedTwoOrFourHopsBlocking) {
+  load(0, 0x100);
+  load(1, 0x100);      // both Shared
+  store(0, 0x100, 1);  // upgrade with one foreign sharer → 4 hops
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.write_hit_s", 16);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST_F(MesiHops, WriteHitExclusiveOrModifiedZeroHops) {
+  load(0, 0x100);  // E
+  std::uint64_t pkts = net.total_packets();
+  store(0, 0x100, 1);  // E→M silent
+  store(0, 0x100, 2);  // M hit
+  EXPECT_EQ(net.total_packets(), pkts);
+}
+
+TEST_F(MesiHops, EvictionWritebackAddsTwoNonBlockingHops) {
+  store(0, 0x100, 1);   // M
+  std::uint64_t pkts = net.total_packets();
+  load(0, 0x1100);      // conflict miss evicts it
+  sim.run_to_completion();
+  // read request + response (2) plus write-back + ack (2 non-blocking).
+  EXPECT_EQ(net.total_packets(), pkts + 4);
+}
+
+}  // namespace
+}  // namespace ccnoc::core

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "apps/micro.hpp"
+#include "apps/ocean.hpp"
+#include "apps/water.hpp"
+#include "core/system.hpp"
+
+/// Whole-platform property sweep: every workload with a functional oracle
+/// must verify on every (protocol × architecture × network) combination,
+/// and the headline metrics must be sane. This is the closest thing the
+/// repository has to the paper's full-application CABA runs, in miniature.
+
+namespace ccnoc::core {
+namespace {
+
+struct Platform {
+  mem::Protocol proto;
+  unsigned arch;
+  NetworkKind net;
+};
+
+std::string platform_name(const ::testing::TestParamInfo<Platform>& info) {
+  return std::string(info.param.proto == mem::Protocol::kWti ? "WTI" : "MESI") +
+         "_arch" + std::to_string(info.param.arch) +
+         (info.param.net == NetworkKind::kGmn ? "_gmn" : "_mesh");
+}
+
+class PlatformSweep : public ::testing::TestWithParam<Platform> {
+ protected:
+  SystemConfig make_config(unsigned n) const {
+    SystemConfig cfg = GetParam().arch == 1
+                           ? SystemConfig::architecture1(n, GetParam().proto)
+                           : SystemConfig::architecture2(n, GetParam().proto);
+    cfg.network = GetParam().net;
+    return cfg;
+  }
+};
+
+TEST_P(PlatformSweep, OceanVerifiesBitExact) {
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = 2;
+  oc.iterations = 2;
+  apps::Ocean w(oc);
+  System sys(make_config(4));
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(PlatformSweep, WaterVerifiesBitExact) {
+  apps::Water::Config wc;
+  wc.molecules = 10;
+  wc.steps = 2;
+  apps::Water w(wc);
+  System sys(make_config(4));
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(PlatformSweep, SequentialConsistencyHandoff) {
+  apps::ProducerConsumer w(20, 4);
+  System sys(make_config(4));
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(PlatformSweep, StallPercentagesAreWithinBounds) {
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = 2;
+  oc.iterations = 2;
+  apps::Ocean w(oc);
+  System sys(make_config(4));
+  auto r = sys.run(w);
+  ASSERT_TRUE(r.verified);
+  EXPECT_GT(r.d_stall_pct(4), 0.0);
+  EXPECT_LT(r.d_stall_pct(4), 100.0);
+  EXPECT_GE(r.i_stall_pct(4), 0.0);
+  EXPECT_LT(r.i_stall_pct(4), 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, PlatformSweep,
+    ::testing::Values(Platform{mem::Protocol::kWti, 1, NetworkKind::kGmn},
+                      Platform{mem::Protocol::kWti, 2, NetworkKind::kGmn},
+                      Platform{mem::Protocol::kWbMesi, 1, NetworkKind::kGmn},
+                      Platform{mem::Protocol::kWbMesi, 2, NetworkKind::kGmn},
+                      Platform{mem::Protocol::kWti, 2, NetworkKind::kMesh},
+                      Platform{mem::Protocol::kWbMesi, 2, NetworkKind::kMesh}),
+    platform_name);
+
+TEST(Integration, ScalingToSixteenCpus) {
+  for (mem::Protocol p : {mem::Protocol::kWti, mem::Protocol::kWbMesi}) {
+    apps::Ocean::Config oc;
+    oc.rows_per_thread = 1;
+    oc.iterations = 1;
+    apps::Ocean w(oc);
+    auto r = run_paper_config(2, p, 16, w);
+    EXPECT_TRUE(r.verified) << to_string(p);
+  }
+}
+
+TEST(Integration, WtiMemoryIsAlwaysCleanAfterQuiesce) {
+  // Write-through: after the platform settles, no cache holds a Modified
+  // line (main memory always has clean copies — the protocol's invariant).
+  System sys(SystemConfig::architecture1(4, mem::Protocol::kWti));
+  apps::UniformRandom::Config uc;
+  uc.ops_per_thread = 300;
+  uc.store_fraction = 0.5;
+  apps::UniformRandom w(uc);
+  auto r = sys.run(w);
+  ASSERT_TRUE(r.completed);
+  for (unsigned c = 0; c < 4; ++c) {
+    sys.cache_node(c).dcache().tags().for_each_line([](const cache::CacheLine& l) {
+      EXPECT_NE(l.state, cache::LineState::kModified);
+      EXPECT_NE(l.state, cache::LineState::kExclusive);
+    });
+  }
+}
+
+TEST(Integration, ProtocolsAgreeOnResults) {
+  // The same Ocean problem must produce identical memory images under both
+  // protocols (each verified against the same golden replay).
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = 3;
+  oc.iterations = 3;
+  apps::Ocean wa(oc), wb(oc);
+  auto ra = run_paper_config(1, mem::Protocol::kWti, 4, wa);
+  auto rb = run_paper_config(1, mem::Protocol::kWbMesi, 4, wb);
+  EXPECT_TRUE(ra.verified);
+  EXPECT_TRUE(rb.verified);
+}
+
+TEST(Integration, TrafficAccountingMatchesNetworkTotals) {
+  System sys(SystemConfig::architecture2(4, mem::Protocol::kWbMesi));
+  apps::HotCounter w(50);
+  auto r = sys.run(w);
+  EXPECT_EQ(r.noc_bytes, sys.network().total_bytes());
+  EXPECT_EQ(r.noc_bytes, sys.simulator().stats().counter_value("noc.bytes"));
+}
+
+}  // namespace
+}  // namespace ccnoc::core

@@ -1,0 +1,81 @@
+#include "core/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/micro.hpp"
+
+namespace ccnoc::core {
+namespace {
+
+TEST(System, WiresNodesOntoTheNoC) {
+  System sys(SystemConfig::architecture2(4, mem::Protocol::kWbMesi));
+  EXPECT_EQ(sys.network().num_nodes(), 4u + 7u);
+  EXPECT_EQ(sys.address_map().num_cpus(), 4u);
+  EXPECT_EQ(sys.address_map().num_banks(), 7u);
+  EXPECT_EQ(sys.cache_node(0).node_id(), 0);
+  EXPECT_EQ(sys.bank(0).node_id(), 4);
+}
+
+TEST(System, QuiescentAfterRun) {
+  System sys(SystemConfig::architecture1(4, mem::Protocol::kWti));
+  apps::HotCounter w(30);
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(sys.quiescent());
+}
+
+TEST(System, RunResultIsInternallyConsistent) {
+  System sys(SystemConfig::architecture2(4, mem::Protocol::kWbMesi));
+  apps::HotCounter w(50);
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.exec_cycles, 0u);
+  EXPECT_GT(r.instructions, 0u);
+  EXPECT_GT(r.noc_packets, 0u);
+  EXPECT_GT(r.noc_bytes, r.noc_packets * 7);  // every packet ≥ 8 bytes
+  EXPECT_GT(r.events, 0u);
+  EXPECT_LE(r.d_stall_pct(4), 100.0);
+}
+
+TEST(System, CycleGuardAbortsRunawayRuns) {
+  System sys(SystemConfig::architecture1(2, mem::Protocol::kWti));
+  apps::HotCounter w(100000);
+  auto r = sys.run(w, 0, /*max_cycles=*/20000);
+  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.verified);
+}
+
+TEST(System, MeshNetworkVariantRunsIdenticallyCorrect) {
+  SystemConfig cfg = SystemConfig::architecture2(4, mem::Protocol::kWbMesi);
+  cfg.network = NetworkKind::kMesh;
+  System sys(cfg);
+  apps::HotCounter w(40);
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(System, MemoryBackdoorReachesEveryBank) {
+  System sys(SystemConfig::architecture2(4, mem::Protocol::kWti));
+  for (unsigned b = 0; b < 7; ++b) {
+    sim::Addr a = sys.address_map().bank_base(b) + 0x80;
+    sys.memory().write_u32(a, b + 1);
+    EXPECT_EQ(sys.memory().read_u32(a), b + 1);
+    EXPECT_EQ(sys.bank(b).storage().read_uint(a, 4), b + 1);
+  }
+}
+
+TEST(System, FlushCachesWritesModifiedLinesBack) {
+  System sys(SystemConfig::architecture1(2, mem::Protocol::kWbMesi));
+  apps::PingPong w(10);
+  auto r = sys.run(w);  // run() flushes internally before verify
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(RunPaperConfig, RejectsUnknownArchitecture) {
+  apps::HotCounter w(1);
+  EXPECT_THROW(run_paper_config(3, mem::Protocol::kWti, 2, w), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccnoc::core

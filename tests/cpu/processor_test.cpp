@@ -1,0 +1,158 @@
+#include "cpu/processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/bank.hpp"
+#include "noc/gmn.hpp"
+#include "os/sync.hpp"
+
+namespace ccnoc::cpu {
+namespace {
+
+class ProcessorTest : public ::testing::Test {
+ protected:
+  ProcessorTest()
+      : map(1, 1),
+        net(sim, map.num_nodes(), noc::GmnConfig{.min_latency = 4, .fifo_depth = 16}),
+        bank(sim, net, map, 0, mem::Protocol::kWbMesi),
+        node(sim, net, map, 0, mem::Protocol::kWbMesi, cache::CacheConfig{},
+             cache::CacheConfig{}),
+        proc(sim, node, 0) {}
+
+  ThreadContext& make_thread(ThreadProgram prog) {
+    ctx.tid = 0;
+    ctx.code_base = 0x8000;  // same bank, distinct region
+    ctx.code_size = 1024;
+    ctx.program = std::move(prog);
+    return ctx;
+  }
+
+  void run(ThreadProgram prog) {
+    proc.assign_thread(&make_thread(std::move(prog)));
+    proc.start();
+    sim.run_to_completion();
+  }
+
+  sim::Simulator sim;
+  mem::AddressMap map;
+  noc::GmnNetwork net;
+  mem::Bank bank;
+  cache::CacheNode node;
+  Processor proc;
+  ThreadContext ctx;
+};
+
+TEST_F(ProcessorTest, RunsProgramToCompletion) {
+  run([]() -> ThreadProgram {
+    co_yield ThreadOp::compute(10);
+    co_yield ThreadOp::compute(20);
+  }());
+  EXPECT_TRUE(ctx.finished);
+  EXPECT_TRUE(proc.idle());
+  EXPECT_EQ(ctx.ops_executed, 2u);
+}
+
+TEST_F(ProcessorTest, ComputeAdvancesTimeByItsCycleCount) {
+  run([]() -> ThreadProgram { co_yield ThreadOp::compute(500); }());
+  // 500 compute cycles plus the cold instruction fetches of the 1 KB code
+  // region (32 block misses); nothing else.
+  EXPECT_GE(proc.last_active_cycle(), 500u);
+  EXPECT_LT(proc.last_active_cycle(), 500u + 32 * 60);
+  EXPECT_GT(proc.i_stall_cycles(), 0u);
+}
+
+TEST_F(ProcessorTest, LoadValueFlowsBackIntoTheProgram) {
+  bank.storage().write_uint(0x100, 321, 4);
+  run([](ThreadContext& c) -> ThreadProgram {
+    co_yield ThreadOp::load(0x100);
+    co_yield ThreadOp::store(0x200, c.last_load_value + 1);
+  }(ctx));
+  sim.run_to_completion();
+  // Flush: the store sits in M state; read via the cache's own line.
+  auto* l = node.dcache().tags().find(0x200);
+  ASSERT_NE(l, nullptr);
+  std::uint32_t v;
+  std::memcpy(&v, l->data.data(), 4);
+  EXPECT_EQ(v, 322u);
+}
+
+TEST_F(ProcessorTest, DataStallsAccountedOnMisses) {
+  run([]() -> ThreadProgram {
+    co_yield ThreadOp::load(0x100);  // cold miss
+    co_yield ThreadOp::load(0x104);  // hit
+  }());
+  EXPECT_GT(proc.d_stall_cycles(), 0u);
+  std::uint64_t after_first = proc.d_stall_cycles();
+  EXPECT_EQ(sim.stats().counter_value("cpu0.dcache.load_hits"), 1u);
+  EXPECT_EQ(proc.d_stall_cycles(), after_first);  // the hit added no stall
+}
+
+TEST_F(ProcessorTest, InstructionFetchGeneratesICacheTraffic) {
+  run([]() -> ThreadProgram {
+    for (int i = 0; i < 100; ++i) co_yield ThreadOp::compute(2);
+  }());
+  // 100 ops × ~2 instructions walk the 1 KB code region repeatedly: cold
+  // misses once (32 blocks), hits afterwards.
+  EXPECT_GT(sim.stats().counter_value("cpu0.icache.misses"), 0u);
+  EXPECT_GT(sim.stats().counter_value("cpu0.icache.hits"), 0u);
+  EXPECT_LE(sim.stats().counter_value("cpu0.icache.misses"), 32u);
+  EXPECT_GT(proc.i_stall_cycles(), 0u);
+}
+
+TEST_F(ProcessorTest, InstructionsCountedFromIcount) {
+  run([]() -> ThreadProgram {
+    co_yield ThreadOp::load(0x100, 4, /*icount=*/5);
+    co_yield ThreadOp::compute(10);  // icount = 10
+  }());
+  EXPECT_EQ(proc.instructions(), 15u);
+}
+
+TEST_F(ProcessorTest, CompositeOpsExpandThroughTheSyncLibrary) {
+  os::SyncLib sync;
+  proc.bind(nullptr, &sync);
+  bank.storage().write_uint(0x300, 0, 4);  // free lock
+  run([]() -> ThreadProgram {
+    co_yield ThreadOp::lock_acquire(0x300);
+    co_yield ThreadOp::store(0x304, 1);
+    co_yield ThreadOp::lock_release(0x300);
+  }());
+  EXPECT_TRUE(ctx.finished);
+  // The lock word went through an atomic swap and a releasing store.
+  auto* l = node.dcache().tags().find(0x300);
+  ASSERT_NE(l, nullptr);
+  std::uint32_t v;
+  std::memcpy(&v, l->data.data(), 4);
+  EXPECT_EQ(v, 0u);  // released
+}
+
+TEST_F(ProcessorTest, AtomicSwapReturnsOldValueToProgram) {
+  bank.storage().write_uint(0x300, 42, 4);
+  run([](ThreadContext& c) -> ThreadProgram {
+    co_yield ThreadOp::atomic_swap(0x300, 7);
+    co_yield ThreadOp::store(0x400, c.last_load_value);
+  }(ctx));
+  auto* l = node.dcache().tags().find(0x400);
+  ASSERT_NE(l, nullptr);
+  std::uint32_t v;
+  std::memcpy(&v, l->data.data(), 4);
+  EXPECT_EQ(v, 42u);
+}
+
+TEST_F(ProcessorTest, WithoutSchedulerProcessorIdlesAfterThreadEnds) {
+  run([]() -> ThreadProgram { co_yield ThreadOp::compute(1); }());
+  EXPECT_EQ(proc.current_thread(), nullptr);
+  EXPECT_TRUE(proc.idle());
+}
+
+TEST_F(ProcessorTest, PcWrapsAroundCodeRegion) {
+  run([]() -> ThreadProgram {
+    // 600 instructions though the region is 1024 bytes = 256 instructions:
+    // the PC wraps several times without error.
+    for (int i = 0; i < 600; ++i) co_yield ThreadOp::compute(1);
+  }());
+  EXPECT_TRUE(ctx.finished);
+  EXPECT_LT(ctx.pc_off, 1024u);
+}
+
+}  // namespace
+}  // namespace ccnoc::cpu

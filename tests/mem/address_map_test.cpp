@@ -1,0 +1,46 @@
+#include "mem/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnoc::mem {
+namespace {
+
+TEST(AddressMap, NodeNumbering) {
+  AddressMap m(4, 7);
+  EXPECT_EQ(m.num_nodes(), 11u);
+  EXPECT_EQ(m.cache_node(0), 0);
+  EXPECT_EQ(m.cache_node(3), 3);
+  EXPECT_EQ(m.bank_node(0), 4);
+  EXPECT_EQ(m.bank_node(6), 10);
+  EXPECT_TRUE(m.is_cache_node(2));
+  EXPECT_FALSE(m.is_cache_node(4));
+  EXPECT_TRUE(m.is_bank_node(4));
+  EXPECT_FALSE(m.is_bank_node(11));
+}
+
+TEST(AddressMap, BankIndexFromHighBits) {
+  AddressMap m(4, 7, /*bank_shift=*/24);
+  EXPECT_EQ(m.bank_index_of(0x0000000), 0u);
+  EXPECT_EQ(m.bank_index_of(0x0ffffff), 0u);
+  EXPECT_EQ(m.bank_index_of(0x1000000), 1u);
+  EXPECT_EQ(m.bank_index_of(0x6abcdef), 6u);
+  EXPECT_EQ(m.bank_node_of(0x1000000), 5);
+}
+
+TEST(AddressMap, BankBasesTileTheSpace) {
+  AddressMap m(2, 3, 20);
+  EXPECT_EQ(m.bank_region_bytes(), 1u << 20);
+  EXPECT_EQ(m.bank_base(0), 0u);
+  EXPECT_EQ(m.bank_base(1), 1u << 20);
+  EXPECT_EQ(m.bank_base(2), 2u << 20);
+}
+
+TEST(AddressMap, OutOfRangeAccessesThrow) {
+  AddressMap m(2, 2);
+  EXPECT_THROW(m.bank_index_of(sim::Addr(2) << 24), std::logic_error);
+  EXPECT_THROW(m.cache_node(2), std::logic_error);
+  EXPECT_THROW(m.bank_node(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccnoc::mem

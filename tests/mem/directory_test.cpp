@@ -1,0 +1,113 @@
+#include "mem/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnoc::mem {
+namespace {
+
+constexpr sim::Addr kBlk = 0x1000;
+
+TEST(Directory, UntrackedBlockIsAllClear) {
+  Directory d(8);
+  DirEntry e = d.lookup(kBlk);
+  EXPECT_FALSE(e.has_sharer());
+  EXPECT_FALSE(e.dirty);
+  EXPECT_EQ(e.owner, sim::kInvalidNode);
+  EXPECT_EQ(d.tracked_blocks(), 0u);
+}
+
+TEST(Directory, AddAndRemoveSharers) {
+  Directory d(8);
+  d.add_sharer(kBlk, 2);
+  d.add_sharer(kBlk, 5);
+  DirEntry e = d.lookup(kBlk);
+  EXPECT_TRUE(e.is_sharer(2));
+  EXPECT_TRUE(e.is_sharer(5));
+  EXPECT_FALSE(e.is_sharer(3));
+  EXPECT_EQ(e.sharer_count(), 2u);
+
+  d.remove_sharer(kBlk, 2);
+  EXPECT_FALSE(d.lookup(kBlk).is_sharer(2));
+  d.remove_sharer(kBlk, 5);
+  EXPECT_EQ(d.tracked_blocks(), 0u);  // entry garbage-collected
+}
+
+TEST(Directory, SharersEnumerationWithExclusion) {
+  Directory d(8);
+  for (sim::NodeId c : {0, 3, 7}) d.add_sharer(kBlk, c);
+  auto all = d.sharers(kBlk);
+  EXPECT_EQ(all, (std::vector<sim::NodeId>{0, 3, 7}));
+  auto except3 = d.sharers(kBlk, 3);
+  EXPECT_EQ(except3, (std::vector<sim::NodeId>{0, 7}));
+  EXPECT_TRUE(d.sharers(0x9999).empty());
+}
+
+TEST(Directory, ExclusiveGrantRecordsOwnerAndDirty) {
+  Directory d(8);
+  d.add_sharer(kBlk, 1);
+  d.set_exclusive(kBlk, 4);
+  DirEntry e = d.lookup(kBlk);
+  EXPECT_TRUE(e.dirty);
+  EXPECT_EQ(e.owner, 4);
+  EXPECT_EQ(e.sharer_count(), 1u);  // previous sharers dropped
+  EXPECT_TRUE(e.is_sharer(4));
+}
+
+TEST(Directory, ClearDirtyKeepsOwnerAsSharer) {
+  Directory d(8);
+  d.set_exclusive(kBlk, 4);
+  d.clear_dirty(kBlk);
+  DirEntry e = d.lookup(kBlk);
+  EXPECT_FALSE(e.dirty);
+  EXPECT_EQ(e.owner, sim::kInvalidNode);
+  EXPECT_TRUE(e.is_sharer(4));
+}
+
+TEST(Directory, RemovingOwnerClearsDirty) {
+  Directory d(8);
+  d.set_exclusive(kBlk, 4);
+  d.remove_sharer(kBlk, 4);
+  DirEntry e = d.lookup(kBlk);
+  EXPECT_FALSE(e.dirty);
+  EXPECT_FALSE(e.has_sharer());
+}
+
+TEST(Directory, ClearAllExceptKeepsOnlyRequester) {
+  Directory d(8);
+  for (sim::NodeId c : {0, 2, 6}) d.add_sharer(kBlk, c);
+  d.clear_all_except(kBlk, 2);
+  DirEntry e = d.lookup(kBlk);
+  EXPECT_EQ(e.sharer_count(), 1u);
+  EXPECT_TRUE(e.is_sharer(2));
+  EXPECT_FALSE(e.dirty);
+}
+
+TEST(Directory, ClearAllExceptNonSharerClearsEverything) {
+  Directory d(8);
+  d.add_sharer(kBlk, 0);
+  d.clear_all_except(kBlk, 5);  // 5 never shared
+  EXPECT_EQ(d.tracked_blocks(), 0u);
+}
+
+TEST(Directory, SupportsSixtyFourCaches) {
+  Directory d(64);
+  for (unsigned c = 0; c < 64; ++c) d.add_sharer(kBlk, sim::NodeId(c));
+  EXPECT_EQ(d.lookup(kBlk).sharer_count(), 64u);
+  EXPECT_EQ(d.sharers(kBlk).size(), 64u);
+}
+
+TEST(Directory, RejectsTooManyCaches) {
+  EXPECT_THROW(Directory d(65), std::logic_error);
+}
+
+TEST(Directory, IndependentBlocks) {
+  Directory d(8);
+  d.add_sharer(0x1000, 1);
+  d.set_exclusive(0x2000, 2);
+  EXPECT_FALSE(d.lookup(0x1000).dirty);
+  EXPECT_TRUE(d.lookup(0x2000).dirty);
+  EXPECT_EQ(d.tracked_blocks(), 2u);
+}
+
+}  // namespace
+}  // namespace ccnoc::mem

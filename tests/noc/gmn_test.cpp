@@ -1,0 +1,142 @@
+#include "noc/gmn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_util.hpp"
+
+namespace ccnoc::noc {
+namespace {
+
+using test::CapturingEndpoint;
+using test::make_msg;
+
+class GmnTest : public ::testing::Test {
+ protected:
+  GmnTest() : net(sim, 4, cfg()) {
+    for (auto& e : eps) e = std::make_unique<CapturingEndpoint>(sim);
+    for (sim::NodeId i = 0; i < 4; ++i) net.attach(i, *eps[i]);
+  }
+
+  static GmnConfig cfg() {
+    GmnConfig c;
+    c.min_latency = 10;
+    c.fifo_depth = 8;
+    return c;
+  }
+
+  sim::Simulator sim;
+  GmnNetwork net;
+  std::array<std::unique_ptr<CapturingEndpoint>, 4> eps;
+};
+
+TEST_F(GmnTest, ZeroLoadLatencyIsMinLatencyPlusSerialization) {
+  // 8-byte header = 2 flits: ingress 2 + fabric 10 + egress 2 = 14 cycles.
+  net.send(0, 1, make_msg(MsgType::kReadShared, 0x100));
+  sim.run_to_completion();
+  ASSERT_EQ(eps[1]->count(), 1u);
+  EXPECT_EQ(eps[1]->arrival(0), 14u);
+}
+
+TEST_F(GmnTest, BlockPayloadSerializesLonger) {
+  // 40 bytes = 10 flits: 10 + 10 + 10 = 30 cycles.
+  net.send(0, 1, make_msg(MsgType::kReadResponse, 0x100, 32));
+  sim.run_to_completion();
+  ASSERT_EQ(eps[1]->count(), 1u);
+  EXPECT_EQ(eps[1]->arrival(0), 30u);
+}
+
+TEST_F(GmnTest, PerFlowFifoOrderPreserved) {
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, 1, make_msg(MsgType::kWriteWord, sim::Addr(i), 4));
+  }
+  sim.run_to_completion();
+  ASSERT_EQ(eps[1]->count(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(eps[1]->packet(i).msg.addr, sim::Addr(i)) << "reordered at " << i;
+    if (i > 0) EXPECT_GT(eps[1]->arrival(i), eps[1]->arrival(i - 1));
+  }
+}
+
+TEST_F(GmnTest, IngressPortSerializesSameSourceTraffic) {
+  // Two packets from node 0 to different destinations share the ingress.
+  net.send(0, 1, make_msg(MsgType::kReadShared, 0x0));
+  net.send(0, 2, make_msg(MsgType::kReadShared, 0x20));
+  sim.run_to_completion();
+  ASSERT_EQ(eps[1]->count(), 1u);
+  ASSERT_EQ(eps[2]->count(), 1u);
+  EXPECT_EQ(eps[1]->arrival(0), 14u);
+  EXPECT_EQ(eps[2]->arrival(0), 16u);  // 2 flits behind on the ingress port
+}
+
+TEST_F(GmnTest, EgressPortSerializesSameDestinationTraffic) {
+  net.send(0, 2, make_msg(MsgType::kReadShared, 0x0));
+  net.send(1, 2, make_msg(MsgType::kReadShared, 0x20));
+  sim.run_to_completion();
+  ASSERT_EQ(eps[2]->count(), 2u);
+  EXPECT_EQ(eps[2]->arrival(0), 14u);
+  EXPECT_EQ(eps[2]->arrival(1), 16u);  // queued behind the first on egress
+}
+
+TEST_F(GmnTest, DisjointFlowsDoNotInterfere) {
+  net.send(0, 1, make_msg(MsgType::kReadShared, 0x0));
+  net.send(2, 3, make_msg(MsgType::kReadShared, 0x20));
+  sim.run_to_completion();
+  EXPECT_EQ(eps[1]->arrival(0), 14u);
+  EXPECT_EQ(eps[3]->arrival(0), 14u);
+}
+
+TEST_F(GmnTest, AccountsBytesAndPackets) {
+  net.send(0, 1, make_msg(MsgType::kReadShared, 0x0));        // 8 bytes
+  net.send(0, 1, make_msg(MsgType::kReadResponse, 0x0, 32));  // 40 bytes
+  sim.run_to_completion();
+  EXPECT_EQ(net.total_packets(), 2u);
+  EXPECT_EQ(net.total_bytes(), 48u);
+  EXPECT_EQ(sim.stats().counter_value("noc.bytes"), 48u);
+  EXPECT_EQ(sim.stats().counter_value("noc.pkt.ReadShared"), 1u);
+}
+
+TEST_F(GmnTest, HeavyBacklogAddsOverflowDelay) {
+  for (int i = 0; i < 64; ++i) {
+    net.send(0, 1, make_msg(MsgType::kReadResponse, sim::Addr(i * 32), 32));
+  }
+  sim.run_to_completion();
+  EXPECT_GT(sim.stats().counter_value("noc.fifo_overflow_cycles"), 0u);
+  // Still delivered, in order.
+  ASSERT_EQ(eps[1]->count(), 64u);
+}
+
+TEST_F(GmnTest, LatencySampleRecorded) {
+  net.send(0, 1, make_msg(MsgType::kReadShared, 0x0));
+  sim.run_to_completion();
+  EXPECT_EQ(sim.stats().sample("noc.latency").count(), 1u);
+  EXPECT_DOUBLE_EQ(sim.stats().sample("noc.latency").mean(), 14.0);
+}
+
+TEST(GmnConfig, DerivedLatencyGrowsWithNodeCount) {
+  auto small = GmnConfig::for_nodes(7);    // 4+3
+  auto large = GmnConfig::for_nodes(67);   // 64+3
+  EXPECT_LT(small.min_latency, large.min_latency);
+  EXPECT_EQ(small.min_latency, sim::Cycle(std::ceil(1.5 * std::sqrt(7.0))) + 3);
+}
+
+TEST(GmnNetwork, LoopbackSendIsRejected) {
+  sim::Simulator s;
+  GmnNetwork net(s, 2);
+  CapturingEndpoint a(s), b(s);
+  net.attach(0, a);
+  net.attach(1, b);
+  Message m;
+  EXPECT_THROW(net.send(0, 0, m), std::logic_error);
+}
+
+TEST(GmnNetwork, SendToUnattachedNodeIsRejected) {
+  sim::Simulator s;
+  GmnNetwork net(s, 4);
+  CapturingEndpoint a(s);
+  net.attach(0, a);
+  Message m;
+  EXPECT_THROW(net.send(0, 1, m), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccnoc::noc

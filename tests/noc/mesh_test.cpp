@@ -1,0 +1,110 @@
+#include "noc/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/test_util.hpp"
+
+namespace ccnoc::noc {
+namespace {
+
+using test::CapturingEndpoint;
+using test::make_msg;
+
+TEST(MeshTopology, NearSquareGrid) {
+  MeshTopology t16(16);
+  EXPECT_EQ(t16.width(), 4);
+  EXPECT_EQ(t16.height(), 4);
+  MeshTopology t7(7);
+  EXPECT_EQ(t7.width(), 3);
+  EXPECT_EQ(t7.height(), 3);
+  MeshTopology t1(1);
+  EXPECT_EQ(t1.width(), 1);
+}
+
+TEST(MeshTopology, CoordinatesAreRowMajor) {
+  MeshTopology t(16);
+  EXPECT_EQ(t.coord_of(0), (Coord{0, 0}));
+  EXPECT_EQ(t.coord_of(3), (Coord{3, 0}));
+  EXPECT_EQ(t.coord_of(4), (Coord{0, 1}));
+  EXPECT_EQ(t.coord_of(15), (Coord{3, 3}));
+}
+
+TEST(MeshTopology, DistanceIsManhattan) {
+  MeshTopology t(16);
+  EXPECT_EQ(t.distance(0, 0), 0);
+  EXPECT_EQ(t.distance(0, 3), 3);
+  EXPECT_EQ(t.distance(0, 15), 6);
+  EXPECT_EQ(t.distance(5, 6), 1);
+}
+
+class MeshTest : public ::testing::Test {
+ protected:
+  MeshTest() : net(sim, 9, MeshConfig{.router_delay = 2}) {
+    for (auto& e : eps) e = std::make_unique<CapturingEndpoint>(sim);
+    for (sim::NodeId i = 0; i < 9; ++i) net.attach(i, *eps[i]);
+  }
+  sim::Simulator sim;
+  MeshNetwork net;
+  std::array<std::unique_ptr<CapturingEndpoint>, 9> eps;
+};
+
+TEST_F(MeshTest, LatencyGrowsWithDistance) {
+  net.send(0, 1, make_msg(MsgType::kReadShared, 0x0));  // 1 hop
+  sim.run_to_completion();
+  sim::Cycle one_hop = eps[1]->arrival(0);
+
+  sim::Simulator sim2;
+  MeshNetwork net2(sim2, 9, MeshConfig{.router_delay = 2});
+  CapturingEndpoint a(sim2), b(sim2);
+  net2.attach(0, a);
+  net2.attach(8, b);
+  // attach remaining nodes so asserts pass
+  std::vector<std::unique_ptr<CapturingEndpoint>> rest;
+  for (sim::NodeId i = 1; i < 8; ++i) {
+    rest.push_back(std::make_unique<CapturingEndpoint>(sim2));
+    net2.attach(i, *rest.back());
+  }
+  net2.send(0, 8, make_msg(MsgType::kReadShared, 0x0));  // 4 hops
+  sim2.run_to_completion();
+  EXPECT_GT(b.arrival(0), one_hop);
+}
+
+TEST_F(MeshTest, XYRoutePreservesPerFlowOrder) {
+  for (int i = 0; i < 16; ++i) {
+    net.send(0, 8, make_msg(MsgType::kWriteWord, sim::Addr(i), 4));
+  }
+  sim.run_to_completion();
+  ASSERT_EQ(eps[8]->count(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(eps[8]->packet(i).msg.addr, sim::Addr(i));
+  }
+}
+
+TEST_F(MeshTest, SharedLinkCreatesContention) {
+  // 0→2 and 1→2 share the link into column 2 only at the last hop;
+  // 0→1 and 0→2 share the 0→1 link. Compare a contended run with an
+  // uncontended one.
+  net.send(0, 2, make_msg(MsgType::kReadResponse, 0x0, 32));
+  net.send(1, 2, make_msg(MsgType::kReadResponse, 0x20, 32));
+  sim.run_to_completion();
+  ASSERT_EQ(eps[2]->count(), 2u);
+  EXPECT_GT(eps[2]->arrival(1), eps[2]->arrival(0));
+}
+
+TEST_F(MeshTest, HopHistogramRecorded) {
+  net.send(0, 8, make_msg(MsgType::kReadShared, 0x0));
+  sim.run_to_completion();
+  auto& h = sim.stats().histogram("noc.mesh_hops", 32);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);  // (0,0) → (2,2)
+}
+
+TEST_F(MeshTest, AccountsTraffic) {
+  net.send(0, 4, make_msg(MsgType::kReadShared, 0x0));
+  sim.run_to_completion();
+  EXPECT_EQ(net.total_bytes(), 8u);
+  EXPECT_EQ(net.total_packets(), 1u);
+}
+
+}  // namespace
+}  // namespace ccnoc::noc

@@ -1,0 +1,38 @@
+#include "noc/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnoc::noc {
+namespace {
+
+TEST(Message, WireBytesIsHeaderPlusPayload) {
+  Message m;
+  EXPECT_EQ(wire_bytes(m), 8u);  // bare command cell
+  m.data_len = 32;
+  EXPECT_EQ(wire_bytes(m), 40u);  // block transfer
+  m.data_len = 4;
+  EXPECT_EQ(wire_bytes(m), 12u);  // word write
+}
+
+TEST(Message, CarriesDataIffPayloadPresent) {
+  Message m;
+  EXPECT_FALSE(m.carries_data());
+  m.data_len = 1;
+  EXPECT_TRUE(m.carries_data());
+}
+
+TEST(Message, EveryTypeHasAName) {
+  for (int t = int(MsgType::kReadShared); t <= int(MsgType::kFetchResponse); ++t) {
+    EXPECT_STRNE(to_string(MsgType(t)), "?");
+  }
+}
+
+TEST(Message, DefaultsMatchProtocolExpectations) {
+  Message m;
+  EXPECT_TRUE(m.track);       // directory tracking on by default
+  EXPECT_EQ(m.port, 0);       // D-cache port
+  EXPECT_EQ(m.path_hops, 0);  // filled by the responder
+}
+
+}  // namespace
+}  // namespace ccnoc::noc

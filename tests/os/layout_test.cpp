@@ -1,0 +1,82 @@
+#include "os/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnoc::os {
+namespace {
+
+TEST(MemoryLayout, Arch1PutsAllDataInBankZeroAndCodeInBankOne) {
+  mem::AddressMap map(4, 2);
+  MemoryLayout l(map, ArchKind::kCentralized);
+
+  sim::Addr shared = l.alloc_shared(64);
+  sim::Addr local = l.alloc_local(2, 64);
+  sim::Addr kernel = l.alloc_kernel(3, 64);
+  sim::Addr code = l.alloc_code(64);
+
+  EXPECT_EQ(map.bank_index_of(shared), 0u);
+  EXPECT_EQ(map.bank_index_of(local), 0u);
+  EXPECT_EQ(map.bank_index_of(kernel), 0u);
+  EXPECT_EQ(map.bank_index_of(code), 1u);
+}
+
+TEST(MemoryLayout, Arch2PlacesLocalDataInPerCpuBanks) {
+  mem::AddressMap map(4, 7);  // n + 3
+  MemoryLayout l(map, ArchKind::kDistributed);
+  for (unsigned tid = 0; tid < 4; ++tid) {
+    EXPECT_EQ(map.bank_index_of(l.alloc_local(tid, 128)), tid);
+    EXPECT_EQ(map.bank_index_of(l.alloc_kernel(tid, 32)), tid);
+  }
+}
+
+TEST(MemoryLayout, Arch2SpreadsSharedAllocationsAcrossAllBanks) {
+  // Paper §5.2: "spread as fairly as possible the accesses to all memory
+  // banks" — chunked shared allocations round-robin over every bank.
+  mem::AddressMap map(4, 7);
+  MemoryLayout l(map, ArchKind::kDistributed);
+  unsigned seen[7] = {};
+  for (int i = 0; i < 14; ++i) {
+    unsigned b = map.bank_index_of(l.alloc_shared(256));
+    ASSERT_LT(b, 7u);
+    ++seen[b];
+  }
+  for (unsigned b = 0; b < 7; ++b) EXPECT_EQ(seen[b], 2u) << "bank " << b;
+}
+
+TEST(MemoryLayout, Arch2CodeInFirstSharedBank) {
+  mem::AddressMap map(4, 7);
+  MemoryLayout l(map, ArchKind::kDistributed);
+  EXPECT_EQ(map.bank_index_of(l.alloc_code(4096)), 4u);
+}
+
+TEST(MemoryLayout, AllocationsAreAlignedAndDisjoint) {
+  mem::AddressMap map(2, 2);
+  MemoryLayout l(map, ArchKind::kCentralized);
+  sim::Addr a = l.alloc_shared(40, 32);
+  sim::Addr b = l.alloc_shared(8, 32);
+  EXPECT_EQ(a % 32, 0u);
+  EXPECT_EQ(b % 32, 0u);
+  EXPECT_GE(b, a + 40);
+}
+
+TEST(MemoryLayout, NothingAtBankBase) {
+  mem::AddressMap map(2, 2);
+  MemoryLayout l(map, ArchKind::kCentralized);
+  EXPECT_GT(l.alloc_shared(4, 4), map.bank_base(0));
+}
+
+TEST(MemoryLayout, TracksUsage) {
+  mem::AddressMap map(2, 2);
+  MemoryLayout l(map, ArchKind::kCentralized);
+  EXPECT_EQ(l.used_in_bank(0), 0u);
+  l.alloc_shared(100, 4);
+  EXPECT_GE(l.used_in_bank(0), 100u);
+}
+
+TEST(MemoryLayout, Arch2RequiresEnoughBanks) {
+  mem::AddressMap map(4, 3);
+  EXPECT_THROW(MemoryLayout(map, ArchKind::kDistributed), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccnoc::os

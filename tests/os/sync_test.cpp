@@ -1,0 +1,171 @@
+#include "os/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+/// Synchronization primitives exercised on a real platform: mutual
+/// exclusion and barrier rendezvous must hold under both protocols.
+
+namespace ccnoc::os {
+namespace {
+
+using cpu::ThreadContext;
+using cpu::ThreadOp;
+using cpu::ThreadProgram;
+
+/// Threads enter a lock-protected critical section and check that the
+/// "inside" flag is never already set (mutual exclusion written into
+/// simulated memory so it survives until verify time).
+class MutexTorture final : public apps::Workload {
+ public:
+  explicit MutexTorture(unsigned rounds) : rounds_(rounds) {}
+
+  std::string name() const override { return "mutex-torture"; }
+
+  void setup(Kernel& k, unsigned nthreads) override {
+    (void)nthreads;
+    lock_ = k.create_lock();
+    inside_ = k.layout().alloc_shared(4, 4);
+    violations_ = k.layout().alloc_shared(4, 4);
+    counter_ = k.layout().alloc_shared(4, 4);
+    k.memory().write_u32(inside_, 0);
+    k.memory().write_u32(violations_, 0);
+    k.memory().write_u32(counter_, 0);
+    code_ = k.layout().alloc_code(512);
+    n_ = nthreads;
+  }
+
+  ThreadProgram make_program(ThreadContext& ctx) override {
+    return [](ThreadContext& c, MutexTorture* self) -> ThreadProgram {
+      c.set_code_region(self->code_, 512);
+      for (unsigned i = 0; i < self->rounds_; ++i) {
+        co_yield ThreadOp::lock_acquire(self->lock_);
+        co_yield ThreadOp::load(self->inside_);
+        if (c.last_load_value != 0) {
+          co_yield ThreadOp::load(self->violations_);
+          co_yield ThreadOp::store(self->violations_, c.last_load_value + 1);
+        }
+        co_yield ThreadOp::store(self->inside_, 1);
+        co_yield ThreadOp::compute(15);  // dwell inside the section
+        co_yield ThreadOp::load(self->counter_);
+        co_yield ThreadOp::store(self->counter_, c.last_load_value + 1);
+        co_yield ThreadOp::store(self->inside_, 0);
+        co_yield ThreadOp::lock_release(self->lock_);
+      }
+    }(ctx, this);
+  }
+
+  bool verify(const mem::DirectMemoryIf& dm) const override {
+    return dm.read_u32(violations_) == 0 && dm.read_u32(counter_) == n_ * rounds_;
+  }
+
+ private:
+  unsigned rounds_;
+  unsigned n_ = 0;
+  sim::Addr lock_ = 0, inside_ = 0, violations_ = 0, counter_ = 0, code_ = 0;
+};
+
+/// Threads pass through `rounds` barriers; each thread bumps a per-phase
+/// counter before the barrier, and after the barrier checks that every
+/// thread's bump of the *current* phase is visible (rendezvous worked).
+class BarrierPhases final : public apps::Workload {
+ public:
+  explicit BarrierPhases(unsigned rounds) : rounds_(rounds) {}
+
+  std::string name() const override { return "barrier-phases"; }
+
+  void setup(Kernel& k, unsigned nthreads) override {
+    n_ = nthreads;
+    bar_ = k.create_barrier(nthreads);
+    phase_counts_ = k.layout().alloc_shared(4 * rounds_, 32);
+    errors_ = k.layout().alloc_shared(4, 4);
+    for (unsigned r = 0; r < rounds_; ++r) k.memory().write_u32(phase_counts_ + 4 * r, 0);
+    k.memory().write_u32(errors_, 0);
+    lock_ = k.create_lock();
+    code_ = k.layout().alloc_code(1024);
+  }
+
+  ThreadProgram make_program(ThreadContext& ctx) override {
+    return [](ThreadContext& c, BarrierPhases* self) -> ThreadProgram {
+      c.set_code_region(self->code_, 1024);
+      for (unsigned r = 0; r < self->rounds_; ++r) {
+        co_yield ThreadOp::lock_acquire(self->lock_);
+        co_yield ThreadOp::load(self->phase_counts_ + 4 * r);
+        co_yield ThreadOp::store(self->phase_counts_ + 4 * r, c.last_load_value + 1);
+        co_yield ThreadOp::lock_release(self->lock_);
+
+        co_yield ThreadOp::barrier(self->bar_);
+
+        co_yield ThreadOp::load(self->phase_counts_ + 4 * r);
+        if (c.last_load_value != self->n_) {
+          co_yield ThreadOp::load(self->errors_);
+          co_yield ThreadOp::store(self->errors_, c.last_load_value + 1);
+        }
+      }
+    }(ctx, this);
+  }
+
+  bool verify(const mem::DirectMemoryIf& dm) const override {
+    if (dm.read_u32(errors_) != 0) return false;
+    for (unsigned r = 0; r < rounds_; ++r) {
+      if (dm.read_u32(phase_counts_ + 4 * r) != n_) return false;
+    }
+    return true;
+  }
+
+ private:
+  unsigned rounds_;
+  unsigned n_ = 0;
+  sim::Addr bar_ = 0, phase_counts_ = 0, errors_ = 0, lock_ = 0, code_ = 0;
+};
+
+struct Param {
+  mem::Protocol proto;
+  unsigned arch;
+};
+
+class SyncOnPlatform : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SyncOnPlatform, MutualExclusionHolds) {
+  MutexTorture w(30);
+  auto r = core::run_paper_config(GetParam().arch, GetParam().proto, 4, w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(SyncOnPlatform, BarrierRendezvousHolds) {
+  BarrierPhases w(8);
+  auto r = core::run_paper_config(GetParam().arch, GetParam().proto, 4, w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, SyncOnPlatform,
+    ::testing::Values(Param{mem::Protocol::kWti, 1}, Param{mem::Protocol::kWti, 2},
+                      Param{mem::Protocol::kWbMesi, 1},
+                      Param{mem::Protocol::kWbMesi, 2}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(info.param.proto == mem::Protocol::kWti ? "WTI" : "MESI") +
+             "_arch" + std::to_string(info.param.arch);
+    });
+
+TEST(SyncInit, LockAndBarrierImagesWritten) {
+  mem::AddressMap map(2, 2);
+  sim::Simulator sim;
+  noc::GmnNetwork net(sim, map.num_nodes());
+  mem::Bank b0(sim, net, map, 0, mem::Protocol::kWti);
+  mem::Bank b1(sim, net, map, 1, mem::Protocol::kWti);
+  mem::BankedDirectMemory dm(map, {&b0, &b1});
+
+  SyncLib::init_lock(dm, 0x100);
+  EXPECT_EQ(dm.read_u32(0x100), 0u);
+  SyncLib::init_barrier(dm, 0x200, 7);
+  EXPECT_EQ(dm.read_u32(0x200 + BarrierLayout::kLock), 0u);
+  EXPECT_EQ(dm.read_u32(0x200 + BarrierLayout::kCount), 0u);
+  EXPECT_EQ(dm.read_u32(0x200 + BarrierLayout::kTotal), 7u);
+}
+
+}  // namespace
+}  // namespace ccnoc::os

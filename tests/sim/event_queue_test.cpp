@@ -1,0 +1,105 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ccnoc::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtCycleZero) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, AdvancesTimeToEventTimestamp) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_in(17, [&] { fired = true; });
+  EXPECT_TRUE(q.step());
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.now(), 17u);
+}
+
+TEST(EventQueue, ExecutesInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_in(30, [&] { order.push_back(3); });
+  q.schedule_in(10, [&] { order.push_back(1); });
+  q.schedule_in(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleEventsFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_in(5, [&, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_in(10, chain);
+  };
+  q.schedule_in(10, chain);
+  q.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, RunHonoursCycleLimit) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_in(10, [&] { ++fired; });
+  q.schedule_in(100, [&] { ++fired; });
+  q.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 50u);  // time advanced to the limit
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_in(10, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, ZeroDelayFiresAtCurrentCycle) {
+  EventQueue q;
+  q.schedule_in(10, [] {});
+  q.step();
+  bool fired = false;
+  q.schedule_in(0, [&] { fired = true; });
+  q.step();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, CountsExecutedEvents) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_in(Cycle(i + 1), [] {});
+  q.run();
+  EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(EventQueue, PendingReflectsQueueDepth) {
+  EventQueue q;
+  q.schedule_in(1, [] {});
+  q.schedule_in(2, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.step();
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace ccnoc::sim

@@ -1,0 +1,90 @@
+#include "sim/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ccnoc::sim {
+namespace {
+
+Generator<int> count_to(int n) {
+  for (int i = 1; i <= n; ++i) co_yield i;
+}
+
+TEST(Generator, YieldsSequenceLazily) {
+  auto g = count_to(3);
+  std::vector<int> got;
+  while (g.next()) got.push_back(g.value());
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(g.done());
+}
+
+TEST(Generator, EmptyBodyFinishesImmediately) {
+  auto g = []() -> Generator<int> { co_return; }();
+  EXPECT_FALSE(g.next());
+  EXPECT_TRUE(g.done());
+}
+
+TEST(Generator, DefaultConstructedIsInvalidAndDone) {
+  Generator<int> g;
+  EXPECT_FALSE(g.valid());
+  EXPECT_TRUE(g.done());
+  EXPECT_FALSE(g.next());
+}
+
+TEST(Generator, MoveTransfersOwnership) {
+  auto g = count_to(2);
+  EXPECT_TRUE(g.next());
+  Generator<int> h = std::move(g);
+  EXPECT_FALSE(g.valid());
+  EXPECT_TRUE(h.next());
+  EXPECT_EQ(h.value(), 2);
+  EXPECT_FALSE(h.next());
+}
+
+TEST(Generator, MoveAssignmentDestroysOldCoroutine) {
+  auto g = count_to(5);
+  g.next();
+  g = count_to(1);
+  EXPECT_TRUE(g.next());
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_FALSE(g.next());
+}
+
+TEST(Generator, ExceptionInBodyPropagatesFromNext) {
+  auto g = []() -> Generator<int> {
+    co_yield 1;
+    throw std::runtime_error("boom");
+  }();
+  EXPECT_TRUE(g.next());
+  EXPECT_THROW(g.next(), std::runtime_error);
+}
+
+// The workload pattern: values flow back into the coroutine through a
+// side-channel read between resumptions.
+TEST(Generator, SideChannelValueVisibleBetweenYields) {
+  struct Ctx {
+    int last = 0;
+  } ctx;
+  auto g = [](Ctx& c) -> Generator<int> {
+    co_yield 10;        // "load"
+    co_yield c.last + 1;  // uses the value the executor wrote back
+  }(ctx);
+  ASSERT_TRUE(g.next());
+  EXPECT_EQ(g.value(), 10);
+  ctx.last = 100;  // executor completes the load
+  ASSERT_TRUE(g.next());
+  EXPECT_EQ(g.value(), 101);
+}
+
+TEST(Generator, DestructionMidwayDoesNotLeak) {
+  // Exercised under ASAN in CI-like runs; here it must simply not crash.
+  auto g = count_to(1000);
+  g.next();
+  g.next();
+  // destructor runs with the coroutine suspended mid-loop
+}
+
+}  // namespace
+}  // namespace ccnoc::sim

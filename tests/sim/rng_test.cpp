@@ -1,0 +1,52 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnoc::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  EXPECT_NE(r.next_u64(), r.next_u64());
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // roughly uniform
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.next_bool(0.3);
+  EXPECT_NEAR(double(heads) / 10000.0, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace ccnoc::sim

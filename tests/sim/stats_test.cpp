@@ -1,0 +1,88 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccnoc::sim {
+namespace {
+
+TEST(Counter, IncrementsByOneAndByN) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Sample, TracksCountSumMinMaxMean) {
+  Sample s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Sample, EmptySampleIsAllZero) {
+  Sample s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Histogram, BucketsUnitWidthValues) {
+  Histogram h(8);
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, OverflowAccumulatesInLastBucket) {
+  Histogram h(4);
+  h.add(100);
+  h.add(7);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(StatsRegistry, CreatesOnFirstUseWithStablePointers) {
+  StatsRegistry r;
+  Counter* a = &r.counter("x");
+  r.counter("y").inc();
+  r.counter("z").inc(3);
+  EXPECT_EQ(a, &r.counter("x"));
+  EXPECT_EQ(r.counter_value("y"), 1u);
+  EXPECT_EQ(r.counter_value("z"), 3u);
+  EXPECT_EQ(r.counter_value("missing"), 0u);
+}
+
+TEST(StatsRegistry, HistogramBucketsSetAtCreation) {
+  StatsRegistry r;
+  auto& h = r.histogram("lat", 16);
+  EXPECT_EQ(h.num_buckets(), 16u);
+  // Second lookup ignores the bucket argument and returns the same object.
+  EXPECT_EQ(&r.histogram("lat", 99), &h);
+}
+
+TEST(StatsRegistry, DumpContainsEveryStatistic) {
+  StatsRegistry r;
+  r.counter("alpha").inc(5);
+  r.sample("beta").add(1.5);
+  r.histogram("gamma").add(2);
+  std::string dump = r.to_string();
+  EXPECT_NE(dump.find("alpha = 5"), std::string::npos);
+  EXPECT_NE(dump.find("beta"), std::string::npos);
+  EXPECT_NE(dump.find("gamma"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccnoc::sim

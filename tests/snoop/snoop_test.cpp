@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "apps/micro.hpp"
+#include "apps/ocean.hpp"
+#include "apps/water.hpp"
+#include "snoop/system.hpp"
+
+/// The snooping-bus platform (extension): protocol behaviour at cache
+/// level plus whole-platform oracles under both snoopy policies.
+
+namespace ccnoc::snoop {
+namespace {
+
+using cache::AccessResult;
+using cache::LineState;
+using cache::MemAccess;
+
+/// Two snooping caches + bus + memory, driven directly.
+class SnoopPair : public ::testing::Test {
+ protected:
+  void build(SnoopProtocol proto) {
+    bus = std::make_unique<SnoopBus>(sim, SnoopBusConfig{});
+    memv = std::make_unique<SnoopMemory>(32);
+    bus->attach_memory(*memv);
+    for (unsigned c = 0; c < 2; ++c) {
+      if (proto == SnoopProtocol::kWti) {
+        caches.push_back(std::make_unique<SnoopWtiCache>(
+            sim, *bus, cache::CacheConfig{}, "cpu" + std::to_string(c) + ".dcache"));
+      } else {
+        caches.push_back(std::make_unique<SnoopMesiCache>(
+            sim, *bus, cache::CacheConfig{}, "cpu" + std::to_string(c) + ".dcache"));
+      }
+    }
+  }
+
+  std::uint64_t access(unsigned c, const MemAccess& a) {
+    std::uint64_t hv = 0, out = 0;
+    bool done = false;
+    auto res = caches[c]->access(a, &hv, [&](std::uint64_t v) {
+      out = v;
+      done = true;
+    });
+    if (res == AccessResult::kHit) return hv;
+    sim.run_to_completion();
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  std::uint64_t load(unsigned c, sim::Addr a) {
+    MemAccess m;
+    m.addr = a;
+    m.size = 4;
+    return access(c, m);
+  }
+  void store(unsigned c, sim::Addr a, std::uint64_t v) {
+    MemAccess m;
+    m.is_store = true;
+    m.addr = a;
+    m.size = 4;
+    m.value = v;
+    access(c, m);
+    sim.run_to_completion();
+  }
+
+  LineState state(unsigned c, sim::Addr a) {
+    auto* l = caches[c]->tags().find(caches[c]->tags().block_of(a));
+    return l ? l->state : LineState::kInvalid;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<SnoopBus> bus;
+  std::unique_ptr<SnoopMemory> memv;
+  std::vector<std::unique_ptr<SnoopCacheBase>> caches;
+};
+
+TEST_F(SnoopPair, WtiObservedWriteInvalidates) {
+  build(SnoopProtocol::kWti);
+  memv->write_u32(0x100, 7);
+  EXPECT_EQ(load(0, 0x100), 7u);
+  store(1, 0x100, 9);
+  EXPECT_EQ(state(0, 0x100), LineState::kInvalid);
+  EXPECT_EQ(load(0, 0x100), 9u);
+  EXPECT_EQ(memv->read_u32(0x100), 9u);
+}
+
+TEST_F(SnoopPair, WtiEveryStoreIsABusTransaction) {
+  build(SnoopProtocol::kWti);
+  load(0, 0x100);
+  std::uint64_t txns = bus->total_transactions();
+  for (int i = 0; i < 5; ++i) store(0, 0x100, std::uint64_t(i));
+  EXPECT_EQ(bus->total_transactions(), txns + 5);
+}
+
+TEST_F(SnoopPair, MesiStoreHitsCostZeroBusTransactions) {
+  build(SnoopProtocol::kMesi);
+  load(0, 0x100);  // E (no other copy)
+  EXPECT_EQ(state(0, 0x100), LineState::kExclusive);
+  std::uint64_t txns = bus->total_transactions();
+  for (int i = 0; i < 5; ++i) store(0, 0x100, std::uint64_t(i));
+  EXPECT_EQ(bus->total_transactions(), txns);  // the write-back advantage
+  EXPECT_EQ(state(0, 0x100), LineState::kModified);
+}
+
+TEST_F(SnoopPair, MesiSharedLineWhenSnoopSeesACopy) {
+  build(SnoopProtocol::kMesi);
+  load(0, 0x100);
+  EXPECT_EQ(load(1, 0x100), 0u);
+  EXPECT_EQ(state(0, 0x100), LineState::kShared);
+  EXPECT_EQ(state(1, 0x100), LineState::kShared);
+}
+
+TEST_F(SnoopPair, MesiDirtyOwnerFlushesOnObservedRead) {
+  build(SnoopProtocol::kMesi);
+  store(0, 0x100, 0xbeef);  // M at cache 0
+  EXPECT_EQ(load(1, 0x100), 0xbeefu);        // flushed on the bus
+  EXPECT_EQ(memv->read_u32(0x100), 0xbeefu);  // memory absorbed the flush
+  EXPECT_EQ(state(0, 0x100), LineState::kShared);
+}
+
+TEST_F(SnoopPair, MesiBusReadXInvalidatesAndTransfersDirtyData) {
+  build(SnoopProtocol::kMesi);
+  store(0, 0x100, 0x11);
+  store(1, 0x100, 0x22);  // ReadX: flush from 0, invalidate it
+  EXPECT_EQ(state(0, 0x100), LineState::kInvalid);
+  EXPECT_EQ(state(1, 0x100), LineState::kModified);
+  EXPECT_EQ(load(1, 0x100), 0x22u);
+}
+
+TEST_F(SnoopPair, MesiUpgradeInvalidatesOtherSharers) {
+  build(SnoopProtocol::kMesi);
+  load(0, 0x100);
+  load(1, 0x100);  // both S
+  store(0, 0x100, 1);
+  EXPECT_EQ(state(0, 0x100), LineState::kModified);
+  EXPECT_EQ(state(1, 0x100), LineState::kInvalid);
+}
+
+TEST_F(SnoopPair, MesiEvictionWritesBackBeforeFill) {
+  build(SnoopProtocol::kMesi);
+  store(0, 0x100, 0x77);
+  load(0, 0x1100);  // direct-mapped conflict: evicts the dirty line
+  sim.run_to_completion();
+  EXPECT_EQ(memv->read_u32(0x100), 0x77u);
+}
+
+TEST_F(SnoopPair, WtiAtomicSwapAtMemory) {
+  build(SnoopProtocol::kWti);
+  memv->write_u32(0x100, 5);
+  load(1, 0x100);
+  MemAccess m;
+  m.is_store = true;
+  m.atomic = cache::AtomicKind::kSwap;
+  m.addr = 0x100;
+  m.size = 4;
+  m.value = 1;
+  EXPECT_EQ(access(0, m), 5u);
+  EXPECT_EQ(memv->read_u32(0x100), 1u);
+  EXPECT_EQ(state(1, 0x100), LineState::kInvalid);  // snooped the swap
+}
+
+TEST_F(SnoopPair, MesiAtomicFetchAddIsCacheSide) {
+  build(SnoopProtocol::kMesi);
+  memv->write_u32(0x100, 10);
+  MemAccess m;
+  m.is_store = true;
+  m.atomic = cache::AtomicKind::kAdd;
+  m.addr = 0x100;
+  m.size = 4;
+  m.value = 3;
+  EXPECT_EQ(access(0, m), 10u);
+  EXPECT_EQ(load(0, 0x100), 13u);
+}
+
+// ---- whole platform ----
+
+struct Param {
+  SnoopProtocol proto;
+  unsigned cpus;
+};
+
+class SnoopPlatform : public ::testing::TestWithParam<Param> {
+ protected:
+  SnoopSystemConfig cfg() const {
+    SnoopSystemConfig c;
+    c.num_cpus = GetParam().cpus;
+    c.protocol = GetParam().proto;
+    return c;
+  }
+};
+
+TEST_P(SnoopPlatform, HotCounterExact) {
+  SnoopSystem sys(cfg());
+  apps::HotCounter w(60);
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(SnoopPlatform, ProducerConsumerSequentiallyConsistent) {
+  SnoopSystem sys(cfg());
+  apps::ProducerConsumer w(25, 6);
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(SnoopPlatform, OceanBitExact) {
+  SnoopSystem sys(cfg());
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = 2;
+  oc.iterations = 2;
+  apps::Ocean w(oc);
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(SnoopPlatform, WaterBitExact) {
+  SnoopSystem sys(cfg());
+  apps::Water::Config wc;
+  wc.molecules = 10;
+  wc.steps = 2;
+  apps::Water w(wc);
+  auto r = sys.run(w);
+  EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Buses, SnoopPlatform,
+    ::testing::Values(Param{SnoopProtocol::kWti, 2}, Param{SnoopProtocol::kWti, 4},
+                      Param{SnoopProtocol::kMesi, 2}, Param{SnoopProtocol::kMesi, 4},
+                      Param{SnoopProtocol::kWti, 8}, Param{SnoopProtocol::kMesi, 8}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(info.param.proto == SnoopProtocol::kWti ? "WTI" : "MESI") +
+             "_n" + std::to_string(info.param.cpus);
+    });
+
+}  // namespace
+}  // namespace ccnoc::snoop
