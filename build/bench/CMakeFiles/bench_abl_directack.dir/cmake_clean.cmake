@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_directack.dir/bench_abl_directack.cpp.o"
+  "CMakeFiles/bench_abl_directack.dir/bench_abl_directack.cpp.o.d"
+  "bench_abl_directack"
+  "bench_abl_directack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_directack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_network.dir/bench_abl_network.cpp.o"
+  "CMakeFiles/bench_abl_network.dir/bench_abl_network.cpp.o.d"
+  "bench_abl_network"
+  "bench_abl_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

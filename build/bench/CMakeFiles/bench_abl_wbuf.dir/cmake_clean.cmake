@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_wbuf.dir/bench_abl_wbuf.cpp.o"
+  "CMakeFiles/bench_abl_wbuf.dir/bench_abl_wbuf.cpp.o.d"
+  "bench_abl_wbuf"
+  "bench_abl_wbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_wbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bestworst.dir/bench_ext_bestworst.cpp.o"
+  "CMakeFiles/bench_ext_bestworst.dir/bench_ext_bestworst.cpp.o.d"
+  "bench_ext_bestworst"
+  "bench_ext_bestworst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bestworst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

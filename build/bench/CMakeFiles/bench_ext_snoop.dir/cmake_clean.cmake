@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_snoop.dir/bench_ext_snoop.cpp.o"
+  "CMakeFiles/bench_ext_snoop.dir/bench_ext_snoop.cpp.o.d"
+  "bench_ext_snoop"
+  "bench_ext_snoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_snoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

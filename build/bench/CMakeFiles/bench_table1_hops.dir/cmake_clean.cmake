@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hops.dir/bench_table1_hops.cpp.o"
+  "CMakeFiles/bench_table1_hops.dir/bench_table1_hops.cpp.o.d"
+  "bench_table1_hops"
+  "bench_table1_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_scaling.dir/lu_scaling.cpp.o"
+  "CMakeFiles/lu_scaling.dir/lu_scaling.cpp.o.d"
+  "lu_scaling"
+  "lu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_contention.dir/ocean_contention.cpp.o"
+  "CMakeFiles/ocean_contention.dir/ocean_contention.cpp.o.d"
+  "ocean_contention"
+  "ocean_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

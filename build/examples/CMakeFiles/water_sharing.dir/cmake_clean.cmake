@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_sharing.dir/water_sharing.cpp.o"
+  "CMakeFiles/water_sharing.dir/water_sharing.cpp.o.d"
+  "water_sharing"
+  "water_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/ccnoc_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/ccnoc_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/micro.cpp" "src/apps/CMakeFiles/ccnoc_apps.dir/micro.cpp.o" "gcc" "src/apps/CMakeFiles/ccnoc_apps.dir/micro.cpp.o.d"
+  "/root/repo/src/apps/ocean.cpp" "src/apps/CMakeFiles/ccnoc_apps.dir/ocean.cpp.o" "gcc" "src/apps/CMakeFiles/ccnoc_apps.dir/ocean.cpp.o.d"
+  "/root/repo/src/apps/trace.cpp" "src/apps/CMakeFiles/ccnoc_apps.dir/trace.cpp.o" "gcc" "src/apps/CMakeFiles/ccnoc_apps.dir/trace.cpp.o.d"
+  "/root/repo/src/apps/water.cpp" "src/apps/CMakeFiles/ccnoc_apps.dir/water.cpp.o" "gcc" "src/apps/CMakeFiles/ccnoc_apps.dir/water.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/ccnoc_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ccnoc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ccnoc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ccnoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ccnoc_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnoc_apps.dir/lu.cpp.o"
+  "CMakeFiles/ccnoc_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/ccnoc_apps.dir/micro.cpp.o"
+  "CMakeFiles/ccnoc_apps.dir/micro.cpp.o.d"
+  "CMakeFiles/ccnoc_apps.dir/ocean.cpp.o"
+  "CMakeFiles/ccnoc_apps.dir/ocean.cpp.o.d"
+  "CMakeFiles/ccnoc_apps.dir/trace.cpp.o"
+  "CMakeFiles/ccnoc_apps.dir/trace.cpp.o.d"
+  "CMakeFiles/ccnoc_apps.dir/water.cpp.o"
+  "CMakeFiles/ccnoc_apps.dir/water.cpp.o.d"
+  "libccnoc_apps.a"
+  "libccnoc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnoc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

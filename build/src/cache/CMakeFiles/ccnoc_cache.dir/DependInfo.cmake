@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_node.cpp" "src/cache/CMakeFiles/ccnoc_cache.dir/cache_node.cpp.o" "gcc" "src/cache/CMakeFiles/ccnoc_cache.dir/cache_node.cpp.o.d"
+  "/root/repo/src/cache/controller.cpp" "src/cache/CMakeFiles/ccnoc_cache.dir/controller.cpp.o" "gcc" "src/cache/CMakeFiles/ccnoc_cache.dir/controller.cpp.o.d"
+  "/root/repo/src/cache/icache_controller.cpp" "src/cache/CMakeFiles/ccnoc_cache.dir/icache_controller.cpp.o" "gcc" "src/cache/CMakeFiles/ccnoc_cache.dir/icache_controller.cpp.o.d"
+  "/root/repo/src/cache/mesi_controller.cpp" "src/cache/CMakeFiles/ccnoc_cache.dir/mesi_controller.cpp.o" "gcc" "src/cache/CMakeFiles/ccnoc_cache.dir/mesi_controller.cpp.o.d"
+  "/root/repo/src/cache/wti_controller.cpp" "src/cache/CMakeFiles/ccnoc_cache.dir/wti_controller.cpp.o" "gcc" "src/cache/CMakeFiles/ccnoc_cache.dir/wti_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/ccnoc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ccnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccnoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

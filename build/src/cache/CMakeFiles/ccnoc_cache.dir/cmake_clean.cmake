@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnoc_cache.dir/cache_node.cpp.o"
+  "CMakeFiles/ccnoc_cache.dir/cache_node.cpp.o.d"
+  "CMakeFiles/ccnoc_cache.dir/controller.cpp.o"
+  "CMakeFiles/ccnoc_cache.dir/controller.cpp.o.d"
+  "CMakeFiles/ccnoc_cache.dir/icache_controller.cpp.o"
+  "CMakeFiles/ccnoc_cache.dir/icache_controller.cpp.o.d"
+  "CMakeFiles/ccnoc_cache.dir/mesi_controller.cpp.o"
+  "CMakeFiles/ccnoc_cache.dir/mesi_controller.cpp.o.d"
+  "CMakeFiles/ccnoc_cache.dir/wti_controller.cpp.o"
+  "CMakeFiles/ccnoc_cache.dir/wti_controller.cpp.o.d"
+  "libccnoc_cache.a"
+  "libccnoc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnoc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/ccnoc_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/ccnoc_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ccnoc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ccnoc_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ccnoc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ccnoc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ccnoc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ccnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccnoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

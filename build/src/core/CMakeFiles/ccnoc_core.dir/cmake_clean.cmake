@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnoc_core.dir/system.cpp.o"
+  "CMakeFiles/ccnoc_core.dir/system.cpp.o.d"
+  "libccnoc_core.a"
+  "libccnoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

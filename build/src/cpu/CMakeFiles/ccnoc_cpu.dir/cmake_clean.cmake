@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnoc_cpu.dir/processor.cpp.o"
+  "CMakeFiles/ccnoc_cpu.dir/processor.cpp.o.d"
+  "libccnoc_cpu.a"
+  "libccnoc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnoc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnoc_mem.dir/bank.cpp.o"
+  "CMakeFiles/ccnoc_mem.dir/bank.cpp.o.d"
+  "libccnoc_mem.a"
+  "libccnoc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnoc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/gmn.cpp" "src/noc/CMakeFiles/ccnoc_noc.dir/gmn.cpp.o" "gcc" "src/noc/CMakeFiles/ccnoc_noc.dir/gmn.cpp.o.d"
+  "/root/repo/src/noc/mesh.cpp" "src/noc/CMakeFiles/ccnoc_noc.dir/mesh.cpp.o" "gcc" "src/noc/CMakeFiles/ccnoc_noc.dir/mesh.cpp.o.d"
+  "/root/repo/src/noc/message.cpp" "src/noc/CMakeFiles/ccnoc_noc.dir/message.cpp.o" "gcc" "src/noc/CMakeFiles/ccnoc_noc.dir/message.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/ccnoc_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/ccnoc_noc.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccnoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnoc_noc.dir/gmn.cpp.o"
+  "CMakeFiles/ccnoc_noc.dir/gmn.cpp.o.d"
+  "CMakeFiles/ccnoc_noc.dir/mesh.cpp.o"
+  "CMakeFiles/ccnoc_noc.dir/mesh.cpp.o.d"
+  "CMakeFiles/ccnoc_noc.dir/message.cpp.o"
+  "CMakeFiles/ccnoc_noc.dir/message.cpp.o.d"
+  "CMakeFiles/ccnoc_noc.dir/network.cpp.o"
+  "CMakeFiles/ccnoc_noc.dir/network.cpp.o.d"
+  "libccnoc_noc.a"
+  "libccnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnoc_os.dir/kernel.cpp.o"
+  "CMakeFiles/ccnoc_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/ccnoc_os.dir/layout.cpp.o"
+  "CMakeFiles/ccnoc_os.dir/layout.cpp.o.d"
+  "CMakeFiles/ccnoc_os.dir/scheduler.cpp.o"
+  "CMakeFiles/ccnoc_os.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ccnoc_os.dir/sync.cpp.o"
+  "CMakeFiles/ccnoc_os.dir/sync.cpp.o.d"
+  "libccnoc_os.a"
+  "libccnoc_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnoc_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccnoc_os.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnoc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ccnoc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ccnoc_sim.dir/log.cpp.o"
+  "CMakeFiles/ccnoc_sim.dir/log.cpp.o.d"
+  "CMakeFiles/ccnoc_sim.dir/stats.cpp.o"
+  "CMakeFiles/ccnoc_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/ccnoc_sim.dir/types.cpp.o"
+  "CMakeFiles/ccnoc_sim.dir/types.cpp.o.d"
+  "libccnoc_sim.a"
+  "libccnoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnoc_snoop.dir/bus.cpp.o"
+  "CMakeFiles/ccnoc_snoop.dir/bus.cpp.o.d"
+  "CMakeFiles/ccnoc_snoop.dir/caches.cpp.o"
+  "CMakeFiles/ccnoc_snoop.dir/caches.cpp.o.d"
+  "CMakeFiles/ccnoc_snoop.dir/system.cpp.o"
+  "CMakeFiles/ccnoc_snoop.dir/system.cpp.o.d"
+  "libccnoc_snoop.a"
+  "libccnoc_snoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnoc_snoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

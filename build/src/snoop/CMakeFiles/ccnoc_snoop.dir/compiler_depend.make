@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccnoc_snoop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_tests.dir/cache/direct_ack_test.cpp.o"
+  "CMakeFiles/cache_tests.dir/cache/direct_ack_test.cpp.o.d"
+  "CMakeFiles/cache_tests.dir/cache/fsm_table_test.cpp.o"
+  "CMakeFiles/cache_tests.dir/cache/fsm_table_test.cpp.o.d"
+  "CMakeFiles/cache_tests.dir/cache/fuzz_test.cpp.o"
+  "CMakeFiles/cache_tests.dir/cache/fuzz_test.cpp.o.d"
+  "CMakeFiles/cache_tests.dir/cache/mesi_fsm_test.cpp.o"
+  "CMakeFiles/cache_tests.dir/cache/mesi_fsm_test.cpp.o.d"
+  "CMakeFiles/cache_tests.dir/cache/relaxed_order_test.cpp.o"
+  "CMakeFiles/cache_tests.dir/cache/relaxed_order_test.cpp.o.d"
+  "CMakeFiles/cache_tests.dir/cache/tag_array_test.cpp.o"
+  "CMakeFiles/cache_tests.dir/cache/tag_array_test.cpp.o.d"
+  "CMakeFiles/cache_tests.dir/cache/wti_fsm_test.cpp.o"
+  "CMakeFiles/cache_tests.dir/cache/wti_fsm_test.cpp.o.d"
+  "CMakeFiles/cache_tests.dir/cache/wtu_test.cpp.o"
+  "CMakeFiles/cache_tests.dir/cache/wtu_test.cpp.o.d"
+  "cache_tests"
+  "cache_tests.pdb"
+  "cache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

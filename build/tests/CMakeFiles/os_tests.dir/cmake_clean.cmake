@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_tests.dir/os/layout_test.cpp.o"
+  "CMakeFiles/os_tests.dir/os/layout_test.cpp.o.d"
+  "CMakeFiles/os_tests.dir/os/scheduler_test.cpp.o"
+  "CMakeFiles/os_tests.dir/os/scheduler_test.cpp.o.d"
+  "CMakeFiles/os_tests.dir/os/sync_test.cpp.o"
+  "CMakeFiles/os_tests.dir/os/sync_test.cpp.o.d"
+  "os_tests"
+  "os_tests.pdb"
+  "os_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

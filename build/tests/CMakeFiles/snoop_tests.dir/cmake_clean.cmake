@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snoop_tests.dir/snoop/snoop_test.cpp.o"
+  "CMakeFiles/snoop_tests.dir/snoop/snoop_test.cpp.o.d"
+  "snoop_tests"
+  "snoop_tests.pdb"
+  "snoop_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snoop_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

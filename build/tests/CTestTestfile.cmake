@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/noc_tests[1]_include.cmake")
+include("/root/repo/build/tests/mem_tests[1]_include.cmake")
+include("/root/repo/build/tests/cache_tests[1]_include.cmake")
+include("/root/repo/build/tests/cpu_tests[1]_include.cmake")
+include("/root/repo/build/tests/os_tests[1]_include.cmake")
+include("/root/repo/build/tests/apps_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/snoop_tests[1]_include.cmake")
