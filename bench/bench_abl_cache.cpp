@@ -26,7 +26,10 @@ core::RunResult run_geom(mem::Protocol p, unsigned size, unsigned block, unsigne
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
+
   std::printf("=== Ablation: cache geometry (Ocean, arch 2, n=8) ===\n");
   std::printf("%8s %8s %6s %14s %14s %10s\n", "size", "block", "ways", "WTI [Mcyc]",
               "MESI [Mcyc]", "WTI/MESI");
@@ -45,6 +48,16 @@ int main() {
                 w.exec_megacycles(), m.exec_megacycles(),
                 double(w.exec_cycles) / double(m.exec_cycles),
                 w.verified ? "" : " [WTI!]", m.verified ? "" : " [MESI!]");
+    log.add("size" + std::to_string(g.size) + "_block" + std::to_string(g.block) +
+                "_ways" + std::to_string(g.ways),
+            {{"size_bytes", double(g.size)},
+             {"block_bytes", double(g.block)},
+             {"ways", double(g.ways)},
+             {"wti_cycles", double(w.exec_cycles)},
+             {"mesi_cycles", double(m.exec_cycles)},
+             {"verified", (w.verified && m.verified) ? 1.0 : 0.0}});
   }
+
+  if (!opt.json_path.empty() && !log.write(opt.json_path, "abl_cache")) return 1;
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "apps/ocean.hpp"
 #include "apps/micro.hpp"
+#include "bench_io.hpp"
 #include "core/system.hpp"
 
 using namespace ccnoc;
@@ -40,7 +41,10 @@ core::RunResult run(bool strict_sc, unsigned arch, unsigned n, bool ocean) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
+
   std::printf("=== Ablation: SC drain-on-load-miss vs relaxed WTI ordering ===\n");
   for (bool ocean : {true, false}) {
     std::printf("\n%s\n", ocean ? "Ocean (barrier-synchronized)" : "Hot counter (lock-synchronized)");
@@ -54,9 +58,18 @@ int main() {
                     double(sc.exec_cycles) / 1e3, double(rx.exec_cycles) / 1e3,
                     double(sc.exec_cycles) / double(rx.exec_cycles),
                     (sc.verified && rx.verified) ? "" : " [UNVERIFIED]");
+        log.add(std::string(ocean ? "ocean" : "hot_counter") + "_arch" +
+                    std::to_string(arch) + "_n" + std::to_string(n),
+                {{"arch", double(arch)},
+                 {"n", double(n)},
+                 {"sc_cycles", double(sc.exec_cycles)},
+                 {"relaxed_cycles", double(rx.exec_cycles)},
+                 {"verified", (sc.verified && rx.verified) ? 1.0 : 0.0}});
       }
     }
   }
+
+  if (!opt.json_path.empty() && !log.write(opt.json_path, "abl_consistency")) return 1;
   std::printf(
       "\n(speedup > 1: cycles the strict drain costs. The paper's claim that\n"
       " the comparison remains valid under a weaker model holds if the gain\n"

@@ -28,7 +28,10 @@ core::RunResult run(mem::Protocol p, unsigned n, bool direct, bool ocean) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions cli = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
+
   std::printf("=== Ablation: direct invalidation acks (paper §4.2) ===\n");
   for (bool ocean : {true, false}) {
     std::printf("\n%s\n", ocean ? "Ocean" : "Hot counter (upgrade/invalidate heavy)");
@@ -42,9 +45,17 @@ int main() {
                     double(base.exec_cycles) / 1e3, double(opt.exec_cycles) / 1e3,
                     double(base.exec_cycles) / double(opt.exec_cycles),
                     (base.verified && opt.verified) ? "" : " [UNVERIFIED]");
+        log.add(std::string(ocean ? "ocean" : "hot_counter") + "_" + to_string(p) +
+                    "_n" + std::to_string(n),
+                {{"n", double(n)},
+                 {"base_cycles", double(base.exec_cycles)},
+                 {"direct_cycles", double(opt.exec_cycles)},
+                 {"verified", (base.verified && opt.verified) ? 1.0 : 0.0}});
       }
     }
   }
+
+  if (!cli.json_path.empty() && !log.write(cli.json_path, "abl_directack")) return 1;
   std::printf(
       "\n(The gain lands where invalidation rounds sit on the critical path:\n"
       " MESI upgrades of contended blocks and WTI writes to shared data.)\n");

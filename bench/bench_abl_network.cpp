@@ -24,7 +24,10 @@ core::RunResult run_net(core::NetworkKind net, unsigned arch, mem::Protocol prot
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
+
   std::printf("=== Ablation: GMN crossbar vs real 2-D mesh (Ocean, arch 2) ===\n");
   std::printf("%6s %12s %12s %12s %12s %14s\n", "n", "GMN WTI", "GMN MESI",
               "mesh WTI", "mesh MESI", "ratio drift");
@@ -38,7 +41,16 @@ int main() {
     std::printf("%6u %11.2fM %11.2fM %11.2fM %11.2fM %13.1f%%\n", n,
                 gw.exec_megacycles(), gm.exec_megacycles(), mw.exec_megacycles(),
                 mm.exec_megacycles(), 100.0 * (rm - rg) / rg);
+    log.add("n" + std::to_string(n),
+            {{"n", double(n)},
+             {"gmn_wti_cycles", double(gw.exec_cycles)},
+             {"gmn_mesi_cycles", double(gm.exec_cycles)},
+             {"mesh_wti_cycles", double(mw.exec_cycles)},
+             {"mesh_mesi_cycles", double(mm.exec_cycles)},
+             {"ratio_drift_pct", 100.0 * (rm - rg) / rg}});
   }
+
+  if (!opt.json_path.empty() && !log.write(opt.json_path, "abl_network")) return 1;
   std::printf("\n(ratio drift = change of the WTI/MESI execution-time ratio when\n"
               " swapping the interconnect model; small drift = the GMN\n"
               " approximation does not bias the comparison)\n");

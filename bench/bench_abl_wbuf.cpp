@@ -14,7 +14,8 @@ using namespace ccnoc;
 
 namespace {
 
-void sweep(const char* label, const std::function<core::RunResult(core::System&)>& go) {
+void sweep(const char* label, const char* key, bench::MetricLog& log,
+           const std::function<core::RunResult(core::System&)>& go) {
   std::printf("\n%s\n", label);
   std::printf("%8s %14s %16s %18s\n", "entries", "exec [Kcyc]", "full stalls",
               "d-stall [%]");
@@ -31,15 +32,25 @@ void sweep(const char* label, const std::function<core::RunResult(core::System&)
     std::printf("%8u %14.1f %16llu %17.1f%%%s\n", depth, double(r.exec_cycles) / 1e3,
                 static_cast<unsigned long long>(stalls), r.d_stall_pct(8),
                 r.verified ? "" : "  [UNVERIFIED]");
+    log.add(std::string(key) + "_depth" + std::to_string(depth),
+            {{"depth", double(depth)},
+             {"exec_cycles", double(r.exec_cycles)},
+             {"wbuf_full_stalls", double(stalls)},
+             {"d_stall_pct", r.d_stall_pct(8)},
+             {"verified", r.verified ? 1.0 : 0.0}});
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
+
   std::printf("=== Ablation: WTI write-buffer depth (arch 1, n=8) ===\n");
 
-  sweep("Store burst (70%% stores, back-to-back)", [](core::System& sys) {
+  sweep("Store burst (70%% stores, back-to-back)", "store_burst", log,
+        [](core::System& sys) {
     apps::UniformRandom::Config c;
     c.ops_per_thread = 1200;
     c.store_fraction = 0.7;
@@ -49,9 +60,12 @@ int main() {
     return sys.run(w);
   });
 
-  sweep("Ocean (paper workload, moderate store rate)", [](core::System& sys) {
+  sweep("Ocean (paper workload, moderate store rate)", "ocean", log,
+        [](core::System& sys) {
     auto app = bench::make_app("ocean");
     return sys.run(*app);
   });
+
+  if (!opt.json_path.empty() && !log.write(opt.json_path, "abl_wbuf")) return 1;
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "apps/micro.hpp"
+#include "bench_io.hpp"
 #include "core/system.hpp"
 
 using namespace ccnoc;
@@ -26,7 +27,8 @@ core::RunResult run(apps::Workload& w, mem::Protocol p, unsigned n) {
   return sys.run(w);
 }
 
-void table(const char* title, const std::function<core::RunResult(mem::Protocol, unsigned)>& go) {
+void table(const char* title, const char* key, bench::MetricLog& log,
+           const std::function<core::RunResult(mem::Protocol, unsigned)>& go) {
   std::printf("\n%s\n", title);
   std::printf("%6s %14s %14s %10s %16s %16s\n", "n", "WTI [Kcyc]", "MESI [Kcyc]",
               "WTI/MESI", "WTI [bytes]", "MESI [bytes]");
@@ -39,16 +41,26 @@ void table(const char* title, const std::function<core::RunResult(mem::Protocol,
                 static_cast<unsigned long long>(w.noc_bytes),
                 static_cast<unsigned long long>(m.noc_bytes),
                 (w.verified && m.verified) ? "" : " [UNVERIFIED]");
+    log.add(std::string(key) + "_n" + std::to_string(n),
+            {{"n", double(n)},
+             {"wti_cycles", double(w.exec_cycles)},
+             {"mesi_cycles", double(m.exec_cycles)},
+             {"wti_noc_bytes", double(w.noc_bytes)},
+             {"mesi_noc_bytes", double(m.noc_bytes)},
+             {"verified", (w.verified && m.verified) ? 1.0 : 0.0}});
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
+
   std::printf("=== Extension: best-case / worst-case write-policy comparison ===\n");
 
   table("Best case for write-back: private data, write-heavy, high reuse",
-        [](mem::Protocol p, unsigned n) {
+        "private_write_heavy", log, [](mem::Protocol p, unsigned n) {
           apps::UniformRandom::Config c;
           c.ops_per_thread = 1500;
           c.local_fraction = 1.0;  // no sharing at all
@@ -59,13 +71,13 @@ int main() {
         });
 
   table("Worst case: one lock-protected counter shared by every thread",
-        [](mem::Protocol p, unsigned n) {
+        "hot_counter", log, [](mem::Protocol p, unsigned n) {
           apps::HotCounter w(150);
           return run(w, p, n);
         });
 
   table("Mixed: 40% local / 60% shared random traffic",
-        [](mem::Protocol p, unsigned n) {
+        "mixed_random", log, [](mem::Protocol p, unsigned n) {
           apps::UniformRandom::Config c;
           c.ops_per_thread = 1500;
           c.local_fraction = 0.4;
@@ -79,5 +91,7 @@ int main() {
       "(write-through keeps paying per-store words); migratory shared data is\n"
       "hard for both; the paper's applications fall between the extremes,\n"
       "which is why Figure 4 shows near-parity.\n");
+
+  if (!opt.json_path.empty() && !log.write(opt.json_path, "ext_bestworst")) return 1;
   return 0;
 }

@@ -31,7 +31,10 @@ core::RunResult run_on(core::NetworkKind net, mem::Protocol p, unsigned n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
+
   std::printf("=== Extension: bus vs NoC — why the paper re-evaluates WT ===\n");
   std::printf("Ocean, architecture 2 layout, directory protocols on both fabrics.\n");
   std::printf("With a directory, the WTI/MESI ratio barely moves between bus and\n");
@@ -52,6 +55,17 @@ int main() {
                 (bw.verified && bm.verified && nw.verified && nm.verified)
                     ? ""
                     : " [UNVERIFIED]");
+    log.add("n" + std::to_string(n),
+            {{"n", double(n)},
+             {"bus_wti_cycles", double(bw.exec_cycles)},
+             {"bus_mesi_cycles", double(bm.exec_cycles)},
+             {"noc_wti_cycles", double(nw.exec_cycles)},
+             {"noc_mesi_cycles", double(nm.exec_cycles)},
+             {"verified",
+              (bw.verified && bm.verified && nw.verified && nm.verified) ? 1.0
+                                                                         : 0.0}});
   }
+
+  if (!opt.json_path.empty() && !log.write(opt.json_path, "ext_bus")) return 1;
   return 0;
 }

@@ -36,7 +36,10 @@ core::RunResult run_noc(mem::Protocol p, unsigned n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
+
   std::printf("=== Extension: snooping bus vs directory NoC (Ocean) ===\n");
   std::printf("WT/WB execution-time ratio per organization (>1 = write-through\n");
   std::printf("loses). The classic bus result should appear on the left, the\n");
@@ -56,6 +59,15 @@ int main() {
                 (sw.verified && sm.verified && nw.verified && nm.verified)
                     ? ""
                     : " [UNVERIFIED]");
+    log.add("n" + std::to_string(n),
+            {{"n", double(n)},
+             {"snoop_wti_cycles", double(sw.exec_cycles)},
+             {"snoop_mesi_cycles", double(sm.exec_cycles)},
+             {"noc_wti_cycles", double(nw.exec_cycles)},
+             {"noc_mesi_cycles", double(nm.exec_cycles)},
+             {"verified",
+              (sw.verified && sm.verified && nw.verified && nm.verified) ? 1.0
+                                                                         : 0.0}});
   }
   std::printf("\nBus traffic (transactions), Ocean n=8:\n");
   auto sw = run_snoop(snoop::SnoopProtocol::kWti, 8);
@@ -66,5 +78,12 @@ int main() {
   std::printf("  snoop-MESI: %8llu txns, %8llu bytes\n",
               static_cast<unsigned long long>(sm.noc_packets),
               static_cast<unsigned long long>(sm.noc_bytes));
+  log.add("bus_traffic_n8",
+          {{"snoop_wti_txns", double(sw.noc_packets)},
+           {"snoop_wti_bytes", double(sw.noc_bytes)},
+           {"snoop_mesi_txns", double(sm.noc_packets)},
+           {"snoop_mesi_bytes", double(sm.noc_bytes)}});
+
+  if (!opt.json_path.empty() && !log.write(opt.json_path, "ext_snoop")) return 1;
   return 0;
 }

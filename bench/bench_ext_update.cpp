@@ -22,8 +22,8 @@ core::RunResult run3(apps::Workload& w, mem::Protocol p, unsigned arch, unsigned
   return sys.run(w);
 }
 
-void print_row(const char* label, core::RunResult wti, core::RunResult wtu,
-               core::RunResult mesi) {
+void print_row(bench::MetricLog& log, const char* label, const char* key,
+               core::RunResult wti, core::RunResult wtu, core::RunResult mesi) {
   std::printf("%-26s %10.1f %10.1f %10.1f | %12llu %12llu %12llu%s\n", label,
               double(wti.exec_cycles) / 1e3, double(wtu.exec_cycles) / 1e3,
               double(mesi.exec_cycles) / 1e3,
@@ -31,11 +31,21 @@ void print_row(const char* label, core::RunResult wti, core::RunResult wtu,
               static_cast<unsigned long long>(wtu.noc_bytes),
               static_cast<unsigned long long>(mesi.noc_bytes),
               (wti.verified && wtu.verified && mesi.verified) ? "" : " [UNVERIFIED]");
+  log.add(key, {{"wti_cycles", double(wti.exec_cycles)},
+                {"wtu_cycles", double(wtu.exec_cycles)},
+                {"mesi_cycles", double(mesi.exec_cycles)},
+                {"wti_noc_bytes", double(wti.noc_bytes)},
+                {"wtu_noc_bytes", double(wtu.noc_bytes)},
+                {"mesi_noc_bytes", double(mesi.noc_bytes)},
+                {"verified",
+                 (wti.verified && wtu.verified && mesi.verified) ? 1.0 : 0.0}});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
   const unsigned n = 8;
   std::printf("=== Extension: write-update (WTU) vs the paper's protocols ===\n");
   std::printf("architecture 2, n=%u\n\n", n);
@@ -44,13 +54,15 @@ int main() {
 
   {
     apps::ProducerConsumer a(60, 6), b(60, 6), c(60, 6);
-    print_row("producer-consumer", run3(a, mem::Protocol::kWti, 2, n),
+    print_row(log, "producer-consumer", "producer_consumer",
+              run3(a, mem::Protocol::kWti, 2, n),
               run3(b, mem::Protocol::kWtu, 2, n),
               run3(c, mem::Protocol::kWbMesi, 2, n));
   }
   {
     apps::HotCounter a(120), b(120), c(120);
-    print_row("hot counter (locks)", run3(a, mem::Protocol::kWti, 2, n),
+    print_row(log, "hot counter (locks)", "hot_counter",
+              run3(a, mem::Protocol::kWti, 2, n),
               run3(b, mem::Protocol::kWtu, 2, n),
               run3(c, mem::Protocol::kWbMesi, 2, n));
   }
@@ -63,7 +75,8 @@ int main() {
       return apps::UniformRandom(c);
     };
     auto a = mk(), b = mk(), c = mk();
-    print_row("shared random, write-heavy", run3(a, mem::Protocol::kWti, 2, n),
+    print_row(log, "shared random, write-heavy", "shared_random_write_heavy",
+              run3(a, mem::Protocol::kWti, 2, n),
               run3(b, mem::Protocol::kWtu, 2, n),
               run3(c, mem::Protocol::kWbMesi, 2, n));
   }
@@ -75,7 +88,7 @@ int main() {
       return apps::Ocean(oc);
     };
     auto a = mk(), b = mk(), c = mk();
-    print_row("ocean", run3(a, mem::Protocol::kWti, 2, n),
+    print_row(log, "ocean", "ocean", run3(a, mem::Protocol::kWti, 2, n),
               run3(b, mem::Protocol::kWtu, 2, n),
               run3(c, mem::Protocol::kWbMesi, 2, n));
   }
@@ -87,5 +100,7 @@ int main() {
       "(\"the most commonly used and surely the best in our context\") holds\n"
       "for the application workloads, while the sharing microbenchmarks show\n"
       "the update niche.\n");
+
+  if (!opt.json_path.empty() && !log.write(opt.json_path, "ext_update")) return 1;
   return 0;
 }

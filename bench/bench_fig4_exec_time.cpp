@@ -14,26 +14,34 @@
 
 using namespace ccnoc;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  const auto specs = bench::paper_grid(bench::sweep_sizes());
+  const auto runs = bench::run_sweep(specs, opt.threads);
+
   std::printf("=== Figure 4: execution time (megacycles) ===\n");
-  for (const char* app : {"ocean", "water"}) {
-    for (unsigned arch : {1u, 2u}) {
-      std::printf("\n%s — %s\n", app, bench::arch_label(arch));
+  // paper_grid keeps the WTI/MESI pair for each (app, arch, n) adjacent.
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const bench::PaperRun& wti = runs[i];
+    const bench::PaperRun& mesi = runs[i + 1];
+    if (i == 0 || wti.app != runs[i - 2].app || wti.arch != runs[i - 2].arch) {
+      std::printf("\n%s — %s\n", wti.app.c_str(), bench::arch_label(wti.arch));
       std::printf("%6s %14s %14s %10s\n", "n", "WTI [Mcyc]", "MESI [Mcyc]",
                   "WTI/MESI");
-      for (unsigned n : bench::sweep_sizes()) {
-        auto wti = bench::run_point(app, arch, mem::Protocol::kWti, n);
-        auto mesi = bench::run_point(app, arch, mem::Protocol::kWbMesi, n);
-        double ratio = mesi.result.exec_cycles == 0
-                           ? 0.0
-                           : double(wti.result.exec_cycles) /
-                                 double(mesi.result.exec_cycles);
-        std::printf("%6u %14.3f %14.3f %9.2fx%s%s\n", n,
-                    wti.result.exec_megacycles(), mesi.result.exec_megacycles(),
-                    ratio, wti.result.verified ? "" : "  [WTI UNVERIFIED]",
-                    mesi.result.verified ? "" : "  [MESI UNVERIFIED]");
-      }
     }
+    double ratio = mesi.result.exec_cycles == 0
+                       ? 0.0
+                       : double(wti.result.exec_cycles) /
+                             double(mesi.result.exec_cycles);
+    std::printf("%6u %14.3f %14.3f %9.2fx%s%s\n", wti.n,
+                wti.result.exec_megacycles(), mesi.result.exec_megacycles(),
+                ratio, wti.result.verified ? "" : "  [WTI UNVERIFIED]",
+                mesi.result.verified ? "" : "  [MESI UNVERIFIED]");
+  }
+
+  if (!opt.json_path.empty() &&
+      !bench::write_paper_json(opt.json_path, "fig4_exec_time", runs)) {
+    return 1;
   }
   return 0;
 }

@@ -11,24 +11,31 @@
 
 using namespace ccnoc;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  const auto specs = bench::paper_grid(bench::sweep_sizes());
+  const auto runs = bench::run_sweep(specs, opt.threads);
+
   std::printf("=== Figure 5: total NoC traffic (bytes) ===\n");
-  for (const char* app : {"ocean", "water"}) {
-    for (unsigned arch : {1u, 2u}) {
-      std::printf("\n%s — %s\n", app, bench::arch_label(arch));
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const bench::PaperRun& wti = runs[i];
+    const bench::PaperRun& mesi = runs[i + 1];
+    if (i == 0 || wti.app != runs[i - 2].app || wti.arch != runs[i - 2].arch) {
+      std::printf("\n%s — %s\n", wti.app.c_str(), bench::arch_label(wti.arch));
       std::printf("%6s %16s %16s %10s\n", "n", "WTI [bytes]", "MESI [bytes]",
                   "WTI/MESI");
-      for (unsigned n : bench::sweep_sizes()) {
-        auto wti = bench::run_point(app, arch, mem::Protocol::kWti, n);
-        auto mesi = bench::run_point(app, arch, mem::Protocol::kWbMesi, n);
-        double ratio = mesi.result.noc_bytes == 0
-                           ? 0.0
-                           : double(wti.result.noc_bytes) / double(mesi.result.noc_bytes);
-        std::printf("%6u %16llu %16llu %9.2fx\n", n,
-                    static_cast<unsigned long long>(wti.result.noc_bytes),
-                    static_cast<unsigned long long>(mesi.result.noc_bytes), ratio);
-      }
     }
+    double ratio = mesi.result.noc_bytes == 0
+                       ? 0.0
+                       : double(wti.result.noc_bytes) / double(mesi.result.noc_bytes);
+    std::printf("%6u %16llu %16llu %9.2fx\n", wti.n,
+                static_cast<unsigned long long>(wti.result.noc_bytes),
+                static_cast<unsigned long long>(mesi.result.noc_bytes), ratio);
+  }
+
+  if (!opt.json_path.empty() &&
+      !bench::write_paper_json(opt.json_path, "fig5_traffic", runs)) {
+    return 1;
   }
   return 0;
 }

@@ -12,19 +12,26 @@
 
 using namespace ccnoc;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  const auto specs = bench::paper_grid(bench::sweep_sizes());
+  const auto runs = bench::run_sweep(specs, opt.threads);
+
   std::printf("=== Figure 6: data-cache stall cycles (%% of execution) ===\n");
-  for (const char* app : {"ocean", "water"}) {
-    for (unsigned arch : {1u, 2u}) {
-      std::printf("\n%s — %s\n", app, bench::arch_label(arch));
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const bench::PaperRun& wti = runs[i];
+    const bench::PaperRun& mesi = runs[i + 1];
+    if (i == 0 || wti.app != runs[i - 2].app || wti.arch != runs[i - 2].arch) {
+      std::printf("\n%s — %s\n", wti.app.c_str(), bench::arch_label(wti.arch));
       std::printf("%6s %12s %12s\n", "n", "WTI [%]", "MESI [%]");
-      for (unsigned n : bench::sweep_sizes()) {
-        auto wti = bench::run_point(app, arch, mem::Protocol::kWti, n);
-        auto mesi = bench::run_point(app, arch, mem::Protocol::kWbMesi, n);
-        std::printf("%6u %11.1f%% %11.1f%%\n", n, wti.result.d_stall_pct(n),
-                    mesi.result.d_stall_pct(n));
-      }
     }
+    std::printf("%6u %11.1f%% %11.1f%%\n", wti.n, wti.result.d_stall_pct(wti.n),
+                mesi.result.d_stall_pct(mesi.n));
+  }
+
+  if (!opt.json_path.empty() &&
+      !bench::write_paper_json(opt.json_path, "fig6_stalls", runs)) {
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Shared command-line and JSON-output plumbing for the bench binaries.
+///
+/// Every bench accepts:
+///   --json <path>   write a machine-readable BENCH_*.json record
+///   --threads <n>   worker threads for the sweep (default: all cores, or
+///                   the CCNOC_SWEEP_THREADS environment variable)
+///   --serial        force the single-threaded reference path
+///
+/// The JSON schema is documented in EXPERIMENTS.md ("JSON bench output").
+
+namespace ccnoc::bench {
+
+struct BenchOptions {
+  std::string json_path;  ///< empty = no JSON output
+  unsigned threads = 0;   ///< 0 = SweepRunner default
+  bool serial = false;
+};
+
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      long v = std::strtol(argv[++i], nullptr, 10);
+      if (v > 0) opt.threads = unsigned(v);
+    } else if (std::strcmp(argv[i], "--serial") == 0) {
+      opt.serial = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [--json <path>] [--threads <n>] [--serial]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (opt.serial) opt.threads = 1;
+  return opt;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal JSON emitter: enough structure for the flat bench records
+/// (objects, arrays, string/number/bool fields) without a dependency.
+/// Comma placement is tracked with one flag: anything that completes a
+/// value (a field, end_object, end_array) marks the next sibling as needing
+/// a separator.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void begin_object() { sep(); open('{'); }
+  void begin_object(const std::string& key) { key_of(key); open('{'); }
+  void end_object() { done('}'); }
+  void begin_array(const std::string& key) { key_of(key); open('['); }
+  void end_array() { done(']'); }
+
+  void field(const std::string& key, const std::string& v) {
+    key_of(key);
+    std::fprintf(f_, "\"%s\"", json_escape(v).c_str());
+    need_comma_ = true;
+  }
+  void field(const std::string& key, const char* v) { field(key, std::string(v)); }
+  void field(const std::string& key, std::uint64_t v) {
+    key_of(key);
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+    need_comma_ = true;
+  }
+  void field(const std::string& key, unsigned v) {
+    field(key, static_cast<std::uint64_t>(v));
+  }
+  void field(const std::string& key, double v) {
+    key_of(key);
+    std::fprintf(f_, "%.9g", v);
+    need_comma_ = true;
+  }
+  void field(const std::string& key, bool v) {
+    key_of(key);
+    std::fputs(v ? "true" : "false", f_);
+    need_comma_ = true;
+  }
+
+ private:
+  void sep() {
+    if (need_comma_) std::fputc(',', f_);
+    need_comma_ = false;
+  }
+  void key_of(const std::string& key) {
+    sep();
+    std::fprintf(f_, "\"%s\":", json_escape(key).c_str());
+  }
+  void open(char c) {
+    std::fputc(c, f_);
+    need_comma_ = false;
+  }
+  void done(char c) {
+    std::fputc(c, f_);
+    need_comma_ = true;
+  }
+
+  std::FILE* f_;
+  bool need_comma_ = false;
+};
+
+/// Row-oriented JSON record for the bespoke (non-grid) benches: each row is
+/// one measured configuration with a label and named numeric metrics, saved
+/// in the order the bench printed it. Wall time is measured from
+/// construction to write().
+class MetricLog {
+ public:
+  MetricLog() : t0_(std::chrono::steady_clock::now()) {}
+
+  void add(const std::string& label,
+           std::initializer_list<std::pair<const char*, double>> values) {
+    rows_.push_back({label, {values.begin(), values.end()}});
+  }
+
+  /// Write the BENCH_*.json record (schema in EXPERIMENTS.md); returns
+  /// false (with a message on stderr) if the file can't be opened.
+  [[nodiscard]] bool write(const std::string& path,
+                           const std::string& bench_name) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0_).count();
+    JsonWriter w(f);
+    w.begin_object();
+    w.field("bench", bench_name);
+    w.field("schema_version", std::uint64_t{1});
+    w.begin_array("points");
+    for (const Row& r : rows_) {
+      w.begin_object();
+      w.field("label", r.label);
+      for (const auto& [key, v] : r.values) {
+        // Counters arrive as doubles; keep exact integers integral in the
+        // output instead of rounding them through %g.
+        if (v >= 0 && v == std::floor(v) && v < 9.007199254740992e15) {
+          w.field(key, std::uint64_t(v));
+        } else {
+          w.field(key, v);
+        }
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.begin_object("totals");
+    w.field("points", std::uint64_t(rows_.size()));
+    w.field("wall_seconds", wall);
+    w.end_object();
+    w.end_object();
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu points)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ccnoc::bench

@@ -1,18 +1,27 @@
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/ocean.hpp"
 #include "apps/water.hpp"
+#include "bench_io.hpp"
 #include "core/system.hpp"
+#include "sim/sweep.hpp"
 
 /// Shared harness for the paper-reproduction benches (Figures 4/5/6): one
 /// run of Ocean or Water on a paper platform (architecture × protocol × n),
 /// with the workload scaled the same way the paper scales it (constant
 /// work per processor: Ocean's grid dimension and Water's molecule count
 /// follow the processor count) but at a size that simulates in seconds.
+///
+/// Every sweep point owns its whole Simulator, so points are independent
+/// and `run_sweep` fans them across a sim::SweepRunner thread pool; results
+/// come back ordered by point index, making the parallel sweep's output
+/// byte-identical to the serial one.
 ///
 /// Set CCNOC_BENCH_SCALE=small to shrink the sweep (n ≤ 16) for smoke runs.
 
@@ -35,12 +44,21 @@ inline std::unique_ptr<apps::Workload> make_app(const std::string& name) {
   return nullptr;
 }
 
+/// One sweep point: which platform and workload to run.
+struct SweepSpec {
+  std::string app;
+  unsigned arch = 1;
+  mem::Protocol proto = mem::Protocol::kWti;
+  unsigned n = 4;
+};
+
 struct PaperRun {
   std::string app;
   unsigned arch = 1;
   mem::Protocol proto = mem::Protocol::kWti;
   unsigned n = 4;
   core::RunResult result;
+  double wall_seconds = 0.0;  ///< host time spent simulating this point
 };
 
 inline PaperRun run_point(const std::string& app, unsigned arch, mem::Protocol proto,
@@ -49,12 +67,44 @@ inline PaperRun run_point(const std::string& app, unsigned arch, mem::Protocol p
                                      : core::SystemConfig::architecture2(n, proto);
   core::System sys(cfg);
   auto workload = make_app(app);
-  PaperRun pr{app, arch, proto, n, sys.run(*workload)};
+  auto t0 = std::chrono::steady_clock::now();
+  PaperRun pr{app, arch, proto, n, sys.run(*workload), 0.0};
+  pr.wall_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0).count();
   if (!pr.result.verified) {
     std::fprintf(stderr, "WARNING: %s %s arch%u n=%u failed verification!\n",
                  app.c_str(), to_string(proto), arch, n);
   }
   return pr;
+}
+
+/// Run every spec (each on its own Simulator) across \p threads workers
+/// (0 = default pool size); results are indexed exactly like \p specs.
+inline std::vector<PaperRun> run_sweep(const std::vector<SweepSpec>& specs,
+                                       unsigned threads = 0) {
+  std::vector<PaperRun> out(specs.size());
+  sim::SweepRunner runner(threads);
+  runner.run_indexed(specs.size(), [&](std::size_t i) {
+    const SweepSpec& s = specs[i];
+    out[i] = run_point(s.app, s.arch, s.proto, s.n);
+  });
+  return out;
+}
+
+/// The standard paper grid: {ocean, water} × {arch 1, 2} × sweep_sizes()
+/// × {WTI, WB-MESI}, in the order the figure tables print it. Points at a
+/// fixed (app, arch, n) are adjacent: WTI first, then MESI.
+inline std::vector<SweepSpec> paper_grid(const std::vector<unsigned>& sizes) {
+  std::vector<SweepSpec> specs;
+  for (const char* app : {"ocean", "water"}) {
+    for (unsigned arch : {1u, 2u}) {
+      for (unsigned n : sizes) {
+        specs.push_back({app, arch, mem::Protocol::kWti, n});
+        specs.push_back({app, arch, mem::Protocol::kWbMesi, n});
+      }
+    }
+  }
+  return specs;
 }
 
 inline std::vector<unsigned> sweep_sizes() {
@@ -65,6 +115,61 @@ inline std::vector<unsigned> sweep_sizes() {
 
 inline const char* arch_label(unsigned arch) {
   return arch == 1 ? "architecture 1 (SMP, 2 banks)" : "architecture 2 (DS, n+3 banks)";
+}
+
+/// Emit the shared BENCH_*.json record (schema in EXPERIMENTS.md) for a
+/// completed sweep. Returns false (with a message) if the file can't be
+/// opened.
+inline bool write_paper_json(const std::string& path, const std::string& bench_name,
+                             const std::vector<PaperRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  double wall = 0.0;
+  std::uint64_t events = 0;
+  for (const PaperRun& r : runs) {
+    wall += r.wall_seconds;
+    events += r.result.events;
+  }
+
+  JsonWriter w(f);
+  w.begin_object();
+  w.field("bench", bench_name);
+  w.field("schema_version", std::uint64_t{1});
+  w.begin_array("points");
+  for (const PaperRun& r : runs) {
+    w.begin_object();
+    w.field("app", r.app);
+    w.field("arch", r.arch);
+    w.field("protocol", to_string(r.proto));
+    w.field("n", r.n);
+    w.field("exec_cycles", std::uint64_t(r.result.exec_cycles));
+    w.field("noc_bytes", r.result.noc_bytes);
+    w.field("noc_packets", r.result.noc_packets);
+    w.field("instructions", r.result.instructions);
+    w.field("d_stall_cycles", r.result.d_stall_cycles);
+    w.field("i_stall_cycles", r.result.i_stall_cycles);
+    w.field("events", r.result.events);
+    w.field("wall_seconds", r.wall_seconds);
+    w.field("events_per_sec",
+            r.wall_seconds > 0 ? double(r.result.events) / r.wall_seconds : 0.0);
+    w.field("verified", r.result.verified);
+    w.end_object();
+  }
+  w.end_array();
+  w.begin_object("totals");
+  w.field("points", std::uint64_t(runs.size()));
+  w.field("events", events);
+  w.field("wall_seconds", wall);
+  w.field("events_per_sec", wall > 0 ? double(events) / wall : 0.0);
+  w.end_object();
+  w.end_object();
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu points)\n", path.c_str(), runs.size());
+  return true;
 }
 
 }  // namespace ccnoc::bench

@@ -105,8 +105,19 @@ class CacheController : public CacheIface {
                                         unsigned size) const;
   void write_line(CacheLine& l, sim::Addr a, unsigned size, std::uint64_t v);
 
-  sim::Counter& stat(const std::string& suffix) {
-    return sim_.stats().counter(name_ + "." + suffix);
+  // Construction-time resolvers for "<name>.<suffix>" statistics. Registry
+  // references are stable for its lifetime, so derived controllers resolve
+  // their handles once in their constructor and bump raw pointers on the
+  // per-access paths instead of re-concatenating names and searching maps.
+  [[nodiscard]] sim::Counter* stat(const std::string& suffix) {
+    return &sim_.stats().counter(name_ + "." + suffix);
+  }
+  [[nodiscard]] sim::Sample* stat_sample(const std::string& suffix) {
+    return &sim_.stats().sample(name_ + "." + suffix);
+  }
+  [[nodiscard]] sim::Histogram* stat_histogram(const std::string& suffix,
+                                               std::size_t buckets) {
+    return &sim_.stats().histogram(name_ + "." + suffix, buckets);
   }
 
   sim::Simulator& sim_;

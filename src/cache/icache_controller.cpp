@@ -13,12 +13,12 @@ AccessResult ICacheController::access(const MemAccess& a, std::uint64_t* hit_val
   CCNOC_ASSERT(!pending_, "I-cache already has a pending fetch");
   sim::Addr block = tags_.block_of(a.addr);
   if (CacheLine* l = tags_.find(block)) {
-    stat("hits").inc();
+    hits_->inc();
     tags_.touch(*l);
     *hit_value = read_line(*l, a.addr, a.size);
     return AccessResult::kHit;
   }
-  stat("misses").inc();
+  misses_->inc();
   pending_ = true;
   pending_access_ = a;
   pending_cb_ = std::move(on_complete);
@@ -40,7 +40,7 @@ void ICacheController::on_packet(const noc::Packet& pkt) {
   l.state = LineState::kShared;
   std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
   tags_.touch(l);
-  sim_.stats().histogram(name_ + ".hops.fetch_miss", 16).add(pkt.msg.path_hops);
+  hops_fetch_miss_->add(pkt.msg.path_hops);
 
   std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
   pending_ = false;

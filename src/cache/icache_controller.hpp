@@ -17,7 +17,10 @@ class ICacheController final : public CacheController {
  public:
   ICacheController(sim::Simulator& sim, noc::Network& net, const mem::AddressMap& map,
                    sim::NodeId node, CacheConfig cfg, std::string name)
-      : CacheController(sim, net, map, node, /*port=*/1, cfg, std::move(name)) {}
+      : CacheController(sim, net, map, node, /*port=*/1, cfg, std::move(name)),
+        hits_(stat("hits")),
+        misses_(stat("misses")),
+        hops_fetch_miss_(stat_histogram("hops.fetch_miss", 16)) {}
 
   AccessResult access(const MemAccess& a, std::uint64_t* hit_value,
                       CompleteFn on_complete) override;
@@ -29,6 +32,11 @@ class ICacheController final : public CacheController {
   bool pending_ = false;
   MemAccess pending_access_{};
   CompleteFn pending_cb_;
+
+  // Typed stat handles, resolved once at construction (see CacheController).
+  sim::Counter* hits_;
+  sim::Counter* misses_;
+  sim::Histogram* hops_fetch_miss_;
 };
 
 }  // namespace ccnoc::cache

@@ -11,7 +11,25 @@ using noc::MsgType;
 MesiController::MesiController(sim::Simulator& sim, noc::Network& net,
                                const mem::AddressMap& map, sim::NodeId node,
                                std::uint8_t port, CacheConfig cfg, std::string name)
-    : CacheController(sim, net, map, node, port, cfg, std::move(name)) {}
+    : CacheController(sim, net, map, node, port, cfg, std::move(name)) {
+  st_.load_hits = stat("load_hits");
+  st_.load_misses = stat("load_misses");
+  st_.silent_e_to_m = stat("silent_e_to_m");
+  st_.store_hits_em = stat("store_hits_em");
+  st_.store_hits_s = stat("store_hits_s");
+  st_.store_misses = stat("store_misses");
+  st_.wb_buffer_stalls = stat("wb_buffer_stalls");
+  st_.writebacks = stat("writebacks");
+  st_.upgrade_data_refills = stat("upgrade_data_refills");
+  st_.direct_ack_upgrades = stat("direct_ack_upgrades");
+  st_.invalidations = stat("invalidations");
+  st_.fetches = stat("fetches");
+  st_.fetch_invs = stat("fetch_invs");
+  st_.fetch_misses = stat("fetch_misses");
+  st_.hops_read_miss = stat_histogram("hops.read_miss", 16);
+  st_.hops_write_miss = stat_histogram("hops.write_miss", 16);
+  st_.hops_write_hit_s = stat_histogram("hops.write_hit_s", 16);
+}
 
 AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value,
                                     CompleteFn on_complete) {
@@ -21,12 +39,12 @@ AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value
 
   if (!a.is_store) {
     if (l != nullptr) {
-      stat("load_hits").inc();
+      st_.load_hits->inc();
       tags_.touch(*l);
       *hit_value = read_line(*l, a.addr, a.size);
       return AccessResult::kHit;
     }
-    stat("load_misses").inc();
+    st_.load_misses->inc();
     start_miss(a, std::move(on_complete));
     return AccessResult::kPending;
   }
@@ -35,8 +53,8 @@ AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value
     if (l->state == LineState::kModified || l->state == LineState::kExclusive) {
       // Figure 1: store hit in M costs nothing; store hit in E silently
       // transitions to M (the directory already records us as owner).
-      if (l->state == LineState::kExclusive) stat("silent_e_to_m").inc();
-      stat("store_hits_em").inc();
+      if (l->state == LineState::kExclusive) st_.silent_e_to_m->inc();
+      st_.store_hits_em->inc();
       l->state = LineState::kModified;
       std::uint64_t old = 0;
       if (a.is_atomic()) {
@@ -49,7 +67,7 @@ AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value
       return AccessResult::kHit;
     }
     // Store hit in Shared: blocking upgrade (2 or 4 hops).
-    stat("store_hits_s").inc();
+    st_.store_hits_s->inc();
     pending_ = Pending::kResponse;
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
@@ -65,7 +83,7 @@ AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value
 
   // Store miss: write-allocate with ReadExclusive (up to the paper's
   // Figure 2 six-hop sequence).
-  stat("store_misses").inc();
+  st_.store_misses->inc();
   start_miss(a, std::move(on_complete));
   return AccessResult::kPending;
 }
@@ -81,7 +99,7 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
       wb_buffer_.size() >= cfg_.writeback_buffer_entries) {
     // All write-back buffer entries are awaiting acknowledgement; the miss
     // launches once one frees.
-    stat("wb_buffer_stalls").inc();
+    st_.wb_buffer_stalls->inc();
     pending_ = Pending::kWbSlot;
     pending_line_ = &victim;
     return;
@@ -107,7 +125,7 @@ void MesiController::launch_miss() {
 
 void MesiController::do_writeback(CacheLine& victim) {
   CCNOC_ASSERT(victim.state == LineState::kModified, "write-back of a clean line");
-  stat("writebacks").inc();
+  st_.writebacks->inc();
   WbEntry& e = wb_buffer_[victim.block];
   e.data = victim.data;
 
@@ -154,8 +172,8 @@ void MesiController::handle_read_response(const noc::Packet& pkt) {
     case Grant::kExclusive: l.state = LineState::kExclusive; break;
     case Grant::kModified: l.state = LineState::kModified; break;
   }
-  const char* kind = pending_access_.is_store ? ".hops.write_miss" : ".hops.read_miss";
-  sim_.stats().histogram(name_ + kind, 16).add(pkt.msg.path_hops);
+  (pending_access_.is_store ? st_.hops_write_miss : st_.hops_read_miss)
+      ->add(pkt.msg.path_hops);
   finish_pending(l);
 }
 
@@ -173,20 +191,20 @@ void MesiController::handle_upgrade_ack(const noc::Packet& pkt) {
   if (pkt.msg.carries_data()) {
     // Our Shared copy was invalidated while the upgrade was in flight; the
     // directory re-supplied the block.
-    stat("upgrade_data_refills").inc();
+    st_.upgrade_data_refills->inc();
     l.block = pkt.msg.addr;
     std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
   } else {
     CCNOC_ASSERT(l.state == LineState::kShared && l.block == pkt.msg.addr,
                  "upgrade ack without data for a lost line");
   }
-  sim_.stats().histogram(name_ + ".hops.write_hit_s", 16).add(pkt.msg.path_hops);
+  st_.hops_write_hit_s->add(pkt.msg.path_hops);
   finish_pending(l);
 }
 
 void MesiController::maybe_finish_direct_upgrade() {
   if (!have_upgrade_ack_ || direct_acks_got_ < direct_acks_needed_) return;
-  stat("direct_ack_upgrades").inc();
+  st_.direct_ack_upgrades->inc();
   const noc::Message msg = saved_upgrade_msg_;
   have_upgrade_ack_ = false;
   direct_acks_needed_ = 0;
@@ -200,14 +218,14 @@ void MesiController::maybe_finish_direct_upgrade() {
 
   CacheLine& l = *pending_line_;
   if (msg.carries_data()) {
-    stat("upgrade_data_refills").inc();
+    st_.upgrade_data_refills->inc();
     l.block = msg.addr;
     std::memcpy(l.data.data(), msg.data.data(), cfg_.block_bytes);
   } else {
     CCNOC_ASSERT(l.state == LineState::kShared && l.block == msg.addr,
                  "direct upgrade ack without data for a lost line");
   }
-  sim_.stats().histogram(name_ + ".hops.write_hit_s", 16).add(msg.path_hops);
+  st_.hops_write_hit_s->add(msg.path_hops);
   finish_pending(l);
 }
 
@@ -239,7 +257,7 @@ void MesiController::finish_pending(CacheLine& l) {
 }
 
 void MesiController::handle_invalidate(const noc::Packet& pkt) {
-  stat("invalidations").inc();
+  st_.invalidations->inc();
   if (CacheLine* l = tags_.find(pkt.msg.addr)) {
     CCNOC_ASSERT(l->state == LineState::kShared, "invalidate hit a non-Shared line");
     l->state = LineState::kInvalid;
@@ -253,7 +271,7 @@ void MesiController::handle_invalidate(const noc::Packet& pkt) {
 }
 
 void MesiController::handle_fetch(const noc::Packet& pkt, bool invalidate) {
-  stat(invalidate ? "fetch_invs" : "fetches").inc();
+  (invalidate ? st_.fetch_invs : st_.fetches)->inc();
   Message resp;
   resp.type = MsgType::kFetchResponse;
   resp.addr = pkt.msg.addr;
@@ -273,7 +291,7 @@ void MesiController::handle_fetch(const noc::Packet& pkt, bool invalidate) {
   } else {
     // Silently evicted clean Exclusive copy: the memory copy is current;
     // an empty response tells the bank to use its own data.
-    stat("fetch_misses").inc();
+    st_.fetch_misses->inc();
   }
   send_to_node(pkt.src, std::move(resp));
 }

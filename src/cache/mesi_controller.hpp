@@ -73,6 +73,28 @@ class MesiController final : public CacheController {
   unsigned direct_acks_got_ = 0;
   noc::Message saved_upgrade_msg_{};
   void maybe_finish_direct_upgrade();
+
+  /// Typed stat handles, resolved once at construction (see CacheController).
+  struct Stats {
+    sim::Counter* load_hits;
+    sim::Counter* load_misses;
+    sim::Counter* silent_e_to_m;
+    sim::Counter* store_hits_em;
+    sim::Counter* store_hits_s;
+    sim::Counter* store_misses;
+    sim::Counter* wb_buffer_stalls;
+    sim::Counter* writebacks;
+    sim::Counter* upgrade_data_refills;
+    sim::Counter* direct_ack_upgrades;
+    sim::Counter* invalidations;
+    sim::Counter* fetches;
+    sim::Counter* fetch_invs;
+    sim::Counter* fetch_misses;
+    sim::Histogram* hops_read_miss;
+    sim::Histogram* hops_write_miss;
+    sim::Histogram* hops_write_hit_s;
+  };
+  Stats st_;
 };
 
 }  // namespace ccnoc::cache

@@ -10,7 +10,23 @@ using noc::MsgType;
 WtiController::WtiController(sim::Simulator& sim, noc::Network& net,
                              const mem::AddressMap& map, sim::NodeId node,
                              std::uint8_t port, CacheConfig cfg, std::string name)
-    : CacheController(sim, net, map, node, port, cfg, std::move(name)) {}
+    : CacheController(sim, net, map, node, port, cfg, std::move(name)) {
+  st_.load_hits = stat("load_hits");
+  st_.load_misses = stat("load_misses");
+  st_.load_drain_waits = stat("load_drain_waits");
+  st_.atomic_swaps = stat("atomic_swaps");
+  st_.wbuf_full_stalls = stat("wbuf_full_stalls");
+  st_.store_hits = stat("store_hits");
+  st_.store_misses = stat("store_misses");
+  st_.direct_ack_writes = stat("direct_ack_writes");
+  st_.explicit_drains = stat("explicit_drains");
+  st_.updates = stat("updates");
+  st_.invalidations = stat("invalidations");
+  st_.wbuf_occupancy = stat_sample("wbuf_occupancy");
+  st_.hops_read_miss = stat_histogram("hops.read_miss", 16);
+  st_.hops_write_through = stat_histogram("hops.write_through", 16);
+  st_.hops_atomic_swap = stat_histogram("hops.atomic_swap", 16);
+}
 
 AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
                                    CompleteFn on_complete) {
@@ -19,19 +35,19 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
 
   if (!a.is_store) {
     if (CacheLine* l = tags_.find(block)) {
-      stat("load_hits").inc();
+      st_.load_hits->inc();
       tags_.touch(*l);
       *hit_value = read_line(*l, a.addr, a.size);
       return AccessResult::kHit;
     }
-    stat("load_misses").inc();
+    st_.load_misses->inc();
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
     if (cfg_.drain_on_load_miss && !wbuf_.empty()) {
       // Sequential consistency: older buffered writes become globally
       // visible before this read is ordered.
       pending_ = Pending::kLoadDrain;
-      stat("load_drain_waits").inc();
+      st_.load_drain_waits->inc();
     } else {
       pending_ = Pending::kLoadResponse;
       issue_read();
@@ -43,7 +59,7 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
     // Atomics execute at the bank (blocking). The local copy is dropped —
     // the bank treats the requester like any other sharer — and ordering
     // with older buffered writes is preserved by draining first.
-    stat("atomic_swaps").inc();
+    st_.atomic_swaps->inc();
     if (CacheLine* l = tags_.find(block)) l->state = LineState::kInvalid;
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
@@ -58,7 +74,7 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
 
   // Store: non-blocking through the write buffer unless it is full.
   if (wbuf_.size() >= cfg_.write_buffer_entries) {
-    stat("wbuf_full_stalls").inc();
+    st_.wbuf_full_stalls->inc();
     pending_ = Pending::kStoreBuffer;
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
@@ -73,14 +89,14 @@ void WtiController::perform_store(const MemAccess& a) {
   if (CacheLine* l = tags_.find(block)) {
     // Write-through with local update on hit: the copy stays Valid and the
     // directory will not invalidate the writer.
-    stat("store_hits").inc();
+    st_.store_hits->inc();
     write_line(*l, a.addr, a.size, a.value);
     tags_.touch(*l);
   } else {
-    stat("store_misses").inc();  // no-allocate
+    st_.store_misses->inc();  // no-allocate
   }
   wbuf_.push_back(BufEntry{a.addr, a.size, a.value});
-  sim_.stats().sample(name_ + ".wbuf_occupancy").add(double(wbuf_.size()));
+  st_.wbuf_occupancy->add(double(wbuf_.size()));
   start_drain();
 }
 
@@ -145,7 +161,7 @@ void WtiController::handle_read_response(const noc::Packet& pkt) {
   std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
   tags_.touch(l);
 
-  sim_.stats().histogram(name_ + ".hops.read_miss", 16).add(pkt.msg.path_hops);
+  st_.hops_read_miss->add(pkt.msg.path_hops);
   std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
   pending_ = Pending::kNone;
   auto cb = std::move(pending_cb_);
@@ -164,7 +180,7 @@ void WtiController::handle_write_ack(const noc::Packet& pkt) {
     maybe_finish_direct_write();
     return;
   }
-  sim_.stats().histogram(name_ + ".hops.write_through", 16).add(pkt.msg.path_hops);
+  st_.hops_write_through->add(pkt.msg.path_hops);
   wbuf_.pop_front();
   drain_in_flight_ = false;
   start_drain();
@@ -193,8 +209,8 @@ void WtiController::handle_write_ack(const noc::Packet& pkt) {
 
 void WtiController::maybe_finish_direct_write() {
   if (!have_write_ack_ || direct_acks_got_ < direct_acks_needed_) return;
-  stat("direct_ack_writes").inc();
-  sim_.stats().histogram(name_ + ".hops.write_through", 16).add(saved_ack_hops_);
+  st_.direct_ack_writes->inc();
+  st_.hops_write_through->add(saved_ack_hops_);
   // Release the bank's per-block transaction lock.
   Message done;
   done.type = MsgType::kTxnDone;
@@ -232,7 +248,7 @@ void WtiController::maybe_finish_direct_write() {
 AccessResult WtiController::drain(CompleteFn on_drained) {
   CCNOC_ASSERT(pending_ == Pending::kNone, "drain during a pending access");
   if (wbuf_.empty()) return AccessResult::kHit;
-  stat("explicit_drains").inc();
+  st_.explicit_drains->inc();
   pending_ = Pending::kDrainWait;
   pending_cb_ = std::move(on_drained);
   return AccessResult::kPending;
@@ -240,7 +256,7 @@ AccessResult WtiController::drain(CompleteFn on_drained) {
 
 void WtiController::handle_swap_response(const noc::Packet& pkt) {
   CCNOC_ASSERT(pending_ == Pending::kSwapResponse, "unexpected swap response");
-  sim_.stats().histogram(name_ + ".hops.atomic_swap", 16).add(pkt.msg.path_hops);
+  st_.hops_atomic_swap->add(pkt.msg.path_hops);
   std::uint64_t old = 0;
   std::memcpy(&old, pkt.msg.data.data(), pkt.msg.data_len);
   pending_ = Pending::kNone;
@@ -252,7 +268,7 @@ void WtiController::handle_swap_response(const noc::Packet& pkt) {
 void WtiController::handle_update(const noc::Packet& pkt) {
   // Write-update flavour: a foreign store patches our copy in place. A
   // stale-sharer ack tells the directory to stop updating us.
-  stat("updates").inc();
+  st_.updates->inc();
   Message ack;
   ack.type = MsgType::kUpdateAck;
   ack.addr = pkt.msg.addr;
@@ -269,7 +285,7 @@ void WtiController::handle_update(const noc::Packet& pkt) {
 }
 
 void WtiController::handle_invalidate(const noc::Packet& pkt) {
-  stat("invalidations").inc();
+  st_.invalidations->inc();
   if (CacheLine* l = tags_.find(pkt.msg.addr)) {
     l->state = LineState::kInvalid;
   }

@@ -74,6 +74,26 @@ class WtiController final : public CacheController {
   unsigned direct_acks_got_ = 0;
   std::uint8_t saved_ack_hops_ = 0;
   void maybe_finish_direct_write();
+
+  /// Typed stat handles, resolved once at construction (see CacheController).
+  struct Stats {
+    sim::Counter* load_hits;
+    sim::Counter* load_misses;
+    sim::Counter* load_drain_waits;
+    sim::Counter* atomic_swaps;
+    sim::Counter* wbuf_full_stalls;
+    sim::Counter* store_hits;
+    sim::Counter* store_misses;
+    sim::Counter* direct_ack_writes;
+    sim::Counter* explicit_drains;
+    sim::Counter* updates;
+    sim::Counter* invalidations;
+    sim::Sample* wbuf_occupancy;
+    sim::Histogram* hops_read_miss;
+    sim::Histogram* hops_write_through;
+    sim::Histogram* hops_atomic_swap;
+  };
+  Stats st_;
 };
 
 }  // namespace ccnoc::cache

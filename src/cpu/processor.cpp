@@ -11,7 +11,8 @@ Processor::Processor(sim::Simulator& sim, cache::CacheIface& dcache,
       icache_(icache),
       cpu_(cpu_index),
       cfg_(cfg),
-      name_("cpu" + std::to_string(cpu_index)) {}
+      name_("cpu" + std::to_string(cpu_index)),
+      scheduler_ticks_ctr_(&sim.stats().counter(name_ + ".scheduler_ticks")) {}
 
 void Processor::start() {
   if (sched_) next_tick_ = sim_.now() + sched_->tick_period();
@@ -59,7 +60,7 @@ bool Processor::fetch_next_op() {
       // scheduler's own loads must not clobber a value the thread loaded
       // just before the tick and has not consumed yet.
       saved_load_value_ = thread_->last_load_value;
-      sim_.stats().counter(name_ + ".scheduler_ticks").inc();
+      scheduler_ticks_ctr_->inc();
     }
 
     if (!service_stack_.empty()) {

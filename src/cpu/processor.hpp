@@ -105,6 +105,9 @@ class Processor {
   std::uint64_t ops_ = 0;
   std::uint64_t context_switches_ = 0;
   sim::Cycle last_active_ = 0;
+
+  // Resolved once at construction; bumped on every timer tick.
+  sim::Counter* scheduler_ticks_ctr_;
 };
 
 }  // namespace ccnoc::cpu

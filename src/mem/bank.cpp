@@ -17,12 +17,25 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
       proto_(proto),
       cfg_(cfg),
       node_(map.bank_node(bank_index)),
-      dir_(map.num_cpus()),
-      stat_prefix_("bank" + std::to_string(bank_index) + ".") {
+      dir_(map.num_cpus()) {
   CCNOC_ASSERT((cfg_.block_bytes & (cfg_.block_bytes - 1)) == 0,
                "block size must be a power of two");
   CCNOC_ASSERT(cfg_.block_bytes <= noc::kMaxBlockBytes, "block too large for messages");
   net_.attach(node_, *this);
+
+  const std::string prefix = "bank" + std::to_string(bank_index) + ".";
+  auto& reg = sim_.stats();
+  st_.requests = &reg.counter(prefix + "requests");
+  st_.block_conflicts = &reg.counter(prefix + "block_conflicts");
+  st_.busy_cycles = &reg.counter(prefix + "busy_cycles");
+  st_.upgrade_races = &reg.counter(prefix + "upgrade_races");
+  st_.updates_sent = &reg.counter(prefix + "updates_sent");
+  st_.stale_update_targets = &reg.counter(prefix + "stale_update_targets");
+  st_.invalidations_sent = &reg.counter(prefix + "invalidations_sent");
+  st_.fetches_sent = &reg.counter(prefix + "fetches_sent");
+  st_.stale_fetch_responses = &reg.counter(prefix + "stale_fetch_responses");
+  st_.writebacks = &reg.counter(prefix + "writebacks");
+  st_.queue_delay = &reg.sample(prefix + "queue_delay");
 }
 
 void Bank::deliver(const noc::Packet& pkt) {
@@ -57,12 +70,12 @@ void Bank::deliver(const noc::Packet& pkt) {
 }
 
 void Bank::enqueue_request(const noc::Packet& pkt) {
-  sim_.stats().counter(stat_prefix_ + "requests").inc();
+  st_.requests->inc();
   sim::Addr block = block_of(pkt.msg.addr);
   if (txns_.count(block) != 0) {
     // Block busy: serialize behind the active transaction.
     waiting_[block].push_back(pkt);
-    sim_.stats().counter(stat_prefix_ + "block_conflicts").inc();
+    st_.block_conflicts->inc();
     return;
   }
   start_service(pkt.msg, pkt.src);
@@ -84,8 +97,8 @@ void Bank::start_service(Message req, sim::NodeId src) {
   // each request completes after its full service latency.
   sim::Cycle start = std::max(sim_.now(), port_free_);
   port_free_ = start + cfg_.initiation_interval;
-  sim_.stats().counter(stat_prefix_ + "busy_cycles").inc(cfg_.initiation_interval);
-  sim_.stats().sample(stat_prefix_ + "queue_delay").add(double(start - sim_.now()));
+  st_.busy_cycles->inc(cfg_.initiation_interval);
+  st_.queue_delay->add(double(start - sim_.now()));
   sim_.queue().schedule_at(start + service, [this, block] { process_request(block); });
 }
 
@@ -177,7 +190,7 @@ void Bank::process_upgrade(Txn& t) {
     // The requester lost its copy to a racing invalidation while the
     // upgrade was in flight: fall back to a full write-allocate (the
     // acknowledgement will carry data).
-    sim_.stats().counter(stat_prefix_ + "upgrade_races").inc();
+    st_.upgrade_races->inc();
     if (e.dirty && e.owner != t.src) {
       request_fetch(block, t, MsgType::kFetchInv);
       return;
@@ -239,7 +252,7 @@ void Bank::send_updates(sim::Addr block, Txn& t, sim::NodeId except) {
     u.requester = t.src;
     net_.send(node_, c, u);
   }
-  sim_.stats().counter(stat_prefix_ + "updates_sent").inc(targets.size());
+  st_.updates_sent->inc(targets.size());
 }
 
 void Bank::handle_update_ack(const noc::Packet& pkt) {
@@ -251,7 +264,7 @@ void Bank::handle_update_ack(const noc::Packet& pkt) {
   if (!pkt.msg.had_copy) {
     // Stale presence bit (the sharer silently evicted): stop updating it.
     dir_.remove_sharer(block, pkt.src);
-    sim_.stats().counter(stat_prefix_ + "stale_update_targets").inc();
+    st_.stale_update_targets->inc();
   }
   if (--t.pending_acks == 0) on_acks_complete(block, t);
 }
@@ -282,7 +295,7 @@ void Bank::send_invalidations(sim::Addr block, Txn& t, sim::NodeId except) {
     net_.send(node_, c, inv);
     if (direct) dir_.remove_sharer(block, c);
   }
-  sim_.stats().counter(stat_prefix_ + "invalidations_sent").inc(targets.size());
+  st_.invalidations_sent->inc(targets.size());
   if (direct) {
     // Respond now (the requester completes once the acks reach *it*) and
     // hold the block until its TxnDone releases it.
@@ -302,7 +315,7 @@ void Bank::request_fetch(sim::Addr block, Txn& t, MsgType fetch_type) {
   f.txn = t.req.txn;
   f.requester = t.src;
   net_.send(node_, e.owner, f);
-  sim_.stats().counter(stat_prefix_ + "fetches_sent").inc();
+  st_.fetches_sent->inc();
 }
 
 void Bank::handle_invalidate_ack(const noc::Packet& pkt) {
@@ -321,7 +334,7 @@ void Bank::handle_fetch_response(const noc::Packet& pkt) {
   if (it == txns_.end() || !it->second.waiting_data || it->second.data_from != pkt.src) {
     // The owner's WriteBack raced ahead of the Fetch and already satisfied
     // this transaction; the duplicate data is dropped.
-    sim_.stats().counter(stat_prefix_ + "stale_fetch_responses").inc();
+    st_.stale_fetch_responses->inc();
     return;
   }
   on_data_arrived(block, it->second, pkt.msg);
@@ -330,12 +343,12 @@ void Bank::handle_fetch_response(const noc::Packet& pkt) {
 void Bank::handle_write_back(const noc::Packet& pkt) {
   CCNOC_ASSERT(proto_ == Protocol::kWbMesi, "WriteBack in a WTI platform");
   sim::Addr block = block_of(pkt.msg.addr);
-  sim_.stats().counter(stat_prefix_ + "writebacks").inc();
+  st_.writebacks->inc();
 
   // The write-back occupies one pipeline slot like any block write.
   sim::Cycle start = std::max(sim_.now(), port_free_);
   port_free_ = start + cfg_.initiation_interval;
-  sim_.stats().counter(stat_prefix_ + "busy_cycles").inc(cfg_.initiation_interval);
+  st_.busy_cycles->inc(cfg_.initiation_interval);
 
   auto it = txns_.find(block);
   if (it != txns_.end() && it->second.waiting_data && it->second.data_from == pkt.src) {

@@ -119,7 +119,24 @@ class Bank final : public noc::Endpoint {
 
   std::unordered_map<sim::Addr, Txn> txns_;  // key: block address
   std::unordered_map<sim::Addr, std::deque<noc::Packet>> waiting_;
-  std::string stat_prefix_;
+
+  /// Typed stat handles ("bank<i>.*"), resolved once at construction so the
+  /// per-request paths never rebuild the prefixed name or search the
+  /// registry (registry references are stable for its lifetime).
+  struct Stats {
+    sim::Counter* requests;
+    sim::Counter* block_conflicts;
+    sim::Counter* busy_cycles;
+    sim::Counter* upgrade_races;
+    sim::Counter* updates_sent;
+    sim::Counter* stale_update_targets;
+    sim::Counter* invalidations_sent;
+    sim::Counter* fetches_sent;
+    sim::Counter* stale_fetch_responses;
+    sim::Counter* writebacks;
+    sim::Sample* queue_delay;
+  };
+  Stats st_;
 };
 
 }  // namespace ccnoc::mem

@@ -76,15 +76,20 @@ class Directory {
     it->second.owner = sim::kInvalidNode;
   }
 
-  /// Drop every presence bit except (optionally) \p keep.
+  /// Drop every presence bit except (optionally) \p keep. Ownership state
+  /// survives only when the kept sharer IS the current owner (e.g. an owner
+  /// re-securing exclusivity on its own line); clearing it in that case
+  /// would silently forget who must be fetched from.
   void clear_all_except(sim::Addr block, sim::NodeId keep = sim::kInvalidNode) {
     auto it = entries_.find(block);
     if (it == entries_.end()) return;
     std::uint64_t mask =
         (keep == sim::kInvalidNode) ? 0 : (it->second.presence & (std::uint64_t(1) << keep));
     it->second.presence = mask;
-    it->second.dirty = false;
-    it->second.owner = sim::kInvalidNode;
+    if (mask == 0 || it->second.owner != keep) {
+      it->second.dirty = false;
+      it->second.owner = sim::kInvalidNode;
+    }
     gc(it);
   }
 

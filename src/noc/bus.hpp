@@ -24,7 +24,7 @@ struct BusConfig {
 class BusNetwork final : public Network {
  public:
   BusNetwork(sim::Simulator& s, std::size_t nodes, BusConfig cfg = {})
-      : Network(s), cfg_(cfg) {
+      : Network(s), cfg_(cfg), grant_delay_sample_(&s.stats().sample("bus.grant_delay")) {
     (void)nodes;  // a bus has no per-node resources
   }
 
@@ -36,13 +36,14 @@ class BusNetwork final : public Network {
     const sim::Cycle flits = flits_of(pkt);
     sim::Cycle start = std::max(sim_.now(), bus_free_);
     bus_free_ = start + cfg_.arbitration + flits;
-    sim_.stats().sample("bus.grant_delay").add(double(start - sim_.now()));
+    grant_delay_sample_->add(double(start - sim_.now()));
     deliver_at(bus_free_, std::move(pkt));
   }
 
  private:
   BusConfig cfg_;
   sim::Cycle bus_free_ = 0;
+  sim::Sample* grant_delay_sample_;  ///< resolved once; route() is per-packet
 };
 
 }  // namespace ccnoc::noc

@@ -29,7 +29,7 @@ void GmnNetwork::route(Packet&& pkt) {
   sim::Cycle backlog = egress_free_[pkt.dst] - now;
   sim::Cycle capacity = sim::Cycle(cfg_.fifo_depth) + 2 * flits + cfg_.min_latency;
   if (backlog > capacity) {
-    sim_.stats().counter("noc.fifo_overflow_cycles").inc(backlog - capacity);
+    fifo_overflow_ctr_->inc(backlog - capacity);
   }
 
   deliver_at(arrival, std::move(pkt));

@@ -37,7 +37,11 @@ struct GmnConfig {
 class GmnNetwork final : public Network {
  public:
   GmnNetwork(sim::Simulator& s, std::size_t nodes, GmnConfig cfg)
-      : Network(s), cfg_(cfg), ingress_free_(nodes, 0), egress_free_(nodes, 0) {}
+      : Network(s),
+        cfg_(cfg),
+        ingress_free_(nodes, 0),
+        egress_free_(nodes, 0),
+        fifo_overflow_ctr_(&s.stats().counter("noc.fifo_overflow_cycles")) {}
 
   GmnNetwork(sim::Simulator& s, std::size_t nodes)
       : GmnNetwork(s, nodes, GmnConfig::for_nodes(nodes)) {}
@@ -51,6 +55,7 @@ class GmnNetwork final : public Network {
   GmnConfig cfg_;
   std::vector<sim::Cycle> ingress_free_;
   std::vector<sim::Cycle> egress_free_;
+  sim::Counter* fifo_overflow_ctr_;  ///< resolved once; route() is per-packet
 };
 
 }  // namespace ccnoc::noc

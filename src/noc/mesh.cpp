@@ -10,7 +10,8 @@ MeshNetwork::MeshNetwork(sim::Simulator& s, std::size_t nodes, MeshConfig cfg)
       cfg_(cfg),
       link_free_(std::size_t(topo_.width()) * std::size_t(topo_.height()) * 4, 0),
       inject_free_(nodes, 0),
-      eject_free_(nodes, 0) {}
+      eject_free_(nodes, 0),
+      hops_hist_(&s.stats().histogram("noc.mesh_hops", 32)) {}
 
 void MeshNetwork::route(Packet&& pkt) {
   const sim::Cycle flits = flits_of(pkt);
@@ -54,7 +55,7 @@ void MeshNetwork::route(Packet&& pkt) {
   eject_free_[pkt.dst] = t + flits;
   t += flits;
 
-  sim_.stats().histogram("noc.mesh_hops", 32).add(std::uint64_t(hop_count));
+  hops_hist_->add(std::uint64_t(hop_count));
   deliver_at(t, std::move(pkt));
 }
 

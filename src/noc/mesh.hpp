@@ -43,6 +43,7 @@ class MeshNetwork final : public Network {
   std::vector<sim::Cycle> link_free_;     // 4 directed links per router
   std::vector<sim::Cycle> inject_free_;   // local input port per router
   std::vector<sim::Cycle> eject_free_;    // local output port per router
+  sim::Histogram* hops_hist_;             // resolved once; route() is per-packet
 };
 
 }  // namespace ccnoc::noc

@@ -42,6 +42,10 @@ enum class MsgType : std::uint8_t {
                    ///< release the block (paper §4.2 optimization)
 };
 
+/// Number of MsgType values; keeps per-type counter tables in sync with the
+/// enum (kTxnDone must stay the last enumerator).
+inline constexpr std::size_t kNumMsgTypes = std::size_t(MsgType::kTxnDone) + 1;
+
 [[nodiscard]] const char* to_string(MsgType t);
 
 /// Exclusivity grant carried by kReadResponse.

@@ -2,6 +2,16 @@
 
 namespace ccnoc::noc {
 
+Network::Network(sim::Simulator& s) : sim_(s) {
+  auto& st = sim_.stats();
+  bytes_ctr_ = &st.counter("noc.bytes");
+  packets_ctr_ = &st.counter("noc.packets");
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
+    pkt_type_ctr_[t] = &st.counter(std::string("noc.pkt.") + to_string(MsgType(t)));
+  }
+  latency_sample_ = &st.sample("noc.latency");
+}
+
 void Network::attach(sim::NodeId id, Endpoint& ep) {
   if (endpoints_.size() <= id) endpoints_.resize(id + 1, nullptr);
   CCNOC_ASSERT(endpoints_[id] == nullptr, "node attached twice");
@@ -21,17 +31,16 @@ void Network::send(sim::NodeId src, sim::NodeId dst, const Message& msg) {
 
   total_bytes_ += wire_bytes(msg);
   ++total_packets_;
-  auto& st = sim_.stats();
-  st.counter("noc.bytes").inc(wire_bytes(msg));
-  st.counter("noc.packets").inc();
-  st.counter(std::string("noc.pkt.") + to_string(msg.type)).inc();
+  bytes_ctr_->inc(wire_bytes(msg));
+  packets_ctr_->inc();
+  pkt_type_ctr_[std::size_t(msg.type)]->inc();
 
   route(std::move(pkt));
 }
 
 void Network::deliver_at(sim::Cycle when, Packet&& pkt) {
   CCNOC_ASSERT(when >= sim_.now(), "delivery in the past");
-  sim_.stats().sample("noc.latency").add(double(when - pkt.sent_at));
+  latency_sample_->add(double(when - pkt.sent_at));
   sim_.queue().schedule_at(when, [this, p = std::move(pkt)]() mutable {
     if (sim_.logger().enabled(sim::LogLevel::Trace)) {
       char addr[32];

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "noc/message.hpp"
 #include "sim/simulator.hpp"
+#include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 /// \file network.hpp
@@ -33,7 +35,7 @@ class Endpoint {
 
 class Network {
  public:
-  explicit Network(sim::Simulator& s) : sim_(s) {}
+  explicit Network(sim::Simulator& s);
   virtual ~Network() = default;
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -65,6 +67,12 @@ class Network {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_packets_ = 0;
   std::uint64_t next_pkt_id_ = 0;
+  // Typed stat handles, resolved once at construction: send() runs once per
+  // simulated packet and must not pay a string concat + map lookup each time.
+  sim::Counter* bytes_ctr_ = nullptr;
+  sim::Counter* packets_ctr_ = nullptr;
+  std::array<sim::Counter*, kNumMsgTypes> pkt_type_ctr_{};
+  sim::Sample* latency_sample_ = nullptr;
 };
 
 /// Flit payload width. A 32-byte block plus header is ~10 flits.

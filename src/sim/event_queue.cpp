@@ -1,18 +1,22 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 namespace ccnoc::sim {
 
 void EventQueue::schedule_at(Cycle when, Callback cb) {
   CCNOC_ASSERT(when >= now_, "event scheduled in the past");
-  heap_.push(Event{when, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because the element is popped immediately after.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  // pop_heap moves the earliest event to the back, where it can be moved
+  // out safely before shrinking the vector.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.when;
   ++executed_;
   ev.cb();
@@ -21,7 +25,7 @@ bool EventQueue::step() {
 
 std::uint64_t EventQueue::run(Cycle limit) {
   std::uint64_t n = 0;
-  while (!heap_.empty() && heap_.top().when <= limit) {
+  while (!heap_.empty() && heap_.front().when <= limit) {
     step();
     ++n;
   }

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -35,6 +34,8 @@ class EventQueue {
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  /// Timestamp of the next event; queue must be non-empty.
+  [[nodiscard]] Cycle next_event_at() const { return heap_.front().when; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
@@ -50,7 +51,11 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // An explicit binary heap (std::push_heap/std::pop_heap over a vector)
+  // rather than std::priority_queue: pop_heap moves the minimum to the back
+  // of the vector, where the callback can be moved out without the
+  // const_cast that priority_queue::top() would force.
+  std::vector<Event> heap_;
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -50,10 +50,12 @@ class Sample {
 };
 
 /// Histogram over integral values with unit-width buckets up to a cap;
-/// overflow values are accumulated in the last bucket.
+/// overflow values are accumulated in the last bucket. At least one bucket
+/// always exists (a zero-bucket histogram would make add() index out of
+/// bounds), so every value degenerates into the overflow bucket at size 1.
 class Histogram {
  public:
-  explicit Histogram(std::size_t buckets = 64) : buckets_(buckets, 0) {}
+  explicit Histogram(std::size_t buckets = 64) : buckets_(buckets == 0 ? 1 : buckets, 0) {}
 
   void add(std::uint64_t v) {
     ++total_;
@@ -72,16 +74,27 @@ class Histogram {
   std::uint64_t sum_ = 0;
 };
 
-/// Name → statistic registry. Objects are created on first use; pointers
-/// remain stable (node-based map), so components may cache them.
+/// Name → statistic registry. Objects are created on first use; references
+/// remain stable for the registry's lifetime (node-based map), so components
+/// resolve their statistics ONCE at construction and keep typed handles
+/// (`Counter*` / `Sample*` / `Histogram*`) instead of paying a string
+/// concatenation plus map lookup on every simulated event.
 class StatsRegistry {
  public:
   Counter& counter(const std::string& name) { return counters_[name]; }
   Sample& sample(const std::string& name) { return samples_[name]; }
-  Histogram& histogram(const std::string& name, std::size_t buckets = 64) {
+
+  /// \p buckets: bucket count on first use; 0 means "whatever width the
+  /// histogram has" (default 64 on creation). Two call sites asking for the
+  /// same name with different explicit widths is a bug — the second caller
+  /// would silently get wrong-width buckets — and throws.
+  Histogram& histogram(const std::string& name, std::size_t buckets = 0) {
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
-      it = histograms_.emplace(name, Histogram{buckets}).first;
+      it = histograms_.emplace(name, Histogram{buckets == 0 ? 64 : buckets}).first;
+    } else {
+      CCNOC_ASSERT(buckets == 0 || buckets == it->second.num_buckets(),
+                   "histogram '" + name + "' re-requested with a different bucket count");
     }
     return it->second;
   }

@@ -1,0 +1,66 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace ccnoc::sim {
+
+unsigned default_sweep_threads() {
+  if (const char* env = std::getenv("CCNOC_SWEEP_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return unsigned(v);
+    return 1;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned threads)
+    : threads_(threads > 0 ? threads : default_sweep_threads()) {}
+
+void SweepRunner::run_indexed(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const unsigned workers = unsigned(std::min<std::size_t>(threads_, n));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  // On failure, keep the exception of the lowest-indexed failing job: which
+  // point fails must not depend on thread scheduling.
+  std::mutex err_mutex;
+  std::size_t err_index = n;
+  std::exception_ptr err;
+
+  auto worker = [&] {
+    while (true) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (i < err_index) {
+          err_index = i;
+          err = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& t : pool) t.join();
+
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace ccnoc::sim

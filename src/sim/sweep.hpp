@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+/// \file sweep.hpp
+/// Parallel sweep runner. A paper sweep evaluates many independent
+/// (application, architecture, protocol, size) points; each point builds and
+/// runs its own Simulator, so there is no shared mutable state between
+/// points and they are embarrassingly parallel. SweepRunner fans the points
+/// across a thread pool and returns results ordered by submission index —
+/// the merge is deterministic no matter which worker finished first, so a
+/// parallel sweep is byte-identical to a serial one.
+
+namespace ccnoc::sim {
+
+/// Worker-thread count used when the caller does not specify one: the
+/// CCNOC_SWEEP_THREADS environment variable if set (clamped to >= 1), else
+/// the hardware concurrency, else 1.
+[[nodiscard]] unsigned default_sweep_threads();
+
+class SweepRunner {
+ public:
+  /// \p threads == 0 selects default_sweep_threads().
+  explicit SweepRunner(unsigned threads = 0);
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Run every job and return their results indexed exactly like \p jobs.
+  /// Jobs are claimed dynamically (an atomic cursor) so long points do not
+  /// serialize behind short ones, but each result lands at its submission
+  /// index. If any jobs throw, the exception of the lowest-indexed failing
+  /// job is rethrown after every worker has finished.
+  ///
+  /// With one thread (or one job) everything runs inline on the calling
+  /// thread — the serial reference path.
+  template <typename T>
+  std::vector<T> run(const std::vector<std::function<T()>>& jobs) {
+    std::vector<T> results(jobs.size());
+    run_indexed(jobs.size(), [&](std::size_t i) { results[i] = jobs[i](); });
+    return results;
+  }
+
+  /// Index-based variant: invokes \p body(i) for i in [0, n) across the
+  /// pool. The caller supplies its own (pre-sized) result storage; \p body
+  /// must only touch state owned by point i.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace ccnoc::sim

@@ -17,6 +17,16 @@ const char* to_string(BusOp op) {
   return "?";
 }
 
+SnoopBus::SnoopBus(sim::Simulator& sim, SnoopBusConfig cfg) : sim_(sim), cfg_(cfg) {
+  auto& st = sim_.stats();
+  grant_delay_sample_ = &st.sample("snoopbus.grant_delay");
+  txns_ctr_ = &st.counter("snoopbus.transactions");
+  bytes_ctr_ = &st.counter("snoopbus.bytes");
+  for (std::size_t op = 0; op < kNumBusOps; ++op) {
+    op_ctr_[op] = &st.counter(std::string("snoopbus.op.") + to_string(BusOp(op)));
+  }
+}
+
 void SnoopBus::request(BusTxn txn, CompleteFn on_complete) {
   CCNOC_ASSERT(memory_ != nullptr, "bus has no memory slave");
   CCNOC_ASSERT(txn.initiator < agents_.size(), "unknown initiator");
@@ -24,7 +34,7 @@ void SnoopBus::request(BusTxn txn, CompleteFn on_complete) {
   // Bus occupancy: arbitration + address/snoop phase + data beats, plus the
   // memory access when memory sources or absorbs data.
   sim::Cycle grant_at = std::max(sim_.now(), busy_until_);
-  sim_.stats().sample("snoopbus.grant_delay").add(double(grant_at - sim_.now()));
+  grant_delay_sample_->add(double(grant_at - sim_.now()));
 
   unsigned request_beats = (txn.data_len + 3) / 4;
   unsigned response_beats = 0;
@@ -54,10 +64,9 @@ void SnoopBus::request(BusTxn txn, CompleteFn on_complete) {
   ++total_txns_;
   std::uint64_t bytes = 4u /*address cell*/ + txn.data_len + response_beats * 4u;
   total_bytes_ += bytes;
-  auto& st = sim_.stats();
-  st.counter("snoopbus.transactions").inc();
-  st.counter("snoopbus.bytes").inc(bytes);
-  st.counter(std::string("snoopbus.op.") + to_string(txn.op)).inc();
+  txns_ctr_->inc();
+  bytes_ctr_->inc(bytes);
+  op_ctr_[std::size_t(txn.op)]->inc();
 
   // The address phase (snoop + memory service) is atomic at grant time;
   // the completion is delivered at the end of the data phase.

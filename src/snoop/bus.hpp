@@ -29,6 +29,10 @@ enum class BusOp : std::uint8_t {
   kBusAdd,        ///< atomic fetch-and-add performed at memory
 };
 
+/// Number of BusOp values; keeps per-op counter tables in sync with the
+/// enum (kBusAdd must stay the last enumerator).
+inline constexpr std::size_t kNumBusOps = std::size_t(BusOp::kBusAdd) + 1;
+
 [[nodiscard]] const char* to_string(BusOp op);
 
 inline constexpr unsigned kMaxBusData = 64;
@@ -80,7 +84,7 @@ class SnoopBus {
   /// Completion: aggregated snoop result + response data for the initiator.
   using CompleteFn = std::function<void(const SnoopReply&)>;
 
-  SnoopBus(sim::Simulator& sim, SnoopBusConfig cfg) : sim_(sim), cfg_(cfg) {}
+  SnoopBus(sim::Simulator& sim, SnoopBusConfig cfg);
   SnoopBus(const SnoopBus&) = delete;
   SnoopBus& operator=(const SnoopBus&) = delete;
 
@@ -111,6 +115,12 @@ class SnoopBus {
   sim::Cycle busy_until_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_txns_ = 0;
+  // Typed stat handles, resolved once at construction: request() runs once
+  // per bus transaction and must not rebuild names or search the registry.
+  sim::Sample* grant_delay_sample_ = nullptr;
+  sim::Counter* txns_ctr_ = nullptr;
+  sim::Counter* bytes_ctr_ = nullptr;
+  std::array<sim::Counter*, kNumBusOps> op_ctr_{};
 };
 
 }  // namespace ccnoc::snoop

@@ -35,12 +35,12 @@ AccessResult SnoopWtiCache::access(const MemAccess& a, std::uint64_t* hit_value,
 
   if (!a.is_store) {
     if (CacheLine* l = tags_.find(block)) {
-      stat("load_hits").inc();
+      st_.load_hits->inc();
       tags_.touch(*l);
       *hit_value = read_line(*l, a.addr, a.size);
       return AccessResult::kHit;
     }
-    stat("load_misses").inc();
+    st_.load_misses->inc();
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
     if (cfg_.drain_on_load_miss && !wbuf_.empty()) {
@@ -53,7 +53,7 @@ AccessResult SnoopWtiCache::access(const MemAccess& a, std::uint64_t* hit_value,
   }
 
   if (a.is_atomic()) {
-    stat("atomics").inc();
+    st_.atomics->inc();
     if (CacheLine* l = tags_.find(block)) l->state = LineState::kInvalid;
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
@@ -67,7 +67,7 @@ AccessResult SnoopWtiCache::access(const MemAccess& a, std::uint64_t* hit_value,
   }
 
   if (wbuf_.size() >= cfg_.write_buffer_entries) {
-    stat("wbuf_full_stalls").inc();
+    st_.wbuf_full_stalls->inc();
     pending_ = Pending::kStoreBuffer;
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
@@ -79,11 +79,11 @@ AccessResult SnoopWtiCache::access(const MemAccess& a, std::uint64_t* hit_value,
 
 void SnoopWtiCache::perform_store(const MemAccess& a) {
   if (CacheLine* l = tags_.find(tags_.block_of(a.addr))) {
-    stat("store_hits").inc();
+    st_.store_hits->inc();
     write_line(*l, a.addr, a.size, a.value);
     tags_.touch(*l);
   } else {
-    stat("store_misses").inc();
+    st_.store_misses->inc();
   }
   wbuf_.push_back(BufEntry{a.addr, a.size, a.value});
   start_drain();
@@ -190,7 +190,7 @@ SnoopReply SnoopWtiCache::snoop(const BusTxn& txn) {
     case BusOp::kBusReadX:
     case BusOp::kBusUpgr:
       // Write-invalidate: any observed write kills the local copy.
-      stat("snoop_invalidations").inc();
+      st_.snoop_invalidations->inc();
       l->state = LineState::kInvalid;
       break;
     case BusOp::kBusWriteBack:
@@ -209,12 +209,12 @@ AccessResult SnoopMesiCache::access(const MemAccess& a, std::uint64_t* hit_value
 
   if (!a.is_store) {
     if (l != nullptr) {
-      stat("load_hits").inc();
+      st_.load_hits->inc();
       tags_.touch(*l);
       *hit_value = read_line(*l, a.addr, a.size);
       return AccessResult::kHit;
     }
-    stat("load_misses").inc();
+    st_.load_misses->inc();
     start_miss(a, std::move(on_complete));
     return AccessResult::kPending;
   }
@@ -222,7 +222,7 @@ AccessResult SnoopMesiCache::access(const MemAccess& a, std::uint64_t* hit_value
   if (l != nullptr) {
     if (l->state == LineState::kModified || l->state == LineState::kExclusive) {
       // The historic write-back advantage: zero bus transactions.
-      stat("store_hits_em").inc();
+      st_.store_hits_em->inc();
       l->state = LineState::kModified;
       std::uint64_t old = 0;
       if (a.is_atomic()) {
@@ -236,7 +236,7 @@ AccessResult SnoopMesiCache::access(const MemAccess& a, std::uint64_t* hit_value
     }
     // Shared: an upgrade transaction (may retry as BusReadX if a racing
     // writer invalidates us before our grant).
-    stat("store_hits_s").inc();
+    st_.store_hits_s->inc();
     pending_ = Pending::kUpgrade;
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
@@ -253,14 +253,14 @@ AccessResult SnoopMesiCache::access(const MemAccess& a, std::uint64_t* hit_value
         return;
       }
       // Lost the race: fall back to a full exclusive fill.
-      stat("upgrade_retries").inc();
+      st_.upgrade_retries->inc();
       pending_ = Pending::kMiss;
       issue_fill();
     });
     return AccessResult::kPending;
   }
 
-  stat("store_misses").inc();
+  st_.store_misses->inc();
   start_miss(a, std::move(on_complete));
   return AccessResult::kPending;
 }
@@ -277,7 +277,7 @@ void SnoopMesiCache::start_miss(const MemAccess& a, CompleteFn cb) {
     // Queue the write-back ahead of the fill (FIFO bus: it lands first).
     // The line stays Modified until the write-back is granted, so snoops
     // in between still find the owner.
-    stat("writebacks").inc();
+    st_.writebacks->inc();
     BusTxn wb;
     wb.op = BusOp::kBusWriteBack;
     wb.addr = victim.block;
@@ -346,7 +346,7 @@ SnoopReply SnoopMesiCache::snoop(const BusTxn& txn) {
     case BusOp::kBusRead:
       if (l->state == LineState::kModified) {
         // Dirty owner flushes (to requester and memory) and downgrades.
-        stat("snoop_flushes").inc();
+        st_.snoop_flushes->inc();
         r.supplies_data = true;
         r.data_len = std::uint8_t(cfg_.block_bytes);
         std::memcpy(r.data.data(), l->data.data(), cfg_.block_bytes);
@@ -356,12 +356,12 @@ SnoopReply SnoopMesiCache::snoop(const BusTxn& txn) {
     case BusOp::kBusReadX:
     case BusOp::kBusUpgr:
       if (l->state == LineState::kModified) {
-        stat("snoop_flushes").inc();
+        st_.snoop_flushes->inc();
         r.supplies_data = true;
         r.data_len = std::uint8_t(cfg_.block_bytes);
         std::memcpy(r.data.data(), l->data.data(), cfg_.block_bytes);
       }
-      stat("snoop_invalidations").inc();
+      st_.snoop_invalidations->inc();
       l->state = LineState::kInvalid;
       break;
     case BusOp::kBusWriteBack:

@@ -51,8 +51,11 @@ class SnoopCacheBase : public cache::CacheIface, public SnoopAgent {
                                         unsigned size) const;
   void write_line(cache::CacheLine& l, sim::Addr a, unsigned size, std::uint64_t v);
 
-  sim::Counter& stat(const std::string& suffix) {
-    return sim_.stats().counter(name_ + "." + suffix);
+  // Construction-time resolver: derived caches resolve their counters once
+  // and bump raw pointers on the per-access paths (registry references are
+  // stable for its lifetime).
+  [[nodiscard]] sim::Counter* stat(const std::string& suffix) {
+    return &sim_.stats().counter(name_ + "." + suffix);
   }
 
   sim::Simulator& sim_;
@@ -65,7 +68,17 @@ class SnoopCacheBase : public cache::CacheIface, public SnoopAgent {
 
 class SnoopWtiCache final : public SnoopCacheBase {
  public:
-  using SnoopCacheBase::SnoopCacheBase;
+  SnoopWtiCache(sim::Simulator& sim, SnoopBus& bus, cache::CacheConfig cfg,
+                std::string name)
+      : SnoopCacheBase(sim, bus, cfg, std::move(name)) {
+    st_.load_hits = stat("load_hits");
+    st_.load_misses = stat("load_misses");
+    st_.atomics = stat("atomics");
+    st_.wbuf_full_stalls = stat("wbuf_full_stalls");
+    st_.store_hits = stat("store_hits");
+    st_.store_misses = stat("store_misses");
+    st_.snoop_invalidations = stat("snoop_invalidations");
+  }
 
   cache::AccessResult access(const cache::MemAccess& a, std::uint64_t* hit_value,
                              CompleteFn on_complete) override;
@@ -96,11 +109,35 @@ class SnoopWtiCache final : public SnoopCacheBase {
   Pending pending_ = Pending::kNone;
   cache::MemAccess pending_access_{};
   CompleteFn pending_cb_;
+
+  /// Typed stat handles, resolved once at construction (see SnoopCacheBase).
+  struct Stats {
+    sim::Counter* load_hits;
+    sim::Counter* load_misses;
+    sim::Counter* atomics;
+    sim::Counter* wbuf_full_stalls;
+    sim::Counter* store_hits;
+    sim::Counter* store_misses;
+    sim::Counter* snoop_invalidations;
+  };
+  Stats st_;
 };
 
 class SnoopMesiCache final : public SnoopCacheBase {
  public:
-  using SnoopCacheBase::SnoopCacheBase;
+  SnoopMesiCache(sim::Simulator& sim, SnoopBus& bus, cache::CacheConfig cfg,
+                 std::string name)
+      : SnoopCacheBase(sim, bus, cfg, std::move(name)) {
+    st_.load_hits = stat("load_hits");
+    st_.load_misses = stat("load_misses");
+    st_.store_hits_em = stat("store_hits_em");
+    st_.store_hits_s = stat("store_hits_s");
+    st_.upgrade_retries = stat("upgrade_retries");
+    st_.store_misses = stat("store_misses");
+    st_.writebacks = stat("writebacks");
+    st_.snoop_flushes = stat("snoop_flushes");
+    st_.snoop_invalidations = stat("snoop_invalidations");
+  }
 
   cache::AccessResult access(const cache::MemAccess& a, std::uint64_t* hit_value,
                              CompleteFn on_complete) override;
@@ -124,6 +161,20 @@ class SnoopMesiCache final : public SnoopCacheBase {
   cache::MemAccess pending_access_{};
   CompleteFn pending_cb_;
   cache::CacheLine* pending_line_ = nullptr;
+
+  /// Typed stat handles, resolved once at construction (see SnoopCacheBase).
+  struct Stats {
+    sim::Counter* load_hits;
+    sim::Counter* load_misses;
+    sim::Counter* store_hits_em;
+    sim::Counter* store_hits_s;
+    sim::Counter* upgrade_retries;
+    sim::Counter* store_misses;
+    sim::Counter* writebacks;
+    sim::Counter* snoop_flushes;
+    sim::Counter* snoop_invalidations;
+  };
+  Stats st_;
 };
 
 }  // namespace ccnoc::snoop

@@ -3,6 +3,7 @@
 #include "apps/micro.hpp"
 #include "apps/ocean.hpp"
 #include "cache/cache_fixture.hpp"
+#include "cache/wti_controller.hpp"
 #include "core/system.hpp"
 
 /// The paper's §4.2 suggested optimization: invalidation acknowledgements
@@ -91,6 +92,109 @@ TEST(DirectAck, MesiUpgradeRoundIsThreeHops) {
   auto* mc = dynamic_cast<MesiController*>(&nodes[0]->dcache());
   ASSERT_NE(mc, nullptr);
   EXPECT_EQ(mc->line_state(0x100), LineState::kModified);
+}
+
+// The ack-collection protocol must not depend on arrival order: a sharer's
+// direct InvalidateAck can race ahead of the bank's WriteAck (they travel
+// on independent NoC flows), so maybe_finish_direct_write() has to complete
+// the write exactly once, whichever message lands first. Drive the
+// controller directly so both orders are exercised deterministically.
+class WtiAckOrder : public ::testing::Test {
+ protected:
+  WtiAckOrder()
+      : map(2, 1),
+        net(sim, map.num_nodes(),
+            noc::GmnConfig{.min_latency = 4, .fifo_depth = 16}) {
+    for (sim::NodeId i = 0; i < sim::NodeId(map.num_nodes()); ++i) {
+      net.attach(i, sink);
+    }
+    ctl = std::make_unique<WtiController>(sim, net, map, 0, 0, CacheConfig{},
+                                          "cpu0.dcache");
+  }
+
+  /// Issue a non-blocking write-through so the controller has one in-flight
+  /// drain waiting for its acknowledgement round.
+  void start_write() {
+    MemAccess m;
+    m.is_store = true;
+    m.addr = 0x100;
+    m.size = 4;
+    m.value = 7;
+    std::uint64_t hv = 0;
+    ASSERT_EQ(ctl->access(m, &hv, [](std::uint64_t) {}), AccessResult::kHit);
+    ASSERT_EQ(ctl->write_buffer_occupancy(), 1u);
+    ASSERT_FALSE(ctl->idle());
+  }
+
+  void deliver_sharer_ack() {
+    noc::Packet p;
+    p.src = 1;
+    p.dst = 0;
+    p.msg.type = noc::MsgType::kInvalidateAck;
+    p.msg.addr = 0x100;
+    ctl->on_packet(p);
+  }
+
+  void deliver_write_ack(std::uint8_t acks_to_collect) {
+    noc::Packet p;
+    p.src = 2;
+    p.dst = 0;
+    p.msg.type = noc::MsgType::kWriteAck;
+    p.msg.addr = 0x100;
+    p.msg.ack_count = acks_to_collect;
+    p.msg.path_hops = 3;
+    ctl->on_packet(p);
+  }
+
+  struct Sink final : noc::Endpoint {
+    void deliver(const noc::Packet&) override {}
+  };
+
+  sim::Simulator sim;
+  mem::AddressMap map;
+  noc::GmnNetwork net;
+  Sink sink;
+  std::unique_ptr<WtiController> ctl;
+};
+
+TEST_F(WtiAckOrder, SharerAckArrivingBeforeWriteAckCompletesTheWrite) {
+  start_write();
+  deliver_sharer_ack();  // the race: direct ack overtakes the bank's response
+  EXPECT_EQ(sim.stats().counter_value("cpu0.dcache.direct_ack_writes"), 0u);
+  EXPECT_FALSE(ctl->idle());  // must still be waiting for the WriteAck
+
+  deliver_write_ack(1);
+  EXPECT_EQ(sim.stats().counter_value("cpu0.dcache.direct_ack_writes"), 1u);
+  EXPECT_EQ(ctl->write_buffer_occupancy(), 0u);
+  EXPECT_TRUE(ctl->idle());
+  // Completion releases the bank's block lock exactly once.
+  EXPECT_EQ(sim.stats().counter_value("noc.pkt.TxnDone"), 1u);
+  auto& h = sim.stats().histogram("cpu0.dcache.hops.write_through", 16);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST_F(WtiAckOrder, WriteAckArrivingBeforeSharerAckCompletesTheWrite) {
+  start_write();
+  deliver_write_ack(1);
+  EXPECT_EQ(sim.stats().counter_value("cpu0.dcache.direct_ack_writes"), 0u);
+  EXPECT_FALSE(ctl->idle());  // one sharer ack still outstanding
+
+  deliver_sharer_ack();
+  EXPECT_EQ(sim.stats().counter_value("cpu0.dcache.direct_ack_writes"), 1u);
+  EXPECT_EQ(ctl->write_buffer_occupancy(), 0u);
+  EXPECT_TRUE(ctl->idle());
+  EXPECT_EQ(sim.stats().counter_value("noc.pkt.TxnDone"), 1u);
+}
+
+TEST_F(WtiAckOrder, MultipleSharerAcksStraddlingTheWriteAck) {
+  start_write();
+  deliver_sharer_ack();   // ack #1 early
+  deliver_write_ack(2);   // needs two
+  EXPECT_FALSE(ctl->idle());
+  deliver_sharer_ack();   // ack #2 late
+  EXPECT_EQ(sim.stats().counter_value("cpu0.dcache.direct_ack_writes"), 1u);
+  EXPECT_TRUE(ctl->idle());
 }
 
 struct Param {

@@ -82,6 +82,32 @@ TEST(Directory, ClearAllExceptKeepsOnlyRequester) {
   EXPECT_FALSE(e.dirty);
 }
 
+TEST(Directory, ClearAllExceptPreservesKeptOwner) {
+  // Regression: clearing around the current owner (an owner re-securing
+  // exclusivity on its own line) must not forget dirty/owner — the block
+  // would look clean in memory while the owner still holds it Modified.
+  Directory d(8);
+  d.set_exclusive(kBlk, 2);
+  d.clear_all_except(kBlk, 2);
+  DirEntry e = d.lookup(kBlk);
+  EXPECT_TRUE(e.dirty);
+  EXPECT_EQ(e.owner, 2u);
+  EXPECT_EQ(e.sharer_count(), 1u);
+  EXPECT_TRUE(e.is_sharer(2));
+}
+
+TEST(Directory, ClearAllExceptAroundNonOwnerDropsOwnership) {
+  Directory d(8);
+  d.set_exclusive(kBlk, 2);
+  d.add_sharer(kBlk, 3);
+  d.clear_all_except(kBlk, 3);  // keeping a non-owner: ownership is gone
+  DirEntry e = d.lookup(kBlk);
+  EXPECT_FALSE(e.dirty);
+  EXPECT_EQ(e.owner, sim::kInvalidNode);
+  EXPECT_EQ(e.sharer_count(), 1u);
+  EXPECT_TRUE(e.is_sharer(3));
+}
+
 TEST(Directory, ClearAllExceptNonSharerClearsEverything) {
   Directory d(8);
   d.add_sharer(kBlk, 0);

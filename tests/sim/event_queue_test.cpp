@@ -67,6 +67,27 @@ TEST(EventQueue, RunHonoursCycleLimit) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueue, RunLimitLeavesLaterEventsQueued) {
+  // run(limit) must stop *before* executing events beyond the limit: they
+  // stay queued (pending), their callbacks untouched, and now() lands
+  // exactly on the limit so a later run() resumes seamlessly.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_in(10, [&] { order.push_back(1); });
+  q.schedule_in(60, [&] { order.push_back(2); });
+  q.schedule_in(70, [&] { order.push_back(3); });
+  EXPECT_EQ(q.run(50), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.now(), 50u);
+  EXPECT_EQ(q.next_event_at(), 60u);
+  EXPECT_EQ(q.run(60), 1u);  // an event exactly on the limit still fires
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, SchedulingInThePastThrows) {
   EventQueue q;
   q.schedule_in(10, [] {});

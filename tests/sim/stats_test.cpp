@@ -54,6 +54,17 @@ TEST(Histogram, OverflowAccumulatesInLastBucket) {
   EXPECT_EQ(h.total(), 2u);
 }
 
+TEST(Histogram, ZeroBucketsClampsToOne) {
+  // A zero-bucket histogram would make add() index buckets_[SIZE_MAX];
+  // the constructor clamps to a single (overflow) bucket instead.
+  Histogram h(0);
+  ASSERT_EQ(h.num_buckets(), 1u);
+  h.add(0);
+  h.add(1000);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
 TEST(StatsRegistry, CreatesOnFirstUseWithStablePointers) {
   StatsRegistry r;
   Counter* a = &r.counter("x");
@@ -69,8 +80,27 @@ TEST(StatsRegistry, HistogramBucketsSetAtCreation) {
   StatsRegistry r;
   auto& h = r.histogram("lat", 16);
   EXPECT_EQ(h.num_buckets(), 16u);
-  // Second lookup ignores the bucket argument and returns the same object.
-  EXPECT_EQ(&r.histogram("lat", 99), &h);
+  // Re-requesting with the same width, or with the 0 ("don't care")
+  // sentinel, returns the same object.
+  EXPECT_EQ(&r.histogram("lat", 16), &h);
+  EXPECT_EQ(&r.histogram("lat"), &h);
+}
+
+TEST(StatsRegistry, HistogramWidthCollisionThrows) {
+  StatsRegistry r;
+  r.histogram("lat", 16);
+  // A second call site asking for a different explicit width would silently
+  // record into wrong-width buckets; it must fail loudly instead.
+  EXPECT_THROW(r.histogram("lat", 99), std::logic_error);
+}
+
+TEST(StatsRegistry, HistogramDefaultWidthOnDontCareCreation) {
+  StatsRegistry r;
+  // Created via the sentinel: gets the default width, and a later explicit
+  // request for that width is consistent.
+  auto& h = r.histogram("lat");
+  EXPECT_EQ(h.num_buckets(), 64u);
+  EXPECT_EQ(&r.histogram("lat", 64), &h);
 }
 
 TEST(StatsRegistry, DumpContainsEveryStatistic) {

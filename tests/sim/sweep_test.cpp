@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/micro.hpp"
+#include "core/system.hpp"
+#include "sim/sweep.hpp"
+
+/// SweepRunner contract: results land at submission index, failures are
+/// selected deterministically, and — the property the paper sweeps rely on
+/// — a parallel sweep is indistinguishable from the serial reference run.
+
+namespace ccnoc::sim {
+namespace {
+
+TEST(SweepRunner, ResultsLandAtSubmissionIndex) {
+  SweepRunner runner(4);
+  EXPECT_EQ(runner.threads(), 4u);
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 64; ++i) jobs.push_back([i] { return i * i; });
+  auto results = runner.run(jobs);
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[i], i * i) << "index " << i;
+}
+
+TEST(SweepRunner, SingleThreadRunsEverythingInline) {
+  SweepRunner runner(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on(8);
+  runner.run_indexed(8, [&](std::size_t i) { ran_on[i] = std::this_thread::get_id(); });
+  for (const auto& id : ran_on) EXPECT_EQ(id, caller);
+}
+
+TEST(SweepRunner, ZeroJobsIsANoOp) {
+  SweepRunner runner(4);
+  runner.run_indexed(0, [](std::size_t) { FAIL() << "no job should run"; });
+}
+
+TEST(SweepRunner, LowestIndexedFailureIsReported) {
+  SweepRunner runner(4);
+  // Two jobs always fail; which exception surfaces must not depend on which
+  // worker got there first.
+  try {
+    runner.run_indexed(16, [](std::size_t i) {
+      if (i == 3 || i == 11) throw std::runtime_error("job " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 3");
+  }
+}
+
+TEST(SweepRunner, AllJobsStillRunWhenOneFails) {
+  SweepRunner runner(4);
+  std::atomic<unsigned> ran{0};
+  EXPECT_THROW(runner.run_indexed(32,
+                                  [&](std::size_t i) {
+                                    ran.fetch_add(1);
+                                    if (i == 0) throw std::runtime_error("boom");
+                                  }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 32u);
+}
+
+TEST(SweepRunner, DefaultThreadsHonorsEnvironment) {
+  // CCNOC_SWEEP_THREADS pins the pool size for reproducible CI runs.
+  ASSERT_EQ(setenv("CCNOC_SWEEP_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_sweep_threads(), 3u);
+  EXPECT_EQ(SweepRunner(0).threads(), 3u);
+  ASSERT_EQ(unsetenv("CCNOC_SWEEP_THREADS"), 0);
+  EXPECT_GE(default_sweep_threads(), 1u);
+}
+
+/// One small paper-style point; returns the complete stats dump, the
+/// strictest determinism witness the simulator offers.
+std::string run_point_stats(unsigned idx) {
+  const mem::Protocol proto =
+      idx % 2 == 0 ? mem::Protocol::kWti : mem::Protocol::kWbMesi;
+  const unsigned arch = (idx / 2) % 2 + 1;
+  core::SystemConfig cfg = arch == 1
+                               ? core::SystemConfig::architecture1(2, proto)
+                               : core::SystemConfig::architecture2(2, proto);
+  core::System sys(cfg);
+  apps::HotCounter w(10);
+  EXPECT_TRUE(sys.run(w).verified) << "point " << idx;
+  return sys.simulator().stats().to_string();
+}
+
+TEST(SweepRunner, ParallelSweepIsByteIdenticalToSerial) {
+  constexpr std::size_t kPoints = 8;  // both protocols on both architectures
+  std::vector<std::string> serial(kPoints);
+  std::vector<std::string> parallel(kPoints);
+  SweepRunner(1).run_indexed(
+      kPoints, [&](std::size_t i) { serial[i] = run_point_stats(unsigned(i)); });
+  SweepRunner(4).run_indexed(
+      kPoints, [&](std::size_t i) { parallel[i] = run_point_stats(unsigned(i)); });
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    EXPECT_FALSE(serial[i].empty());
+    EXPECT_EQ(serial[i], parallel[i]) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ccnoc::sim
