@@ -62,9 +62,10 @@ struct PaperRun {
 };
 
 inline PaperRun run_point(const std::string& app, unsigned arch, mem::Protocol proto,
-                          unsigned n) {
+                          unsigned n, sim::TraceMode trace = sim::TraceMode::kOff) {
   core::SystemConfig cfg = arch == 1 ? core::SystemConfig::architecture1(n, proto)
                                      : core::SystemConfig::architecture2(n, proto);
+  cfg.trace = trace;
   core::System sys(cfg);
   auto workload = make_app(app);
   auto t0 = std::chrono::steady_clock::now();
@@ -81,12 +82,13 @@ inline PaperRun run_point(const std::string& app, unsigned arch, mem::Protocol p
 /// Run every spec (each on its own Simulator) across \p threads workers
 /// (0 = default pool size); results are indexed exactly like \p specs.
 inline std::vector<PaperRun> run_sweep(const std::vector<SweepSpec>& specs,
-                                       unsigned threads = 0) {
+                                       unsigned threads = 0,
+                                       sim::TraceMode trace = sim::TraceMode::kOff) {
   std::vector<PaperRun> out(specs.size());
   sim::SweepRunner runner(threads);
   runner.run_indexed(specs.size(), [&](std::size_t i) {
     const SweepSpec& s = specs[i];
-    out[i] = run_point(s.app, s.arch, s.proto, s.n);
+    out[i] = run_point(s.app, s.arch, s.proto, s.n, trace);
   });
   return out;
 }

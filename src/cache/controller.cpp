@@ -14,7 +14,12 @@ CacheController::CacheController(sim::Simulator& sim, noc::Network& net,
       port_(port),
       cfg_(cfg),
       name_(std::move(name)),
-      tags_(cfg) {}
+      tags_(cfg),
+      tr_(&sim.tracer()) {
+  // Controller spans land on the "cache" process track, one thread per
+  // (node, sub-port) so a node's dcache and icache stay distinct.
+  tr_->set_track_name(sim::Tracer::kPidCache, track_tid(), name_);
+}
 
 void CacheController::send_to_bank(sim::Addr addr, noc::Message m) {
   m.requester = node_;

@@ -120,6 +120,16 @@ class CacheController : public CacheIface {
     return &sim_.stats().histogram(name_ + "." + suffix, buckets);
   }
 
+  /// Globally-unique transaction id (delegates to the tracer's monotonic
+  /// allocator), so a txn can be followed end-to-end across components.
+  [[nodiscard]] std::uint64_t next_txn() { return sim_.alloc_txn(); }
+
+  /// Tracer thread id on the "cache" track. A node hosts two sub-ports
+  /// (0 = dcache, 1 = icache) that must not share a track.
+  [[nodiscard]] std::uint32_t track_tid() const {
+    return std::uint32_t(node_) * 2 + port_;
+  }
+
   sim::Simulator& sim_;
   noc::Network& net_;
   const mem::AddressMap& map_;
@@ -128,7 +138,7 @@ class CacheController : public CacheIface {
   CacheConfig cfg_;
   std::string name_;
   TagArray tags_;
-  std::uint64_t next_txn_ = 1;
+  sim::Tracer* tr_;  ///< cached; hot paths guard on tr_->on() / tr_->full()
 };
 
 }  // namespace ccnoc::cache

@@ -22,10 +22,12 @@ AccessResult ICacheController::access(const MemAccess& a, std::uint64_t* hit_val
   pending_ = true;
   pending_access_ = a;
   pending_cb_ = std::move(on_complete);
+  pending_txn_ = next_txn();
+  tr_->txn_begin(sim_.now(), pending_txn_, "ifetch_miss", track_tid(), block);
   Message m;
   m.type = MsgType::kReadShared;
   m.addr = block;
-  m.txn = next_txn_++;
+  m.txn = pending_txn_;
   m.track = false;  // read-only code: not registered in the directory
   send_to_bank(block, std::move(m));
   return AccessResult::kPending;
@@ -41,6 +43,7 @@ void ICacheController::on_packet(const noc::Packet& pkt) {
   std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
   tags_.touch(l);
   hops_fetch_miss_->add(pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
 
   std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
   pending_ = false;

@@ -32,6 +32,7 @@ class ICacheController final : public CacheController {
   bool pending_ = false;
   MemAccess pending_access_{};
   CompleteFn pending_cb_;
+  std::uint64_t pending_txn_ = 0;  ///< tracer id of the in-flight fetch miss
 
   // Typed stat handles, resolved once at construction (see CacheController).
   sim::Counter* hits_;

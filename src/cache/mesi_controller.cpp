@@ -73,10 +73,12 @@ AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value
     pending_cb_ = std::move(on_complete);
     pending_line_ = l;
     pending_is_upgrade_ = true;
+    pending_txn_ = next_txn();
+    tr_->txn_begin(sim_.now(), pending_txn_, "mesi.upgrade", track_tid(), block);
     Message m;
     m.type = MsgType::kUpgrade;
     m.addr = block;
-    m.txn = next_txn_++;
+    m.txn = pending_txn_;
     send_to_bank(block, std::move(m));
     return AccessResult::kPending;
   }
@@ -94,12 +96,17 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
   pending_is_upgrade_ = false;
 
   sim::Addr block = tags_.block_of(a.addr);
+  pending_txn_ = next_txn();
+  tr_->txn_begin(sim_.now(), pending_txn_,
+                 a.is_store ? "mesi.write_miss" : "mesi.read_miss", track_tid(), block);
   CacheLine& victim = tags_.victim(block);
   if (victim.state == LineState::kModified &&
       wb_buffer_.size() >= cfg_.writeback_buffer_entries) {
     // All write-back buffer entries are awaiting acknowledgement; the miss
     // launches once one frees.
     st_.wb_buffer_stalls->inc();
+    tr_->txn_note(sim_.now(), pending_txn_, "wb_slot_wait", "wb_buffer",
+                  wb_buffer_.size());
     pending_ = Pending::kWbSlot;
     pending_line_ = &victim;
     return;
@@ -119,7 +126,7 @@ void MesiController::launch_miss() {
   Message m;
   m.type = pending_access_.is_store ? MsgType::kReadExclusive : MsgType::kReadShared;
   m.addr = block;
-  m.txn = next_txn_++;
+  m.txn = pending_txn_;
   send_to_bank(block, std::move(m));
 }
 
@@ -132,7 +139,8 @@ void MesiController::do_writeback(CacheLine& victim) {
   Message m;
   m.type = MsgType::kWriteBack;
   m.addr = victim.block;
-  m.txn = next_txn_++;
+  m.txn = next_txn();
+  tr_->txn_begin(sim_.now(), m.txn, "mesi.writeback", track_tid(), victim.block);
   m.data_len = std::uint8_t(cfg_.block_bytes);
   std::memcpy(m.data.data(), victim.data.data(), cfg_.block_bytes);
   send_to_bank(victim.block, std::move(m));
@@ -174,6 +182,7 @@ void MesiController::handle_read_response(const noc::Packet& pkt) {
   }
   (pending_access_.is_store ? st_.hops_write_miss : st_.hops_read_miss)
       ->add(pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
   finish_pending(l);
 }
 
@@ -199,6 +208,7 @@ void MesiController::handle_upgrade_ack(const noc::Packet& pkt) {
                  "upgrade ack without data for a lost line");
   }
   st_.hops_write_hit_s->add(pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
   finish_pending(l);
 }
 
@@ -211,9 +221,12 @@ void MesiController::maybe_finish_direct_upgrade() {
   direct_acks_got_ = 0;
 
   // Release the bank's per-block transaction lock, then complete locally.
+  // Carrying the finishing transaction's id lets the trace tie the unlock
+  // to its upgrade.
   Message done;
   done.type = MsgType::kTxnDone;
   done.addr = msg.addr;
+  done.txn = msg.txn;
   send_to_bank(msg.addr, std::move(done));
 
   CacheLine& l = *pending_line_;
@@ -226,6 +239,7 @@ void MesiController::maybe_finish_direct_upgrade() {
                  "direct upgrade ack without data for a lost line");
   }
   st_.hops_write_hit_s->add(msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, msg.path_hops);
   finish_pending(l);
 }
 
@@ -258,6 +272,11 @@ void MesiController::finish_pending(CacheLine& l) {
 
 void MesiController::handle_invalidate(const noc::Packet& pkt) {
   st_.invalidations->inc();
+  if (tr_->full()) {
+    tr_->instant(sim_.now(), "mesi.invalidate_recv", sim::Tracer::kPidCache, track_tid(),
+                 "addr", pkt.msg.addr);
+    tr_->txn_note(sim_.now(), pkt.msg.txn, "invalidate", "sharer", node_);
+  }
   if (CacheLine* l = tags_.find(pkt.msg.addr)) {
     CCNOC_ASSERT(l->state == LineState::kShared, "invalidate hit a non-Shared line");
     l->state = LineState::kInvalid;
@@ -272,6 +291,11 @@ void MesiController::handle_invalidate(const noc::Packet& pkt) {
 
 void MesiController::handle_fetch(const noc::Packet& pkt, bool invalidate) {
   (invalidate ? st_.fetch_invs : st_.fetches)->inc();
+  if (tr_->full()) {
+    tr_->instant(sim_.now(), invalidate ? "mesi.fetchinv_recv" : "mesi.fetch_recv",
+                 sim::Tracer::kPidCache, track_tid(), "addr", pkt.msg.addr);
+    tr_->txn_note(sim_.now(), pkt.msg.txn, invalidate ? "fetch_inv" : "fetch", "owner", node_);
+  }
   Message resp;
   resp.type = MsgType::kFetchResponse;
   resp.addr = pkt.msg.addr;
@@ -299,6 +323,7 @@ void MesiController::handle_fetch(const noc::Packet& pkt, bool invalidate) {
 void MesiController::handle_writeback_ack(const noc::Packet& pkt) {
   auto erased = wb_buffer_.erase(tags_.block_of(pkt.msg.addr));
   CCNOC_ASSERT(erased == 1, "write-back ack for unknown block");
+  if (tr_->on()) tr_->txn_end(sim_.now(), pkt.msg.txn, pkt.msg.path_hops);
   if (pending_ == Pending::kWbSlot) {
     CacheLine& victim = *pending_line_;
     if (victim.state == LineState::kModified) {

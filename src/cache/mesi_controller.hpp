@@ -74,6 +74,11 @@ class MesiController final : public CacheController {
   noc::Message saved_upgrade_msg_{};
   void maybe_finish_direct_upgrade();
 
+  /// Tracer transaction id of the pending miss/upgrade. The span opens when
+  /// the access starts waiting, so write-back-slot waits are inside the
+  /// measured latency. Write-backs carry their own id in the message.
+  std::uint64_t pending_txn_ = 0;
+
   /// Typed stat handles, resolved once at construction (see CacheController).
   struct Stats {
     sim::Counter* load_hits;

@@ -43,11 +43,14 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
     st_.load_misses->inc();
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
+    pending_txn_ = next_txn();
+    tr_->txn_begin(sim_.now(), pending_txn_, "wti.load_miss", track_tid(), block);
     if (cfg_.drain_on_load_miss && !wbuf_.empty()) {
       // Sequential consistency: older buffered writes become globally
       // visible before this read is ordered.
       pending_ = Pending::kLoadDrain;
       st_.load_drain_waits->inc();
+      tr_->txn_note(sim_.now(), pending_txn_, "drain_wait", "wbuf", wbuf_.size());
     } else {
       pending_ = Pending::kLoadResponse;
       issue_read();
@@ -63,8 +66,11 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
     if (CacheLine* l = tags_.find(block)) l->state = LineState::kInvalid;
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
+    pending_txn_ = next_txn();
+    tr_->txn_begin(sim_.now(), pending_txn_, "wti.atomic", track_tid(), block);
     if (!wbuf_.empty()) {
       pending_ = Pending::kSwapDrain;
+      tr_->txn_note(sim_.now(), pending_txn_, "drain_wait", "wbuf", wbuf_.size());
     } else {
       pending_ = Pending::kSwapResponse;
       issue_swap();
@@ -75,6 +81,8 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
   // Store: non-blocking through the write buffer unless it is full.
   if (wbuf_.size() >= cfg_.write_buffer_entries) {
     st_.wbuf_full_stalls->inc();
+    tr_->instant(sim_.now(), "wti.wbuf_full", sim::Tracer::kPidCache, track_tid(),
+                 "addr", a.addr);
     pending_ = Pending::kStoreBuffer;
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
@@ -108,7 +116,8 @@ void WtiController::start_drain() {
   m.addr = e.addr;
   m.access_size = e.size;
   m.data_len = e.size;
-  m.txn = next_txn_++;
+  m.txn = drain_txn_ = next_txn();
+  tr_->txn_begin(sim_.now(), drain_txn_, "wti.write_through", track_tid(), e.addr);
   std::memcpy(m.data.data(), &e.value, e.size);
   drain_in_flight_ = true;
   send_to_bank(e.addr, std::move(m));
@@ -118,7 +127,7 @@ void WtiController::issue_read() {
   Message m;
   m.type = MsgType::kReadShared;
   m.addr = tags_.block_of(pending_access_.addr);
-  m.txn = next_txn_++;
+  m.txn = pending_txn_;
   send_to_bank(m.addr, std::move(m));
 }
 
@@ -129,7 +138,7 @@ void WtiController::issue_swap() {
   m.addr = pending_access_.addr;
   m.access_size = pending_access_.size;
   m.data_len = pending_access_.size;
-  m.txn = next_txn_++;
+  m.txn = pending_txn_;
   std::memcpy(m.data.data(), &pending_access_.value, pending_access_.size);
   send_to_bank(m.addr, std::move(m));
 }
@@ -162,6 +171,7 @@ void WtiController::handle_read_response(const noc::Packet& pkt) {
   tags_.touch(l);
 
   st_.hops_read_miss->add(pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
   std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
   pending_ = Pending::kNone;
   auto cb = std::move(pending_cb_);
@@ -181,6 +191,7 @@ void WtiController::handle_write_ack(const noc::Packet& pkt) {
     return;
   }
   st_.hops_write_through->add(pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pkt.msg.txn, pkt.msg.path_hops);
   wbuf_.pop_front();
   drain_in_flight_ = false;
   start_drain();
@@ -211,10 +222,13 @@ void WtiController::maybe_finish_direct_write() {
   if (!have_write_ack_ || direct_acks_got_ < direct_acks_needed_) return;
   st_.direct_ack_writes->inc();
   st_.hops_write_through->add(saved_ack_hops_);
-  // Release the bank's per-block transaction lock.
+  tr_->txn_end(sim_.now(), drain_txn_, saved_ack_hops_);
+  // Release the bank's per-block transaction lock. Carrying the finishing
+  // transaction's id lets the trace tie the unlock to its write.
   Message done;
   done.type = MsgType::kTxnDone;
   done.addr = wbuf_.front().addr;
+  done.txn = drain_txn_;
   send_to_bank(done.addr, std::move(done));
 
   have_write_ack_ = false;
@@ -257,6 +271,7 @@ AccessResult WtiController::drain(CompleteFn on_drained) {
 void WtiController::handle_swap_response(const noc::Packet& pkt) {
   CCNOC_ASSERT(pending_ == Pending::kSwapResponse, "unexpected swap response");
   st_.hops_atomic_swap->add(pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
   std::uint64_t old = 0;
   std::memcpy(&old, pkt.msg.data.data(), pkt.msg.data_len);
   pending_ = Pending::kNone;
@@ -269,6 +284,8 @@ void WtiController::handle_update(const noc::Packet& pkt) {
   // Write-update flavour: a foreign store patches our copy in place. A
   // stale-sharer ack tells the directory to stop updating us.
   st_.updates->inc();
+  tr_->instant(sim_.now(), "wti.update_recv", sim::Tracer::kPidCache, track_tid(),
+               "addr", pkt.msg.addr);
   Message ack;
   ack.type = MsgType::kUpdateAck;
   ack.addr = pkt.msg.addr;
@@ -286,6 +303,8 @@ void WtiController::handle_update(const noc::Packet& pkt) {
 
 void WtiController::handle_invalidate(const noc::Packet& pkt) {
   st_.invalidations->inc();
+  tr_->instant(sim_.now(), "wti.invalidate_recv", sim::Tracer::kPidCache, track_tid(),
+               "addr", pkt.msg.addr);
   if (CacheLine* l = tags_.find(pkt.msg.addr)) {
     l->state = LineState::kInvalid;
   }

@@ -75,6 +75,12 @@ class WtiController final : public CacheController {
   std::uint8_t saved_ack_hops_ = 0;
   void maybe_finish_direct_write();
 
+  // Tracer transaction ids: the pending CPU access (load miss / atomic) and
+  // the in-flight write-through drain. Spans open when the access starts
+  // waiting, so drain/buffer waits are inside the measured latency.
+  std::uint64_t pending_txn_ = 0;
+  std::uint64_t drain_txn_ = 0;
+
   /// Typed stat handles, resolved once at construction (see CacheController).
   struct Stats {
     sim::Counter* load_hits;

@@ -42,6 +42,11 @@ System::System(SystemConfig cfg)
                "I/D caches must share one block size");
   cfg_.bank.block_bytes = cfg_.dcache.block_bytes;
 
+  // Tracer mode before any component is built: constructors register their
+  // tracks, link slots and bank slots with it.
+  sim_.tracer().set_mode(cfg_.trace);
+  sim_.tracer().set_epoch_cycles(cfg_.trace_epoch);
+
   const std::size_t nodes = map_.num_nodes();
   switch (cfg_.network) {
     case NetworkKind::kGmn: {
@@ -107,6 +112,10 @@ RunResult System::run(apps::Workload& workload, unsigned nthreads,
   r.exec_cycles = end;
   r.noc_bytes = net_->total_bytes();
   r.noc_packets = net_->total_packets();
+  if (sim_.tracer().on()) {
+    r.stall_attr = sim_.tracer().stall_attr();
+    r.stall_attr.resize(cfg_.num_cpus);  // CPUs that never stalled stay zero
+  }
 
   flush_caches();
   r.verified = r.completed && workload.verify(*dmem_);

@@ -49,6 +49,13 @@ struct SystemConfig {
   cpu::CpuConfig cpu{};
   std::uint64_t seed = 1;
 
+  /// Observability (see sim/tracer.hpp): kOff costs nothing, kMetrics keeps
+  /// aggregates for the run report, kFull additionally records the Chrome
+  /// trace event log. Set before construction; components register their
+  /// tracks and telemetry slots in their constructors.
+  sim::TraceMode trace = sim::TraceMode::kOff;
+  sim::Cycle trace_epoch = 1024;  ///< epoch length for per-link/bank series
+
   /// Paper architecture 1: 2 banks, centralized layout, SMP scheduler.
   static SystemConfig architecture1(unsigned n, mem::Protocol p);
   /// Paper architecture 2: n+3 banks, distributed layout, DS scheduler.
@@ -68,6 +75,11 @@ struct RunResult {
   std::uint64_t d_stall_cycles = 0;
   std::uint64_t i_stall_cycles = 0;
   std::uint64_t events = 0;
+
+  /// Per-CPU stall attribution (load/store/atomic/ifetch). Populated only
+  /// when the run was traced (SystemConfig::trace != kOff); the category
+  /// sums reconcile exactly with d_stall_cycles / i_stall_cycles.
+  std::vector<sim::CpuStallAttr> stall_attr;
 
   [[nodiscard]] double exec_megacycles() const { return double(exec_cycles) / 1e6; }
   /// Figure 6 quantity: data-cache stall cycles as a share of execution.

@@ -12,7 +12,10 @@ Processor::Processor(sim::Simulator& sim, cache::CacheIface& dcache,
       cpu_(cpu_index),
       cfg_(cfg),
       name_("cpu" + std::to_string(cpu_index)),
-      scheduler_ticks_ctr_(&sim.stats().counter(name_ + ".scheduler_ticks")) {}
+      scheduler_ticks_ctr_(&sim.stats().counter(name_ + ".scheduler_ticks")),
+      tr_(&sim.tracer()) {
+  tr_->set_track_name(sim::Tracer::kPidCpu, cpu_, name_);
+}
 
 void Processor::start() {
   if (sched_) next_tick_ = sim_.now() + sched_->tick_period();
@@ -162,6 +165,7 @@ void Processor::continue_ifetch() {
     wait_started_ = sim_.now();
     auto res = icache_.access(a, &dummy, [this](std::uint64_t) {
       i_stall_ += sim_.now() - wait_started_;
+      if (tr_->on()) record_stall(sim::StallCat::kIfetch);
       CCNOC_ASSERT(!ifetch_pending_.empty(), "ifetch completion with empty queue");
       ifetch_pending_.pop_back();
       last_active_ = sim_.now();
@@ -216,6 +220,15 @@ void Processor::execute_data() {
 
 void Processor::resume_after_data(std::uint64_t value) {
   d_stall_ += sim_.now() - wait_started_;
+  if (tr_->on()) {
+    sim::StallCat cat = sim::StallCat::kLoad;
+    if (cur_op_.kind == OpKind::kStore) {
+      cat = sim::StallCat::kStore;
+    } else if (cur_op_.kind == OpKind::kAtomicSwap || cur_op_.kind == OpKind::kAtomicAdd) {
+      cat = sim::StallCat::kAtomic;
+    }
+    record_stall(cat);
+  }
   last_active_ = sim_.now();
   if (cur_op_.kind != OpKind::kStore) thread_->last_load_value = value;
   finish_op(std::max<sim::Cycle>(cur_op_.icount, cfg_.min_op_cycles));
@@ -224,6 +237,19 @@ void Processor::resume_after_data(std::uint64_t value) {
 void Processor::finish_op(sim::Cycle cost) {
   have_op_ = false;
   schedule_step(cost);
+}
+
+void Processor::record_stall(sim::StallCat cat) {
+  // Same delta the legacy d_stall_/i_stall_ counters accumulate, so the
+  // attributed breakdown reconciles with them exactly.
+  sim::Cycle delta = sim_.now() - wait_started_;
+  tr_->add_stall(cpu_, cat, delta);
+  if (delta > 0 && tr_->full()) {
+    static const char* kStallName[sim::kNumStallCats] = {"stall.load", "stall.store",
+                                                         "stall.atomic", "stall.ifetch"};
+    tr_->complete(wait_started_, sim_.now(), kStallName[std::size_t(cat)],
+                  sim::Tracer::kPidCpu, cpu_);
+  }
 }
 
 void Processor::export_stats() {

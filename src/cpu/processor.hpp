@@ -76,6 +76,7 @@ class Processor {
   void resume_after_data(std::uint64_t value);
   void finish_op(sim::Cycle cost);
   void export_stats();
+  void record_stall(sim::StallCat cat);
 
   sim::Simulator& sim_;
   cache::CacheIface& dcache_;
@@ -108,6 +109,7 @@ class Processor {
 
   // Resolved once at construction; bumped on every timer tick.
   sim::Counter* scheduler_ticks_ctr_;
+  sim::Tracer* tr_;  ///< cached; stall attribution is guarded on tr_->on()
 };
 
 }  // namespace ccnoc::cpu

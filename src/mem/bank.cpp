@@ -17,7 +17,9 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
       proto_(proto),
       cfg_(cfg),
       node_(map.bank_node(bank_index)),
-      dir_(map.num_cpus()) {
+      dir_(map.num_cpus()),
+      tr_(&sim.tracer()),
+      bank_tid_(bank_index) {
   CCNOC_ASSERT((cfg_.block_bytes & (cfg_.block_bytes - 1)) == 0,
                "block size must be a power of two");
   CCNOC_ASSERT(cfg_.block_bytes <= noc::kMaxBlockBytes, "block too large for messages");
@@ -36,6 +38,10 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
   st_.stale_fetch_responses = &reg.counter(prefix + "stale_fetch_responses");
   st_.writebacks = &reg.counter(prefix + "writebacks");
   st_.queue_delay = &reg.sample(prefix + "queue_delay");
+
+  std::string bank_name = "bank" + std::to_string(bank_index);
+  trace_bank_id_ = tr_->register_bank(bank_name);
+  tr_->set_track_name(sim::Tracer::kPidBank, bank_tid_, std::move(bank_name));
 }
 
 void Bank::deliver(const noc::Packet& pkt) {
@@ -76,6 +82,11 @@ void Bank::enqueue_request(const noc::Packet& pkt) {
     // Block busy: serialize behind the active transaction.
     waiting_[block].push_back(pkt);
     st_.block_conflicts->inc();
+    ++waiting_count_;
+    if (tr_->on()) {
+      tr_->bank_queue_depth(trace_bank_id_, sim_.now(), waiting_count_);
+      tr_->txn_note(sim_.now(), pkt.msg.txn, "bank_queued", "block", block);
+    }
     return;
   }
   start_service(pkt.msg, pkt.src);
@@ -99,6 +110,9 @@ void Bank::start_service(Message req, sim::NodeId src) {
   port_free_ = start + cfg_.initiation_interval;
   st_.busy_cycles->inc(cfg_.initiation_interval);
   st_.queue_delay->add(double(start - sim_.now()));
+  // Service occupancy on the bank's trace track, one slice per request.
+  tr_->complete(start, start + service, to_string(rt), sim::Tracer::kPidBank,
+                bank_tid_);
   sim_.queue().schedule_at(start + service, [this, block] { process_request(block); });
 }
 
@@ -153,7 +167,7 @@ void Bank::process_read_shared(Txn& t) {
     // Sole reader: grant Exclusive. The cache may silently modify, so the
     // directory conservatively records an owner.
     resp.grant = Grant::kExclusive;
-    dir_.set_exclusive(block, t.src);
+    dir_set_exclusive(block, t.src);
   } else {
     resp.grant = Grant::kShared;
     dir_.add_sharer(block, t.src);
@@ -241,6 +255,7 @@ void Bank::send_updates(sim::Addr block, Txn& t, sim::NodeId except) {
     final += storage_.read_uint(t.req.addr, t.req.access_size);
   }
 
+  tr_->txn_note(sim_.now(), t.req.txn, "update_fanout", "targets", targets.size());
   for (sim::NodeId c : targets) {
     Message u;
     u.type = MsgType::kUpdateWord;
@@ -285,6 +300,8 @@ void Bank::send_invalidations(sim::Addr block, Txn& t, sim::NodeId except) {
   } else {
     t.pending_acks = unsigned(targets.size());
   }
+  tr_->txn_note(sim_.now(), t.req.txn, "inval_fanout", "targets", targets.size(),
+                "direct", direct ? 1 : 0);
   for (sim::NodeId c : targets) {
     Message inv;
     inv.type = MsgType::kInvalidate;
@@ -309,6 +326,7 @@ void Bank::request_fetch(sim::Addr block, Txn& t, MsgType fetch_type) {
   t.waiting_data = true;
   t.data_from = e.owner;
   t.had_fetch_round = true;
+  tr_->txn_note(sim_.now(), t.req.txn, "fetch_owner", "owner", e.owner);
   Message f;
   f.type = fetch_type;
   f.addr = block;
@@ -389,7 +407,7 @@ void Bank::on_data_arrived(sim::Addr block, Txn& t, const Message& data_msg) {
   switch (t.req.type) {
     case MsgType::kReadShared: {
       // Owner downgraded M→S; memory clean again; requester becomes sharer.
-      dir_.clear_dirty(block);
+      dir_clear_dirty(block);
       if (t.req.track) dir_.add_sharer(block, t.src);
       Message resp;
       resp.type = MsgType::kReadResponse;
@@ -404,7 +422,7 @@ void Bank::on_data_arrived(sim::Addr block, Txn& t, const Message& data_msg) {
     case MsgType::kUpgrade: {
       // Former owner invalidated; requester takes exclusive ownership.
       dir_.clear_all_except(block);
-      dir_.set_exclusive(block, t.src);
+      dir_set_exclusive(block, t.src);
       Message resp;
       resp.type = t.req.type == MsgType::kReadExclusive ? MsgType::kReadResponse
                                                         : MsgType::kUpgradeAck;
@@ -425,6 +443,9 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
   // Direct-ack rounds shorten the critical path to 3 hops: request,
   // invalidate, ack-to-requester (the response overlaps the invalidations).
   unsigned hops = t.had_inval_round ? (t.direct_mode ? 3 : 4) : 2;
+  if (t.had_inval_round) {
+    tr_->txn_note(sim_.now(), t.req.txn, "acks_complete", "hops", hops);
+  }
   switch (t.req.type) {
     case MsgType::kWriteWord: {
       storage_.write(t.req.addr, t.req.data.data(), t.req.access_size);
@@ -469,7 +490,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
     }
     case MsgType::kReadExclusive: {
       dir_.clear_all_except(block);
-      dir_.set_exclusive(block, t.src);
+      dir_set_exclusive(block, t.src);
       Message resp;
       resp.type = MsgType::kReadResponse;
       resp.addr = block;
@@ -482,7 +503,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
     case MsgType::kUpgrade: {
       bool lost_copy = !dir_.lookup(block).is_sharer(t.src);
       dir_.clear_all_except(block);
-      dir_.set_exclusive(block, t.src);
+      dir_set_exclusive(block, t.src);
       Message resp;
       resp.type = MsgType::kUpgradeAck;
       resp.addr = block;
@@ -522,7 +543,21 @@ void Bank::complete_txn(sim::Addr block) {
   noc::Packet next = wit->second.front();
   wit->second.pop_front();
   if (wit->second.empty()) waiting_.erase(wit);
+  --waiting_count_;
+  if (tr_->on()) tr_->bank_queue_depth(trace_bank_id_, sim_.now(), waiting_count_);
   start_service(next.msg, next.src);
+}
+
+void Bank::dir_set_exclusive(sim::Addr block, sim::NodeId owner) {
+  dir_.set_exclusive(block, owner);
+  tr_->instant(sim_.now(), "dir.set_exclusive", sim::Tracer::kPidBank, bank_tid_,
+               "owner", owner);
+}
+
+void Bank::dir_clear_dirty(sim::Addr block) {
+  dir_.clear_dirty(block);
+  tr_->instant(sim_.now(), "dir.clear_dirty", sim::Tracer::kPidBank, bank_tid_,
+               "addr", block);
 }
 
 }  // namespace ccnoc::mem

@@ -106,6 +106,11 @@ class Bank final : public noc::Endpoint {
   }
   void read_block(sim::Addr block, noc::Message& m) const;
 
+  // Directory mutations that change a block's ownership class, wrapped so
+  // the trace shows the directory state machine alongside the messages.
+  void dir_set_exclusive(sim::Addr block, sim::NodeId owner);
+  void dir_clear_dirty(sim::Addr block);
+
   sim::Simulator& sim_;
   noc::Network& net_;
   const AddressMap& map_;
@@ -119,6 +124,11 @@ class Bank final : public noc::Endpoint {
 
   std::unordered_map<sim::Addr, Txn> txns_;  // key: block address
   std::unordered_map<sim::Addr, std::deque<noc::Packet>> waiting_;
+  std::size_t waiting_count_ = 0;  ///< total queued packets across blocks
+
+  sim::Tracer* tr_;            ///< cached; guarded on tr_->on() / tr_->full()
+  unsigned trace_bank_id_ = 0;  ///< tracer telemetry slot for this bank
+  std::uint32_t bank_tid_ = 0;  ///< thread id on the "bank" trace track
 
   /// Typed stat handles ("bank<i>.*"), resolved once at construction so the
   /// per-request paths never rebuild the prefixed name or search the

@@ -26,6 +26,7 @@ class BusNetwork final : public Network {
   BusNetwork(sim::Simulator& s, std::size_t nodes, BusConfig cfg = {})
       : Network(s), cfg_(cfg), grant_delay_sample_(&s.stats().sample("bus.grant_delay")) {
     (void)nodes;  // a bus has no per-node resources
+    link_bus_ = tracer_->register_link("bus");
   }
 
  protected:
@@ -37,6 +38,7 @@ class BusNetwork final : public Network {
     sim::Cycle start = std::max(sim_.now(), bus_free_);
     bus_free_ = start + cfg_.arbitration + flits;
     grant_delay_sample_->add(double(start - sim_.now()));
+    if (tracer_->on()) tracer_->add_link_flits(link_bus_, start, flits);
     deliver_at(bus_free_, std::move(pkt));
   }
 
@@ -44,6 +46,7 @@ class BusNetwork final : public Network {
   BusConfig cfg_;
   sim::Cycle bus_free_ = 0;
   sim::Sample* grant_delay_sample_;  ///< resolved once; route() is per-packet
+  unsigned link_bus_ = 0;            ///< tracer link id for the shared medium
 };
 
 }  // namespace ccnoc::noc

@@ -21,6 +21,12 @@ void GmnNetwork::route(Packet&& pkt) {
 
   sim::Cycle arrival = out_start + flits;
 
+  if (tracer_->on()) {
+    // Attribute flits to the epoch in which each port actually carries them.
+    tracer_->add_link_flits(link_in_[pkt.src], in_start, flits);
+    tracer_->add_link_flits(link_out_[pkt.dst], out_start, flits);
+  }
+
   // Queueing is fully captured by the busy-until reservations above (a
   // packet waits behind every earlier packet on its ingress and egress
   // ports). When the backlog exceeds the configured FIFO depth the real

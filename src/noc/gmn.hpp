@@ -41,7 +41,16 @@ class GmnNetwork final : public Network {
         cfg_(cfg),
         ingress_free_(nodes, 0),
         egress_free_(nodes, 0),
-        fifo_overflow_ctr_(&s.stats().counter("noc.fifo_overflow_cycles")) {}
+        fifo_overflow_ctr_(&s.stats().counter("noc.fifo_overflow_cycles")) {
+    // Per-port flit telemetry: each node has one ingress and one egress
+    // port on the crossbar; the tracer buckets their traffic per epoch.
+    for (std::size_t i = 0; i < nodes; ++i) {
+      link_in_.push_back(tracer_->register_link("gmn.in." + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < nodes; ++i) {
+      link_out_.push_back(tracer_->register_link("gmn.out." + std::to_string(i)));
+    }
+  }
 
   GmnNetwork(sim::Simulator& s, std::size_t nodes)
       : GmnNetwork(s, nodes, GmnConfig::for_nodes(nodes)) {}
@@ -56,6 +65,8 @@ class GmnNetwork final : public Network {
   std::vector<sim::Cycle> ingress_free_;
   std::vector<sim::Cycle> egress_free_;
   sim::Counter* fifo_overflow_ctr_;  ///< resolved once; route() is per-packet
+  std::vector<unsigned> link_in_;    ///< tracer link ids, per ingress port
+  std::vector<unsigned> link_out_;   ///< tracer link ids, per egress port
 };
 
 }  // namespace ccnoc::noc

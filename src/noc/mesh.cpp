@@ -11,7 +11,24 @@ MeshNetwork::MeshNetwork(sim::Simulator& s, std::size_t nodes, MeshConfig cfg)
       link_free_(std::size_t(topo_.width()) * std::size_t(topo_.height()) * 4, 0),
       inject_free_(nodes, 0),
       eject_free_(nodes, 0),
-      hops_hist_(&s.stats().histogram("noc.mesh_hops", 32)) {}
+      hops_hist_(&s.stats().histogram("noc.mesh_hops", 32)) {
+  // Telemetry links mirror the busy-until resources: injection/ejection
+  // ports per node plus the four directed links of every router.
+  for (std::size_t i = 0; i < nodes; ++i) {
+    link_inject_.push_back(tracer_->register_link("mesh.in." + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < nodes; ++i) {
+    link_eject_.push_back(tracer_->register_link("mesh.out." + std::to_string(i)));
+  }
+  static const char* kDirName[4] = {"E", "W", "N", "S"};
+  std::size_t routers = std::size_t(topo_.width()) * std::size_t(topo_.height());
+  for (std::size_t r = 0; r < routers; ++r) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      link_dir_.push_back(tracer_->register_link("mesh." + std::to_string(r) + "." +
+                                                 kDirName[d]));
+    }
+  }
+}
 
 void MeshNetwork::route(Packet&& pkt) {
   const sim::Cycle flits = flits_of(pkt);
@@ -21,6 +38,7 @@ void MeshNetwork::route(Packet&& pkt) {
   // Injection port.
   sim::Cycle t = std::max(sim_.now(), inject_free_[pkt.src]);
   inject_free_[pkt.src] = t + flits;
+  if (tracer_->on()) tracer_->add_link_flits(link_inject_[pkt.src], t, flits);
   t += cfg_.router_delay;
 
   // Walk the XY path, reserving each directed link.
@@ -31,6 +49,7 @@ void MeshNetwork::route(Packet&& pkt) {
     std::size_t li = link_index(cur_id, d);
     t = std::max(t, link_free_[li]);
     link_free_[li] = t + flits;
+    if (tracer_->on()) tracer_->add_link_flits(link_dir_[li], t, flits);
     t += cfg_.router_delay + 1;
     cur = next;
     ++hop_count;
@@ -53,6 +72,7 @@ void MeshNetwork::route(Packet&& pkt) {
   // Ejection port serializes the whole packet onto the endpoint.
   t = std::max(t, eject_free_[pkt.dst]);
   eject_free_[pkt.dst] = t + flits;
+  if (tracer_->on()) tracer_->add_link_flits(link_eject_[pkt.dst], t, flits);
   t += flits;
 
   hops_hist_->add(std::uint64_t(hop_count));

@@ -44,6 +44,9 @@ class MeshNetwork final : public Network {
   std::vector<sim::Cycle> inject_free_;   // local input port per router
   std::vector<sim::Cycle> eject_free_;    // local output port per router
   sim::Histogram* hops_hist_;             // resolved once; route() is per-packet
+  std::vector<unsigned> link_inject_;     // tracer link ids, injection ports
+  std::vector<unsigned> link_eject_;      // tracer link ids, ejection ports
+  std::vector<unsigned> link_dir_;        // tracer link ids, parallel to link_free_
 };
 
 }  // namespace ccnoc::noc

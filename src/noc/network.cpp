@@ -1,8 +1,10 @@
 #include "noc/network.hpp"
 
+#include <cstdio>
+
 namespace ccnoc::noc {
 
-Network::Network(sim::Simulator& s) : sim_(s) {
+Network::Network(sim::Simulator& s) : sim_(s), tracer_(&s.tracer()) {
   auto& st = sim_.stats();
   bytes_ctr_ = &st.counter("noc.bytes");
   packets_ctr_ = &st.counter("noc.packets");
@@ -42,13 +44,18 @@ void Network::deliver_at(sim::Cycle when, Packet&& pkt) {
   CCNOC_ASSERT(when >= sim_.now(), "delivery in the past");
   latency_sample_->add(double(when - pkt.sent_at));
   sim_.queue().schedule_at(when, [this, p = std::move(pkt)]() mutable {
-    if (sim_.logger().enabled(sim::LogLevel::Trace)) {
-      char addr[32];
-      std::snprintf(addr, sizeof addr, "0x%llx",
+    sim_.trace("noc", [&p] {
+      char line[96];
+      std::snprintf(line, sizeof line, "%s %u->%u addr=0x%llx", to_string(p.msg.type),
+                    unsigned(p.src), unsigned(p.dst),
                     static_cast<unsigned long long>(p.msg.addr));
-      sim_.trace("noc", std::string(to_string(p.msg.type)) + " " +
-                            std::to_string(p.src) + "->" + std::to_string(p.dst) +
-                            " addr=" + addr);
+      return std::string(line);
+    });
+    if (tracer_->full()) {
+      // Delivery-time flow note inside the owning transaction's async span:
+      // a miss reads request → directory → fan-out → acks in Perfetto.
+      tracer_->txn_note(sim_.now(), p.msg.txn, to_string(p.msg.type), "src", p.src,
+                        "dst", p.dst);
     }
     endpoints_[p.dst]->deliver(p);
   });

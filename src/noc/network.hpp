@@ -61,6 +61,8 @@ class Network {
   void deliver_at(sim::Cycle when, Packet&& pkt);
 
   sim::Simulator& sim_;
+  sim::Tracer* tracer_;  ///< cached; route() implementations report per-link
+                         ///< flit telemetry through it
 
  private:
   std::vector<Endpoint*> endpoints_;

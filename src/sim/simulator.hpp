@@ -6,13 +6,15 @@
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
+#include "sim/tracer.hpp"
 #include "sim/types.hpp"
 
 /// \file simulator.hpp
 /// The shared simulation context handed to every component: the event queue,
-/// the statistics registry, the logger and the platform RNG. Owning all four
-/// in one object makes a platform instance fully self-contained, so several
-/// platforms (e.g. a WTI run and a MESI run) can coexist in one process.
+/// the statistics registry, the logger, the tracer and the platform RNG.
+/// Owning all five in one object makes a platform instance fully
+/// self-contained, so several platforms (e.g. a WTI run and a MESI run) can
+/// coexist in one process.
 
 namespace ccnoc::sim {
 
@@ -26,7 +28,12 @@ class Simulator {
   EventQueue& queue() { return queue_; }
   StatsRegistry& stats() { return stats_; }
   Logger& logger() { return logger_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
   Rng& rng() { return rng_; }
+
+  /// Platform-wide monotonically allocated transaction id (see Tracer).
+  std::uint64_t alloc_txn() { return tracer_.alloc_txn(); }
 
   [[nodiscard]] Cycle now() const { return queue_.now(); }
 
@@ -40,17 +47,24 @@ class Simulator {
     return queue_.run(max_cycles == ~Cycle{0} ? max_cycles : queue_.now() + max_cycles);
   }
 
-  void trace(const std::string& component, const std::string& msg) {
-    if (logger_.enabled(LogLevel::Trace)) logger_.emit(now(), component, msg);
+  /// Leveled logging with lazy message construction: the factory callable
+  /// is only invoked when the level is enabled, so a LogLevel::None run
+  /// pays one branch per call site and performs no string work. Call as
+  ///   sim.trace("noc", [&] { return format_something(); });
+  template <typename F>
+  void trace(const char* component, F&& make_msg) {
+    if (logger_.enabled(LogLevel::Trace)) logger_.emit(now(), component, make_msg());
   }
-  void debug(const std::string& component, const std::string& msg) {
-    if (logger_.enabled(LogLevel::Debug)) logger_.emit(now(), component, msg);
+  template <typename F>
+  void debug(const char* component, F&& make_msg) {
+    if (logger_.enabled(LogLevel::Debug)) logger_.emit(now(), component, make_msg());
   }
 
  private:
   EventQueue queue_;
   StatsRegistry stats_;
   Logger logger_;
+  Tracer tracer_;
   Rng rng_;
 };
 

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "apps/ocean.hpp"
+#include "core/system.hpp"
+
+/// The tracer keeps its own per-transaction-kind accounting (count,
+/// critical-path hops, latency) next to the legacy Table 1 histograms. The
+/// two are recorded at the same call sites, so on any run they must agree
+/// EXACTLY — this is the acceptance gate for the observability layer: a
+/// traced 4-CPU Ocean run whose per-transaction hop totals reconcile with
+/// the paper's aggregate counters.
+
+namespace ccnoc::core {
+namespace {
+
+struct Agg {
+  std::uint64_t count = 0;
+  std::uint64_t hops = 0;
+};
+
+/// Sum one hop histogram over every CPU's \p cache ("dcache"/"icache").
+Agg hist_total(sim::Simulator& sim, unsigned num_cpus, const std::string& cache,
+               const std::string& hist) {
+  Agg a;
+  for (unsigned i = 0; i < num_cpus; ++i) {
+    const auto& h = sim.stats().histogram("cpu" + std::to_string(i) + "." + cache +
+                                          ".hops." + hist);
+    a.count += h.total();
+    a.hops += h.sum();
+  }
+  return a;
+}
+
+Agg tracer_total(const sim::Tracer& tr, const std::string& kind) {
+  auto it = tr.txn_stats().find(kind);
+  if (it == tr.txn_stats().end()) return {};
+  return {it->second.count, it->second.hops_total};
+}
+
+void expect_reconciles(sim::Simulator& sim, unsigned n, const std::string& cache,
+                       const std::string& hist, const std::string& kind) {
+  Agg legacy = hist_total(sim, n, cache, hist);
+  Agg traced = tracer_total(sim.tracer(), kind);
+  EXPECT_EQ(traced.count, legacy.count) << kind << " vs " << hist;
+  EXPECT_EQ(traced.hops, legacy.hops) << kind << " vs " << hist;
+  EXPECT_GT(traced.count, 0u) << kind << " never observed — instrumentation gap";
+}
+
+class TraceReconcile : public ::testing::Test {
+ protected:
+  static constexpr unsigned kCpus = 4;
+
+  RunResult run(System& sys) {
+    apps::Ocean::Config oc;
+    oc.rows_per_thread = 2;
+    oc.iterations = 2;
+    oc.compute_per_cell = 8;
+    apps::Ocean workload(oc);
+    RunResult r = sys.run(workload);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.verified);
+    return r;
+  }
+
+  static SystemConfig config(mem::Protocol proto) {
+    SystemConfig cfg = SystemConfig::architecture1(kCpus, proto);
+    cfg.trace = sim::TraceMode::kFull;
+    cfg.trace_epoch = 256;
+    return cfg;
+  }
+
+  static void expect_stalls_reconcile(const System& sys_unused, const RunResult& r) {
+    (void)sys_unused;
+    ASSERT_EQ(r.stall_attr.size(), kCpus);
+    std::uint64_t data = 0;
+    std::uint64_t ifetch = 0;
+    for (const sim::CpuStallAttr& s : r.stall_attr) {
+      data += s.data_total();
+      ifetch += s.of(sim::StallCat::kIfetch);
+    }
+    EXPECT_EQ(data, r.d_stall_cycles);
+    EXPECT_EQ(ifetch, r.i_stall_cycles);
+  }
+};
+
+TEST_F(TraceReconcile, WtiHopsMatchTable1Histograms) {
+  System sys(config(mem::Protocol::kWti));
+  RunResult r = run(sys);
+  sim::Simulator& sim = sys.simulator();
+
+  expect_reconciles(sim, kCpus, "dcache", "read_miss", "wti.load_miss");
+  expect_reconciles(sim, kCpus, "dcache", "write_through", "wti.write_through");
+  expect_reconciles(sim, kCpus, "dcache", "atomic_swap", "wti.atomic");
+  expect_reconciles(sim, kCpus, "icache", "fetch_miss", "ifetch_miss");
+
+  EXPECT_EQ(sim.tracer().open_span_count(), 0u) << "unclosed transaction spans";
+  expect_stalls_reconcile(sys, r);
+}
+
+TEST_F(TraceReconcile, MesiHopsMatchTable1Histograms) {
+  System sys(config(mem::Protocol::kWbMesi));
+  RunResult r = run(sys);
+  sim::Simulator& sim = sys.simulator();
+
+  expect_reconciles(sim, kCpus, "dcache", "read_miss", "mesi.read_miss");
+  expect_reconciles(sim, kCpus, "dcache", "write_miss", "mesi.write_miss");
+  expect_reconciles(sim, kCpus, "dcache", "write_hit_s", "mesi.upgrade");
+  expect_reconciles(sim, kCpus, "icache", "fetch_miss", "ifetch_miss");
+
+  // Write-backs have no hop histogram (non-blocking, Table 1 "n.b."); the
+  // traced count must still match the legacy event counters.
+  std::uint64_t wb = 0;
+  for (unsigned i = 0; i < kCpus; ++i) {
+    wb += sim.stats().counter_value("cpu" + std::to_string(i) + ".dcache.writebacks");
+  }
+  EXPECT_EQ(tracer_total(sim.tracer(), "mesi.writeback").count, wb);
+
+  EXPECT_EQ(sim.tracer().open_span_count(), 0u) << "unclosed transaction spans";
+  expect_stalls_reconcile(sys, r);
+}
+
+TEST_F(TraceReconcile, MetricsModeAggregatesMatchFullMode) {
+  // kMetrics must produce the same aggregates as kFull, just without the
+  // event log.
+  SystemConfig full_cfg = config(mem::Protocol::kWti);
+  SystemConfig metrics_cfg = full_cfg;
+  metrics_cfg.trace = sim::TraceMode::kMetrics;
+
+  System full_sys(full_cfg);
+  System metrics_sys(metrics_cfg);
+  run(full_sys);
+  run(metrics_sys);
+
+  const sim::Tracer& full_tr = full_sys.simulator().tracer();
+  const sim::Tracer& metrics_tr = metrics_sys.simulator().tracer();
+  EXPECT_FALSE(full_tr.events().empty());
+  EXPECT_TRUE(metrics_tr.events().empty());
+  ASSERT_EQ(full_tr.txn_stats().size(), metrics_tr.txn_stats().size());
+  for (const auto& [kind, k] : full_tr.txn_stats()) {
+    ASSERT_EQ(metrics_tr.txn_stats().count(kind), 1u) << kind;
+    const auto& m = metrics_tr.txn_stats().at(kind);
+    EXPECT_EQ(m.count, k.count) << kind;
+    EXPECT_EQ(m.hops_total, k.hops_total) << kind;
+  }
+  // The report is derived purely from aggregates, so it must be identical.
+  EXPECT_EQ(full_tr.report_json(), metrics_tr.report_json());
+}
+
+TEST_F(TraceReconcile, DisabledRunRecordsNothing) {
+  SystemConfig cfg = config(mem::Protocol::kWti);
+  cfg.trace = sim::TraceMode::kOff;
+  System sys(cfg);
+  RunResult r = run(sys);
+  const sim::Tracer& tr = sys.simulator().tracer();
+  EXPECT_TRUE(tr.events().empty());
+  EXPECT_TRUE(tr.txn_stats().empty());
+  EXPECT_TRUE(tr.stall_attr().empty());
+  EXPECT_TRUE(r.stall_attr.empty());
+}
+
+}  // namespace
+}  // namespace ccnoc::core
