@@ -1,0 +1,139 @@
+#include "apps/fuzz.hpp"
+
+#include "sim/rng.hpp"
+
+namespace ccnoc::apps {
+
+using cpu::ThreadContext;
+using cpu::ThreadOp;
+using cpu::ThreadProgram;
+
+namespace {
+
+/// Per-thread stream seed: splitmix-style finalizer over (seed, tid) so
+/// neighbouring seeds / tids do not produce correlated streams.
+std::uint64_t thread_seed(std::uint64_t seed, unsigned tid) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (tid + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint32_t kDoneToken = 0x600DF00Du;
+
+/// Is op index i a barrier (checked first) or a lock-section op?
+bool is_barrier_op(const FuzzWorkload::Config& c, unsigned i) {
+  return c.barrier_every != 0 && (i + 1) % c.barrier_every == 0;
+}
+bool is_lock_op(const FuzzWorkload::Config& c, unsigned i) {
+  return !is_barrier_op(c, i) && c.lock_every != 0 && (i + 1) % c.lock_every == 0;
+}
+
+}  // namespace
+
+void FuzzWorkload::setup(os::Kernel& kernel, unsigned nthreads) {
+  CCNOC_ASSERT(cfg_.hot_words >= 2 && cfg_.hot_words % 2 == 0,
+               "hot arena must fit aligned 8-byte accesses");
+  CCNOC_ASSERT(cfg_.arena_words >= 2 && cfg_.arena_words % 2 == 0,
+               "arena must fit aligned 8-byte accesses");
+  nthreads_ = nthreads;
+
+  hot_ = kernel.layout().alloc_shared(4 * std::uint64_t(cfg_.hot_words), 32);
+  for (unsigned w = 0; w < cfg_.hot_words; ++w) {
+    kernel.memory().write_u32(hot_ + 4 * w, 0x40400000u + w);
+  }
+  arena_ = kernel.layout().alloc_shared(4 * std::uint64_t(cfg_.arena_words), 32);
+  for (unsigned w = 0; w < cfg_.arena_words; ++w) {
+    kernel.memory().write_u32(arena_ + 4 * w, 0xA0E00000u + w);
+  }
+  counter_ = kernel.layout().alloc_shared(4, 4);
+  kernel.memory().write_u32(counter_, 0);
+  if (cfg_.lock_every != 0) lock_ = kernel.create_lock();
+  if (cfg_.barrier_every != 0) barrier_ = kernel.create_barrier(nthreads);
+  done_cells_.clear();
+  for (unsigned t = 0; t < nthreads; ++t) {
+    sim::Addr d = kernel.layout().alloc_shared(4, 4);
+    kernel.memory().write_u32(d, 0);
+    done_cells_.push_back(d);
+  }
+  code_ = kernel.layout().alloc_code(4096);
+}
+
+ThreadProgram FuzzWorkload::make_program(ThreadContext& ctx) {
+  const Config cfg = cfg_;
+  const sim::Addr hot = hot_;
+  const sim::Addr arena = arena_;
+  const sim::Addr counter = counter_;
+  const sim::Addr lock = lock_;
+  const sim::Addr bar = barrier_;
+  const sim::Addr done = done_cells_[ctx.tid];
+  const sim::Addr code = code_;
+
+  return [](ThreadContext& c, Config cf, sim::Addr hot_a, sim::Addr arena_a,
+            sim::Addr cnt, sim::Addr lk, sim::Addr br, sim::Addr dn,
+            sim::Addr cd) -> ThreadProgram {
+    c.set_code_region(cd, 4096);
+    sim::Rng rng(thread_seed(cf.seed, c.tid));
+    std::uint64_t checksum = 0;  // keeps load results live, like real code
+    for (unsigned i = 0; i < cf.ops_per_thread; ++i) {
+      if (is_barrier_op(cf, i)) {
+        co_yield ThreadOp::barrier(br);
+        continue;
+      }
+      if (is_lock_op(cf, i)) {
+        co_yield ThreadOp::lock_acquire(lk);
+        co_yield ThreadOp::load(cnt);
+        co_yield ThreadOp::store(cnt, c.last_load_value + 1);
+        co_yield ThreadOp::lock_release(lk);
+        continue;
+      }
+
+      const double kind = rng.next_double();
+      const bool atomic = kind < cf.atomic_fraction;
+      const bool store = !atomic && kind < cf.atomic_fraction + cf.store_fraction;
+      const bool in_hot = rng.next_double() < cf.hot_fraction;
+      const sim::Addr base = in_hot ? hot_a : arena_a;
+      const unsigned region = 4 * (in_hot ? cf.hot_words : cf.arena_words);
+      // Atomics are word/double-word; plain accesses use every size. All
+      // accesses are size-aligned, so none straddles a block boundary.
+      const std::uint8_t size =
+          atomic ? std::uint8_t(4u << rng.next_below(2))
+                 : std::uint8_t(1u << rng.next_below(4));
+      const sim::Addr a = base + rng.next_below(region / size) * size;
+      const std::uint64_t v = rng.next_u64();
+
+      if (atomic) {
+        co_yield (rng.next_bool(0.5) ? ThreadOp::atomic_add(a, v, size)
+                                     : ThreadOp::atomic_swap(a, v, size));
+        checksum += c.last_load_value;  // atomics return the old value
+      } else if (store) {
+        co_yield ThreadOp::store(a, v, size);
+      } else {
+        co_yield ThreadOp::load(a, size);
+        checksum += c.last_load_value;
+      }
+      if (cf.max_compute != 0 && rng.next_below(4) == 0) {
+        co_yield ThreadOp::compute(1 + rng.next_below(unsigned(cf.max_compute)));
+      }
+    }
+    (void)checksum;
+    co_yield ThreadOp::store(dn, kDoneToken);
+  }(ctx, cfg, hot, arena, counter, lock, bar, done, code);
+}
+
+unsigned FuzzWorkload::lock_increments_per_thread() const {
+  unsigned n = 0;
+  for (unsigned i = 0; i < cfg_.ops_per_thread; ++i) {
+    if (is_lock_op(cfg_, i)) ++n;
+  }
+  return n;
+}
+
+bool FuzzWorkload::verify(const mem::DirectMemoryIf& dm) const {
+  for (sim::Addr d : done_cells_) {
+    if (dm.read_u32(d) != kDoneToken) return false;
+  }
+  return dm.read_u32(counter_) == nthreads_ * lock_increments_per_thread();
+}
+
+}  // namespace ccnoc::apps

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/workload.hpp"
+
+/// \file fuzz.hpp
+/// Seeded random coherence stress workload for the protocol fuzzer
+/// (core/fuzz.hpp). Unlike UniformRandom, which models application traffic,
+/// FuzzWorkload is engineered to maximize protocol-level race windows:
+///
+///  - a tiny "hot" arena a few blocks wide, so many CPUs false-share the
+///    same lines and invalidation rounds constantly overlap;
+///  - an "arena" region larger than one cache, so direct-mapped evictions
+///    interleave with in-flight invalidations (eviction storms);
+///  - mixed access sizes (1/2/4/8 bytes, size-aligned) against the same
+///    blocks, exercising partial-word merging in write buffers and banks;
+///  - fetch-and-add / swap atomics racing plain stores to the same words;
+///  - optional lock-protected critical sections and global barriers at
+///    fixed op indices, forcing drains and lock migration mid-storm.
+///
+/// The op stream of every thread is a pure function of (Config, tid):
+/// replaying a seed reproduces the exact same program, which is what makes
+/// fuzzer failures minimizable. Data-race outcomes carry no functional
+/// oracle — correctness is judged by the coherence checker riding along
+/// (check/checker.hpp) — but the lock-protected counter and the per-thread
+/// completion tokens still give `verify()` real teeth.
+
+namespace ccnoc::apps {
+
+class FuzzWorkload final : public Workload {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    unsigned ops_per_thread = 400;
+    /// Hot false-sharing arena, in 4-byte words (16 words = two blocks).
+    unsigned hot_words = 16;
+    /// Eviction-storm arena, in words; 2048 words = 8 KB > the 4 KB cache.
+    unsigned arena_words = 2048;
+    double store_fraction = 0.35;
+    double atomic_fraction = 0.05;
+    /// Probability an access targets the hot arena rather than the big one.
+    double hot_fraction = 0.5;
+    /// Every lock_every-th op becomes a lock-protected counter increment
+    /// (0 disables locking).
+    unsigned lock_every = 64;
+    /// Every barrier_every-th op becomes a global barrier (0 disables).
+    /// All threads run the same op count, so barriers always pair up.
+    unsigned barrier_every = 128;
+    /// Upper bound for the occasional compute op between accesses.
+    sim::Cycle max_compute = 4;
+  };
+
+  explicit FuzzWorkload(Config cfg) : cfg_(cfg) {}
+  FuzzWorkload();
+
+  [[nodiscard]] std::string name() const override { return "fuzz"; }
+  void setup(os::Kernel& kernel, unsigned nthreads) override;
+  cpu::ThreadProgram make_program(cpu::ThreadContext& ctx) override;
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  /// Lock-protected increments each thread performs (index arithmetic
+  /// only — no RNG involved), used by verify().
+  [[nodiscard]] unsigned lock_increments_per_thread() const;
+
+ private:
+  Config cfg_;
+  unsigned nthreads_ = 0;
+  sim::Addr hot_ = 0;
+  sim::Addr arena_ = 0;
+  sim::Addr counter_ = 0;  ///< lock-protected; oracle: nthreads * increments
+  sim::Addr lock_ = 0;
+  sim::Addr barrier_ = 0;
+  std::vector<sim::Addr> done_cells_;
+  sim::Addr code_ = 0;
+};
+
+inline FuzzWorkload::FuzzWorkload() : FuzzWorkload(Config{}) {}
+
+}  // namespace ccnoc::apps

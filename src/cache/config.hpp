@@ -9,9 +9,25 @@
 namespace ccnoc::cache {
 
 struct CacheConfig {
+  /// Deliberate protocol bug, injectable for checker validation (see
+  /// check/checker.hpp): the affected controller behaves normally except
+  /// for the injected fault. One-shot per controller.
+  enum class FaultKind : std::uint8_t {
+    kNone,
+    /// Acknowledge an incoming invalidation WITHOUT invalidating the local
+    /// copy — the classic lost-invalidation bug. The stale copy later
+    /// serves a hit the oracle can prove impossible, and the invariant
+    /// walker sees a valid copy whose presence bit is clear.
+    kSkipInvalidate,
+  };
+
   unsigned size_bytes = 4096;
   unsigned block_bytes = 32;
   unsigned ways = 1;  ///< 1 = direct-mapped (the paper's configuration)
+
+  FaultKind fault = FaultKind::kNone;
+  /// Invalidations handled correctly before the fault fires (per controller).
+  unsigned fault_after = 0;
 
   /// WTI only: write-buffer capacity in entries (one buffered store each;
   /// the paper's buffer is 8 words / 32 bytes).

@@ -130,6 +130,17 @@ class CacheController : public CacheIface {
     return std::uint32_t(node_) * 2 + port_;
   }
 
+  /// Fault injection (CacheConfig::fault): true when the current incoming
+  /// invalidation must be acknowledged but NOT applied. One-shot.
+  [[nodiscard]] bool inject_skip_invalidate() {
+    if (cfg_.fault != CacheConfig::FaultKind::kSkipInvalidate || fault_fired_) {
+      return false;
+    }
+    if (fault_seen_++ < cfg_.fault_after) return false;
+    fault_fired_ = true;
+    return true;
+  }
+
   sim::Simulator& sim_;
   noc::Network& net_;
   const mem::AddressMap& map_;
@@ -139,6 +150,10 @@ class CacheController : public CacheIface {
   std::string name_;
   TagArray tags_;
   sim::Tracer* tr_;  ///< cached; hot paths guard on tr_->on() / tr_->full()
+
+ private:
+  bool fault_fired_ = false;
+  unsigned fault_seen_ = 0;
 };
 
 }  // namespace ccnoc::cache

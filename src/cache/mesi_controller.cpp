@@ -279,7 +279,7 @@ void MesiController::handle_invalidate(const noc::Packet& pkt) {
   }
   if (CacheLine* l = tags_.find(pkt.msg.addr)) {
     CCNOC_ASSERT(l->state == LineState::kShared, "invalidate hit a non-Shared line");
-    l->state = LineState::kInvalid;
+    if (!inject_skip_invalidate()) l->state = LineState::kInvalid;
   }
   Message ack;
   ack.type = MsgType::kInvalidateAck;

@@ -35,6 +35,15 @@ class MesiController final : public CacheController {
     return l ? l->state : LineState::kInvalid;
   }
 
+  /// Visit each block sitting in the write-back buffer (evicted dirty data
+  /// in flight to its bank). The invariant walker exempts such blocks from
+  /// its memory-vs-cache data comparison: bank storage is stale until the
+  /// write-back lands.
+  template <typename Fn>
+  void for_each_writeback(Fn&& fn) const {
+    for (const auto& [block, e] : wb_buffer_) fn(block);
+  }
+
  private:
   enum class Pending {
     kNone,

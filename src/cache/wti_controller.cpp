@@ -291,9 +291,27 @@ void WtiController::handle_update(const noc::Packet& pkt) {
   ack.addr = pkt.msg.addr;
   ack.txn = pkt.msg.txn;
   if (CacheLine* l = tags_.find(tags_.block_of(pkt.msg.addr))) {
-    std::uint64_t v = 0;
-    std::memcpy(&v, pkt.msg.data.data(), pkt.msg.access_size);
-    write_line(*l, pkt.msg.addr, pkt.msg.access_size, v);
+    // Apply byte-wise, skipping bytes covered by our own still-buffered
+    // stores. Our store hit already patched those bytes locally, and the
+    // bank serializes our buffered store AFTER the foreign write that
+    // produced this update: if ours had serialized first, its WriteAck
+    // would precede this update in the (FIFO) bank->cache channel and the
+    // buffer entry would already be gone. Clobbering them would leave this
+    // copy permanently stale once our own write lands in memory.
+    for (unsigned i = 0; i < pkt.msg.access_size; ++i) {
+      const sim::Addr byte = pkt.msg.addr + i;
+      bool ours = false;
+      for (const BufEntry& e : wbuf_) {
+        if (byte >= e.addr && byte < e.addr + e.size) {
+          ours = true;
+          break;
+        }
+      }
+      if (!ours) {
+        l->data[unsigned(byte - l->block)] = pkt.msg.data[i];
+      }
+    }
+    tags_.touch(*l);
     ack.had_copy = true;
   } else {
     ack.had_copy = false;
@@ -306,7 +324,7 @@ void WtiController::handle_invalidate(const noc::Packet& pkt) {
   tr_->instant(sim_.now(), "wti.invalidate_recv", sim::Tracer::kPidCache, track_tid(),
                "addr", pkt.msg.addr);
   if (CacheLine* l = tags_.find(pkt.msg.addr)) {
-    l->state = LineState::kInvalid;
+    if (!inject_skip_invalidate()) l->state = LineState::kInvalid;
   }
   // Always acknowledge: the directory may hold a stale presence bit. In a
   // direct-ack round the acknowledgement goes straight to the requesting

@@ -31,6 +31,15 @@ class WtiController final : public CacheController {
 
   [[nodiscard]] std::size_t write_buffer_occupancy() const { return wbuf_.size(); }
 
+  /// Visit each buffered (not yet acknowledged) store as (addr, size,
+  /// value), oldest first. The invariant walker exempts these bytes from
+  /// its cache-vs-memory data comparison: a store hit patched the local
+  /// line immediately while the bank copy updates at the write-through.
+  template <typename Fn>
+  void for_each_buffered_store(Fn&& fn) const {
+    for (const auto& e : wbuf_) fn(e.addr, unsigned(e.size), e.value);
+  }
+
  private:
   enum class Pending {
     kNone,

@@ -1,0 +1,208 @@
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/mesi_controller.hpp"
+#include "cache/wti_controller.hpp"
+#include "check/checker.hpp"
+
+/// \file invariants.cpp
+/// The invariant walker: Checker::walk_impl audits every cache tag array
+/// and every bank directory against the protocol's safety properties (see
+/// checker.hpp for the rule list). In non-strict mode, blocks with an open
+/// bank transaction — and bytes covered by a CPU's own write buffer, and
+/// blocks parked in a write-back buffer — are exempt from the point-in-time
+/// cross-checks, because those are exactly the legal transient windows.
+/// Strict mode (end of run, platform quiescent) applies no exemptions.
+
+namespace ccnoc::check {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+std::string line_desc(unsigned cpu, bool icache, sim::Addr block) {
+  return std::string(icache ? "icache" : "dcache") + " of cpu" +
+         std::to_string(cpu) + ", block " + hex(block);
+}
+
+}  // namespace
+
+void Checker::walk_impl(bool strict) {
+  const unsigned bb = block_bytes_;
+  const unsigned num_cpus = unsigned(nodes_.size());
+
+  // Blocks whose evicted dirty data is in flight to a bank: their storage is
+  // legitimately stale until the write-back lands.
+  std::unordered_set<sim::Addr> wb_blocks;
+  for (const NodeRec& n : nodes_) {
+    if (n.mesi != nullptr) {
+      n.mesi->for_each_writeback([&](sim::Addr block) { wb_blocks.insert(block); });
+    }
+  }
+
+  // Census of valid copies, block -> count of E/M copies + total copies,
+  // for the SWMR audit after the per-line pass.
+  struct Census {
+    unsigned copies = 0;
+    unsigned exclusive = 0;
+    unsigned first_owner = 0;  ///< cpu of the first E/M copy seen
+  };
+  std::unordered_map<sim::Addr, Census> census;
+
+  std::vector<std::uint8_t> mem_bytes(bb);
+
+  for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+    const NodeRec& n = nodes_[cpu];
+    if (n.d == nullptr) continue;
+
+    // Bytes of each block covered by this CPU's own buffered stores: a WTI
+    // store hit patched the local line while the bank copy updates at the
+    // write-through, so those bytes legally differ until the ack.
+    std::unordered_map<sim::Addr, std::vector<bool>> own_bytes;
+    if (!strict && n.wti != nullptr) {
+      n.wti->for_each_buffered_store([&](sim::Addr a, unsigned size, std::uint64_t) {
+        for (unsigned i = 0; i < size; ++i) {
+          sim::Addr byte = a + i;
+          auto& mask = own_bytes[block_of(byte)];
+          if (mask.empty()) mask.resize(bb, false);
+          mask[unsigned(byte - block_of(byte))] = true;
+        }
+      });
+    }
+
+    for (int which = 0; which < 2; ++which) {
+      const bool is_icache = which == 1;
+      cache::CacheController* ctl = is_icache ? n.i : n.d;
+      ctl->tags().for_each_line([&](const cache::CacheLine& l) {
+        if (l.state == cache::LineState::kInvalid) return;
+        const sim::Addr block = l.block;
+        mem::Bank& bank = bank_of(block);
+        const bool open_txn = !strict && bank.has_open_txn(block);
+
+        // Write-through caches (and every I-cache) never own a line.
+        const bool exclusive = l.state == cache::LineState::kExclusive ||
+                               l.state == cache::LineState::kModified;
+        if (exclusive && (is_icache || n.wti != nullptr)) {
+          violation("wti-line-state",
+                    line_desc(cpu, is_icache, block) + " is in state " +
+                        cache::to_string(l.state) +
+                        " but this cache may only hold I or S lines");
+          return;
+        }
+
+        // I-cache fetches are deliberately untracked by the directory
+        // (read-only code, `track = false`), so only data caches take part
+        // in the directory cross-checks and the SWMR census.
+        if (!is_icache) {
+          Census& c = census[block];
+          ++c.copies;
+          if (exclusive) {
+            ++c.exclusive;
+            c.first_owner = cpu;
+          }
+
+          // A valid copy implies its presence bit (the directory may
+          // over-approximate, never under-approximate). Direct-ack rounds
+          // clear bits while invalidations are still in flight — but the
+          // block stays transaction-locked until the requester's TxnDone.
+          const mem::DirEntry e = bank.directory().lookup(block);
+          if (!e.is_sharer(sim::NodeId(cpu)) && !open_txn) {
+            violation("presence",
+                      line_desc(cpu, is_icache, block) + " is valid (" +
+                          cache::to_string(l.state) +
+                          ") but its directory presence bit is clear");
+          }
+
+          // A cached E/M line implies dirty directory ownership by this cpu.
+          if (exclusive && !open_txn &&
+              (!e.dirty || e.owner != sim::NodeId(cpu))) {
+            violation("dirty-owner",
+                      line_desc(cpu, is_icache, block) + " is " +
+                          cache::to_string(l.state) +
+                          " but the directory does not record cpu" +
+                          std::to_string(cpu) + " as dirty owner (dirty=" +
+                          (e.dirty ? "1" : "0") + ", owner=" +
+                          std::to_string(e.owner) + ")");
+          }
+        }
+
+        // Data integrity: clean lines hold the bank's bytes.
+        if (exclusive && l.state == cache::LineState::kModified) return;
+        if (open_txn) return;
+        if (!strict && wb_blocks.count(block) != 0) return;
+        const std::vector<bool>* own = nullptr;
+        if (!is_icache) {
+          auto it = own_bytes.find(block);
+          if (it != own_bytes.end()) own = &it->second;
+        }
+        bank.storage().read(block, mem_bytes.data(), bb);
+        for (unsigned i = 0; i < bb; ++i) {
+          if (own != nullptr && (*own)[i]) continue;
+          if (l.data[i] == mem_bytes[i]) continue;
+          violation("data",
+                    line_desc(cpu, is_icache, block) + " (" +
+                        cache::to_string(l.state) + ") disagrees with memory at " +
+                        hex(block + i) + ": cache holds " + hex(l.data[i]) +
+                        ", memory holds " + hex(mem_bytes[i]));
+          break;  // one mismatch per line is enough signal
+        }
+      });
+    }
+  }
+
+  // SWMR: an Exclusive/Modified copy never coexists with any other valid
+  // copy. Grants are issued only after every stale sharer acked its
+  // invalidation, so this holds at every instant — no transient escape.
+  for (const auto& [block, c] : census) {
+    if (c.exclusive == 0) continue;
+    if (c.exclusive > 1 || c.copies > 1) {
+      violation("swmr", "block " + hex(block) + " has " +
+                            std::to_string(c.exclusive) + " E/M cop" +
+                            (c.exclusive == 1 ? "y" : "ies") + " among " +
+                            std::to_string(c.copies) +
+                            " valid copies (first owner cpu" +
+                            std::to_string(c.first_owner) + ")");
+    }
+  }
+
+  // Directory-side audit.
+  for (unsigned b = 0; b < banks_.size(); ++b) {
+    banks_[b]->directory().for_each_entry([&](sim::Addr block,
+                                              const mem::DirEntry& e) {
+      if (num_cpus < 64 && (e.presence >> num_cpus) != 0) {
+        violation("presence", "directory of bank" + std::to_string(b) +
+                                  " names a nonexistent cache for block " +
+                                  hex(block) + " (presence=" + hex(e.presence) + ")");
+      }
+      if (write_through_) {
+        // The write-through property: memory is always clean, so the
+        // directory never records an owner.
+        if (e.dirty || e.owner != sim::kInvalidNode) {
+          violation("wti-dir-clean",
+                    "bank" + std::to_string(b) + " directory marks block " +
+                        hex(block) + " dirty under a write-through protocol");
+        }
+        return;
+      }
+      const bool open_txn = !strict && banks_[b]->has_open_txn(block);
+      if (e.dirty && !open_txn) {
+        if (e.owner == sim::kInvalidNode || e.owner >= num_cpus ||
+            !e.is_sharer(e.owner) || e.sharer_count() != 1) {
+          violation("dirty-owner",
+                    "bank" + std::to_string(b) + " directory entry for block " +
+                        hex(block) + " is dirty but malformed (owner=" +
+                        std::to_string(e.owner) + ", presence=" +
+                        hex(e.presence) + ")");
+        }
+      }
+    });
+  }
+}
+
+}  // namespace ccnoc::check

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+
+#include "apps/fuzz.hpp"
+#include "core/system.hpp"
+
+/// \file fuzz.hpp
+/// The protocol fuzzer harness: one seeded FuzzWorkload run on a full
+/// checked platform, and a failing-run minimizer. Everything is a pure
+/// function of FuzzOptions, so a failure prints as a replayable command
+/// line (tools/fuzz_main.cpp) and shrinks deterministically.
+///
+/// A run FAILS when any of these is false:
+///  - the workload completed before the cycle guard,
+///  - the functional oracle verified (done tokens + lock counter),
+///  - the coherence checker (golden-model oracle + invariant walker)
+///    recorded zero violations.
+///
+/// `fault` injects a deliberate protocol bug (cache/config.hpp) to prove
+/// the checker catches real coherence violations — the fuzzer's own
+/// regression test, and the recipe for reproducing historic bugs.
+
+namespace ccnoc::core {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  unsigned cpus = 4;
+  unsigned arch = 1;  ///< paper architecture 1 (centralized) or 2 (distributed)
+  mem::Protocol protocol = mem::Protocol::kWti;
+  bool direct_ack = false;  ///< §4.2 direct invalidation acknowledgements
+  unsigned ops = 400;       ///< ops per thread
+  unsigned lock_every = 64;
+  unsigned barrier_every = 128;
+  cache::CacheConfig::FaultKind fault = cache::CacheConfig::FaultKind::kNone;
+  unsigned fault_after = 0;
+  sim::Cycle max_cycles = 50'000'000;
+  sim::Cycle walk_interval = 1024;
+  /// When non-empty, record a full Chrome/Perfetto trace of the run here.
+  std::string trace_path;
+
+  /// The equivalent tools/ccnoc_fuzz invocation (minus --trace/--minimize).
+  [[nodiscard]] std::string command_line() const;
+};
+
+struct FuzzOutcome {
+  bool completed = false;
+  bool verified = false;
+  bool check_ok = true;
+  std::uint64_t violations = 0;
+  std::uint64_t loads_checked = 0;
+  sim::Cycle cycles = 0;
+  std::string report;  ///< checker violation report; empty when clean
+
+  [[nodiscard]] bool passed() const { return completed && verified && check_ok; }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Build the checked platform for \p opt, run the seeded workload, report.
+FuzzOutcome run_fuzz(const FuzzOptions& opt);
+
+struct MinimizeResult {
+  FuzzOptions reduced;  ///< smallest configuration still failing
+  FuzzOutcome outcome;  ///< the failure at `reduced`
+  unsigned runs = 0;    ///< reduction attempts executed
+};
+
+/// Shrink a failing configuration: drop barriers and locks if the failure
+/// survives, halve the CPU count while it still fails, then binary-search
+/// the per-thread op count down to the smallest failing stream. Each
+/// candidate is re-run from scratch (determinism makes this sound). If
+/// \p failing actually passes, returns it unchanged after one run.
+MinimizeResult minimize_fuzz(const FuzzOptions& failing);
+
+}  // namespace ccnoc::core

@@ -1,5 +1,6 @@
 #include "core/system.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace ccnoc::core {
@@ -47,6 +48,14 @@ System::System(SystemConfig cfg)
   sim_.tracer().set_mode(cfg_.trace);
   sim_.tracer().set_epoch_cycles(cfg_.trace_epoch);
 
+  // Checker likewise before any component: processors and banks cache the
+  // probe pointer in their constructors.
+  if (cfg_.check.enabled) {
+    checker_ = std::make_unique<check::Checker>(sim_, map_, cfg_.protocol,
+                                                cfg_.dcache, cfg_.check);
+    if (checker_->wants_probe()) sim_.set_probe(checker_.get());
+  }
+
   const std::size_t nodes = map_.num_nodes();
   switch (cfg_.network) {
     case NetworkKind::kGmn: {
@@ -77,7 +86,17 @@ System::System(SystemConfig cfg)
     cpus_.push_back(std::make_unique<cpu::Processor>(sim_, *nodes_.back(), c, cfg_.cpu));
   }
 
-  kernel_ = std::make_unique<os::Kernel>(map_, *dmem_, cfg_.arch, cfg_.kernel);
+  if (checker_) {
+    for (auto& b : banks_) checker_->register_bank(*b);
+    for (unsigned c = 0; c < cfg_.num_cpus; ++c) {
+      checker_->register_node(c, nodes_[c]->dcache(), nodes_[c]->icache());
+    }
+  }
+
+  // The kernel loads programs and initializes locks/barriers through the
+  // mirror, so the oracle's reference image includes the initial data.
+  mirror_ = std::make_unique<check::MirroredMemory>(*dmem_, checker_.get());
+  kernel_ = std::make_unique<os::Kernel>(map_, *mirror_, cfg_.arch, cfg_.kernel);
 }
 
 RunResult System::run(apps::Workload& workload, unsigned nthreads,
@@ -97,7 +116,7 @@ RunResult System::run(apps::Workload& workload, unsigned nthreads,
   kernel_->launch(cpu_ptrs);
 
   RunResult r;
-  r.events = sim_.run_to_completion(max_cycles);
+  r.events = checker_ ? run_with_checker(max_cycles) : sim_.run_to_completion(max_cycles);
   r.completed = kernel_->all_finished();
 
   // Execution time = last cycle a processor retired work (the event queue
@@ -117,9 +136,38 @@ RunResult System::run(apps::Workload& workload, unsigned nthreads,
     r.stall_attr.resize(cfg_.num_cpus);  // CPUs that never stalled stay zero
   }
 
+  // The strict end-of-run audit needs the caches intact (pre-flush) and a
+  // quiescent platform; the image check runs post-flush, which deliberately
+  // bypasses the oracle mirror so the comparison stays meaningful.
+  if (checker_ && r.completed && quiescent()) checker_->final_audit();
   flush_caches();
+  if (checker_ && r.completed) checker_->final_image_check();
+  if (checker_) {
+    r.check_ok = checker_->ok();
+    r.check_violations = checker_->violation_count();
+    r.check_loads_verified = checker_->loads_checked();
+    if (!r.check_ok) r.check_report = checker_->report();
+  }
   r.verified = r.completed && workload.verify(*dmem_);
   return r;
+}
+
+std::uint64_t System::run_with_checker(sim::Cycle max_cycles) {
+  // Same event sequence as run_to_completion — the walker only *reads*
+  // platform state between events — chunked so invariants are audited every
+  // walk_interval cycles. EventQueue::run advances now to the chunk limit
+  // even when idle, so the loop always makes progress.
+  const sim::Cycle limit =
+      max_cycles == ~sim::Cycle{0} ? max_cycles : sim_.now() + max_cycles;
+  const sim::Cycle interval = std::max<sim::Cycle>(cfg_.check.walk_interval, 1);
+  std::uint64_t events = 0;
+  while (true) {
+    events += sim_.queue().run(std::min(limit, sim_.now() + interval));
+    checker_->walk();
+    if (checker_->should_stop()) break;
+    if (sim_.queue().empty() || sim_.now() >= limit) break;
+  }
+  return events;
 }
 
 void System::flush_caches() {

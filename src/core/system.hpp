@@ -6,6 +6,7 @@
 
 #include "apps/workload.hpp"
 #include "cache/cache_node.hpp"
+#include "check/checker.hpp"
 #include "cpu/processor.hpp"
 #include "mem/address_map.hpp"
 #include "mem/bank.hpp"
@@ -56,6 +57,11 @@ struct SystemConfig {
   sim::TraceMode trace = sim::TraceMode::kOff;
   sim::Cycle trace_epoch = 1024;  ///< epoch length for per-link/bank series
 
+  /// Coherence checking (see check/checker.hpp): off by default, in which
+  /// case no probe is installed and the hot paths pay one null-pointer
+  /// branch per hook. Set before construction, like the tracer mode.
+  check::CheckConfig check{};
+
   /// Paper architecture 1: 2 banks, centralized layout, SMP scheduler.
   static SystemConfig architecture1(unsigned n, mem::Protocol p);
   /// Paper architecture 2: n+3 banks, distributed layout, DS scheduler.
@@ -80,6 +86,13 @@ struct RunResult {
   /// when the run was traced (SystemConfig::trace != kOff); the category
   /// sums reconcile exactly with d_stall_cycles / i_stall_cycles.
   std::vector<sim::CpuStallAttr> stall_attr;
+
+  /// Coherence-checker results (meaningful only when SystemConfig::check
+  /// was enabled; check_ok stays true on unchecked runs).
+  bool check_ok = true;
+  std::uint64_t check_violations = 0;
+  std::uint64_t check_loads_verified = 0;  ///< loads cross-checked vs the oracle
+  std::string check_report;                ///< empty when clean
 
   [[nodiscard]] double exec_megacycles() const { return double(exec_cycles) / 1e6; }
   /// Figure 6 quantity: data-cache stall cycles as a share of execution.
@@ -109,12 +122,14 @@ class System {
   [[nodiscard]] const SystemConfig& config() const { return cfg_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] noc::Network& network() { return *net_; }
-  [[nodiscard]] mem::DirectMemoryIf& memory() { return *dmem_; }
+  [[nodiscard]] mem::DirectMemoryIf& memory() { return *mirror_; }
   [[nodiscard]] os::Kernel& kernel() { return *kernel_; }
   [[nodiscard]] cpu::Processor& processor(unsigned i) { return *cpus_.at(i); }
   [[nodiscard]] cache::CacheNode& cache_node(unsigned i) { return *nodes_.at(i); }
   [[nodiscard]] mem::Bank& bank(unsigned i) { return *banks_.at(i); }
   [[nodiscard]] const mem::AddressMap& address_map() const { return map_; }
+  /// The coherence checker, or nullptr when checking is off.
+  [[nodiscard]] check::Checker* checker() { return checker_.get(); }
 
   /// Untimed flush of every Modified line into the banks (needed before
   /// verifying a write-back run).
@@ -124,14 +139,20 @@ class System {
   [[nodiscard]] bool quiescent() const;
 
  private:
+  /// Event-pump for a checked run: interleaves queue chunks with invariant
+  /// walks without perturbing the event sequence. Returns events executed.
+  std::uint64_t run_with_checker(sim::Cycle max_cycles);
+
   SystemConfig cfg_;
   sim::Simulator sim_;
   mem::AddressMap map_;
+  std::unique_ptr<check::Checker> checker_;  ///< built first: hooks are cached
   std::unique_ptr<noc::Network> net_;
   std::vector<std::unique_ptr<mem::Bank>> banks_;
   std::vector<std::unique_ptr<cache::CacheNode>> nodes_;
   std::vector<std::unique_ptr<cpu::Processor>> cpus_;
   std::unique_ptr<mem::BankedDirectMemory> dmem_;
+  std::unique_ptr<check::MirroredMemory> mirror_;  ///< backdoor, oracle-mirrored
   std::unique_ptr<os::Kernel> kernel_;
 };
 

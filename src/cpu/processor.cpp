@@ -13,7 +13,8 @@ Processor::Processor(sim::Simulator& sim, cache::CacheIface& dcache,
       cfg_(cfg),
       name_("cpu" + std::to_string(cpu_index)),
       scheduler_ticks_ctr_(&sim.stats().counter(name_ + ".scheduler_ticks")),
-      tr_(&sim.tracer()) {
+      tr_(&sim.tracer()),
+      probe_(sim.probe()) {
   tr_->set_track_name(sim::Tracer::kPidCpu, cpu_, name_);
 }
 
@@ -209,6 +210,7 @@ void Processor::execute_data() {
           a, &v, [this](std::uint64_t val) { resume_after_data(val); });
       if (res == cache::AccessResult::kHit) {
         if (cur_op_.kind != OpKind::kStore) thread_->last_load_value = v;
+        if (probe_ != nullptr) [[unlikely]] probe_commit(v);
         finish_op(std::max<sim::Cycle>(cur_op_.icount, cfg_.min_op_cycles));
       }
       return;
@@ -231,7 +233,32 @@ void Processor::resume_after_data(std::uint64_t value) {
   }
   last_active_ = sim_.now();
   if (cur_op_.kind != OpKind::kStore) thread_->last_load_value = value;
+  if (probe_ != nullptr) [[unlikely]] probe_commit(value);
   finish_op(std::max<sim::Cycle>(cur_op_.icount, cfg_.min_op_cycles));
+}
+
+void Processor::probe_commit(std::uint64_t value) {
+  // Commit point of the current data op: the probe cross-checks it against
+  // the golden model. wait_started_ is the cycle the access was issued —
+  // for hits it equals now, so a load's legal value window is [issue, now].
+  switch (cur_op_.kind) {
+    case OpKind::kLoad:
+      probe_->load_commit(cpu_, cur_op_.addr, cur_op_.size, value, wait_started_);
+      break;
+    case OpKind::kStore:
+      probe_->store_commit(cpu_, cur_op_.addr, cur_op_.size, cur_op_.value);
+      break;
+    case OpKind::kAtomicSwap:
+      probe_->atomic_commit(cpu_, cur_op_.addr, cur_op_.size, value, cur_op_.value,
+                            /*is_add=*/false);
+      break;
+    case OpKind::kAtomicAdd:
+      probe_->atomic_commit(cpu_, cur_op_.addr, cur_op_.size, value, cur_op_.value,
+                            /*is_add=*/true);
+      break;
+    default:
+      break;  // compute / composite ops carry no memory semantics
+  }
 }
 
 void Processor::finish_op(sim::Cycle cost) {

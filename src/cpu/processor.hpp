@@ -77,6 +77,8 @@ class Processor {
   void finish_op(sim::Cycle cost);
   void export_stats();
   void record_stall(sim::StallCat cat);
+  // Cold: only reached when a coherence checker is attached.
+  __attribute__((cold)) void probe_commit(std::uint64_t value);
 
   sim::Simulator& sim_;
   cache::CacheIface& dcache_;
@@ -110,6 +112,7 @@ class Processor {
   // Resolved once at construction; bumped on every timer tick.
   sim::Counter* scheduler_ticks_ctr_;
   sim::Tracer* tr_;  ///< cached; stall attribution is guarded on tr_->on()
+  sim::CoherenceProbe* probe_;  ///< cached; null unless checking is on
 };
 
 }  // namespace ccnoc::cpu

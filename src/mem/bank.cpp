@@ -19,6 +19,7 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
       node_(map.bank_node(bank_index)),
       dir_(map.num_cpus()),
       tr_(&sim.tracer()),
+      probe_(sim.probe()),
       bank_tid_(bank_index) {
   CCNOC_ASSERT((cfg_.block_bytes & (cfg_.block_bytes - 1)) == 0,
                "block size must be a power of two");
@@ -449,6 +450,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
   switch (t.req.type) {
     case MsgType::kWriteWord: {
       storage_.write(t.req.addr, t.req.data.data(), t.req.access_size);
+      if (probe_ != nullptr) [[unlikely]] probe_global_store(t);
       // Invalidate flavour: foreign copies are gone; the writer keeps its
       // (updated) copy if it had one. Update flavour: every copy was
       // patched in place and stays registered.
@@ -464,6 +466,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
     case MsgType::kAtomicAdd: {
       // Read-modify-write performed atomically at the bank (the WTI
       // equivalent of SPARC ldstub/swap, plus fetch-and-add).
+      if (probe_ != nullptr) [[unlikely]] probe_global_atomic(t);
       Message resp;
       resp.type = MsgType::kSwapResponse;
       resp.addr = t.req.addr;
@@ -525,7 +528,24 @@ void Bank::handle_txn_done(const noc::Packet& pkt) {
   auto it = txns_.find(block);
   CCNOC_ASSERT(it != txns_.end() && it->second.direct_mode, "stray TxnDone");
   CCNOC_ASSERT(it->second.src == pkt.src, "TxnDone from a non-requester");
+  if (probe_ != nullptr) [[unlikely]] probe_->txn_released(unsigned(pkt.src), block);
   complete_txn(block);
+}
+
+void Bank::probe_global_store(const Txn& t) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, t.req.data.data(), t.req.access_size);
+  // In a §4.2 direct-ack round the block stays locked until the requester's
+  // TxnDone; the oracle defers the write's visibility to that release.
+  probe_->global_store(unsigned(t.src), t.req.addr, t.req.access_size, v,
+                       t.direct_mode);
+}
+
+void Bank::probe_global_atomic(const Txn& t) {
+  std::uint64_t operand = 0;
+  std::memcpy(&operand, t.req.data.data(), t.req.access_size);
+  probe_->global_atomic(unsigned(t.src), t.req.addr, t.req.access_size,
+                        t.req.type == MsgType::kAtomicAdd, operand);
 }
 
 void Bank::respond(const Txn& t, Message&& m, unsigned path_hops) {

@@ -62,6 +62,14 @@ class Bank final : public noc::Endpoint {
   /// tests to check quiescence.
   [[nodiscard]] bool idle() const { return txns_.empty() && waiting_.empty(); }
 
+  /// True while a coherence transaction is open on \p block (including a
+  /// direct-ack round held until its TxnDone). The invariant walker uses
+  /// this to exempt blocks in legal transient states from its point-in-time
+  /// directory/data cross-checks.
+  [[nodiscard]] bool has_open_txn(sim::Addr block) const {
+    return txns_.count(block_of(block)) != 0;
+  }
+
  private:
   struct Txn {
     noc::Message req;
@@ -126,7 +134,12 @@ class Bank final : public noc::Endpoint {
   std::unordered_map<sim::Addr, std::deque<noc::Packet>> waiting_;
   std::size_t waiting_count_ = 0;  ///< total queued packets across blocks
 
+  // Cold: only reached when a coherence checker is attached.
+  __attribute__((cold)) void probe_global_store(const Txn& t);
+  __attribute__((cold)) void probe_global_atomic(const Txn& t);
+
   sim::Tracer* tr_;            ///< cached; guarded on tr_->on() / tr_->full()
+  sim::CoherenceProbe* probe_; ///< cached; null unless checking is on
   unsigned trace_bank_id_ = 0;  ///< tracer telemetry slot for this bank
   std::uint32_t bank_tid_ = 0;  ///< thread id on the "bank" trace track
 

@@ -111,6 +111,13 @@ class Directory {
 
   [[nodiscard]] std::size_t tracked_blocks() const { return entries_.size(); }
 
+  /// Visit every tracked entry as (block, entry). Iteration order is
+  /// unspecified; the invariant walker sorts its findings itself.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [block, e] : entries_) fn(block, e);
+  }
+
  private:
   void check(sim::NodeId c) const { CCNOC_ASSERT(c < num_caches_, "cache id out of range"); }
 

@@ -66,6 +66,15 @@ class PagedStorage {
 
   [[nodiscard]] std::size_t committed_pages() const { return pages_.size(); }
 
+  /// Visit every committed page as (base_address, bytes, len). Iteration
+  /// order is unspecified; callers needing determinism must sort by base.
+  template <typename Fn>
+  void for_each_page(Fn&& fn) const {
+    for (const auto& [page, data] : pages_) {
+      fn(page << kPageShift, data->data(), unsigned(kPageBytes));
+    }
+  }
+
  private:
   using Page = std::array<std::uint8_t, kPageBytes>;
 

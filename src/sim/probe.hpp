@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+/// \file probe.hpp
+/// Coherence-checking hook interface. Components on the hot path (the
+/// processor's commit points, the bank's global-visibility points) hold a
+/// cached `CoherenceProbe*` that is null when checking is off, so an
+/// unchecked run pays exactly one predictable branch per call site — the
+/// same cost model as the tracer (see tracer.hpp). The concrete
+/// implementation lives in `src/check/` (golden-model oracle + invariant
+/// walker); this header stays dependency-free so cpu/ and mem/ can feed it
+/// without a layering cycle.
+///
+/// Hook placement encodes where sequential consistency orders each access
+/// (DESIGN.md §5, EXPERIMENTS.md "Correctness checking"):
+///
+///  * `load_commit` / `store_commit` / `atomic_commit` fire at the
+///    processor's data-port completion points.
+///  * Under WB-MESI a store commit *is* the global-visibility point
+///    (exclusivity is held), so the oracle applies it immediately.
+///  * Under WTI a committed store is only buffered; it becomes globally
+///    visible at its home bank once every foreign copy is invalidated —
+///    `global_store` fires there. In the paper §4.2 direct-ack mode the
+///    bank writes its storage early but keeps the block transaction-locked
+///    until the requester's TxnDone, so visibility is deferred to
+///    `txn_released`.
+///  * WTI atomics execute at the bank; `global_atomic` fires at the RMW
+///    point and the later `atomic_commit` cross-checks the returned old
+///    value against the oracle's snapshot.
+
+namespace ccnoc::sim {
+
+class CoherenceProbe {
+ public:
+  virtual ~CoherenceProbe() = default;
+
+  // --- processor data-port commit points (cpu/processor.cpp) ---------------
+  /// \p issued is the cycle the access left the processor (wait_started_);
+  /// the legal value window for a load spans [issued, now].
+  virtual void load_commit(unsigned cpu, Addr a, unsigned size, std::uint64_t v,
+                           Cycle issued) = 0;
+  virtual void store_commit(unsigned cpu, Addr a, unsigned size, std::uint64_t v) = 0;
+  virtual void atomic_commit(unsigned cpu, Addr a, unsigned size,
+                             std::uint64_t returned_old, std::uint64_t operand,
+                             bool is_add) = 0;
+
+  // --- bank global-visibility points (mem/bank.cpp) ------------------------
+  /// A write-through became globally visible at its home bank (all foreign
+  /// copies invalidated / updated). \p deferred marks a §4.2 direct-ack
+  /// round: the block stays transaction-locked and visibility completes at
+  /// the matching `txn_released`.
+  virtual void global_store(unsigned cpu, Addr a, unsigned size, std::uint64_t v,
+                            bool deferred) = 0;
+  /// A bank-side atomic RMW executed. Called before the bank mutates its
+  /// storage; the oracle snapshots the expected old value for \p cpu's
+  /// in-flight atomic and applies the post-RMW value.
+  virtual void global_atomic(unsigned cpu, Addr a, unsigned size, bool is_add,
+                             std::uint64_t operand) = 0;
+  /// The requester's TxnDone released a direct-ack block lock on \p block.
+  virtual void txn_released(unsigned cpu, Addr block) = 0;
+
+  // --- untimed backdoor (program loading, lock/barrier initialization) -----
+  virtual void backdoor_write(Addr a, const void* data, unsigned len) = 0;
+};
+
+}  // namespace ccnoc::sim

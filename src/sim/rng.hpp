@@ -6,6 +6,21 @@
 /// Deterministic xorshift64* generator. The simulator never uses
 /// std::random_device or global state: every random decision flows from the
 /// platform seed, so runs replay bit-identically.
+///
+/// Seeding contract (relied on by the fuzzer's replay/minimize loop and by
+/// tests/sim/rng_test.cpp's golden constants — changing any of this is a
+/// breaking change to every recorded seed):
+///  - Rng(s) and Rng(s') produce identical streams iff s == s', with the
+///    single exception that seed 0 aliases seed 1 (xorshift has no zero
+///    state; the constructor substitutes 1).
+///  - The stream is a pure function of the seed: no global state, no
+///    entropy, no time. The same seed replays the same stream on every
+///    platform and build.
+///  - next_below/next_double/next_bool each consume exactly one next_u64
+///    draw — except next_below(0), which returns 0 without drawing — so
+///    consumers that mix draw kinds stay in lockstep across replays.
+///  - The algorithm is frozen: xorshift64* with shifts 12/25/27 and
+///    multiplier 0x2545f4914f6cdd1d (Vigna 2016).
 
 namespace ccnoc::sim {
 

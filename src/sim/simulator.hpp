@@ -4,6 +4,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/log.hpp"
+#include "sim/probe.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/tracer.hpp"
@@ -31,6 +32,12 @@ class Simulator {
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
   Rng& rng() { return rng_; }
+
+  /// Coherence-checking probe (null when checking is off). Components cache
+  /// this pointer at construction, so it must be set before the platform is
+  /// built — the same contract as the tracer mode.
+  void set_probe(CoherenceProbe* p) { probe_ = p; }
+  [[nodiscard]] CoherenceProbe* probe() const { return probe_; }
 
   /// Platform-wide monotonically allocated transaction id (see Tracer).
   std::uint64_t alloc_txn() { return tracer_.alloc_txn(); }
@@ -66,6 +73,7 @@ class Simulator {
   Logger logger_;
   Tracer tracer_;
   Rng rng_;
+  CoherenceProbe* probe_ = nullptr;
 };
 
 }  // namespace ccnoc::sim

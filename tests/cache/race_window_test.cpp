@@ -1,0 +1,249 @@
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_fixture.hpp"
+
+/// Directed tests for the protocol's narrow transient windows: accesses
+/// are issued RAW (no intervening run_to_completion), so invalidations,
+/// evictions, write-backs and write-buffer drains are genuinely in flight
+/// at the same time. Each test asserts the outcome every legal
+/// interleaving must produce: memory holds a valid serialization, caches
+/// agree with memory at quiescence, and the platform drains to idle.
+///
+/// 0x100 and 0x1100 map to the same set of the 4 KB direct-mapped cache
+/// (128 sets x 32 B), so touching 0x1100 evicts 0x100.
+
+namespace ccnoc::cache {
+namespace {
+
+/// Issue an access and do NOT run the simulator: the returned flag flips
+/// when the access completes (immediately for hits / buffered stores).
+bool issue(test::CachePairRig& rig, unsigned c, const MemAccess& a,
+           bool* done) {
+  std::uint64_t hit_value = 0;
+  auto res = rig.nodes[c]->dcache().access(
+      a, &hit_value, [done](std::uint64_t) { *done = true; });
+  if (res == AccessResult::kHit) *done = true;
+  return *done;
+}
+
+MemAccess store_of(sim::Addr a, std::uint64_t v) {
+  MemAccess m;
+  m.is_store = true;
+  m.addr = a;
+  m.value = v;
+  return m;
+}
+
+MemAccess load_of(sim::Addr a) {
+  MemAccess m;
+  m.addr = a;
+  return m;
+}
+
+void expect_quiescent(test::CachePairRig& rig) {
+  for (const auto& n : rig.nodes) EXPECT_TRUE(n->idle());
+  EXPECT_TRUE(rig.bank.idle());
+}
+
+// ---------------------------------------------------------------- WB-MESI
+
+/// Dirty eviction racing the directory's FetchInv for the same block:
+/// cache 0 holds 0x100 Modified; cache 1's store triggers a FetchInv;
+/// while it is in flight, cache 0's conflicting load evicts the dirty
+/// line into the write-back buffer. However bank and cache resolve the
+/// crossing, cache 0's data must not be lost: cache 1's line must start
+/// from cache 0's value, and memory must agree at quiescence.
+TEST(MesiRaceWindow, DirtyEvictionRacesFetchInv) {
+  test::CachePairRig rig(mem::Protocol::kWbMesi);
+  rig.store(0, 0x100, 0xAAu);  // cache 0: Modified
+  ASSERT_EQ(rig.state(0, 0x100), LineState::kModified);
+
+  // Cache 1 wants the block exclusively -> bank sends FetchInv to cache 0.
+  bool c1_done = false;
+  issue(rig, 1, store_of(0x104, 0xBBu), &c1_done);
+  // Let the request reach the bank and the FetchInv enter the NoC, but
+  // not yet reach cache 0 (GMN min latency is 4 cycles per hop).
+  rig.sim.queue().run(rig.sim.now() + 6);
+  ASSERT_FALSE(c1_done);
+
+  // Cache 0 evicts the dirty line while the FetchInv is in flight.
+  bool c0_done = false;
+  issue(rig, 0, load_of(0x1100), &c0_done);
+
+  rig.sim.run_to_completion();
+  ASSERT_TRUE(c1_done);
+  ASSERT_TRUE(c0_done);
+  expect_quiescent(rig);
+
+  // No write may be lost: 0xAA (word 0x100) survived the eviction/fetch
+  // crossing and 0xBB (word 0x104) landed in cache 1's Modified line.
+  EXPECT_EQ(rig.state(0, 0x100), LineState::kInvalid);
+  EXPECT_EQ(rig.state(1, 0x100), LineState::kModified);
+  EXPECT_EQ(rig.load(1, 0x100), 0xAAu);
+  EXPECT_EQ(rig.load(1, 0x104), 0xBBu);
+  rig.sim.run_to_completion();
+  // Flush cache 1's dirty copy and audit memory itself.
+  rig.nodes[1]->dcache().flush_dirty([&](sim::Addr b, const void* d, unsigned n) {
+    rig.bank.storage().write(b, d, n);
+  });
+  EXPECT_EQ(rig.bank.storage().read_uint(0x100, 4), 0xAAu);
+  EXPECT_EQ(rig.bank.storage().read_uint(0x104, 4), 0xBBu);
+}
+
+/// The same crossing with the eviction issued first: the WriteBack is in
+/// flight toward the bank when the foreign ReadExclusive arrives there.
+TEST(MesiRaceWindow, InFlightWritebackRacesForeignFetch) {
+  test::CachePairRig rig(mem::Protocol::kWbMesi);
+  rig.store(0, 0x100, 0xCCu);
+  ASSERT_EQ(rig.state(0, 0x100), LineState::kModified);
+
+  // Evict the dirty line (load of the conflicting block) and, before the
+  // WriteBack reaches the bank, issue the foreign store.
+  bool c0_done = false;
+  issue(rig, 0, load_of(0x1100), &c0_done);
+  bool c1_done = false;
+  issue(rig, 1, store_of(0x100, 0xDDu), &c1_done);
+
+  rig.sim.run_to_completion();
+  ASSERT_TRUE(c0_done);
+  ASSERT_TRUE(c1_done);
+  expect_quiescent(rig);
+
+  // Cache 1's store serialized after the write-back: its line holds the
+  // new value and no stale data resurfaced.
+  EXPECT_EQ(rig.load(1, 0x100), 0xDDu);
+  EXPECT_EQ(rig.state(0, 0x100), LineState::kInvalid);
+}
+
+// ------------------------------------------------------------------- WTI
+
+/// Write-buffer drain ordering vs an incoming invalidate: cache 0 has a
+/// valid copy plus two buffered stores to it when cache 1's store
+/// invalidates the block. The invalidation kills the copy but must NOT
+/// kill the buffered stores: both write-throughs still retire, in program
+/// order, after cache 1's write (which the bank serialized first).
+TEST(WtiRaceWindow, BufferedStoresSurviveIncomingInvalidate) {
+  test::CachePairRig rig(mem::Protocol::kWti);
+  rig.load(0, 0x100);
+  ASSERT_EQ(rig.state(0, 0x100), LineState::kShared);
+
+  // Cache 1's store first (it will serialize first at the bank and put an
+  // invalidation for cache 0 into the NoC)...
+  bool c1_done = false;
+  issue(rig, 1, store_of(0x100, 0x11u), &c1_done);
+  // ...then two buffered stores on cache 0 to the same block while the
+  // invalidation is in flight.
+  bool a_done = false;
+  bool b_done = false;
+  issue(rig, 0, store_of(0x104, 0x22u), &a_done);
+  issue(rig, 0, store_of(0x108, 0x33u), &b_done);
+
+  rig.sim.run_to_completion();
+  ASSERT_TRUE(c1_done && a_done && b_done);
+  expect_quiescent(rig);
+
+  // The copy is gone, but every buffered store retired to memory.
+  EXPECT_EQ(rig.state(0, 0x100), LineState::kInvalid);
+  EXPECT_EQ(rig.bank.storage().read_uint(0x100, 4), 0x11u);
+  EXPECT_EQ(rig.bank.storage().read_uint(0x104, 4), 0x22u);
+  EXPECT_EQ(rig.bank.storage().read_uint(0x108, 4), 0x33u);
+}
+
+/// Load-miss drain ordering under the SC configuration: buffered stores
+/// must be globally visible before a subsequent load miss fills, even
+/// when an invalidation for the very block being stored arrives mid-drain.
+TEST(WtiRaceWindow, DrainOnLoadMissOrdersStoresBeforeFill) {
+  test::CachePairRig rig(mem::Protocol::kWti);
+  rig.load(0, 0x100);
+
+  bool s_done = false;
+  issue(rig, 0, store_of(0x100, 0x77u), &s_done);
+  // Foreign store to the same word races the drain.
+  bool c1_done = false;
+  issue(rig, 1, store_of(0x100, 0x88u), &c1_done);
+  // Load miss on another block: must drain the buffered store first.
+  bool l_done = false;
+  issue(rig, 0, load_of(0x200), &l_done);
+
+  rig.sim.run_to_completion();
+  ASSERT_TRUE(s_done && c1_done && l_done);
+  expect_quiescent(rig);
+
+  // Both stores serialized at the bank, in some order; memory holds the
+  // later one and every copy of the block is either invalid or current.
+  const std::uint64_t final = rig.bank.storage().read_uint(0x100, 4);
+  EXPECT_TRUE(final == 0x77u || final == 0x88u);
+  EXPECT_EQ(rig.load(0, 0x100), final);
+  EXPECT_EQ(rig.load(1, 0x100), final);
+}
+
+// ------------------------------------------------------------------- WTU
+
+/// Regression for a lost-update bug the coherence fuzzer found (replay:
+/// ccnoc_fuzz --seed 2 --cpus 2 --protocol wtu): both caches share a
+/// block; both store to the same word in the same cycle. Cache 1's store
+/// serializes first at the bank, so its update reaches cache 0 while
+/// cache 0's own (later-serialized) store is still in the write buffer.
+/// The update must not clobber the locally-patched byte, or cache 0 keeps
+/// a stale copy forever once its own write lands in memory.
+TEST(WtuRaceWindow, ForeignUpdateDoesNotClobberBufferedOwnStore) {
+  test::CachePairRig rig(mem::Protocol::kWtu);
+  rig.load(0, 0x100);
+  rig.load(1, 0x100);
+
+  bool c1_done = false;
+  issue(rig, 1, store_of(0x100, 0x33u), &c1_done);
+  bool c0_done = false;
+  issue(rig, 0, store_of(0x100, 0xCCu), &c0_done);
+
+  rig.sim.run_to_completion();
+  ASSERT_TRUE(c0_done && c1_done);
+  expect_quiescent(rig);
+
+  // Whatever the serialization order, every copy converged with memory.
+  const std::uint64_t final = rig.bank.storage().read_uint(0x100, 4);
+  EXPECT_TRUE(final == 0x33u || final == 0xCCu);
+  CacheLine* l0 = rig.nodes[0]->dcache().tags().find(0x100);
+  CacheLine* l1 = rig.nodes[1]->dcache().tags().find(0x100);
+  ASSERT_NE(l0, nullptr);
+  ASSERT_NE(l1, nullptr);
+  std::uint64_t v0 = 0;
+  std::uint64_t v1 = 0;
+  std::memcpy(&v0, l0->data.data(), 4);
+  std::memcpy(&v1, l1->data.data(), 4);
+  EXPECT_EQ(v0, final) << "cache 0 holds a stale copy";
+  EXPECT_EQ(v1, final) << "cache 1 holds a stale copy";
+}
+
+/// Partial-size flavour of the same race: the foreign update is one byte
+/// wide inside a word the local write buffer covers with an 8-byte store.
+TEST(WtuRaceWindow, PartialUpdateMergesWithWiderBufferedStore) {
+  test::CachePairRig rig(mem::Protocol::kWtu);
+  rig.load(0, 0x100);
+  rig.load(1, 0x100);
+
+  bool c1_done = false;
+  MemAccess narrow = store_of(0x104, 0x5A);
+  narrow.size = 1;
+  issue(rig, 1, narrow, &c1_done);
+  bool c0_done = false;
+  MemAccess wide = store_of(0x100, 0x1122334455667788ull);
+  wide.size = 8;
+  issue(rig, 0, wide, &c0_done);
+
+  rig.sim.run_to_completion();
+  ASSERT_TRUE(c0_done && c1_done);
+  expect_quiescent(rig);
+
+  CacheLine* l0 = rig.nodes[0]->dcache().tags().find(0x100);
+  ASSERT_NE(l0, nullptr);
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(l0->data[i], rig.bank.storage().read_uint(0x100 + i, 1))
+        << "cache 0 stale at byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ccnoc::cache

@@ -1,0 +1,120 @@
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/micro.hpp"
+#include "apps/ocean.hpp"
+#include "core/system.hpp"
+
+/// Protocol differential test: the paper's write policies are performance
+/// alternatives, not semantic ones. For any data-deterministic workload
+/// (every race ordered by locks/flags/barriers), the final memory image
+/// after flushing must be BIT-IDENTICAL under WTI, WB-MESI and WTU — same
+/// bytes at same addresses, including kernel structures (released locks,
+/// settled barriers) and untouched-page structure. A single differing byte
+/// means one protocol lost or misordered a write the other retired.
+
+namespace ccnoc::core {
+namespace {
+
+/// Full post-run memory image: every committed page across every bank,
+/// keyed by base address. System::run already flushed dirty lines.
+using Image = std::map<sim::Addr, std::vector<std::uint8_t>>;
+
+template <typename MakeWorkload>
+Image run_and_snapshot(mem::Protocol proto, unsigned cpus,
+                       MakeWorkload&& make) {
+  SystemConfig cfg = SystemConfig::architecture1(cpus, proto);
+  System sys(cfg);
+  auto workload = make();
+  RunResult r = sys.run(*workload, 0, 200'000'000ull);
+  EXPECT_TRUE(r.completed) << "workload hung under " << mem::to_string(proto);
+  EXPECT_TRUE(r.verified) << "functional oracle failed under "
+                          << mem::to_string(proto);
+  Image img;
+  for (unsigned b = 0; b < cfg.num_banks; ++b) {
+    sys.bank(b).storage().for_each_page(
+        [&](sim::Addr base, const std::uint8_t* data, unsigned len) {
+          img[base].assign(data, data + len);
+        });
+  }
+  return img;
+}
+
+void expect_identical(const Image& a, const Image& b, const char* pa,
+                      const char* pb) {
+  // Compare the union of pages; a page only one side committed must be
+  // all-zero on that side (committing zeroes is not a semantic difference).
+  Image::const_iterator ia = a.begin();
+  Image::const_iterator ib = b.begin();
+  auto all_zero = [](const std::vector<std::uint8_t>& page) {
+    for (std::uint8_t v : page) {
+      if (v != 0) return false;
+    }
+    return true;
+  };
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      EXPECT_TRUE(all_zero(ia->second))
+          << pa << " wrote page 0x" << std::hex << ia->first << " but " << pb
+          << " never touched it";
+      ++ia;
+      continue;
+    }
+    if (ia == a.end() || ib->first < ia->first) {
+      EXPECT_TRUE(all_zero(ib->second))
+          << pb << " wrote page 0x" << std::hex << ib->first << " but " << pa
+          << " never touched it";
+      ++ib;
+      continue;
+    }
+    ASSERT_EQ(ia->second.size(), ib->second.size());
+    if (std::memcmp(ia->second.data(), ib->second.data(), ia->second.size()) !=
+        0) {
+      for (std::size_t i = 0; i < ia->second.size(); ++i) {
+        ASSERT_EQ(ia->second[i], ib->second[i])
+            << pa << " and " << pb << " diverge at address 0x" << std::hex
+            << (ia->first + i);
+      }
+    }
+    ++ia;
+    ++ib;
+  }
+}
+
+template <typename MakeWorkload>
+void diff_all_protocols(unsigned cpus, MakeWorkload&& make) {
+  Image wti = run_and_snapshot(mem::Protocol::kWti, cpus, make);
+  Image mesi = run_and_snapshot(mem::Protocol::kWbMesi, cpus, make);
+  Image wtu = run_and_snapshot(mem::Protocol::kWtu, cpus, make);
+  expect_identical(wti, mesi, "WTI", "WB-MESI");
+  expect_identical(wti, wtu, "WTI", "WTU");
+}
+
+TEST(ProtocolDiff, HotCounterImagesAreBitIdentical) {
+  diff_all_protocols(4, [] { return std::make_unique<apps::HotCounter>(100); });
+}
+
+TEST(ProtocolDiff, ProducerConsumerImagesAreBitIdentical) {
+  diff_all_protocols(4, [] {
+    return std::make_unique<apps::ProducerConsumer>(30, 6);
+  });
+}
+
+TEST(ProtocolDiff, PingPongImagesAreBitIdentical) {
+  diff_all_protocols(2, [] { return std::make_unique<apps::PingPong>(60); });
+}
+
+TEST(ProtocolDiff, OceanFourCpuImagesAreBitIdentical) {
+  diff_all_protocols(4, [] {
+    apps::Ocean::Config oc;
+    oc.rows_per_thread = 2;
+    oc.iterations = 2;
+    return std::make_unique<apps::Ocean>(oc);
+  });
+}
+
+}  // namespace
+}  // namespace ccnoc::core

@@ -22,6 +22,54 @@ TEST(Rng, ZeroSeedIsUsable) {
   EXPECT_NE(r.next_u64(), r.next_u64());
 }
 
+// Golden constants pin the generator's exact output. Fuzzer repro seeds,
+// recorded experiment seeds and the scheduler's migration decisions all
+// depend on these values byte-for-byte (see the seeding contract in
+// sim/rng.hpp) — if this test fails, the generator changed and every
+// recorded seed in EXPERIMENTS.md and CI is invalidated.
+TEST(Rng, GoldenSequenceSeedOne) {
+  Rng r(1);
+  EXPECT_EQ(r.next_u64(), 0x47e4ce4b896cdd1dull);
+  EXPECT_EQ(r.next_u64(), 0xabcfa6a8e079651dull);
+  EXPECT_EQ(r.next_u64(), 0xb9d10d8feb731f57ull);
+  EXPECT_EQ(r.next_u64(), 0x4db418a0bb1b019dull);
+  EXPECT_EQ(r.next_u64(), 0x0e6199b04d5aa600ull);
+}
+
+TEST(Rng, GoldenSequenceSeedFortyTwo) {
+  Rng r(42);
+  EXPECT_EQ(r.next_u64(), 0x56ce4ab7719ba3a0ull);
+  EXPECT_EQ(r.next_u64(), 0xc841eb53ebbb2ddaull);
+  EXPECT_EQ(r.next_u64(), 0xca466be0c9980276ull);
+}
+
+TEST(Rng, GoldenSequenceDefaultSeed) {
+  Rng r;
+  EXPECT_EQ(r.next_u64(), 0x0d83b3e29a21487aull);
+  EXPECT_EQ(r.next_u64(), 0x54c44c79f1fe9d67ull);
+}
+
+TEST(Rng, GoldenDerivedDraws) {
+  Rng r(1);
+  EXPECT_DOUBLE_EQ(r.next_double(), 0.28083505005035947);
+  // Zero seed aliases seed 1 (documented in the seeding contract).
+  Rng z(0);
+  Rng one(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.next_u64(), one.next_u64());
+}
+
+TEST(Rng, DrawAccountingStaysInLockstep) {
+  // Every helper consumes exactly one draw (next_below(0): none), so a
+  // mixed-draw consumer replays identically against a raw-u64 twin.
+  Rng a(77), b(77);
+  (void)a.next_below(17);
+  (void)a.next_double();
+  (void)a.next_bool(0.5);
+  (void)a.next_below(0);  // no draw
+  for (int i = 0; i < 3; ++i) (void)b.next_u64();
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
 TEST(Rng, NextBelowRespectsBound) {
   Rng r(9);
   for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
