@@ -58,6 +58,5 @@ int main(int argc, char** argv) {
              {"verified", (w.verified && m.verified) ? 1.0 : 0.0}});
   }
 
-  if (!opt.json_path.empty() && !log.write(opt.json_path, "abl_cache")) return 1;
-  return 0;
+  return bench::finish_metric_bench(opt, "abl_cache", log);
 }

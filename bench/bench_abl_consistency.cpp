@@ -16,6 +16,7 @@
 #include "apps/ocean.hpp"
 #include "apps/micro.hpp"
 #include "bench_io.hpp"
+#include "paper_sweep.hpp"
 #include "core/system.hpp"
 
 using namespace ccnoc;
@@ -69,10 +70,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!opt.json_path.empty() && !log.write(opt.json_path, "abl_consistency")) return 1;
   std::printf(
       "\n(speedup > 1: cycles the strict drain costs. The paper's claim that\n"
       " the comparison remains valid under a weaker model holds if the gain\n"
       " is modest and similar across architectures.)\n");
-  return 0;
+  return bench::finish_metric_bench(opt, "abl_consistency", log);
 }

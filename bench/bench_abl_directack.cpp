@@ -55,9 +55,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!cli.json_path.empty() && !log.write(cli.json_path, "abl_directack")) return 1;
   std::printf(
       "\n(The gain lands where invalidation rounds sit on the critical path:\n"
       " MESI upgrades of contended blocks and WTI writes to shared data.)\n");
-  return 0;
+  return bench::finish_metric_bench(cli, "abl_directack", log);
 }

@@ -50,9 +50,8 @@ int main(int argc, char** argv) {
              {"ratio_drift_pct", 100.0 * (rm - rg) / rg}});
   }
 
-  if (!opt.json_path.empty() && !log.write(opt.json_path, "abl_network")) return 1;
   std::printf("\n(ratio drift = change of the WTI/MESI execution-time ratio when\n"
               " swapping the interconnect model; small drift = the GMN\n"
               " approximation does not bias the comparison)\n");
-  return 0;
+  return bench::finish_metric_bench(opt, "abl_network", log);
 }

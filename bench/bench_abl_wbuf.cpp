@@ -66,6 +66,5 @@ int main(int argc, char** argv) {
     return sys.run(*app);
   });
 
-  if (!opt.json_path.empty() && !log.write(opt.json_path, "abl_wbuf")) return 1;
-  return 0;
+  return bench::finish_metric_bench(opt, "abl_wbuf", log);
 }

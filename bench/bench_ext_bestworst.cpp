@@ -15,6 +15,7 @@
 
 #include "apps/micro.hpp"
 #include "bench_io.hpp"
+#include "paper_sweep.hpp"
 #include "core/system.hpp"
 
 using namespace ccnoc;
@@ -92,6 +93,5 @@ int main(int argc, char** argv) {
       "hard for both; the paper's applications fall between the extremes,\n"
       "which is why Figure 4 shows near-parity.\n");
 
-  if (!opt.json_path.empty() && !log.write(opt.json_path, "ext_bestworst")) return 1;
-  return 0;
+  return bench::finish_metric_bench(opt, "ext_bestworst", log);
 }

@@ -66,6 +66,5 @@ int main(int argc, char** argv) {
                                                                          : 0.0}});
   }
 
-  if (!opt.json_path.empty() && !log.write(opt.json_path, "ext_bus")) return 1;
-  return 0;
+  return bench::finish_metric_bench(opt, "ext_bus", log);
 }

@@ -84,6 +84,5 @@ int main(int argc, char** argv) {
            {"snoop_mesi_txns", double(sm.noc_packets)},
            {"snoop_mesi_bytes", double(sm.noc_bytes)}});
 
-  if (!opt.json_path.empty() && !log.write(opt.json_path, "ext_snoop")) return 1;
-  return 0;
+  return bench::finish_metric_bench(opt, "ext_snoop", log);
 }

@@ -101,6 +101,5 @@ int main(int argc, char** argv) {
       "for the application workloads, while the sharing microbenchmarks show\n"
       "the update niche.\n");
 
-  if (!opt.json_path.empty() && !log.write(opt.json_path, "ext_update")) return 1;
-  return 0;
+  return bench::finish_metric_bench(opt, "ext_update", log);
 }

@@ -17,7 +17,9 @@ using namespace ccnoc;
 int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
   const auto specs = bench::paper_grid(bench::sweep_sizes());
-  const auto runs = bench::run_sweep(specs, opt.threads);
+  const auto runs = bench::run_sweep(specs, opt.threads, sim::TraceMode::kOff,
+                                     opt.want_profile() ? sim::ProfileMode::kOn
+                                                        : sim::ProfileMode::kOff);
 
   std::printf("=== Figure 4: execution time (megacycles) ===\n");
   // paper_grid keeps the WTI/MESI pair for each (app, arch, n) adjacent.
@@ -39,9 +41,5 @@ int main(int argc, char** argv) {
                 mesi.result.verified ? "" : "  [MESI UNVERIFIED]");
   }
 
-  if (!opt.json_path.empty() &&
-      !bench::write_paper_json(opt.json_path, "fig4_exec_time", runs)) {
-    return 1;
-  }
-  return 0;
+  return bench::finish_paper_bench(opt, "fig4_exec_time", runs);
 }

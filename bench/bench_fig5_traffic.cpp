@@ -14,7 +14,9 @@ using namespace ccnoc;
 int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
   const auto specs = bench::paper_grid(bench::sweep_sizes());
-  const auto runs = bench::run_sweep(specs, opt.threads);
+  const auto runs = bench::run_sweep(specs, opt.threads, sim::TraceMode::kOff,
+                                     opt.want_profile() ? sim::ProfileMode::kOn
+                                                        : sim::ProfileMode::kOff);
 
   std::printf("=== Figure 5: total NoC traffic (bytes) ===\n");
   for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
@@ -33,9 +35,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(mesi.result.noc_bytes), ratio);
   }
 
-  if (!opt.json_path.empty() &&
-      !bench::write_paper_json(opt.json_path, "fig5_traffic", runs)) {
-    return 1;
-  }
-  return 0;
+  return bench::finish_paper_bench(opt, "fig5_traffic", runs);
 }

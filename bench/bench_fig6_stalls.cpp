@@ -57,7 +57,9 @@ double cat_pct(const core::RunResult& r, sim::StallCat c) {
 int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
   const auto specs = bench::paper_grid(bench::sweep_sizes());
-  const auto runs = bench::run_sweep(specs, opt.threads, sim::TraceMode::kMetrics);
+  const auto runs = bench::run_sweep(specs, opt.threads, sim::TraceMode::kMetrics,
+                                     opt.want_profile() ? sim::ProfileMode::kOn
+                                                        : sim::ProfileMode::kOff);
 
   std::printf("=== Figure 6: data-cache stall cycles (%% of execution) ===\n");
   for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
@@ -90,9 +92,5 @@ int main(int argc, char** argv) {
   std::printf("attribution reconciles exactly with legacy stall counters "
               "(%zu runs)\n", runs.size());
 
-  if (!opt.json_path.empty() &&
-      !bench::write_paper_json(opt.json_path, "fig6_stalls", runs)) {
-    return 1;
-  }
-  return 0;
+  return bench::finish_paper_bench(opt, "fig6_stalls", runs);
 }

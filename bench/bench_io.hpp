@@ -14,19 +14,39 @@
 /// Shared command-line and JSON-output plumbing for the bench binaries.
 ///
 /// Every bench accepts:
-///   --json <path>   write a machine-readable BENCH_*.json record
-///   --threads <n>   worker threads for the sweep (default: all cores, or
-///                   the CCNOC_SWEEP_THREADS environment variable)
-///   --serial        force the single-threaded reference path
+///   --json <path>           write a machine-readable BENCH_*.json record
+///   --threads <n>           worker threads for the sweep (default: all cores,
+///                           or the CCNOC_SWEEP_THREADS environment variable)
+///   --serial                force the single-threaded reference path
+///   --profile <path>        write a line-granularity sharing profile
+///                           (schema in EXPERIMENTS.md, "Sharing profiling")
+///   --profile-html <path>   write the self-contained HTML heatmap report
+///   --baseline <path>       compare --json output against a committed
+///                           baseline record; exit 1 on regression
+///   --tolerance <pct>       allowed relative drift for deterministic fields
+///                           in the baseline compare (default 0 = exact)
+///   --perf-tolerance <pct>  also compare host-speed fields (events_per_sec,
+///                           wall_seconds, *_ratio) within this drift;
+///                           negative (default) skips them entirely
 ///
 /// The JSON schema is documented in EXPERIMENTS.md ("JSON bench output").
 
 namespace ccnoc::bench {
 
 struct BenchOptions {
-  std::string json_path;  ///< empty = no JSON output
-  unsigned threads = 0;   ///< 0 = SweepRunner default
+  std::string json_path;          ///< empty = no JSON output
+  unsigned threads = 0;           ///< 0 = SweepRunner default
   bool serial = false;
+  std::string profile_path;       ///< empty = no sharing profile
+  std::string profile_html_path;  ///< empty = no HTML report
+  std::string baseline_path;      ///< empty = no baseline compare
+  double tolerance = 0.0;         ///< % drift allowed on deterministic fields
+  double perf_tolerance = -1.0;   ///< % drift on perf fields; <0 = skip them
+
+  /// Any profile output requested? (drives ProfileMode for the runs)
+  [[nodiscard]] bool want_profile() const {
+    return !profile_path.empty() || !profile_html_path.empty();
+  }
 };
 
 inline BenchOptions parse_bench_args(int argc, char** argv) {
@@ -39,8 +59,21 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       if (v > 0) opt.threads = unsigned(v);
     } else if (std::strcmp(argv[i], "--serial") == 0) {
       opt.serial = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      opt.profile_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-html") == 0 && i + 1 < argc) {
+      opt.profile_html_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      opt.baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      opt.tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--perf-tolerance") == 0 && i + 1 < argc) {
+      opt.perf_tolerance = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: %s [--json <path>] [--threads <n>] [--serial]\n", argv[0]);
+      std::printf("usage: %s [--json <path>] [--threads <n>] [--serial]\n"
+                  "          [--profile <path>] [--profile-html <path>]\n"
+                  "          [--baseline <path>] [--tolerance <pct>]\n"
+                  "          [--perf-tolerance <pct>]\n", argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);

@@ -13,6 +13,7 @@
 #include "apps/micro.hpp"
 #include "bench_io.hpp"
 #include "cache/cache_node.hpp"
+#include "paper_sweep.hpp"
 #include "core/system.hpp"
 #include "mem/bank.hpp"
 #include "mem/directory.hpp"
@@ -129,16 +130,65 @@ static void BM_FullPlatformHotCounter(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPlatformHotCounter)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
-// Custom main instead of BENCHMARK_MAIN(): we pull our own --json flag out
-// of argv before google-benchmark parses it, and after the suite we take
-// the canonical kernel-speed measurement — simulated events per host
-// second on full small platforms — for the BENCH_micro.json record.
+namespace {
+
+struct ObsRun {
+  std::uint64_t events = 0;
+  std::uint64_t cycles = 0;
+  double wall = 0.0;
+  bool verified = true;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall > 0 ? double(events) / wall : 0.0;
+  }
+};
+
+/// Repeated full-platform HotCounter runs under one observability setting.
+ObsRun measure_hot_counter(unsigned n, int reps, sim::TraceMode trace,
+                           sim::ProfileMode profile) {
+  ObsRun out;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    core::SystemConfig cfg =
+        core::SystemConfig::architecture2(n, mem::Protocol::kWbMesi);
+    cfg.trace = trace;
+    cfg.profile = profile;
+    core::System sys(cfg);
+    apps::HotCounter w(20);
+    auto r = sys.run(w);
+    out.events += r.events;
+    out.cycles += r.exec_cycles;
+    out.verified = out.verified && r.verified;
+  }
+  out.wall = std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - t0).count();
+  return out;
+}
+
+}  // namespace
+
+// Custom main instead of BENCHMARK_MAIN(): we pull our own flags out of
+// argv before google-benchmark parses it, and after the suite we take the
+// canonical kernel-speed measurement — simulated events per host second on
+// full small platforms — for the BENCH_micro.json record, plus the
+// observability cost model: the same workload under tracer/profiler modes,
+// with mode/off throughput ratios the CI guardrail checks.
 int main(int argc, char** argv) {
-  std::string json_path;
+  bench::BenchOptions opt;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
+      opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      opt.profile_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-html") == 0 && i + 1 < argc) {
+      opt.profile_html_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      opt.baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      opt.tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--perf-tolerance") == 0 && i + 1 < argc) {
+      opt.perf_tolerance = std::strtod(argv[++i], nullptr);
     } else {
       bench_argv.push_back(argv[i]);
     }
@@ -151,35 +201,64 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  if (json_path.empty()) return 0;
+  if (opt.json_path.empty() && !opt.want_profile()) return 0;
 
   bench::MetricLog log;
   for (unsigned n : {4u, 16u}) {
     const int reps = 5;
-    std::uint64_t events = 0;
-    std::uint64_t cycles = 0;
-    bool verified = true;
-    auto t0 = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < reps; ++rep) {
-      core::SystemConfig cfg =
-          core::SystemConfig::architecture2(n, mem::Protocol::kWbMesi);
-      core::System sys(cfg);
-      apps::HotCounter w(20);
-      auto r = sys.run(w);
-      events += r.events;
-      cycles += r.exec_cycles;
-      verified = verified && r.verified;
-    }
-    double wall = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0).count();
+    ObsRun r = measure_hot_counter(n, reps, sim::TraceMode::kOff,
+                                   sim::ProfileMode::kOff);
     log.add("full_platform_hot_counter_n" + std::to_string(n),
             {{"n", double(n)},
              {"reps", double(reps)},
-             {"sim_cycles", double(cycles)},
-             {"events", double(events)},
-             {"wall_seconds", wall},
-             {"events_per_sec", wall > 0 ? double(events) / wall : 0.0},
-             {"verified", verified ? 1.0 : 0.0}});
+             {"sim_cycles", double(r.cycles)},
+             {"events", double(r.events)},
+             {"wall_seconds", r.wall},
+             {"events_per_sec", r.events_per_sec()},
+             {"verified", r.verified ? 1.0 : 0.0}});
   }
-  return log.write(json_path, "micro") ? 0 : 1;
+
+  // Observability cost model: each mode's throughput relative to off. The
+  // simulated outcome (cycles, events) must be identical in every mode —
+  // that is checked here, not just in the tests — while the *_ratio fields
+  // quantify the host-side cost and feed the CI overhead guardrail.
+  {
+    const unsigned n = 4;
+    const int reps = 5;
+    ObsRun off = measure_hot_counter(n, reps, sim::TraceMode::kOff,
+                                     sim::ProfileMode::kOff);
+    ObsRun metrics = measure_hot_counter(n, reps, sim::TraceMode::kMetrics,
+                                         sim::ProfileMode::kOff);
+    ObsRun full = measure_hot_counter(n, reps, sim::TraceMode::kFull,
+                                      sim::ProfileMode::kOff);
+    ObsRun prof = measure_hot_counter(n, reps, sim::TraceMode::kOff,
+                                      sim::ProfileMode::kOn);
+    bool same = true;
+    for (const ObsRun* m : {&metrics, &full, &prof}) {
+      same = same && m->cycles == off.cycles && m->events == off.events;
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "observability modes changed the simulated outcome!\n");
+      return 1;
+    }
+    auto ratio = [&](const ObsRun& m) {
+      return off.events_per_sec() > 0 ? m.events_per_sec() / off.events_per_sec()
+                                      : 0.0;
+    };
+    log.add("observability_modes_n4",
+            {{"n", double(n)},
+             {"reps", double(reps)},
+             {"sim_cycles", double(off.cycles)},
+             {"off_events_per_sec", off.events_per_sec()},
+             {"metrics_events_per_sec", metrics.events_per_sec()},
+             {"full_events_per_sec", full.events_per_sec()},
+             {"profile_events_per_sec", prof.events_per_sec()},
+             {"metrics_ratio", ratio(metrics)},
+             {"full_ratio", ratio(full)},
+             {"profile_ratio", ratio(prof)},
+             {"verified", (off.verified && prof.verified) ? 1.0 : 0.0}});
+  }
+
+  return bench::finish_metric_bench(opt, "micro", log);
 }

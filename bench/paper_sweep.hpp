@@ -8,8 +8,10 @@
 
 #include "apps/ocean.hpp"
 #include "apps/water.hpp"
+#include "baseline_compare.hpp"
 #include "bench_io.hpp"
 #include "core/system.hpp"
+#include "sim/profile.hpp"
 #include "sim/sweep.hpp"
 
 /// Shared harness for the paper-reproduction benches (Figures 4/5/6): one
@@ -59,19 +61,32 @@ struct PaperRun {
   unsigned n = 4;
   core::RunResult result;
   double wall_seconds = 0.0;  ///< host time spent simulating this point
+  sim::ProfileSnapshot profile;  ///< empty unless the point ran with kOn
 };
 
+/// "ocean wti arch1 n=4" — the label used in profile.json and the reports.
+inline std::string point_label(const std::string& app, unsigned arch,
+                               mem::Protocol proto, unsigned n) {
+  return app + " " + to_string(proto) + " arch" + std::to_string(arch) +
+         " n=" + std::to_string(n);
+}
+
 inline PaperRun run_point(const std::string& app, unsigned arch, mem::Protocol proto,
-                          unsigned n, sim::TraceMode trace = sim::TraceMode::kOff) {
+                          unsigned n, sim::TraceMode trace = sim::TraceMode::kOff,
+                          sim::ProfileMode profile = sim::ProfileMode::kOff) {
   core::SystemConfig cfg = arch == 1 ? core::SystemConfig::architecture1(n, proto)
                                      : core::SystemConfig::architecture2(n, proto);
   cfg.trace = trace;
+  cfg.profile = profile;
   core::System sys(cfg);
   auto workload = make_app(app);
   auto t0 = std::chrono::steady_clock::now();
-  PaperRun pr{app, arch, proto, n, sys.run(*workload), 0.0};
+  PaperRun pr{app, arch, proto, n, sys.run(*workload), 0.0, {}};
   pr.wall_seconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0).count();
+  if (profile == sim::ProfileMode::kOn) {
+    pr.profile = sys.simulator().profiler().snapshot(point_label(app, arch, proto, n));
+  }
   if (!pr.result.verified) {
     std::fprintf(stderr, "WARNING: %s %s arch%u n=%u failed verification!\n",
                  app.c_str(), to_string(proto), arch, n);
@@ -83,12 +98,13 @@ inline PaperRun run_point(const std::string& app, unsigned arch, mem::Protocol p
 /// (0 = default pool size); results are indexed exactly like \p specs.
 inline std::vector<PaperRun> run_sweep(const std::vector<SweepSpec>& specs,
                                        unsigned threads = 0,
-                                       sim::TraceMode trace = sim::TraceMode::kOff) {
+                                       sim::TraceMode trace = sim::TraceMode::kOff,
+                                       sim::ProfileMode profile = sim::ProfileMode::kOff) {
   std::vector<PaperRun> out(specs.size());
   sim::SweepRunner runner(threads);
   runner.run_indexed(specs.size(), [&](std::size_t i) {
     const SweepSpec& s = specs[i];
-    out[i] = run_point(s.app, s.arch, s.proto, s.n, trace);
+    out[i] = run_point(s.app, s.arch, s.proto, s.n, trace, profile);
   });
   return out;
 }
@@ -172,6 +188,111 @@ inline bool write_paper_json(const std::string& path, const std::string& bench_n
   std::fclose(f);
   std::printf("wrote %s (%zu points)\n", path.c_str(), runs.size());
   return true;
+}
+
+/// Multi-config profile record for a sweep: one ccnoc-profile object per
+/// point, wrapped in a "profiles" array (kind: ccnoc-profile-sweep). Each
+/// inner object is exactly what write_profile_json would emit for that
+/// point, so downstream tooling can treat the elements uniformly.
+inline bool write_sweep_profiles(const std::string& path,
+                                 const std::string& bench_name,
+                                 const std::vector<PaperRun>& runs,
+                                 std::size_t top_n = 0) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"schema_version\":1,\"kind\":\"ccnoc-profile-sweep\","
+                  "\"bench\":\"%s\",\"profiles\":[", bench_name.c_str());
+  bool first = true;
+  for (const PaperRun& r : runs) {
+    if (r.profile.label.empty()) continue;  // point ran with profiling off
+    if (!first) std::fputc(',', f);
+    first = false;
+    std::fputs(sim::profile_json(r.profile, top_n).c_str(), f);
+  }
+  std::fputs("]}\n", f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// The showcase pair for a sweep's HTML report: the adjacent WTI/MESI pair
+/// at the largest n (ties go to the earliest group, i.e. ocean arch1).
+/// Returns {nullptr, nullptr} when no adjacent protocol pair exists.
+inline std::pair<const PaperRun*, const PaperRun*> pick_diff_pair(
+    const std::vector<PaperRun>& runs) {
+  const PaperRun* a = nullptr;
+  const PaperRun* b = nullptr;
+  for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
+    const PaperRun& w = runs[i];
+    const PaperRun& m = runs[i + 1];
+    if (w.app != m.app || w.arch != m.arch || w.n != m.n) continue;
+    if (w.proto == m.proto) continue;
+    if (a == nullptr || w.n > a->n) {
+      a = &w;
+      b = &m;
+    }
+  }
+  return {a, b};
+}
+
+/// Shared epilogue for the paper-grid benches: BENCH json, sweep profiles,
+/// HTML diff report, baseline compare. Returns the process exit code.
+inline int finish_paper_bench(const BenchOptions& opt, const std::string& bench_name,
+                              const std::vector<PaperRun>& runs) {
+  if (!opt.json_path.empty() && !write_paper_json(opt.json_path, bench_name, runs))
+    return 1;
+  if (!opt.profile_path.empty() &&
+      !write_sweep_profiles(opt.profile_path, bench_name, runs))
+    return 1;
+  if (!opt.profile_html_path.empty()) {
+    auto [a, b] = pick_diff_pair(runs);
+    if (a == nullptr || a->profile.label.empty()) {
+      std::fprintf(stderr, "no profiled WTI/MESI pair for --profile-html\n");
+      return 1;
+    }
+    if (!sim::write_profile_html(opt.profile_html_path,
+                                 bench_name + ": " + a->profile.label + " vs " +
+                                     b->profile.label,
+                                 a->profile, &b->profile))
+      return 1;
+    std::printf("wrote %s\n", opt.profile_html_path.c_str());
+  }
+  return run_baseline_check(opt);
+}
+
+/// Reference profile pair for the benches that don't sweep the paper grid
+/// (table1, ablations, extensions): 4-CPU Ocean on architecture 1, WTI vs
+/// WB-MESI — the same pair the examples and docs use.
+inline bool write_reference_profiles(const BenchOptions& opt) {
+  PaperRun wti = run_point("ocean", 1, mem::Protocol::kWti, 4,
+                           sim::TraceMode::kOff, sim::ProfileMode::kOn);
+  PaperRun mesi = run_point("ocean", 1, mem::Protocol::kWbMesi, 4,
+                            sim::TraceMode::kOff, sim::ProfileMode::kOn);
+  if (!opt.profile_path.empty()) {
+    if (!write_sweep_profiles(opt.profile_path, "reference_ocean_arch1_n4",
+                              {wti, mesi}))
+      return false;
+  }
+  if (!opt.profile_html_path.empty()) {
+    if (!sim::write_profile_html(opt.profile_html_path,
+                                 wti.profile.label + " vs " + mesi.profile.label,
+                                 wti.profile, &mesi.profile))
+      return false;
+    std::printf("wrote %s\n", opt.profile_html_path.c_str());
+  }
+  return true;
+}
+
+/// Shared epilogue for the MetricLog benches: BENCH json, the reference
+/// profile pair when profiling was requested, baseline compare.
+inline int finish_metric_bench(const BenchOptions& opt, const std::string& bench_name,
+                               const MetricLog& log) {
+  if (!opt.json_path.empty() && !log.write(opt.json_path, bench_name)) return 1;
+  if (opt.want_profile() && !write_reference_profiles(opt)) return 1;
+  return run_baseline_check(opt);
 }
 
 }  // namespace ccnoc::bench

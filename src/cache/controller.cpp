@@ -15,7 +15,8 @@ CacheController::CacheController(sim::Simulator& sim, noc::Network& net,
       cfg_(cfg),
       name_(std::move(name)),
       tags_(cfg),
-      tr_(&sim.tracer()) {
+      tr_(&sim.tracer()),
+      pf_(&sim.profiler()) {
   // Controller spans land on the "cache" process track, one thread per
   // (node, sub-port) so a node's dcache and icache stay distinct.
   tr_->set_track_name(sim::Tracer::kPidCache, track_tid(), name_);

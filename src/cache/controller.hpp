@@ -149,7 +149,8 @@ class CacheController : public CacheIface {
   CacheConfig cfg_;
   std::string name_;
   TagArray tags_;
-  sim::Tracer* tr_;  ///< cached; hot paths guard on tr_->on() / tr_->full()
+  sim::Tracer* tr_;    ///< cached; hot paths guard on tr_->on() / tr_->full()
+  sim::Profiler* pf_;  ///< cached; every hook is one predicted branch when off
 
  private:
   bool fault_fired_ = false;

@@ -19,6 +19,9 @@ AccessResult ICacheController::access(const MemAccess& a, std::uint64_t* hit_val
     return AccessResult::kHit;
   }
   misses_->inc();
+  // Code lines are profiled at refill granularity: one access per miss is
+  // enough to mark the line as instruction-only for classification.
+  pf_->access(sim_.now(), node_, a.addr, a.size, sim::AccessClass::kIfetch);
   pending_ = true;
   pending_access_ = a;
   pending_cb_ = std::move(on_complete);

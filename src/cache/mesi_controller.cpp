@@ -36,6 +36,10 @@ AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value
   CCNOC_ASSERT(pending_ == Pending::kNone, "MESI controller already has a pending access");
   sim::Addr block = tags_.block_of(a.addr);
   CacheLine* l = tags_.find(block);
+  pf_->access(sim_.now(), node_, a.addr, a.size,
+              !a.is_store        ? sim::AccessClass::kLoad
+              : a.is_atomic()    ? sim::AccessClass::kAtomic
+                                 : sim::AccessClass::kStore);
 
   if (!a.is_store) {
     if (l != nullptr) {
@@ -96,6 +100,7 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
   pending_is_upgrade_ = false;
 
   sim::Addr block = tags_.block_of(a.addr);
+  pf_->miss(sim_.now(), node_, block);
   pending_txn_ = next_txn();
   tr_->txn_begin(sim_.now(), pending_txn_,
                  a.is_store ? "mesi.write_miss" : "mesi.read_miss", track_tid(), block);
@@ -105,6 +110,7 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
     // All write-back buffer entries are awaiting acknowledgement; the miss
     // launches once one frees.
     st_.wb_buffer_stalls->inc();
+    pf_->wbuf_stall(sim_.now(), node_, victim.block);
     tr_->txn_note(sim_.now(), pending_txn_, "wb_slot_wait", "wb_buffer",
                   wb_buffer_.size());
     pending_ = Pending::kWbSlot;
@@ -277,7 +283,9 @@ void MesiController::handle_invalidate(const noc::Packet& pkt) {
                  "addr", pkt.msg.addr);
     tr_->txn_note(sim_.now(), pkt.msg.txn, "invalidate", "sharer", node_);
   }
-  if (CacheLine* l = tags_.find(pkt.msg.addr)) {
+  CacheLine* l = tags_.find(pkt.msg.addr);
+  pf_->invalidate_recv(sim_.now(), node_, pkt.msg.addr, l != nullptr);
+  if (l != nullptr) {
     CCNOC_ASSERT(l->state == LineState::kShared, "invalidate hit a non-Shared line");
     if (!inject_skip_invalidate()) l->state = LineState::kInvalid;
   }
@@ -301,7 +309,13 @@ void MesiController::handle_fetch(const noc::Packet& pkt, bool invalidate) {
   resp.addr = pkt.msg.addr;
   resp.txn = pkt.msg.txn;
 
-  if (CacheLine* l = tags_.find(pkt.msg.addr)) {
+  CacheLine* l = tags_.find(pkt.msg.addr);
+  if (invalidate) {
+    // Losing an owned copy to a FetchInv is an invalidation for sharing
+    // analysis: the next miss by this CPU closes a ping-pong.
+    pf_->invalidate_recv(sim_.now(), node_, pkt.msg.addr, l != nullptr);
+  }
+  if (l != nullptr) {
     CCNOC_ASSERT(l->state == LineState::kModified || l->state == LineState::kExclusive,
                  "fetch hit a non-owned line");
     resp.data_len = std::uint8_t(cfg_.block_bytes);

@@ -32,6 +32,10 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
                                    CompleteFn on_complete) {
   CCNOC_ASSERT(pending_ == Pending::kNone, "WTI controller already has a pending access");
   sim::Addr block = tags_.block_of(a.addr);
+  pf_->access(sim_.now(), node_, a.addr, a.size,
+              !a.is_store        ? sim::AccessClass::kLoad
+              : a.is_atomic()    ? sim::AccessClass::kAtomic
+                                 : sim::AccessClass::kStore);
 
   if (!a.is_store) {
     if (CacheLine* l = tags_.find(block)) {
@@ -41,6 +45,7 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
       return AccessResult::kHit;
     }
     st_.load_misses->inc();
+    pf_->miss(sim_.now(), node_, block);
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
     pending_txn_ = next_txn();
@@ -50,6 +55,7 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
       // visible before this read is ordered.
       pending_ = Pending::kLoadDrain;
       st_.load_drain_waits->inc();
+      pf_->wbuf_stall(sim_.now(), node_, a.addr);
       tr_->txn_note(sim_.now(), pending_txn_, "drain_wait", "wbuf", wbuf_.size());
     } else {
       pending_ = Pending::kLoadResponse;
@@ -81,6 +87,7 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
   // Store: non-blocking through the write buffer unless it is full.
   if (wbuf_.size() >= cfg_.write_buffer_entries) {
     st_.wbuf_full_stalls->inc();
+    pf_->wbuf_stall(sim_.now(), node_, a.addr);
     tr_->instant(sim_.now(), "wti.wbuf_full", sim::Tracer::kPidCache, track_tid(),
                  "addr", a.addr);
     pending_ = Pending::kStoreBuffer;
@@ -284,6 +291,7 @@ void WtiController::handle_update(const noc::Packet& pkt) {
   // Write-update flavour: a foreign store patches our copy in place. A
   // stale-sharer ack tells the directory to stop updating us.
   st_.updates->inc();
+  pf_->update_recv(sim_.now(), node_, pkt.msg.addr);
   tr_->instant(sim_.now(), "wti.update_recv", sim::Tracer::kPidCache, track_tid(),
                "addr", pkt.msg.addr);
   Message ack;
@@ -323,7 +331,9 @@ void WtiController::handle_invalidate(const noc::Packet& pkt) {
   st_.invalidations->inc();
   tr_->instant(sim_.now(), "wti.invalidate_recv", sim::Tracer::kPidCache, track_tid(),
                "addr", pkt.msg.addr);
-  if (CacheLine* l = tags_.find(pkt.msg.addr)) {
+  CacheLine* l = tags_.find(pkt.msg.addr);
+  pf_->invalidate_recv(sim_.now(), node_, pkt.msg.addr, l != nullptr);
+  if (l) {
     if (!inject_skip_invalidate()) l->state = LineState::kInvalid;
   }
   // Always acknowledge: the directory may hold a stale presence bit. In a

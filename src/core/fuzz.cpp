@@ -55,6 +55,7 @@ FuzzOutcome run_fuzz(const FuzzOptions& opt) {
   cfg.dcache.fault = opt.fault;
   cfg.dcache.fault_after = opt.fault_after;
   if (!opt.trace_path.empty()) cfg.trace = sim::TraceMode::kFull;
+  if (!opt.profile_path.empty()) cfg.profile = sim::ProfileMode::kOn;
 
   apps::FuzzWorkload::Config wcfg;
   wcfg.seed = opt.seed;
@@ -67,6 +68,13 @@ FuzzOutcome run_fuzz(const FuzzOptions& opt) {
   RunResult r = sys.run(workload, 0, opt.max_cycles);
   if (!opt.trace_path.empty()) {
     sys.simulator().tracer().write_chrome_json(opt.trace_path);
+  }
+  if (!opt.profile_path.empty()) {
+    std::ostringstream label;
+    label << "fuzz seed=" << opt.seed << " " << to_string(opt.protocol)
+          << " arch" << opt.arch << " n=" << opt.cpus;
+    (void)sim::write_profile_json(
+        opt.profile_path, sys.simulator().profiler().snapshot(label.str()));
   }
 
   FuzzOutcome out;

@@ -38,6 +38,9 @@ struct FuzzOptions {
   sim::Cycle walk_interval = 1024;
   /// When non-empty, record a full Chrome/Perfetto trace of the run here.
   std::string trace_path;
+  /// When non-empty, write a line-granularity sharing profile of the run
+  /// here (same schema as tools/ccnoc_profile; see EXPERIMENTS.md).
+  std::string profile_path;
 
   /// The equivalent tools/ccnoc_fuzz invocation (minus --trace/--minimize).
   [[nodiscard]] std::string command_line() const;

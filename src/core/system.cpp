@@ -48,6 +48,12 @@ System::System(SystemConfig cfg)
   sim_.tracer().set_mode(cfg_.trace);
   sim_.tracer().set_epoch_cycles(cfg_.trace_epoch);
 
+  // Profiler too: caches, banks and the network cache `&sim.profiler()` and
+  // register their bank/link slots during construction.
+  sim_.profiler().set_mode(cfg_.profile);
+  sim_.profiler().set_epoch_cycles(cfg_.profile_epoch);
+  sim_.profiler().set_block_bytes(cfg_.dcache.block_bytes);
+
   // Checker likewise before any component: processors and banks cache the
   // probe pointer in their constructors.
   if (cfg_.check.enabled) {

@@ -57,6 +57,13 @@ struct SystemConfig {
   sim::TraceMode trace = sim::TraceMode::kOff;
   sim::Cycle trace_epoch = 1024;  ///< epoch length for per-link/bank series
 
+  /// Line-granularity sharing & contention profiling (see sim/profile.hpp):
+  /// kOff costs one predicted branch per hook, kOn attributes traffic,
+  /// invalidations, stalls and bank queueing to cache lines. Same
+  /// set-before-construction contract as the tracer mode.
+  sim::ProfileMode profile = sim::ProfileMode::kOff;
+  sim::Cycle profile_epoch = 1024;  ///< epoch length for sharing-set series
+
   /// Coherence checking (see check/checker.hpp): off by default, in which
   /// case no probe is installed and the hot paths pay one null-pointer
   /// branch per hook. Set before construction, like the tracer mode.

@@ -14,6 +14,7 @@ Processor::Processor(sim::Simulator& sim, cache::CacheIface& dcache,
       name_("cpu" + std::to_string(cpu_index)),
       scheduler_ticks_ctr_(&sim.stats().counter(name_ + ".scheduler_ticks")),
       tr_(&sim.tracer()),
+      pf_(&sim.profiler()),
       probe_(sim.probe()) {
   tr_->set_track_name(sim::Tracer::kPidCpu, cpu_, name_);
 }
@@ -164,8 +165,10 @@ void Processor::continue_ifetch() {
     a.size = sim::kWordBytes;
     std::uint64_t dummy = 0;
     wait_started_ = sim_.now();
-    auto res = icache_.access(a, &dummy, [this](std::uint64_t) {
-      i_stall_ += sim_.now() - wait_started_;
+    auto res = icache_.access(a, &dummy, [this, blk](std::uint64_t) {
+      const sim::Cycle delta = sim_.now() - wait_started_;
+      i_stall_ += delta;
+      pf_->stall(sim_.now(), cpu_, blk, delta, sim::AccessClass::kIfetch);
       if (tr_->on()) record_stall(sim::StallCat::kIfetch);
       CCNOC_ASSERT(!ifetch_pending_.empty(), "ifetch completion with empty queue");
       ifetch_pending_.pop_back();
@@ -221,7 +224,20 @@ void Processor::execute_data() {
 }
 
 void Processor::resume_after_data(std::uint64_t value) {
-  d_stall_ += sim_.now() - wait_started_;
+  const sim::Cycle delta = sim_.now() - wait_started_;
+  d_stall_ += delta;
+  if (pf_->on()) [[unlikely]] {
+    // Same delta the d_stall_ counter accumulates, so the profiler's
+    // per-line stall attribution reconciles with the run report exactly.
+    sim::AccessClass cls = sim::AccessClass::kLoad;
+    if (cur_op_.kind == OpKind::kStore) {
+      cls = sim::AccessClass::kStore;
+    } else if (cur_op_.kind == OpKind::kAtomicSwap ||
+               cur_op_.kind == OpKind::kAtomicAdd) {
+      cls = sim::AccessClass::kAtomic;
+    }
+    pf_->stall(sim_.now(), cpu_, cur_op_.addr, delta, cls);
+  }
   if (tr_->on()) {
     sim::StallCat cat = sim::StallCat::kLoad;
     if (cur_op_.kind == OpKind::kStore) {

@@ -111,7 +111,8 @@ class Processor {
 
   // Resolved once at construction; bumped on every timer tick.
   sim::Counter* scheduler_ticks_ctr_;
-  sim::Tracer* tr_;  ///< cached; stall attribution is guarded on tr_->on()
+  sim::Tracer* tr_;    ///< cached; stall attribution is guarded on tr_->on()
+  sim::Profiler* pf_;  ///< cached; per-line stall attribution when profiling
   sim::CoherenceProbe* probe_;  ///< cached; null unless checking is on
 };
 

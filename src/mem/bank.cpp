@@ -20,6 +20,7 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
       dir_(map.num_cpus()),
       tr_(&sim.tracer()),
       probe_(sim.probe()),
+      pf_(&sim.profiler()),
       bank_tid_(bank_index) {
   CCNOC_ASSERT((cfg_.block_bytes & (cfg_.block_bytes - 1)) == 0,
                "block size must be a power of two");
@@ -42,6 +43,8 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
 
   std::string bank_name = "bank" + std::to_string(bank_index);
   trace_bank_id_ = tr_->register_bank(bank_name);
+  profile_bank_id_ = pf_->register_bank(bank_name);
+  if (pf_->on()) dir_.set_profiler(pf_);
   tr_->set_track_name(sim::Tracer::kPidBank, bank_tid_, std::move(bank_name));
 }
 
@@ -84,6 +87,7 @@ void Bank::enqueue_request(const noc::Packet& pkt) {
     waiting_[block].push_back(pkt);
     st_.block_conflicts->inc();
     ++waiting_count_;
+    pf_->bank_enqueue(sim_.now(), profile_bank_id_, block, waiting_count_);
     if (tr_->on()) {
       tr_->bank_queue_depth(trace_bank_id_, sim_.now(), waiting_count_);
       tr_->txn_note(sim_.now(), pkt.msg.txn, "bank_queued", "block", block);
@@ -244,6 +248,7 @@ void Bank::process_write_word(Txn& t) {
 void Bank::send_updates(sim::Addr block, Txn& t, sim::NodeId except) {
   auto targets = dir_.sharers(block, except);
   CCNOC_ASSERT(!targets.empty(), "update round with no targets");
+  pf_->fanout(sim_.now(), block, unsigned(targets.size()));
   t.pending_acks = unsigned(targets.size());
   t.had_inval_round = true;  // same critical-path hop accounting as invalidations
 
@@ -288,6 +293,7 @@ void Bank::handle_update_ack(const noc::Packet& pkt) {
 void Bank::send_invalidations(sim::Addr block, Txn& t, sim::NodeId except) {
   auto targets = dir_.sharers(block, except);
   CCNOC_ASSERT(!targets.empty(), "invalidation round with no targets");
+  pf_->fanout(sim_.now(), block, unsigned(targets.size()));
   // Direct-ack mode applies to rounds the requester itself triggered (its
   // own writes/upgrades); data-bearing allocations keep the memory-collected
   // flow.
@@ -564,6 +570,7 @@ void Bank::complete_txn(sim::Addr block) {
   wit->second.pop_front();
   if (wit->second.empty()) waiting_.erase(wit);
   --waiting_count_;
+  pf_->bank_dequeue(sim_.now(), profile_bank_id_, block, waiting_count_);
   if (tr_->on()) tr_->bank_queue_depth(trace_bank_id_, sim_.now(), waiting_count_);
   start_service(next.msg, next.src);
 }

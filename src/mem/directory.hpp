@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/profile.hpp"
 #include "sim/types.hpp"
 
 /// \file directory.hpp
@@ -38,10 +39,15 @@ class Directory {
     return it == entries_.end() ? DirEntry{} : it->second;
   }
 
+  /// Sharing profiler attachment (null when profiling is off, mirroring the
+  /// probe pattern: the common path pays one null-pointer branch).
+  void set_profiler(sim::Profiler* p) { pf_ = p; }
+
   void add_sharer(sim::Addr block, sim::NodeId c) {
     check(c);
     auto& e = entries_[block];
     e.presence |= std::uint64_t(1) << c;
+    if (pf_ != nullptr) [[unlikely]] pf_->dir_width(block, e.sharer_count());
   }
 
   void remove_sharer(sim::Addr block, sim::NodeId c) {
@@ -65,6 +71,7 @@ class Directory {
     e.presence = std::uint64_t(1) << c;
     e.dirty = true;
     e.owner = c;
+    if (pf_ != nullptr) [[unlikely]] pf_->dir_width(block, 1);
   }
 
   /// Owner downgraded (M→S after a Fetch): memory now clean, owner remains
@@ -126,6 +133,7 @@ class Directory {
   }
 
   unsigned num_caches_;
+  sim::Profiler* pf_ = nullptr;
   std::unordered_map<sim::Addr, DirEntry> entries_;
 };
 

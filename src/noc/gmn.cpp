@@ -26,6 +26,10 @@ void GmnNetwork::route(Packet&& pkt) {
     tracer_->add_link_flits(link_in_[pkt.src], in_start, flits);
     tracer_->add_link_flits(link_out_[pkt.dst], out_start, flits);
   }
+  if (profiler_->on()) [[unlikely]] {
+    profiler_->link_flits(plink_in_[pkt.src], flits);
+    profiler_->link_flits(plink_out_[pkt.dst], flits);
+  }
 
   // Queueing is fully captured by the busy-until reservations above (a
   // packet waits behind every earlier packet on its ingress and egress

@@ -50,6 +50,13 @@ class GmnNetwork final : public Network {
     for (std::size_t i = 0; i < nodes; ++i) {
       link_out_.push_back(tracer_->register_link("gmn.out." + std::to_string(i)));
     }
+    // The profiler keeps run totals per port (utilization in profile.json).
+    for (std::size_t i = 0; i < nodes; ++i) {
+      plink_in_.push_back(profiler_->register_link("gmn.in." + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < nodes; ++i) {
+      plink_out_.push_back(profiler_->register_link("gmn.out." + std::to_string(i)));
+    }
   }
 
   GmnNetwork(sim::Simulator& s, std::size_t nodes)
@@ -67,6 +74,8 @@ class GmnNetwork final : public Network {
   sim::Counter* fifo_overflow_ctr_;  ///< resolved once; route() is per-packet
   std::vector<unsigned> link_in_;    ///< tracer link ids, per ingress port
   std::vector<unsigned> link_out_;   ///< tracer link ids, per egress port
+  std::vector<unsigned> plink_in_;   ///< profiler link ids, per ingress port
+  std::vector<unsigned> plink_out_;  ///< profiler link ids, per egress port
 };
 
 }  // namespace ccnoc::noc

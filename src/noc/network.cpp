@@ -4,7 +4,8 @@
 
 namespace ccnoc::noc {
 
-Network::Network(sim::Simulator& s) : sim_(s), tracer_(&s.tracer()) {
+Network::Network(sim::Simulator& s)
+    : sim_(s), tracer_(&s.tracer()), profiler_(&s.profiler()) {
   auto& st = sim_.stats();
   bytes_ctr_ = &st.counter("noc.bytes");
   packets_ctr_ = &st.counter("noc.packets");
@@ -33,6 +34,10 @@ void Network::send(sim::NodeId src, sim::NodeId dst, const Message& msg) {
 
   total_bytes_ += wire_bytes(msg);
   ++total_packets_;
+  // Every packet is attributed to the cache line its address falls in (the
+  // profiler rounds to a block), so per-line traffic sums exactly to
+  // total_bytes_ / total_packets_.
+  profiler_->traffic(msg.addr, wire_bytes(msg));
   bytes_ctr_->inc(wire_bytes(msg));
   packets_ctr_->inc();
   pkt_type_ctr_[std::size_t(msg.type)]->inc();

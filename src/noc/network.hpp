@@ -61,8 +61,9 @@ class Network {
   void deliver_at(sim::Cycle when, Packet&& pkt);
 
   sim::Simulator& sim_;
-  sim::Tracer* tracer_;  ///< cached; route() implementations report per-link
-                         ///< flit telemetry through it
+  sim::Tracer* tracer_;    ///< cached; route() implementations report per-link
+                           ///< flit telemetry through it
+  sim::Profiler* profiler_;  ///< cached; per-line traffic attribution
 
  private:
   std::vector<Endpoint*> endpoints_;

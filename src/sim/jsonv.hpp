@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccnoc::sim {
+
+// Minimal dependency-free JSON value, just enough to read back the JSON
+// this project emits (bench MetricLog output, paper-sweep output,
+// profile.json) for baseline comparison. Numbers are held as double, which
+// is exact for the integral counters we compare (they fit in 53 bits).
+struct Jsonv {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Jsonv> array;
+  std::vector<std::pair<std::string, Jsonv>> object;  // insertion order
+
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Jsonv* get(const std::string& key) const;
+};
+
+// Parses `text`; on failure returns false and sets `err` to a short
+// message with an offset.
+bool jsonv_parse(const std::string& text, Jsonv& out, std::string& err);
+
+// Convenience: slurp a file and parse it.
+bool jsonv_parse_file(const std::string& path, Jsonv& out, std::string& err);
+
+}  // namespace ccnoc::sim

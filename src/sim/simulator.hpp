@@ -5,6 +5,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/log.hpp"
 #include "sim/probe.hpp"
+#include "sim/profile.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/tracer.hpp"
@@ -31,6 +32,8 @@ class Simulator {
   Logger& logger() { return logger_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
   Rng& rng() { return rng_; }
 
   /// Coherence-checking probe (null when checking is off). Components cache
@@ -72,6 +75,7 @@ class Simulator {
   StatsRegistry stats_;
   Logger logger_;
   Tracer tracer_;
+  Profiler profiler_;
   Rng rng_;
   CoherenceProbe* probe_ = nullptr;
 };

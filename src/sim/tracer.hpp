@@ -171,10 +171,28 @@ class Tracer {
     Sample latency;  ///< cycles from txn_begin to txn_end
   };
 
+  struct LinkTelemetry {
+    std::string name;
+    std::vector<std::uint64_t> flits_per_epoch;
+  };
+  struct BankTelemetry {
+    std::string name;
+    std::vector<std::uint64_t> max_depth_per_epoch;
+  };
+
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t open_span_count() const { return open_.size(); }
   [[nodiscard]] const std::map<std::string, KindStats>& txn_stats() const {
     return kinds_;
+  }
+  /// Per-link / per-bank epoch series (registration order). The profiler
+  /// records the same quantities at the same call sites; the reconcile
+  /// tests hold the two layers to exact agreement.
+  [[nodiscard]] const std::vector<LinkTelemetry>& link_telemetry() const {
+    return links_;
+  }
+  [[nodiscard]] const std::vector<BankTelemetry>& bank_telemetry() const {
+    return banks_;
   }
 
   // --- export ---------------------------------------------------------------
@@ -210,15 +228,6 @@ class Tracer {
     const char* kind = nullptr;
     Cycle begin = 0;
   };
-  struct LinkTelemetry {
-    std::string name;
-    std::vector<std::uint64_t> flits_per_epoch;
-  };
-  struct BankTelemetry {
-    std::string name;
-    std::vector<std::uint64_t> max_depth_per_epoch;
-  };
-
   [[nodiscard]] std::size_t epoch_of(Cycle now) const { return std::size_t(now / epoch_); }
 
   TraceMode mode_ = TraceMode::kOff;

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/ocean.hpp"
+#include "apps/workload.hpp"
+#include "core/system.hpp"
+#include "sim/profile.hpp"
+
+/// System-level ground-truth tests for the sharing profiler: directed
+/// workloads whose sharing pattern is known by construction, run on the
+/// full platform, then checked against the classifier's labels at the
+/// exact data blocks the workload allocated. Kernel lock/barrier words and
+/// code lines are profiled too, so assertions always target the workload's
+/// own data region, never global tallies.
+
+namespace ccnoc::core {
+namespace {
+
+using cpu::ThreadContext;
+using cpu::ThreadOp;
+using cpu::ThreadProgram;
+
+constexpr unsigned kRounds = 32;
+
+/// Each thread reads and writes only its own 32-byte block.
+class PrivateOnly final : public apps::Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "private-only"; }
+
+  void setup(os::Kernel& kernel, unsigned nthreads) override {
+    blocks_.clear();
+    for (unsigned t = 0; t < nthreads; ++t) {
+      blocks_.push_back(kernel.layout().alloc_shared(32, 32));
+      kernel.memory().write_u32(blocks_.back(), 0);
+    }
+    code_ = kernel.layout().alloc_code(512);
+  }
+
+  ThreadProgram make_program(ThreadContext& ctx) override {
+    return [](ThreadContext& c, sim::Addr mine, sim::Addr cd) -> ThreadProgram {
+      c.set_code_region(cd, 512);
+      for (unsigned i = 0; i < kRounds; ++i) {
+        co_yield ThreadOp::load(mine);
+        co_yield ThreadOp::store(mine, c.last_load_value + 1);
+      }
+    }(ctx, blocks_[ctx.tid], code_);
+  }
+
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override {
+    for (sim::Addr b : blocks_) {
+      if (dm.read_u32(b) != kRounds) return false;
+    }
+    return true;
+  }
+
+  std::vector<sim::Addr> blocks_;
+  sim::Addr code_ = 0;
+};
+
+/// Every thread only loads one shared block (written before the run).
+class ReadSharedOnly final : public apps::Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "read-shared"; }
+
+  void setup(os::Kernel& kernel, unsigned nthreads) override {
+    shared_ = kernel.layout().alloc_shared(32, 32);
+    kernel.memory().write_u32(shared_, 42);
+    sink_.clear();
+    for (unsigned t = 0; t < nthreads; ++t) {
+      sink_.push_back(kernel.layout().alloc_shared(32, 32));
+      kernel.memory().write_u32(sink_.back(), 0);
+    }
+    code_ = kernel.layout().alloc_code(512);
+  }
+
+  ThreadProgram make_program(ThreadContext& ctx) override {
+    return [](ThreadContext& c, sim::Addr sh, sim::Addr out,
+              sim::Addr cd) -> ThreadProgram {
+      c.set_code_region(cd, 512);
+      std::uint64_t sum = 0;
+      for (unsigned i = 0; i < kRounds; ++i) {
+        co_yield ThreadOp::load(sh);
+        sum += c.last_load_value;
+      }
+      co_yield ThreadOp::store(out, sum);
+    }(ctx, shared_, sink_[ctx.tid], code_);
+  }
+
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override {
+    for (sim::Addr s : sink_) {
+      if (dm.read_u32(s) != 42u * kRounds) return false;
+    }
+    return true;
+  }
+
+  sim::Addr shared_ = 0;
+  std::vector<sim::Addr> sink_;
+  sim::Addr code_ = 0;
+};
+
+/// Two threads hammer disjoint words of ONE block: thread 0 owns word 0,
+/// thread 1 owns word 7. No word-level conflict — pure false sharing.
+class FalseSharing final : public apps::Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "false-sharing"; }
+
+  void setup(os::Kernel& kernel, unsigned nthreads) override {
+    CCNOC_ASSERT(nthreads >= 2, "false sharing needs two threads");
+    block_ = kernel.layout().alloc_shared(32, 32);
+    kernel.memory().write_u32(block_, 0);
+    kernel.memory().write_u32(block_ + 28, 0);
+    code_ = kernel.layout().alloc_code(512);
+  }
+
+  ThreadProgram make_program(ThreadContext& ctx) override {
+    const sim::Addr word = ctx.tid == 0 ? block_ : block_ + 28;
+    const bool active = ctx.tid < 2;
+    return [](ThreadContext& c, sim::Addr w, bool act,
+              sim::Addr cd) -> ThreadProgram {
+      c.set_code_region(cd, 512);
+      if (!act) {
+        co_yield ThreadOp::compute(1);
+        co_return;
+      }
+      for (unsigned i = 0; i < kRounds; ++i) {
+        co_yield ThreadOp::load(w);
+        co_yield ThreadOp::store(w, c.last_load_value + 1);
+        co_yield ThreadOp::compute(3);
+      }
+    }(ctx, word, active, code_);
+  }
+
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override {
+    return dm.read_u32(block_) == kRounds && dm.read_u32(block_ + 28) == kRounds;
+  }
+
+  sim::Addr block_ = 0;
+  sim::Addr code_ = 0;
+};
+
+/// Two threads pass one counter word back and forth with atomic adds —
+/// the migratory-token idiom (readers == writers == both CPUs).
+class MigratoryToken final : public apps::Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "migratory-token"; }
+
+  void setup(os::Kernel& kernel, unsigned nthreads) override {
+    CCNOC_ASSERT(nthreads >= 2, "token needs two threads");
+    token_ = kernel.layout().alloc_shared(32, 32);
+    kernel.memory().write_u32(token_, 0);
+    code_ = kernel.layout().alloc_code(512);
+  }
+
+  ThreadProgram make_program(ThreadContext& ctx) override {
+    const bool active = ctx.tid < 2;
+    return [](ThreadContext& c, sim::Addr tok, bool act,
+              sim::Addr cd) -> ThreadProgram {
+      c.set_code_region(cd, 512);
+      if (!act) {
+        co_yield ThreadOp::compute(1);
+        co_return;
+      }
+      for (unsigned i = 0; i < kRounds; ++i) {
+        co_yield ThreadOp::atomic_add(tok, 1);
+        co_yield ThreadOp::compute(5);
+      }
+    }(ctx, token_, active, code_);
+  }
+
+  [[nodiscard]] bool verify(const mem::DirectMemoryIf& dm) const override {
+    return dm.read_u32(token_) == 2 * kRounds;
+  }
+
+  sim::Addr token_ = 0;
+  sim::Addr code_ = 0;
+};
+
+sim::ProfileSnapshot run_profiled(apps::Workload& w, mem::Protocol proto,
+                                  RunResult* result = nullptr) {
+  SystemConfig cfg = SystemConfig::architecture1(2, proto);
+  cfg.profile = sim::ProfileMode::kOn;
+  System sys(cfg);
+  RunResult r = sys.run(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified) << w.name();
+  if (result != nullptr) *result = r;
+  return sys.simulator().profiler().snapshot(w.name());
+}
+
+TEST(ProfileSystem, PrivateBlocksClassifyPrivate) {
+  for (mem::Protocol p : {mem::Protocol::kWti, mem::Protocol::kWbMesi}) {
+    PrivateOnly w;
+    sim::ProfileSnapshot s = run_profiled(w, p);
+    for (sim::Addr b : w.blocks_) {
+      const auto* l = s.find(b);
+      ASSERT_NE(l, nullptr) << to_string(p);
+      EXPECT_EQ(l->pattern, sim::SharingPattern::kPrivate) << to_string(p);
+      EXPECT_EQ(l->ping_pongs, 0u) << to_string(p);
+    }
+  }
+}
+
+TEST(ProfileSystem, ReadSharedBlockClassifiesReadShared) {
+  for (mem::Protocol p : {mem::Protocol::kWti, mem::Protocol::kWbMesi}) {
+    ReadSharedOnly w;
+    sim::ProfileSnapshot s = run_profiled(w, p);
+    const auto* l = s.find(w.shared_);
+    ASSERT_NE(l, nullptr) << to_string(p);
+    EXPECT_EQ(l->pattern, sim::SharingPattern::kReadShared) << to_string(p);
+    EXPECT_EQ(l->num_readers(), 2u) << to_string(p);
+    EXPECT_EQ(l->invalidations, 0u) << to_string(p);
+  }
+}
+
+TEST(ProfileSystem, DisjointWordsClassifyFalseSharedWithPingPongs) {
+  for (mem::Protocol p : {mem::Protocol::kWti, mem::Protocol::kWbMesi}) {
+    FalseSharing w;
+    sim::ProfileSnapshot s = run_profiled(w, p);
+    const auto* l = s.find(w.block_);
+    ASSERT_NE(l, nullptr) << to_string(p);
+    EXPECT_EQ(l->pattern, sim::SharingPattern::kFalseShared) << to_string(p);
+    // Both protocols keep knocking the other CPU's copy out: the block
+    // ping-pongs even though the words never conflict.
+    EXPECT_GT(l->ping_pongs, 0u) << to_string(p);
+    EXPECT_GT(l->invalidations, 0u) << to_string(p);
+  }
+}
+
+TEST(ProfileSystem, AtomicTokenClassifiesMigratory) {
+  for (mem::Protocol p : {mem::Protocol::kWti, mem::Protocol::kWbMesi}) {
+    MigratoryToken w;
+    sim::ProfileSnapshot s = run_profiled(w, p);
+    const auto* l = s.find(w.token_);
+    ASSERT_NE(l, nullptr) << to_string(p);
+    EXPECT_EQ(l->pattern, sim::SharingPattern::kMigratory) << to_string(p);
+    EXPECT_EQ(l->num_readers(), 2u) << to_string(p);
+    EXPECT_EQ(l->num_writers(), 2u) << to_string(p);
+    EXPECT_GT(l->atomics, 0u) << to_string(p);
+  }
+}
+
+// --- invariance and determinism ---------------------------------------
+
+apps::Ocean::Config small_ocean() {
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = 2;
+  oc.iterations = 2;
+  oc.compute_per_cell = 8;
+  return oc;
+}
+
+TEST(ProfileSystem, ProfilingDoesNotPerturbTheSimulation) {
+  // The profiler observes; it must never change what is simulated. Stats
+  // and the run result have to be identical with profiling on and off.
+  for (mem::Protocol p : {mem::Protocol::kWti, mem::Protocol::kWbMesi}) {
+    SystemConfig off_cfg = SystemConfig::architecture1(4, p);
+    SystemConfig on_cfg = off_cfg;
+    on_cfg.profile = sim::ProfileMode::kOn;
+
+    System off_sys(off_cfg);
+    System on_sys(on_cfg);
+    apps::Ocean w_off(small_ocean()), w_on(small_ocean());
+    RunResult ro = off_sys.run(w_off);
+    RunResult rn = on_sys.run(w_on);
+
+    EXPECT_EQ(ro.exec_cycles, rn.exec_cycles);
+    EXPECT_EQ(ro.noc_bytes, rn.noc_bytes);
+    EXPECT_EQ(ro.noc_packets, rn.noc_packets);
+    EXPECT_EQ(ro.instructions, rn.instructions);
+    EXPECT_EQ(ro.d_stall_cycles, rn.d_stall_cycles);
+    EXPECT_EQ(ro.i_stall_cycles, rn.i_stall_cycles);
+    EXPECT_EQ(ro.events, rn.events);
+    EXPECT_EQ(off_sys.simulator().stats().to_string(),
+              on_sys.simulator().stats().to_string());
+    // And the off-mode profiler accrued nothing.
+    EXPECT_EQ(off_sys.simulator().profiler().line_count(), 0u);
+  }
+}
+
+TEST(ProfileSystem, ProfileJsonIsByteIdenticalAcrossRuns) {
+  auto once = [] {
+    SystemConfig cfg = SystemConfig::architecture1(4, mem::Protocol::kWbMesi);
+    cfg.profile = sim::ProfileMode::kOn;
+    System sys(cfg);
+    apps::Ocean w(small_ocean());
+    EXPECT_TRUE(sys.run(w).verified);
+    return sim::profile_json(sys.simulator().profiler().snapshot("run"));
+  };
+  const std::string a = once();
+  const std::string b = once();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace ccnoc::core

@@ -5,6 +5,7 @@
 
 #include "apps/ocean.hpp"
 #include "core/system.hpp"
+#include "sim/profile.hpp"
 
 /// The tracer keeps its own per-transaction-kind accounting (count,
 /// critical-path hops, latency) next to the legacy Table 1 histograms. The
@@ -147,6 +148,117 @@ TEST_F(TraceReconcile, MetricsModeAggregatesMatchFullMode) {
   }
   // The report is derived purely from aggregates, so it must be identical.
   EXPECT_EQ(full_tr.report_json(), metrics_tr.report_json());
+}
+
+// --- profiler reconciliation -------------------------------------------
+//
+// The sharing profiler records at the same call sites as the tracer and the
+// legacy counters, so its per-line attribution must sum EXACTLY to the run
+// aggregates — no sampling, no rounding, nothing dropped.
+
+class ProfileReconcile : public TraceReconcile {
+ protected:
+  static SystemConfig profiled_config(mem::Protocol proto) {
+    SystemConfig cfg = config(proto);
+    cfg.profile = sim::ProfileMode::kOn;
+    // Same epoch for both layers so the per-epoch series compare 1:1.
+    cfg.profile_epoch = cfg.trace_epoch;
+    return cfg;
+  }
+
+  static std::uint64_t counter_sum(sim::Simulator& sim, const std::string& suffix) {
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < kCpus; ++i) {
+      total += sim.stats().counter_value("cpu" + std::to_string(i) + suffix);
+    }
+    return total;
+  }
+
+  /// Invariants that hold for every protocol.
+  static void expect_profile_reconciles(System& sys, const RunResult& r,
+                                        std::uint64_t invalidation_counters) {
+    sim::Simulator& sim = sys.simulator();
+    const sim::ProfileSnapshot s = sim.profiler().snapshot("reconcile");
+
+    // Per-line traffic sums to the run's NoC totals (every packet's wire
+    // bytes are attributed to exactly one block).
+    std::uint64_t bytes = 0, packets = 0, stalls = 0, invals = 0, ifetches = 0;
+    for (const auto& l : s.lines) {
+      bytes += l.traffic_bytes;
+      packets += l.packets;
+      stalls += l.stall_cycles;
+      invals += l.invalidations;
+      ifetches += l.ifetches;
+    }
+    EXPECT_EQ(bytes, r.noc_bytes);
+    EXPECT_EQ(packets, r.noc_packets);
+    EXPECT_EQ(s.total_traffic_bytes, r.noc_bytes);
+    EXPECT_EQ(s.total_packets, r.noc_packets);
+
+    // Stall attribution: per-line == per-class == the legacy stall counters.
+    EXPECT_EQ(stalls, r.d_stall_cycles + r.i_stall_cycles);
+    EXPECT_EQ(s.total_stall_cycles, r.d_stall_cycles + r.i_stall_cycles);
+    const auto& cls = s.stalls_by_class;
+    EXPECT_EQ(cls[unsigned(sim::AccessClass::kLoad)] +
+                  cls[unsigned(sim::AccessClass::kStore)] +
+                  cls[unsigned(sim::AccessClass::kAtomic)],
+              r.d_stall_cycles);
+    EXPECT_EQ(cls[unsigned(sim::AccessClass::kIfetch)], r.i_stall_cycles);
+
+    // Invalidations received == the per-cache invalidation counters.
+    EXPECT_EQ(invals, invalidation_counters);
+    EXPECT_GT(invals, 0u) << "no invalidations observed — instrumentation gap";
+
+    // Code lines are profiled once per refill, so ifetch accesses == misses.
+    EXPECT_EQ(ifetches, counter_sum(sim, ".icache.misses"));
+
+    // Little's law: once the banks have drained, the cycle-weighted queue
+    // occupancy integral equals the sum of per-request waits.
+    ASSERT_FALSE(s.banks.empty());
+    for (const auto& b : s.banks) {
+      EXPECT_EQ(b.occupancy_integral, b.wait_cycles) << b.name;
+    }
+    std::uint64_t line_waits = 0;
+    std::uint64_t bank_waits = 0;
+    for (const auto& l : s.lines) line_waits += l.bank_wait_cycles;
+    for (const auto& b : s.banks) bank_waits += b.wait_cycles;
+    EXPECT_EQ(line_waits, bank_waits);
+
+    // The tracer watches the same banks and links at the same sites; with
+    // equal epochs the two layers' telemetry must agree exactly.
+    const sim::Tracer& tr = sim.tracer();
+    ASSERT_EQ(tr.bank_telemetry().size(), s.banks.size());
+    for (std::size_t i = 0; i < s.banks.size(); ++i) {
+      EXPECT_EQ(tr.bank_telemetry()[i].name, s.banks[i].name);
+      EXPECT_EQ(tr.bank_telemetry()[i].max_depth_per_epoch,
+                s.banks[i].max_depth_per_epoch)
+          << s.banks[i].name;
+    }
+    ASSERT_EQ(tr.link_telemetry().size(), s.links.size());
+    for (std::size_t i = 0; i < s.links.size(); ++i) {
+      EXPECT_EQ(tr.link_telemetry()[i].name, s.links[i].name);
+      std::uint64_t epoch_sum = 0;
+      for (std::uint64_t f : tr.link_telemetry()[i].flits_per_epoch) epoch_sum += f;
+      EXPECT_EQ(epoch_sum, s.links[i].flits) << s.links[i].name;
+    }
+  }
+};
+
+TEST_F(ProfileReconcile, WtiPerLineTotalsMatchRunCounters) {
+  System sys(profiled_config(mem::Protocol::kWti));
+  RunResult r = run(sys);
+  expect_profile_reconciles(sys, r,
+                            counter_sum(sys.simulator(), ".dcache.invalidations"));
+}
+
+TEST_F(ProfileReconcile, MesiPerLineTotalsMatchRunCounters) {
+  System sys(profiled_config(mem::Protocol::kWbMesi));
+  RunResult r = run(sys);
+  // MESI loses copies two ways: explicit Invalidates and FetchInvs that
+  // strip an owned line; the profiler counts both as invalidations.
+  std::uint64_t invals = counter_sum(sys.simulator(), ".dcache.invalidations") +
+                         counter_sum(sys.simulator(), ".dcache.fetch_invs");
+  expect_profile_reconciles(sys, r, invals);
 }
 
 TEST_F(TraceReconcile, DisabledRunRecordsNothing) {

@@ -39,6 +39,7 @@ void usage(const char* argv0) {
                "  --fault-after N     correct invalidations before the bug fires\n"
                "  --minimize          shrink a failing config to a minimal repro\n"
                "  --trace PATH        dump a Chrome trace of the failing run\n"
+               "  --profile PATH      dump a sharing profile of the failing run\n"
                "  --quiet             only print failures and the final tally\n",
                argv0);
 }
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
   bool minimize = false;
   bool quiet = false;
   std::string trace_path;
+  std::string profile_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -117,6 +119,8 @@ int main(int argc, char** argv) {
       minimize = true;
     } else if (a == "--trace") {
       trace_path = value();
+    } else if (a == "--profile") {
+      profile_path = value();
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--help" || a == "-h") {
@@ -154,10 +158,17 @@ int main(int argc, char** argv) {
                   m.reduced.barrier_every, m.outcome.summary().c_str());
       run = m.reduced;
     }
-    if (!trace_path.empty()) {
+    if (!trace_path.empty() || !profile_path.empty()) {
       run.trace_path = trace_path;
+      run.profile_path = profile_path;
       (void)ccnoc::core::run_fuzz(run);
-      std::printf("trace of failing run written to %s\n", trace_path.c_str());
+      if (!trace_path.empty()) {
+        std::printf("trace of failing run written to %s\n", trace_path.c_str());
+      }
+      if (!profile_path.empty()) {
+        std::printf("sharing profile of failing run written to %s\n",
+                    profile_path.c_str());
+      }
     }
     std::printf("replay: %s\n", run.command_line().c_str());
   }
