@@ -7,6 +7,7 @@ CacheNode::CacheNode(sim::Simulator& sim, noc::Network& net, const mem::AddressM
                      CacheConfig icfg)
     : node_(map.cache_node(cpu_index)), proto_(proto) {
   std::string base = "cpu" + std::to_string(cpu_index);
+  dcfg.protocol = proto;
   if (is_write_through(proto)) {
     dcache_ = std::make_unique<WtiController>(sim, net, map, node_, /*port=*/0, dcfg,
                                               base + ".dcache");

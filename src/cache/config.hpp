@@ -1,5 +1,6 @@
 #pragma once
 
+#include "mem/protocol.hpp"
 #include "sim/types.hpp"
 
 /// \file config.hpp
@@ -24,6 +25,11 @@ struct CacheConfig {
   unsigned size_bytes = 4096;
   unsigned block_bytes = 32;
   unsigned ways = 1;  ///< 1 = direct-mapped (the paper's configuration)
+
+  /// Which declarative transition table (proto/tables.hpp) governs this
+  /// controller. CacheNode stamps the platform protocol in; the default
+  /// covers directly-constructed WtiControllers in unit tests.
+  mem::Protocol protocol = mem::Protocol::kWti;
 
   FaultKind fault = FaultKind::kNone;
   /// Invalidations handled correctly before the fault fires (per controller).

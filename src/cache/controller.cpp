@@ -16,7 +16,9 @@ CacheController::CacheController(sim::Simulator& sim, noc::Network& net,
       name_(std::move(name)),
       tags_(cfg),
       tr_(&sim.tracer()),
-      pf_(&sim.profiler()) {
+      pf_(&sim.profiler()),
+      tbl_(proto::table_for(cfg.protocol)),
+      cov_(&sim.proto_coverage()) {
   // Controller spans land on the "cache" process track, one thread per
   // (node, sub-port) so a node's dcache and icache stay distinct.
   tr_->set_track_name(sim::Tracer::kPidCache, track_tid(), name_);

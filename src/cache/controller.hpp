@@ -7,6 +7,7 @@
 #include "cache/tag_array.hpp"
 #include "mem/address_map.hpp"
 #include "noc/network.hpp"
+#include "proto/tables.hpp"
 #include "sim/simulator.hpp"
 
 /// \file controller.hpp
@@ -130,6 +131,15 @@ class CacheController : public CacheIface {
     return std::uint32_t(node_) * 2 + port_;
   }
 
+  /// Route a line-state change through the protocol's declarative
+  /// transition table (proto/tables.hpp): the table dictates the successor
+  /// state and the transition is recorded in the platform's coverage
+  /// bitmap. An undeclared (state, event) pair aborts — the table is the
+  /// single source of truth shared with the exhaustive model checker.
+  void fsm(CacheLine& l, proto::CacheEvent ev) {
+    l.state = proto::apply_cache(tbl_, *cov_, l.state, ev);
+  }
+
   /// Fault injection (CacheConfig::fault): true when the current incoming
   /// invalidation must be acknowledged but NOT applied. One-shot.
   [[nodiscard]] bool inject_skip_invalidate() {
@@ -151,6 +161,8 @@ class CacheController : public CacheIface {
   TagArray tags_;
   sim::Tracer* tr_;    ///< cached; hot paths guard on tr_->on() / tr_->full()
   sim::Profiler* pf_;  ///< cached; every hook is one predicted branch when off
+  const proto::ProtocolTable& tbl_;  ///< this protocol's transition table
+  proto::CoverageSet* cov_;          ///< the platform's coverage bitmap
 
  private:
   bool fault_fired_ = false;

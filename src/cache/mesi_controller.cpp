@@ -7,11 +7,21 @@ namespace ccnoc::cache {
 using noc::Grant;
 using noc::Message;
 using noc::MsgType;
+using proto::CacheEvent;
+
+namespace {
+/// This engine implements the write-back MESI FSM; bind it to that
+/// transition table regardless of the tag the caller left in the config.
+CacheConfig mesi_cfg(CacheConfig cfg) {
+  cfg.protocol = mem::Protocol::kWbMesi;
+  return cfg;
+}
+}  // namespace
 
 MesiController::MesiController(sim::Simulator& sim, noc::Network& net,
                                const mem::AddressMap& map, sim::NodeId node,
                                std::uint8_t port, CacheConfig cfg, std::string name)
-    : CacheController(sim, net, map, node, port, cfg, std::move(name)) {
+    : CacheController(sim, net, map, node, port, mesi_cfg(cfg), std::move(name)) {
   st_.load_hits = stat("load_hits");
   st_.load_misses = stat("load_misses");
   st_.silent_e_to_m = stat("silent_e_to_m");
@@ -59,7 +69,7 @@ AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value
       // transitions to M (the directory already records us as owner).
       if (l->state == LineState::kExclusive) st_.silent_e_to_m->inc();
       st_.store_hits_em->inc();
-      l->state = LineState::kModified;
+      fsm(*l, CacheEvent::kStoreHit);
       std::uint64_t old = 0;
       if (a.is_atomic()) {
         old = read_line(*l, a.addr, a.size);
@@ -119,8 +129,8 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
   }
   if (victim.state == LineState::kModified) {
     do_writeback(victim);
-  } else {
-    victim.state = LineState::kInvalid;  // silent clean eviction
+  } else if (victim.state != LineState::kInvalid) {
+    fsm(victim, CacheEvent::kEvict);  // silent clean eviction
   }
   pending_line_ = &victim;
   pending_ = Pending::kResponse;
@@ -151,7 +161,7 @@ void MesiController::do_writeback(CacheLine& victim) {
   std::memcpy(m.data.data(), victim.data.data(), cfg_.block_bytes);
   send_to_bank(victim.block, std::move(m));
 
-  victim.state = LineState::kInvalid;
+  fsm(victim, CacheEvent::kEvictDirty);
 }
 
 void MesiController::on_packet(const noc::Packet& pkt) {
@@ -182,9 +192,9 @@ void MesiController::handle_read_response(const noc::Packet& pkt) {
   l.block = pkt.msg.addr;
   std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
   switch (pkt.msg.grant) {
-    case Grant::kShared: l.state = LineState::kShared; break;
-    case Grant::kExclusive: l.state = LineState::kExclusive; break;
-    case Grant::kModified: l.state = LineState::kModified; break;
+    case Grant::kShared: fsm(l, CacheEvent::kFillShared); break;
+    case Grant::kExclusive: fsm(l, CacheEvent::kFillExclusive); break;
+    case Grant::kModified: fsm(l, CacheEvent::kFillModified); break;
   }
   (pending_access_.is_store ? st_.hops_write_miss : st_.hops_read_miss)
       ->add(pkt.msg.path_hops);
@@ -259,7 +269,15 @@ void MesiController::finish_pending(CacheLine& l) {
       old = read_line(l, pending_access_.addr, pending_access_.size);
       value = old;
     }
-    l.state = LineState::kModified;
+    if (l.state == LineState::kInvalid) {
+      // The upgrade lost its Shared copy to a race; the ack re-supplied
+      // the block, so this is a write-allocate fill.
+      fsm(l, CacheEvent::kFillModified);
+    } else if (l.state == LineState::kShared) {
+      fsm(l, CacheEvent::kStoreUpgrade);
+    } else {
+      fsm(l, CacheEvent::kStoreHit);  // E/M granted by the response
+    }
     std::uint64_t next = pending_access_.atomic == AtomicKind::kAdd
                              ? old + pending_access_.value
                              : pending_access_.value;
@@ -287,7 +305,7 @@ void MesiController::handle_invalidate(const noc::Packet& pkt) {
   pf_->invalidate_recv(sim_.now(), node_, pkt.msg.addr, l != nullptr);
   if (l != nullptr) {
     CCNOC_ASSERT(l->state == LineState::kShared, "invalidate hit a non-Shared line");
-    if (!inject_skip_invalidate()) l->state = LineState::kInvalid;
+    if (!inject_skip_invalidate()) fsm(*l, CacheEvent::kInvalidate);
   }
   Message ack;
   ack.type = MsgType::kInvalidateAck;
@@ -320,7 +338,7 @@ void MesiController::handle_fetch(const noc::Packet& pkt, bool invalidate) {
                  "fetch hit a non-owned line");
     resp.data_len = std::uint8_t(cfg_.block_bytes);
     std::memcpy(resp.data.data(), l->data.data(), cfg_.block_bytes);
-    l->state = invalidate ? LineState::kInvalid : LineState::kShared;
+    fsm(*l, invalidate ? CacheEvent::kFetchInv : CacheEvent::kFetch);
   } else if (auto it = wb_buffer_.find(pkt.msg.addr); it != wb_buffer_.end()) {
     // The block is in flight to memory; serve the fetch from the write-back
     // buffer (the bank reconciles the duplicate data).
@@ -342,8 +360,10 @@ void MesiController::handle_writeback_ack(const noc::Packet& pkt) {
     CacheLine& victim = *pending_line_;
     if (victim.state == LineState::kModified) {
       do_writeback(victim);
-    } else {
-      victim.state = LineState::kInvalid;
+    } else if (victim.state != LineState::kInvalid) {
+      // A Fetch/FetchInv downgraded the victim while the miss waited for a
+      // write-back slot; what remains is a clean eviction.
+      fsm(victim, CacheEvent::kEvict);
     }
     pending_ = Pending::kResponse;
     launch_miss();

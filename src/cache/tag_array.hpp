@@ -5,6 +5,7 @@
 
 #include "cache/config.hpp"
 #include "noc/message.hpp"
+#include "proto/fsm.hpp"
 #include "sim/types.hpp"
 
 /// \file tag_array.hpp
@@ -16,17 +17,10 @@
 namespace ccnoc::cache {
 
 /// MESI line states; WTI uses only kInvalid and kShared ("Valid").
-enum class LineState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
-
-[[nodiscard]] inline const char* to_string(LineState s) {
-  switch (s) {
-    case LineState::kInvalid: return "I";
-    case LineState::kShared: return "S";
-    case LineState::kExclusive: return "E";
-    case LineState::kModified: return "M";
-  }
-  return "?";
-}
+/// Aliased from proto:: so the declarative transition tables and the tag
+/// array agree on the state vocabulary by construction.
+using LineState = proto::LineState;
+using proto::to_string;
 
 struct CacheLine {
   sim::Addr block = 0;  ///< block-aligned address (valid when state != I)

@@ -6,11 +6,21 @@ namespace ccnoc::cache {
 
 using noc::Message;
 using noc::MsgType;
+using proto::CacheEvent;
+
+namespace {
+/// This engine implements the write-through FSMs; a stray write-back
+/// protocol tag would bind it to the wrong transition table.
+CacheConfig write_through_cfg(CacheConfig cfg) {
+  if (!mem::is_write_through(cfg.protocol)) cfg.protocol = mem::Protocol::kWti;
+  return cfg;
+}
+}  // namespace
 
 WtiController::WtiController(sim::Simulator& sim, noc::Network& net,
                              const mem::AddressMap& map, sim::NodeId node,
                              std::uint8_t port, CacheConfig cfg, std::string name)
-    : CacheController(sim, net, map, node, port, cfg, std::move(name)) {
+    : CacheController(sim, net, map, node, port, write_through_cfg(cfg), std::move(name)) {
   st_.load_hits = stat("load_hits");
   st_.load_misses = stat("load_misses");
   st_.load_drain_waits = stat("load_drain_waits");
@@ -69,7 +79,7 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
     // the bank treats the requester like any other sharer — and ordering
     // with older buffered writes is preserved by draining first.
     st_.atomic_swaps->inc();
-    if (CacheLine* l = tags_.find(block)) l->state = LineState::kInvalid;
+    if (CacheLine* l = tags_.find(block)) fsm(*l, CacheEvent::kAtomicIssue);
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
     pending_txn_ = next_txn();
@@ -105,6 +115,7 @@ void WtiController::perform_store(const MemAccess& a) {
     // Write-through with local update on hit: the copy stays Valid and the
     // directory will not invalidate the writer.
     st_.store_hits->inc();
+    fsm(*l, CacheEvent::kStoreHit);
     write_line(*l, a.addr, a.size, a.value);
     tags_.touch(*l);
   } else {
@@ -172,8 +183,9 @@ void WtiController::handle_read_response(const noc::Packet& pkt) {
   CCNOC_ASSERT(pending_ == Pending::kLoadResponse, "unexpected read response");
   CCNOC_ASSERT(pkt.msg.data_len == cfg_.block_bytes, "short read response");
   CacheLine& l = tags_.victim(pkt.msg.addr);
+  if (l.state != LineState::kInvalid) fsm(l, CacheEvent::kEvict);
   l.block = pkt.msg.addr;
-  l.state = LineState::kShared;  // "Valid"
+  fsm(l, CacheEvent::kFillShared);  // "Valid"
   std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
   tags_.touch(l);
 
@@ -319,6 +331,7 @@ void WtiController::handle_update(const noc::Packet& pkt) {
         l->data[unsigned(byte - l->block)] = pkt.msg.data[i];
       }
     }
+    fsm(*l, CacheEvent::kUpdate);
     tags_.touch(*l);
     ack.had_copy = true;
   } else {
@@ -334,7 +347,7 @@ void WtiController::handle_invalidate(const noc::Packet& pkt) {
   CacheLine* l = tags_.find(pkt.msg.addr);
   pf_->invalidate_recv(sim_.now(), node_, pkt.msg.addr, l != nullptr);
   if (l) {
-    if (!inject_skip_invalidate()) l->state = LineState::kInvalid;
+    if (!inject_skip_invalidate()) fsm(*l, CacheEvent::kInvalidate);
   }
   // Always acknowledge: the directory may hold a stale presence bit. In a
   // direct-ack round the acknowledgement goes straight to the requesting

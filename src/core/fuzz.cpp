@@ -85,6 +85,7 @@ FuzzOutcome run_fuzz(const FuzzOptions& opt) {
   out.loads_checked = r.check_loads_verified;
   out.cycles = r.exec_cycles;
   out.report = r.check_report;
+  out.exercised = sys.simulator().proto_coverage();
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "apps/fuzz.hpp"
 #include "core/system.hpp"
+#include "proto/coverage.hpp"
 
 /// \file fuzz.hpp
 /// The protocol fuzzer harness: one seeded FuzzWorkload run on a full
@@ -54,6 +55,10 @@ struct FuzzOutcome {
   std::uint64_t loads_checked = 0;
   sim::Cycle cycles = 0;
   std::string report;  ///< checker violation report; empty when clean
+  /// Declarative table rows (proto/tables.hpp) this run's controllers and
+  /// bank took. Reconciled against the model checker's explored set: every
+  /// row the fuzzer exercises must be reachable in the abstract model.
+  proto::CoverageSet exercised;
 
   [[nodiscard]] bool passed() const { return completed && verified && check_ok; }
   [[nodiscard]] std::string summary() const;

@@ -18,6 +18,8 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
       cfg_(cfg),
       node_(map.bank_node(bank_index)),
       dir_(map.num_cpus()),
+      ptbl_(proto::table_for(proto)),
+      cov_(&sim.proto_coverage()),
       tr_(&sim.tracer()),
       probe_(sim.probe()),
       pf_(&sim.profiler()),
@@ -145,11 +147,16 @@ void Bank::process_read_shared(Txn& t) {
   sim::Addr block = block_of(t.req.addr);
   DirEntry e = dir_.lookup(block);
 
-  if (e.dirty && e.owner == t.src) {
+  if (t.req.track && e.dirty && e.owner == t.src) {
     // The requester is the recorded owner yet misses: it silently evicted a
     // clean Exclusive copy (a Modified one would have written back first,
     // and per-flow FIFO order delivers that write-back before this read).
+    // Untracked reads must NOT take this shortcut: an instruction fetch
+    // from the owner's node says nothing about the dcache's copy, which may
+    // still be live (or still in flight to the node) — fetch from it instead.
+    proto::DirState before = dstate(block);
     dir_.remove_sharer(block, t.src);
+    dir_event(block, before, proto::DirEvent::kSharerDrop);
     e = dir_.lookup(block);
   }
   if (e.dirty) {
@@ -165,6 +172,7 @@ void Bank::process_read_shared(Txn& t) {
   resp.txn = t.req.txn;
   read_block(block, resp);
 
+  proto::DirState before = dstate(block);
   if (!t.req.track) {
     // Instruction fetch: read-only code, not tracked by the directory.
     resp.grant = Grant::kShared;
@@ -177,6 +185,8 @@ void Bank::process_read_shared(Txn& t) {
     resp.grant = Grant::kShared;
     dir_.add_sharer(block, t.src);
   }
+  dir_event(block, before,
+            t.req.track ? proto::DirEvent::kReadShared : proto::DirEvent::kReadUntracked);
   respond(t, std::move(resp), 2);
   complete_txn(block);
 }
@@ -284,7 +294,9 @@ void Bank::handle_update_ack(const noc::Packet& pkt) {
   CCNOC_ASSERT(t.pending_acks > 0, "unexpected UpdateAck");
   if (!pkt.msg.had_copy) {
     // Stale presence bit (the sharer silently evicted): stop updating it.
+    proto::DirState before = dstate(block);
     dir_.remove_sharer(block, pkt.src);
+    dir_event(block, before, proto::DirEvent::kSharerDrop);
     st_.stale_update_targets->inc();
   }
   if (--t.pending_acks == 0) on_acks_complete(block, t);
@@ -317,7 +329,13 @@ void Bank::send_invalidations(sim::Addr block, Txn& t, sim::NodeId except) {
     inv.requester = t.src;
     inv.direct_ack = direct;
     net_.send(node_, c, inv);
-    if (direct) dir_.remove_sharer(block, c);
+    if (direct) {
+      // Direct-ack mode removes the sharer at send time: the ack will go to
+      // the requester, so the bank will not hear it.
+      proto::DirState before = dstate(block);
+      dir_.remove_sharer(block, c);
+      dir_event(block, before, proto::DirEvent::kSharerDrop);
+    }
   }
   st_.invalidations_sent->inc(targets.size());
   if (direct) {
@@ -349,16 +367,22 @@ void Bank::handle_invalidate_ack(const noc::Packet& pkt) {
   CCNOC_ASSERT(it != txns_.end(), "stray InvalidateAck");
   Txn& t = it->second;
   CCNOC_ASSERT(t.pending_acks > 0, "unexpected InvalidateAck");
+  proto::DirState before = dstate(block);
   dir_.remove_sharer(block, pkt.src);
+  dir_event(block, before, proto::DirEvent::kSharerDrop);
   if (--t.pending_acks == 0) on_acks_complete(block, t);
 }
 
 void Bank::handle_fetch_response(const noc::Packet& pkt) {
   sim::Addr block = block_of(pkt.msg.addr);
   auto it = txns_.find(block);
-  if (it == txns_.end() || !it->second.waiting_data || it->second.data_from != pkt.src) {
+  if (it == txns_.end() || !it->second.waiting_data || it->second.data_from != pkt.src ||
+      it->second.req.txn != pkt.msg.txn) {
     // The owner's WriteBack raced ahead of the Fetch and already satisfied
-    // this transaction; the duplicate data is dropped.
+    // this transaction; the duplicate data is dropped. The txn check guards
+    // the subtler race where that dangling response only arrives after a
+    // NEWER transaction has started fetching from the same cache — without
+    // it, the stale data would be accepted as current (found by ccnoc_model).
     st_.stale_fetch_responses->inc();
     return;
   }
@@ -385,14 +409,18 @@ void Bank::handle_write_back(const noc::Packet& pkt) {
     ack.txn = pkt.msg.txn;
     ack.port = pkt.msg.port;
     net_.send(node_, pkt.src, ack);
+    proto::DirState before = dstate(block);
     dir_.remove_sharer(block, pkt.src);
+    dir_event(block, before, proto::DirEvent::kWriteBack);
     on_data_arrived(block, it->second, pkt.msg);
     return;
   }
 
   CCNOC_ASSERT(pkt.msg.data_len == cfg_.block_bytes, "short write-back");
   storage_.write(block, pkt.msg.data.data(), cfg_.block_bytes);
+  proto::DirState before = dstate(block);
   dir_.remove_sharer(block, pkt.src);
+  dir_event(block, before, proto::DirEvent::kWriteBack);
   Message ack;
   ack.type = MsgType::kWriteBackAck;
   ack.addr = block;
@@ -411,11 +439,14 @@ void Bank::on_data_arrived(sim::Addr block, Txn& t, const Message& data_msg) {
   // so the memory copy is already current.
   t.waiting_data = false;
 
+  proto::DirState before = dstate(block);
+  proto::DirEvent ev = proto::DirEvent::kReadShared;
   switch (t.req.type) {
     case MsgType::kReadShared: {
       // Owner downgraded M→S; memory clean again; requester becomes sharer.
       dir_clear_dirty(block);
       if (t.req.track) dir_.add_sharer(block, t.src);
+      if (!t.req.track) ev = proto::DirEvent::kReadUntracked;
       Message resp;
       resp.type = MsgType::kReadResponse;
       resp.addr = block;
@@ -430,6 +461,8 @@ void Bank::on_data_arrived(sim::Addr block, Txn& t, const Message& data_msg) {
       // Former owner invalidated; requester takes exclusive ownership.
       dir_.clear_all_except(block);
       dir_set_exclusive(block, t.src);
+      ev = t.req.type == MsgType::kReadExclusive ? proto::DirEvent::kReadExclusive
+                                                 : proto::DirEvent::kUpgrade;
       Message resp;
       resp.type = t.req.type == MsgType::kReadExclusive ? MsgType::kReadResponse
                                                         : MsgType::kUpgradeAck;
@@ -443,6 +476,7 @@ void Bank::on_data_arrived(sim::Addr block, Txn& t, const Message& data_msg) {
     default:
       CCNOC_ASSERT(false, "data arrived for a non-fetching transaction");
   }
+  dir_event(block, before, ev);
   complete_txn(block);
 }
 
@@ -453,6 +487,8 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
   if (t.had_inval_round) {
     tr_->txn_note(sim_.now(), t.req.txn, "acks_complete", "hops", hops);
   }
+  proto::DirState before = dstate(block);
+  proto::DirEvent ev = proto::DirEvent::kReadExclusive;
   switch (t.req.type) {
     case MsgType::kWriteWord: {
       storage_.write(t.req.addr, t.req.data.data(), t.req.access_size);
@@ -461,6 +497,8 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
       // (updated) copy if it had one. Update flavour: every copy was
       // patched in place and stays registered.
       if (proto_ != Protocol::kWtu) dir_.clear_all_except(block, t.src);
+      ev = proto_ == Protocol::kWtu ? proto::DirEvent::kWriteUpdate
+                                    : proto::DirEvent::kWriteThrough;
       Message ack;
       ack.type = MsgType::kWriteAck;
       ack.addr = t.req.addr;
@@ -494,6 +532,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
       } else {
         dir_.clear_all_except(block);
       }
+      ev = proto::DirEvent::kAtomic;
       respond(t, std::move(resp), hops);
       break;
     }
@@ -513,6 +552,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
       bool lost_copy = !dir_.lookup(block).is_sharer(t.src);
       dir_.clear_all_except(block);
       dir_set_exclusive(block, t.src);
+      ev = proto::DirEvent::kUpgrade;
       Message resp;
       resp.type = MsgType::kUpgradeAck;
       resp.addr = block;
@@ -525,6 +565,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
     default:
       CCNOC_ASSERT(false, "acks completed for a non-invalidating transaction");
   }
+  dir_event(block, before, ev);
   if (t.direct_mode) return;  // block stays serialized until TxnDone
   complete_txn(block);
 }

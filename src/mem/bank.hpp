@@ -8,6 +8,7 @@
 #include "mem/protocol.hpp"
 #include "mem/storage.hpp"
 #include "noc/network.hpp"
+#include "proto/tables.hpp"
 #include "sim/simulator.hpp"
 
 /// \file bank.hpp
@@ -119,6 +120,17 @@ class Bank final : public noc::Endpoint {
   void dir_set_exclusive(sim::Addr block, sim::NodeId owner);
   void dir_clear_dirty(sim::Addr block);
 
+  /// Abstract directory state of \p block (proto/tables.hpp vocabulary).
+  [[nodiscard]] proto::DirState dstate(sim::Addr block) const {
+    DirEntry e = dir_.lookup(block);
+    return proto::dir_state(e.has_sharer(), e.dirty);
+  }
+  /// Validate a directory mutation cluster against the protocol's
+  /// declarative table: (before, ev, current state) must be a declared row.
+  void dir_event(sim::Addr block, proto::DirState before, proto::DirEvent ev) {
+    proto::apply_dir(ptbl_, *cov_, before, ev, dstate(block));
+  }
+
   sim::Simulator& sim_;
   noc::Network& net_;
   const AddressMap& map_;
@@ -138,6 +150,8 @@ class Bank final : public noc::Endpoint {
   __attribute__((cold)) void probe_global_store(const Txn& t);
   __attribute__((cold)) void probe_global_atomic(const Txn& t);
 
+  const proto::ProtocolTable& ptbl_;  ///< this protocol's transition table
+  proto::CoverageSet* cov_;           ///< the platform's coverage bitmap
   sim::Tracer* tr_;            ///< cached; guarded on tr_->on() / tr_->full()
   sim::CoherenceProbe* probe_; ///< cached; null unless checking is on
   sim::Profiler* pf_;          ///< cached; one predicted branch per hook when off

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+/// \file coverage.hpp
+/// Transition-coverage bitmap over the global row ids of proto/tables.hpp.
+/// Each Simulator owns one (so parallel sweeps never share state); the
+/// model checker keeps its own per-run instance. Header-only and
+/// dependency-free so sim/ can embed it without a link cycle.
+
+namespace ccnoc::proto {
+
+/// Upper bound on declared rows across every protocol table (checked at
+/// table-registration time).
+inline constexpr std::size_t kMaxRows = 256;
+
+class CoverageSet {
+ public:
+  void record(int row) {
+    if (row < 0) return;
+    words_[std::size_t(row) / 64] |= std::uint64_t(1) << (std::size_t(row) % 64);
+  }
+
+  [[nodiscard]] bool covered(int row) const {
+    if (row < 0) return false;
+    return (words_[std::size_t(row) / 64] >> (std::size_t(row) % 64)) & 1;
+  }
+
+  void merge(const CoverageSet& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  void clear() { words_.fill(0); }
+
+  [[nodiscard]] unsigned count() const {
+    unsigned n = 0;
+    for (std::uint64_t w : words_) n += unsigned(__builtin_popcountll(w));
+    return n;
+  }
+
+  [[nodiscard]] std::vector<int> rows() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        out.push_back(int(i * 64 + std::size_t(__builtin_ctzll(w))));
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  /// Rows set in \p this but not in \p other (e.g. exercised-but-unexplored).
+  [[nodiscard]] std::vector<int> missing_from(const CoverageSet& other) const {
+    std::vector<int> out;
+    for (int r : rows()) {
+      if (!other.covered(r)) out.push_back(r);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::uint64_t, kMaxRows / 64> words_{};
+};
+
+}  // namespace ccnoc::proto

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file fsm.hpp
+/// The protocol state machines' shared vocabulary: cache-line states,
+/// cache-side events, abstract directory states and directory-side events.
+/// Both the cycle simulator (cache/, mem/) and the exhaustive model checker
+/// (verify/) express their transitions in these terms, against the one set
+/// of declarative tables in proto/tables.hpp — so the two cannot silently
+/// diverge: a transition either exists in the table or is a hard error in
+/// whichever engine tried to take it.
+
+namespace ccnoc::proto {
+
+/// Cache-line states. WTI/WTU use only kInvalid and kShared ("Valid");
+/// MESI uses all four (paper §4.1 Figure 1). `cache::LineState` is an
+/// alias of this enum, so the tables and the tag array agree by
+/// construction.
+enum class LineState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+[[nodiscard]] inline const char* to_string(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+    case LineState::kModified: return "M";
+  }
+  return "?";
+}
+
+/// Events observed by a cache-line FSM. Each (state, event) pair with a
+/// defined outcome is one row of the protocol's cache table.
+enum class CacheEvent : std::uint8_t {
+  // Processor-side.
+  kStoreHit,      ///< store to a valid copy (WT: patch in place; MESI: E/M)
+  kStoreUpgrade,  ///< MESI store hit in S: exclusivity granted (UpgradeAck)
+  kAtomicIssue,   ///< WT: atomic drops the local copy before going to the bank
+  kEvict,         ///< replacement of a clean copy (silent)
+  kEvictDirty,    ///< MESI replacement of a Modified copy (write-back)
+  // Memory responses.
+  kFillShared,     ///< ReadResponse grant=S
+  kFillExclusive,  ///< ReadResponse grant=E (MESI sole reader)
+  kFillModified,   ///< ReadResponse/UpgradeAck grant=M (MESI write-allocate)
+  // Directory commands.
+  kInvalidate,  ///< Invalidate received for a valid copy
+  kUpdate,      ///< UpdateWord received for a valid copy (WTU)
+  kFetch,       ///< Fetch: supply data, downgrade to S
+  kFetchInv,    ///< FetchInv: supply data, invalidate
+};
+
+inline constexpr std::size_t kNumCacheEvents = std::size_t(CacheEvent::kFetchInv) + 1;
+
+[[nodiscard]] const char* to_string(CacheEvent e);
+
+/// Abstract directory-entry state, derived from a full-map entry:
+/// no presence bits and clean -> kUncached; dirty -> kOwned (one E/M owner);
+/// otherwise kShared. One block is always in exactly one of these.
+enum class DirState : std::uint8_t { kUncached, kShared, kOwned };
+
+[[nodiscard]] inline const char* to_string(DirState s) {
+  switch (s) {
+    case DirState::kUncached: return "U";
+    case DirState::kShared: return "Sh";
+    case DirState::kOwned: return "O";
+  }
+  return "?";
+}
+
+/// Events observed by a directory entry. Request-shaped events are applied
+/// at the bank's transaction completion points; kSharerDrop at each
+/// presence-bit removal (invalidation acks, stale-sharer discoveries,
+/// self-owner corrections).
+enum class DirEvent : std::uint8_t {
+  kReadShared,     ///< tracked read satisfied (grant S or E)
+  kReadUntracked,  ///< instruction fetch: served, not registered
+  kReadExclusive,  ///< MESI write-allocate granted
+  kUpgrade,        ///< MESI upgrade granted
+  kWriteThrough,   ///< WTI word write performed (foreign copies invalidated)
+  kWriteUpdate,    ///< WTU word write performed (foreign copies patched)
+  kAtomic,         ///< bank-side atomic performed (WT protocols)
+  kWriteBack,      ///< MESI owner wrote the block back
+  kSharerDrop,     ///< one presence bit removed
+};
+
+inline constexpr std::size_t kNumDirEvents = std::size_t(DirEvent::kSharerDrop) + 1;
+
+[[nodiscard]] const char* to_string(DirEvent e);
+
+}  // namespace ccnoc::proto

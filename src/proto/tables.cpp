@@ -1,0 +1,221 @@
+#include "proto/tables.hpp"
+
+namespace ccnoc::proto {
+
+const char* to_string(CacheEvent e) {
+  switch (e) {
+    case CacheEvent::kStoreHit: return "StoreHit";
+    case CacheEvent::kStoreUpgrade: return "StoreUpgrade";
+    case CacheEvent::kAtomicIssue: return "AtomicIssue";
+    case CacheEvent::kEvict: return "Evict";
+    case CacheEvent::kEvictDirty: return "EvictDirty";
+    case CacheEvent::kFillShared: return "FillShared";
+    case CacheEvent::kFillExclusive: return "FillExclusive";
+    case CacheEvent::kFillModified: return "FillModified";
+    case CacheEvent::kInvalidate: return "Invalidate";
+    case CacheEvent::kUpdate: return "Update";
+    case CacheEvent::kFetch: return "Fetch";
+    case CacheEvent::kFetchInv: return "FetchInv";
+  }
+  return "?";
+}
+
+const char* to_string(DirEvent e) {
+  switch (e) {
+    case DirEvent::kReadShared: return "ReadShared";
+    case DirEvent::kReadUntracked: return "ReadUntracked";
+    case DirEvent::kReadExclusive: return "ReadExclusive";
+    case DirEvent::kUpgrade: return "Upgrade";
+    case DirEvent::kWriteThrough: return "WriteThrough";
+    case DirEvent::kWriteUpdate: return "WriteUpdate";
+    case DirEvent::kAtomic: return "Atomic";
+    case DirEvent::kWriteBack: return "WriteBack";
+    case DirEvent::kSharerDrop: return "SharerDrop";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr LineState I = LineState::kInvalid;
+constexpr LineState S = LineState::kShared;
+constexpr LineState E = LineState::kExclusive;
+constexpr LineState M = LineState::kModified;
+constexpr DirState DU = DirState::kUncached;
+constexpr DirState DS = DirState::kShared;
+constexpr DirState DO = DirState::kOwned;
+
+using CE = CacheEvent;
+using DE = DirEvent;
+
+// --- WTI: write-through + write-invalidate (paper §4.1, Figure 1 left) ----
+// Lines are Valid (S) or Invalid; memory is always clean; foreign copies
+// are destroyed before a write is acknowledged.
+constexpr CacheRule kWtiCache[] = {
+    {I, CE::kFillShared, S},   // read miss fill ("Valid")
+    {S, CE::kStoreHit, S},     // write-through patches the local copy in place
+    {S, CE::kAtomicIssue, I},  // atomics execute at the bank; drop own copy
+    {S, CE::kInvalidate, I},   // foreign write destroys the copy
+    {S, CE::kEvict, I},        // clean replacement (always silent: never dirty)
+};
+constexpr DirRule kWtiDir[] = {
+    {DU, DE::kReadShared, DS},    // first reader registered
+    {DS, DE::kReadShared, DS},    // additional reader registered
+    {DU, DE::kReadUntracked, DU},  // instruction fetch: served, not registered
+    {DS, DE::kReadUntracked, DS},
+    {DS, DE::kWriteThrough, DS},  // writer's own presence bit survives
+    {DU, DE::kWriteThrough, DU},  // writer held no copy; foreign bits dropped
+    {DU, DE::kAtomic, DU},        // every copy (incl. requester's) invalidated
+    {DS, DE::kSharerDrop, DS},    // invalidation ack clears one bit of several
+    {DS, DE::kSharerDrop, DU},    // ...or the last one
+};
+
+// --- WTU: write-through + write-update (paper §2's other category) --------
+// Same cache FSM as WTI except foreign writes PATCH the copy in place
+// (kUpdate) instead of destroying it; invalidations are never sent.
+constexpr CacheRule kWtuCache[] = {
+    {I, CE::kFillShared, S},
+    {S, CE::kStoreHit, S},
+    {S, CE::kUpdate, S},       // foreign write patched into the copy
+    {S, CE::kAtomicIssue, I},
+    {S, CE::kEvict, I},
+};
+constexpr DirRule kWtuDir[] = {
+    {DU, DE::kReadShared, DS},
+    {DS, DE::kReadShared, DS},
+    {DU, DE::kReadUntracked, DU},
+    {DS, DE::kReadUntracked, DS},
+    {DS, DE::kWriteUpdate, DS},  // sharers were patched and stay registered
+    {DU, DE::kWriteUpdate, DU},
+    {DS, DE::kAtomic, DS},       // sharers patched with the post-RMW value
+    {DU, DE::kAtomic, DU},
+    {DS, DE::kSharerDrop, DS},   // stale update target (silent evict) dropped
+    {DS, DE::kSharerDrop, DU},
+};
+
+// --- WB-MESI: write-back Illinois MESI (paper §4.1, Figure 1 right) -------
+constexpr CacheRule kMesiCache[] = {
+    {I, CE::kFillShared, S},
+    {I, CE::kFillExclusive, E},   // sole reader
+    {I, CE::kFillModified, M},    // write-allocate / upgrade-with-data
+    {S, CE::kStoreUpgrade, M},    // store hit in S, exclusivity granted
+    {E, CE::kStoreHit, M},        // silent E->M
+    {M, CE::kStoreHit, M},
+    {S, CE::kInvalidate, I},      // foreign write-allocate/upgrade
+    {M, CE::kFetch, S},           // foreign read: supply data, downgrade
+    {E, CE::kFetch, S},
+    {M, CE::kFetchInv, I},        // foreign write: supply data, invalidate
+    {E, CE::kFetchInv, I},
+    {M, CE::kEvictDirty, I},      // replacement write-back
+    {E, CE::kEvict, I},           // silent clean replacement
+    {S, CE::kEvict, I},
+};
+constexpr DirRule kMesiDir[] = {
+    {DU, DE::kReadShared, DO},    // sole reader granted Exclusive
+    {DS, DE::kReadShared, DS},
+    {DO, DE::kReadShared, DS},    // owner fetched and downgraded
+    {DU, DE::kReadShared, DS},    // owner's write-back crossed the fetch
+    {DU, DE::kReadUntracked, DU},
+    {DS, DE::kReadUntracked, DS},
+    {DO, DE::kReadUntracked, DS},  // untracked read of a dirty block
+    {DU, DE::kReadExclusive, DO},
+    {DS, DE::kReadExclusive, DO},  // requester's stale bit survived the round
+    {DO, DE::kReadExclusive, DO},  // ownership transfer / self re-grant
+    {DU, DE::kUpgrade, DO},        // requester's copy was lost to a race
+    {DS, DE::kUpgrade, DO},
+    {DO, DE::kUpgrade, DO},        // upgrade raced a foreign write-allocate
+    {DO, DE::kWriteBack, DU},
+    {DS, DE::kSharerDrop, DS},
+    {DS, DE::kSharerDrop, DU},
+    {DO, DE::kSharerDrop, DU},     // self-owner correction (silent E eviction)
+};
+
+int g_total_rows = 0;
+
+}  // namespace
+
+ProtocolTable::ProtocolTable(mem::Protocol proto, std::span<const CacheRule> cache_rules,
+                             std::span<const DirRule> dir_rules, int base_id)
+    : proto_(proto), cache_rules_(cache_rules), dir_rules_(dir_rules), base_(base_id) {
+  // (from, ev) must dictate a unique outcome on the cache side.
+  for (std::size_t a = 0; a < cache_rules_.size(); ++a) {
+    for (std::size_t b = a + 1; b < cache_rules_.size(); ++b) {
+      CCNOC_ASSERT(cache_rules_[a].from != cache_rules_[b].from ||
+                       cache_rules_[a].ev != cache_rules_[b].ev,
+                   "ambiguous cache transition table");
+    }
+  }
+  CCNOC_ASSERT(std::size_t(base_) + cache_rules_.size() + dir_rules_.size() <= kMaxRows,
+               "transition tables exceed the coverage bitmap");
+}
+
+int ProtocolTable::find_cache(LineState from, CacheEvent ev) const {
+  for (std::size_t i = 0; i < cache_rules_.size(); ++i) {
+    if (cache_rules_[i].from == from && cache_rules_[i].ev == ev) {
+      return base_ + int(i);
+    }
+  }
+  return -1;
+}
+
+int ProtocolTable::find_dir(DirState from, DirEvent ev, DirState to) const {
+  for (std::size_t i = 0; i < dir_rules_.size(); ++i) {
+    if (dir_rules_[i].from == from && dir_rules_[i].ev == ev &&
+        dir_rules_[i].to == to) {
+      return base_ + int(cache_rules_.size() + i);
+    }
+  }
+  return -1;
+}
+
+LineState ProtocolTable::cache_to(int id) const {
+  CCNOC_ASSERT(is_cache_row(id), "not a cache row of this table");
+  return cache_rules_[std::size_t(id - base_)].to;
+}
+
+std::string ProtocolTable::row_name(int id) const {
+  CCNOC_ASSERT(owns_row(id), "row id outside this table");
+  std::string name = mem::to_string(proto_);
+  if (is_cache_row(id)) {
+    const CacheRule& r = cache_rules_[std::size_t(id - base_)];
+    name += std::string(" cache: ") + to_string(r.from) + " --" + to_string(r.ev) +
+            "--> " + to_string(r.to);
+  } else {
+    const DirRule& r = dir_rules_[std::size_t(id - base_) - cache_rules_.size()];
+    name += std::string(" dir: ") + to_string(r.from) + " --" + to_string(r.ev) +
+            "--> " + to_string(r.to);
+  }
+  return name;
+}
+
+const ProtocolTable& table_for(mem::Protocol p) {
+  // Bases are assigned in declaration order; ids are stable process-wide.
+  static const ProtocolTable wti(mem::Protocol::kWti, kWtiCache, kWtiDir, 0);
+  static const ProtocolTable wtu(mem::Protocol::kWtu, kWtuCache, kWtuDir,
+                                 wti.base_id() + wti.row_count());
+  static const ProtocolTable mesi(mem::Protocol::kWbMesi, kMesiCache, kMesiDir,
+                                  wtu.base_id() + wtu.row_count());
+  if (g_total_rows == 0) g_total_rows = mesi.base_id() + mesi.row_count();
+  switch (p) {
+    case mem::Protocol::kWti: return wti;
+    case mem::Protocol::kWtu: return wtu;
+    case mem::Protocol::kWbMesi: return mesi;
+  }
+  return wti;
+}
+
+int total_rows() {
+  (void)table_for(mem::Protocol::kWbMesi);  // force registration
+  return g_total_rows;
+}
+
+std::string row_name(int id) {
+  for (mem::Protocol p :
+       {mem::Protocol::kWti, mem::Protocol::kWtu, mem::Protocol::kWbMesi}) {
+    const ProtocolTable& t = table_for(p);
+    if (t.owns_row(id)) return t.row_name(id);
+  }
+  return "row#" + std::to_string(id);
+}
+
+}  // namespace ccnoc::proto

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "mem/protocol.hpp"
+#include "proto/coverage.hpp"
+#include "proto/fsm.hpp"
+#include "sim/types.hpp"
+
+/// \file tables.hpp
+/// Declarative transition tables: one table per protocol, each holding the
+/// complete set of legal cache-line transitions and directory-entry
+/// transitions. The cycle simulator's controllers and the bank apply their
+/// state changes THROUGH these tables (apply_cache dictates the next state,
+/// apply_dir validates a mutation cluster), and the exhaustive model checker
+/// (verify/) drives its abstract machines off the same rows — so an
+/// undeclared transition is a hard error in either engine, and a declared
+/// row neither engine can reach is reported as dead by `ccnoc_model`.
+///
+/// Rows carry process-global ids (stable across protocols, assigned at
+/// static-init time), so one CoverageSet bitmap spans every table.
+
+namespace ccnoc::proto {
+
+/// One legal cache-line transition: in protocol `table`, event `ev` moves a
+/// line from `from` to `to`. (from, ev) is unique within a table — the
+/// table dictates the outcome.
+struct CacheRule {
+  LineState from;
+  CacheEvent ev;
+  LineState to;
+};
+
+/// One legal directory-entry transition. (from, ev) may map to several
+/// outcomes (e.g. dropping a sharer may or may not empty the entry), so
+/// directory rules are validated as (from, ev, to) triples.
+struct DirRule {
+  DirState from;
+  DirEvent ev;
+  DirState to;
+};
+
+class ProtocolTable {
+ public:
+  ProtocolTable(mem::Protocol proto, std::span<const CacheRule> cache_rules,
+                std::span<const DirRule> dir_rules, int base_id);
+
+  [[nodiscard]] mem::Protocol protocol() const { return proto_; }
+
+  /// Global row id for (from, ev), or -1 if undeclared.
+  [[nodiscard]] int find_cache(LineState from, CacheEvent ev) const;
+  /// Global row id for (from, ev, to), or -1 if undeclared.
+  [[nodiscard]] int find_dir(DirState from, DirEvent ev, DirState to) const;
+
+  /// Target state of a cache row (id must be a cache row of this table).
+  [[nodiscard]] LineState cache_to(int id) const;
+
+  [[nodiscard]] int base_id() const { return base_; }
+  [[nodiscard]] int row_count() const {
+    return int(cache_rules_.size() + dir_rules_.size());
+  }
+  [[nodiscard]] bool owns_row(int id) const {
+    return id >= base_ && id < base_ + row_count();
+  }
+  [[nodiscard]] bool is_cache_row(int id) const {
+    return id >= base_ && id < base_ + int(cache_rules_.size());
+  }
+
+  /// Human-readable row description, e.g. "WTI cache: S --Invalidate--> I".
+  [[nodiscard]] std::string row_name(int id) const;
+
+ private:
+  mem::Protocol proto_;
+  std::span<const CacheRule> cache_rules_;
+  std::span<const DirRule> dir_rules_;
+  int base_;
+};
+
+/// The table for one protocol (static lifetime).
+[[nodiscard]] const ProtocolTable& table_for(mem::Protocol p);
+
+/// Total declared rows across all protocol tables.
+[[nodiscard]] int total_rows();
+
+/// Row name by global id (any table).
+[[nodiscard]] std::string row_name(int id);
+
+/// Abstract directory state of a full-map entry.
+[[nodiscard]] inline DirState dir_state(bool any_presence, bool dirty) {
+  if (dirty) return DirState::kOwned;
+  return any_presence ? DirState::kShared : DirState::kUncached;
+}
+
+/// Apply a cache-line event: the table dictates the successor state.
+/// Undeclared (state, event) pairs are protocol bugs and abort.
+inline LineState apply_cache(const ProtocolTable& t, CoverageSet& cov,
+                             LineState from, CacheEvent ev) {
+  int id = t.find_cache(from, ev);
+  CCNOC_ASSERT(id >= 0, std::string("undeclared cache transition: ") +
+                            mem::to_string(t.protocol()) + " " + to_string(from) +
+                            " --" + to_string(ev) + "-->");
+  cov.record(id);
+  return t.cache_to(id);
+}
+
+/// Validate a directory mutation the caller already performed: the observed
+/// (before, event, after) triple must be a declared row.
+inline void apply_dir(const ProtocolTable& t, CoverageSet& cov, DirState from,
+                      DirEvent ev, DirState to) {
+  int id = t.find_dir(from, ev, to);
+  CCNOC_ASSERT(id >= 0, std::string("undeclared directory transition: ") +
+                            mem::to_string(t.protocol()) + " " + to_string(from) +
+                            " --" + to_string(ev) + "--> " + to_string(to));
+  cov.record(id);
+}
+
+}  // namespace ccnoc::proto

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "proto/coverage.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/log.hpp"
 #include "sim/probe.hpp"
@@ -35,6 +36,11 @@ class Simulator {
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
   Rng& rng() { return rng_; }
+
+  /// Transition-coverage bitmap over the declarative protocol tables
+  /// (proto/tables.hpp). Per-platform, so parallel sweeps never share it.
+  proto::CoverageSet& proto_coverage() { return coverage_; }
+  [[nodiscard]] const proto::CoverageSet& proto_coverage() const { return coverage_; }
 
   /// Coherence-checking probe (null when checking is off). Components cache
   /// this pointer at construction, so it must be set before the platform is
@@ -77,6 +83,7 @@ class Simulator {
   Tracer tracer_;
   Profiler profiler_;
   Rng rng_;
+  proto::CoverageSet coverage_;
   CoherenceProbe* probe_ = nullptr;
 };
 

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/protocol.hpp"
+#include "proto/coverage.hpp"
+#include "proto/fsm.hpp"
+#include "proto/tables.hpp"
+
+/// \file model.hpp
+/// Exhaustive protocol model checker. An abstract, untimed but
+/// message-level-faithful model of one coherent block — N cache-line FSMs,
+/// one full-map directory entry, one bank transaction engine and bounded
+/// FIFO channels — is explored by breadth-first reachability until the
+/// state space closes. Every transition the model takes is routed through
+/// the SAME declarative tables (proto/tables.hpp) the cycle simulator's
+/// controllers use, so sim and checker cannot silently diverge: a move one
+/// engine makes that the other's table does not declare is an error.
+///
+/// Invariants checked at every reachable state:
+///  - SWMR / staleness: a valid copy left behind by a completed write with
+///    nothing in flight to repair it (the lost-invalidation shape);
+///    structurally for MESI, at most one owned copy and no copy beside it.
+///  - Data value: copies and memory carry abstract write versions; the
+///    version algebra proves reads return the last serialized write.
+///  - Directory agreement: owned lines are recorded dirty with the right
+///    owner; valid copies keep their presence bit unless an invalidation
+///    is on the wire.
+///  - Deadlock freedom: a quiescent state is reachable from every state.
+///  - Coverage: every declared table row is taken somewhere (dead rows are
+///    reported), and bounded resources (channels, queues) never overflow.
+///
+/// BFS order makes the first counterexample minimal in protocol actions.
+
+namespace ccnoc::verify {
+
+struct ModelConfig {
+  mem::Protocol protocol = mem::Protocol::kWti;
+  unsigned num_caches = 2;  ///< 2..4 abstract caches
+  unsigned wbuf_depth = 2;  ///< WT write-buffer entries per cache
+  bool direct_ack = false;  ///< paper §4.2 direct-acknowledgement mode
+  bool untracked_reads = true;  ///< model one icache-style untracked reader
+
+  /// Inject the PR-3 lost-invalidation fault: cache \p fault_cache skips
+  /// applying its (fault_after+1)-th incoming invalidation but still acks.
+  bool fault_skip_invalidate = false;
+  unsigned fault_cache = 1;
+  unsigned fault_after = 0;
+
+  std::size_t max_states = 4'000'000;  ///< explosion guard (fixpoint fails above)
+};
+
+/// One edge label of the explored graph, printable as a message-level step.
+struct Action {
+  enum class Kind : std::uint8_t {
+    kLoadMiss,       ///< CPU load miss issued (read request leaves the cache)
+    kStore,          ///< CPU store issued
+    kAtomic,         ///< CPU atomic issued
+    kEvict,          ///< capacity eviction of a clean copy
+    kEvictDirty,     ///< capacity eviction of a Modified copy (write-back)
+    kUntrackedRead,  ///< icache-style untracked read issued
+    kDeliver,        ///< head-of-channel message delivered
+  };
+  Kind kind = Kind::kDeliver;
+  std::uint8_t cache = 0;  ///< acting cache (CPU kinds)
+  // kDeliver payload:
+  std::uint8_t msg_type = 0;  ///< noc::MsgType
+  std::uint8_t src = 0;
+  std::uint8_t dst = 0;
+  std::uint8_t ver = 0;
+
+  [[nodiscard]] std::string to_string(unsigned num_caches) const;
+};
+
+struct Violation {
+  std::string rule;    ///< e.g. "swmr", "data-value", "dir-agreement", ...
+  std::string detail;  ///< human-readable description at the failing state
+  std::vector<std::string> trace;  ///< message-level scenario from reset
+  std::string state_dump;          ///< the failing state, pretty-printed
+  /// Replayable hint: a ccnoc_fuzz command line exercising the same shape.
+  std::string fuzz_hint;
+};
+
+struct ModelResult {
+  bool closed = false;       ///< fixpoint reached below max_states
+  std::size_t states = 0;    ///< distinct reachable states
+  std::size_t edges = 0;     ///< explored transitions
+  std::vector<Violation> violations;
+  proto::CoverageSet covered;       ///< table rows the model exercised
+  std::vector<int> dead_rows;       ///< declared rows never taken
+  double wall_ms = 0.0;
+
+  [[nodiscard]] bool ok() const { return closed && violations.empty(); }
+};
+
+class ModelChecker {
+ public:
+  explicit ModelChecker(ModelConfig cfg);
+  ~ModelChecker();
+  ModelChecker(ModelChecker&&) noexcept;
+  ModelChecker& operator=(ModelChecker&&) noexcept;
+
+  /// Run BFS reachability to fixpoint (or first violation / state cap).
+  ModelResult run();
+
+  /// DOT rendering of the explored graph (call after run()). Graphs larger
+  /// than \p node_limit are truncated to the BFS prefix, noted in a comment.
+  [[nodiscard]] std::string to_dot(std::size_t node_limit = 2000) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// JSON rendering of a result (tools/ccnoc_model, CI artifacts).
+[[nodiscard]] std::string to_json(const ModelConfig& cfg, const ModelResult& r);
+
+}  // namespace ccnoc::verify

@@ -38,11 +38,11 @@ INSTANTIATE_TEST_SUITE_P(
                       Param{mem::Protocol::kWbMesi, 2, 4},
                       Param{mem::Protocol::kWtu, 2, 4},
                       Param{mem::Protocol::kWbMesi, 2, 8}),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string p = to_string(info.param.proto);
+    [](const ::testing::TestParamInfo<Param>& ti) {
+      std::string p = to_string(ti.param.proto);
       if (p == "WB-MESI") p = "MESI";
-      return p + "_arch" + std::to_string(info.param.arch) + "_n" +
-             std::to_string(info.param.cpus);
+      return p + "_arch" + std::to_string(ti.param.arch) + "_n" +
+             std::to_string(ti.param.cpus);
     });
 
 TEST(LuTest, SingleThreadMatchesGolden) {

@@ -37,10 +37,10 @@ INSTANTIATE_TEST_SUITE_P(
                       Param{mem::Protocol::kWbMesi, 2, 4},
                       Param{mem::Protocol::kWti, 1, 8},
                       Param{mem::Protocol::kWbMesi, 2, 8}),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return std::string(info.param.proto == mem::Protocol::kWti ? "WTI" : "MESI") +
-             "_arch" + std::to_string(info.param.arch) + "_n" +
-             std::to_string(info.param.cpus);
+    [](const ::testing::TestParamInfo<Param>& ti) {
+      return std::string(ti.param.proto == mem::Protocol::kWti ? "WTI" : "MESI") +
+             "_arch" + std::to_string(ti.param.arch) + "_n" +
+             std::to_string(ti.param.cpus);
     });
 
 TEST(OceanTest, GridDimensionFollowsThreadCount) {

@@ -90,12 +90,12 @@ INSTANTIATE_TEST_SUITE_P(
                       Param{mem::Protocol::kWbMesi, 1, 4},
                       Param{mem::Protocol::kWbMesi, 2, 8},
                       Param{mem::Protocol::kWtu, 2, 4}),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return std::string(to_string(info.param.proto) == std::string("WB-MESI")
+    [](const ::testing::TestParamInfo<Param>& ti) {
+      return std::string(to_string(ti.param.proto) == std::string("WB-MESI")
                              ? "MESI"
-                             : to_string(info.param.proto)) +
-             "_arch" + std::to_string(info.param.arch) + "_n" +
-             std::to_string(info.param.cpus);
+                             : to_string(ti.param.proto)) +
+             "_arch" + std::to_string(ti.param.arch) + "_n" +
+             std::to_string(ti.param.cpus);
     });
 
 TEST(SyntheticTrace, SameSeedSameTrace) {

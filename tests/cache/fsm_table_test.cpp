@@ -52,7 +52,9 @@ TEST_P(FsmTable, TransitionMatchesFigure1) {
   rig.sim.run_to_completion();
 
   EXPECT_EQ(rig.state(0, kA), row.expect0) << row.title;
-  if (row.check1) EXPECT_EQ(rig.state(1, kA), row.expect1) << row.title;
+  if (row.check1) {
+    EXPECT_EQ(rig.state(1, kA), row.expect1) << row.title;
+  }
 }
 
 const LineState I = LineState::kInvalid;
@@ -105,9 +107,9 @@ INSTANTIATE_TEST_SUITE_P(
         Row{MESI, "M --foreign store--> I (fetch-inv)", {Act::kStore0},
             Act::kForeignStore, I, M, true},
         Row{MESI, "M --evict--> I (write back)", {Act::kStore0}, Act::kEvict0, I}),
-    [](const ::testing::TestParamInfo<Row>& info) {
-      std::string name = std::string(to_string(info.param.proto)) + "_" +
-                         std::to_string(info.index);
+    [](const ::testing::TestParamInfo<Row>& ti) {
+      std::string name = std::string(to_string(ti.param.proto)) + "_" +
+                         std::to_string(ti.index);
       for (char& c : name) {
         if (c == '-') c = '_';
       }

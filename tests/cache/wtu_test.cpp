@@ -131,9 +131,9 @@ TEST_P(WtuPlatform, OceanBitExact) {
 INSTANTIATE_TEST_SUITE_P(Platforms, WtuPlatform,
                          ::testing::Values(Param{1, 2}, Param{1, 4}, Param{2, 4},
                                            Param{2, 8}),
-                         [](const ::testing::TestParamInfo<Param>& info) {
-                           return "arch" + std::to_string(info.param.arch) + "_n" +
-                                  std::to_string(info.param.cpus);
+                         [](const ::testing::TestParamInfo<Param>& ti) {
+                           return "arch" + std::to_string(ti.param.arch) + "_n" +
+                                  std::to_string(ti.param.cpus);
                          });
 
 }  // namespace

@@ -37,9 +37,9 @@ TEST(AddressMap, BankBasesTileTheSpace) {
 
 TEST(AddressMap, OutOfRangeAccessesThrow) {
   AddressMap m(2, 2);
-  EXPECT_THROW(m.bank_index_of(sim::Addr(2) << 24), std::logic_error);
-  EXPECT_THROW(m.cache_node(2), std::logic_error);
-  EXPECT_THROW(m.bank_node(2), std::logic_error);
+  EXPECT_THROW((void)m.bank_index_of(sim::Addr(2) << 24), std::logic_error);
+  EXPECT_THROW((void)m.cache_node(2), std::logic_error);
+  EXPECT_THROW((void)m.bank_node(2), std::logic_error);
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ TEST(Directory, AddAndRemoveSharers) {
 
 TEST(Directory, SharersEnumerationWithExclusion) {
   Directory d(8);
-  for (sim::NodeId c : {0, 3, 7}) d.add_sharer(kBlk, c);
+  for (sim::NodeId c : {sim::NodeId(0), sim::NodeId(3), sim::NodeId(7)}) d.add_sharer(kBlk, c);
   auto all = d.sharers(kBlk);
   EXPECT_EQ(all, (std::vector<sim::NodeId>{0, 3, 7}));
   auto except3 = d.sharers(kBlk, 3);
@@ -74,7 +74,7 @@ TEST(Directory, RemovingOwnerClearsDirty) {
 
 TEST(Directory, ClearAllExceptKeepsOnlyRequester) {
   Directory d(8);
-  for (sim::NodeId c : {0, 2, 6}) d.add_sharer(kBlk, c);
+  for (sim::NodeId c : {sim::NodeId(0), sim::NodeId(2), sim::NodeId(6)}) d.add_sharer(kBlk, c);
   d.clear_all_except(kBlk, 2);
   DirEntry e = d.lookup(kBlk);
   EXPECT_EQ(e.sharer_count(), 1u);

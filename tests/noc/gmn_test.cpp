@@ -53,7 +53,9 @@ TEST_F(GmnTest, PerFlowFifoOrderPreserved) {
   ASSERT_EQ(eps[1]->count(), 20u);
   for (std::size_t i = 0; i < 20; ++i) {
     EXPECT_EQ(eps[1]->packet(i).msg.addr, sim::Addr(i)) << "reordered at " << i;
-    if (i > 0) EXPECT_GT(eps[1]->arrival(i), eps[1]->arrival(i - 1));
+    if (i > 0) {
+      EXPECT_GT(eps[1]->arrival(i), eps[1]->arrival(i - 1));
+    }
   }
 }
 

@@ -146,9 +146,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Param{mem::Protocol::kWti, 1}, Param{mem::Protocol::kWti, 2},
                       Param{mem::Protocol::kWbMesi, 1},
                       Param{mem::Protocol::kWbMesi, 2}),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return std::string(info.param.proto == mem::Protocol::kWti ? "WTI" : "MESI") +
-             "_arch" + std::to_string(info.param.arch);
+    [](const ::testing::TestParamInfo<Param>& ti) {
+      return std::string(ti.param.proto == mem::Protocol::kWti ? "WTI" : "MESI") +
+             "_arch" + std::to_string(ti.param.arch);
     });
 
 TEST(SyncInit, LockAndBarrierImagesWritten) {

@@ -228,9 +228,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Param{SnoopProtocol::kWti, 2}, Param{SnoopProtocol::kWti, 4},
                       Param{SnoopProtocol::kMesi, 2}, Param{SnoopProtocol::kMesi, 4},
                       Param{SnoopProtocol::kWti, 8}, Param{SnoopProtocol::kMesi, 8}),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return std::string(info.param.proto == SnoopProtocol::kWti ? "WTI" : "MESI") +
-             "_n" + std::to_string(info.param.cpus);
+    [](const ::testing::TestParamInfo<Param>& ti) {
+      return std::string(ti.param.proto == SnoopProtocol::kWti ? "WTI" : "MESI") +
+             "_n" + std::to_string(ti.param.cpus);
     });
 
 }  // namespace

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/fuzz.hpp"
+#include "proto/tables.hpp"
+#include "verify/model.hpp"
+
+/// Cross-checks between the three consumers of the declarative FSM tables:
+/// the exhaustive model at 2 and 3 caches must verify clean and, unioned,
+/// take every declared row (a dead row is either dead code in the table or
+/// a hole in the model); and every row the seeded fuzzer exercises on the
+/// full cycle simulator must lie inside the model's explored set (a row the
+/// sim takes that the abstract model cannot reach means the two have
+/// silently diverged).
+
+namespace ccnoc::verify {
+namespace {
+
+/// The CI sweep, cached: 2 caches with the full environment (wbuf=2,
+/// untracked reader) plus 3 caches with the reduced one, direct-ack off and
+/// on. Every run must individually verify.
+const proto::CoverageSet& model_union(mem::Protocol proto) {
+  static std::map<mem::Protocol, proto::CoverageSet> cache;
+  auto it = cache.find(proto);
+  if (it != cache.end()) return it->second;
+  proto::CoverageSet u;
+  for (unsigned caches : {2u, 3u}) {
+    for (bool direct : {false, true}) {
+      if (direct && proto == mem::Protocol::kWtu) continue;
+      ModelConfig cfg;
+      cfg.protocol = proto;
+      cfg.num_caches = caches;
+      cfg.direct_ack = direct;
+      if (caches >= 3) {
+        cfg.wbuf_depth = 1;
+        cfg.untracked_reads = false;
+      }
+      ModelResult r = ModelChecker(cfg).run();
+      EXPECT_TRUE(r.ok()) << mem::to_string(proto) << " caches=" << caches
+                          << " direct=" << direct << ": "
+                          << (r.violations.empty() ? "did not close"
+                                                   : r.violations[0].detail);
+      u.merge(r.covered);
+    }
+  }
+  return cache.emplace(proto, u).first->second;
+}
+
+TEST(ModelCoverage, ThreeCacheSweepVerifiesAndCoversEveryRow) {
+  for (mem::Protocol proto :
+       {mem::Protocol::kWti, mem::Protocol::kWbMesi, mem::Protocol::kWtu}) {
+    const proto::CoverageSet& u = model_union(proto);
+    const proto::ProtocolTable& tbl = proto::table_for(proto);
+    for (int id = tbl.base_id(); id < tbl.base_id() + tbl.row_count(); ++id) {
+      EXPECT_TRUE(u.covered(id))
+          << "dead table row (unreached by the exhaustive sweep): "
+          << proto::row_name(id);
+    }
+  }
+}
+
+/// Satellite reconciliation: 200 seeded fuzzer runs on the full platform,
+/// rows unioned per protocol, must be a subset of what the model explored.
+TEST(ModelCoverage, FuzzerExercisedRowsAppearInTheModel) {
+  std::map<mem::Protocol, proto::CoverageSet> fuzzed;
+  const mem::Protocol protos[] = {mem::Protocol::kWti, mem::Protocol::kWbMesi,
+                                  mem::Protocol::kWtu};
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    core::FuzzOptions opt;
+    opt.seed = seed;
+    opt.protocol = protos[seed % 3];
+    opt.cpus = 4;
+    opt.ops = 60;
+    // Alternate the paper 4.2 ack path so its rows are exercised too.
+    opt.direct_ack = (seed % 2 == 0) && opt.protocol != mem::Protocol::kWtu;
+    core::FuzzOutcome out = core::run_fuzz(opt);
+    ASSERT_TRUE(out.passed()) << opt.command_line() << "\n" << out.summary();
+    fuzzed[opt.protocol].merge(out.exercised);
+  }
+  for (mem::Protocol proto : protos) {
+    // The fuzzer must genuinely stress the table, not tiptoe around it...
+    EXPECT_GE(fuzzed[proto].count(), 10u) << mem::to_string(proto);
+    // ...and must never take a row the exhaustive model cannot reach.
+    for (int id : fuzzed[proto].missing_from(model_union(proto))) {
+      ADD_FAILURE() << mem::to_string(proto)
+                    << ": fuzzer exercised a row unreachable in the model: "
+                    << proto::row_name(id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccnoc::verify

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "verify/model.hpp"
+
+/// The model checker's own contract: every paper protocol verifies clean at
+/// 2 caches (fixpoint below the state cap, zero violations), exploration is
+/// deterministic, the injected lost-invalidation bug yields a short
+/// message-level SWMR counterexample with a replayable fuzzer hint, and the
+/// artifact renderers (DOT / JSON) produce what CI archives.
+
+namespace ccnoc::verify {
+namespace {
+
+ModelConfig base(mem::Protocol proto, bool direct = false) {
+  ModelConfig cfg;
+  cfg.protocol = proto;
+  cfg.num_caches = 2;
+  cfg.direct_ack = direct;
+  return cfg;
+}
+
+ModelResult run(const ModelConfig& cfg) { return ModelChecker(cfg).run(); }
+
+TEST(Model, WtiTwoCachesVerifies) {
+  for (bool direct : {false, true}) {
+    ModelResult r = run(base(mem::Protocol::kWti, direct));
+    EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "did not close"
+                                                 : r.violations[0].detail);
+    EXPECT_TRUE(r.closed);
+    EXPECT_GT(r.states, 1000u);
+    EXPECT_GT(r.edges, r.states);
+  }
+}
+
+TEST(Model, MesiTwoCachesVerifies) {
+  for (bool direct : {false, true}) {
+    ModelResult r = run(base(mem::Protocol::kWbMesi, direct));
+    EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "did not close"
+                                                 : r.violations[0].detail);
+    EXPECT_GT(r.states, 1000u);
+  }
+}
+
+TEST(Model, WtuTwoCachesVerifies) {
+  ModelResult r = run(base(mem::Protocol::kWtu));
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "did not close"
+                                               : r.violations[0].detail);
+  EXPECT_GT(r.states, 1000u);
+}
+
+TEST(Model, ExplorationIsDeterministic) {
+  ModelResult a = run(base(mem::Protocol::kWti));
+  ModelResult b = run(base(mem::Protocol::kWti));
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.covered.count(), b.covered.count());
+}
+
+TEST(Model, StateCapReportsIncompleteNotVerified) {
+  ModelConfig cfg = base(mem::Protocol::kWti);
+  cfg.max_states = 500;
+  ModelResult r = run(cfg);
+  EXPECT_FALSE(r.closed);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.states, 500u);
+}
+
+TEST(Model, UntrackedReaderEnlargesTheStateSpace) {
+  ModelConfig with = base(mem::Protocol::kWbMesi);
+  ModelConfig without = base(mem::Protocol::kWbMesi);
+  without.untracked_reads = false;
+  ModelResult a = run(with);
+  ModelResult b = run(without);
+  EXPECT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(a.states, b.states);
+}
+
+TEST(Model, SkipInvalidateYieldsMinimalSwmrCounterexampleWti) {
+  ModelConfig cfg = base(mem::Protocol::kWti);
+  cfg.fault_skip_invalidate = true;
+  ModelResult r = run(cfg);
+  ASSERT_FALSE(r.violations.empty());
+  const Violation& v = r.violations[0];
+  EXPECT_EQ(v.rule, "swmr");
+  // BFS order makes the first counterexample minimal: a store racing one
+  // fill needs two CPU actions and five deliveries, nothing more.
+  EXPECT_LE(v.trace.size(), 8u);
+  EXPECT_GE(v.trace.size(), 5u);
+  EXPECT_FALSE(v.state_dump.empty());
+  EXPECT_NE(v.fuzz_hint.find("--fault skip-invalidate"), std::string::npos);
+  EXPECT_NE(v.fuzz_hint.find("--protocol wti"), std::string::npos);
+  EXPECT_NE(v.fuzz_hint.find("--minimize"), std::string::npos);
+}
+
+TEST(Model, SkipInvalidateIsCaughtUnderMesi) {
+  ModelConfig cfg = base(mem::Protocol::kWbMesi);
+  cfg.fault_skip_invalidate = true;
+  ModelResult r = run(cfg);
+  ASSERT_FALSE(r.violations.empty());
+  // The lost invalidation surfaces as a stale copy or as the directory
+  // disagreeing with the copy it thinks it invalidated — both are the bug.
+  EXPECT_TRUE(r.violations[0].rule == "swmr" ||
+              r.violations[0].rule == "dir-agreement")
+      << r.violations[0].rule;
+}
+
+TEST(Model, SkipInvalidateIsCaughtUnderDirectAck) {
+  ModelConfig cfg = base(mem::Protocol::kWti, /*direct=*/true);
+  cfg.fault_skip_invalidate = true;
+  ModelResult r = run(cfg);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].rule, "swmr");
+  EXPECT_NE(r.violations[0].fuzz_hint.find("--direct-ack"), std::string::npos);
+}
+
+TEST(Model, FaultAfterDelaysTheBug) {
+  ModelConfig cfg = base(mem::Protocol::kWti);
+  cfg.fault_skip_invalidate = true;
+  cfg.fault_after = 1;  // first invalidation lands correctly, second is lost
+  ModelResult r = run(cfg);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].rule, "swmr");
+  ModelConfig eager = base(mem::Protocol::kWti);
+  eager.fault_skip_invalidate = true;
+  ModelResult e = run(eager);
+  ASSERT_FALSE(e.violations.empty());
+  EXPECT_GT(r.violations[0].trace.size(), e.violations[0].trace.size());
+}
+
+TEST(Model, TwoCacheWtiCoversTheWholeTable) {
+  // Even the two-cache world reaches all 14 WTI rows: Sh --SharerDrop--> Sh
+  // needs only one of two sharers to drop, and the untracked reader brings
+  // in the ReadUntracked rows.
+  ModelResult r = run(base(mem::Protocol::kWti));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.dead_rows.empty());
+}
+
+TEST(Model, RemovingTheUntrackedReaderKillsItsRows) {
+  // Dead-row reporting itself under test: a model with no untracked reader
+  // can never take a ReadUntracked row, and must say so — and nothing else.
+  ModelConfig cfg = base(mem::Protocol::kWti);
+  cfg.untracked_reads = false;
+  ModelResult r = run(cfg);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r.dead_rows.empty());
+  for (int id : r.dead_rows) {
+    EXPECT_NE(proto::row_name(id).find("ReadUntracked"), std::string::npos)
+        << proto::row_name(id);
+  }
+}
+
+TEST(Model, DotRendersTheExploredGraph) {
+  ModelChecker mc(base(mem::Protocol::kWti));
+  ModelResult r = mc.run();
+  ASSERT_TRUE(r.ok());
+  std::string dot = mc.to_dot(/*node_limit=*/100);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("truncated"), std::string::npos);
+}
+
+TEST(Model, JsonCarriesTheVerdict) {
+  ModelConfig cfg = base(mem::Protocol::kWbMesi);
+  ModelChecker mc(cfg);
+  ModelResult r = mc.run();
+  std::string js = to_json(cfg, r);
+  EXPECT_NE(js.find("\"protocol\": \"mesi\""), std::string::npos);
+  EXPECT_NE(js.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(js.find("\"violations\": []"), std::string::npos);
+
+  ModelConfig bad = base(mem::Protocol::kWti);
+  bad.fault_skip_invalidate = true;
+  ModelChecker mcb(bad);
+  ModelResult rb = mcb.run();
+  std::string jsb = to_json(bad, rb);
+  EXPECT_NE(jsb.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(jsb.find("\"rule\": \"swmr\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccnoc::verify

@@ -7,7 +7,7 @@
 // Chrome/Perfetto trace of the (minimized) failing run, and exits 1.
 //
 //   ccnoc_fuzz --seeds 100 --cpus 4 --protocol mesi
-//   ccnoc_fuzz --seed 7 --protocol wti --fault skip-invalidate --minimize \
+//   ccnoc_fuzz --seed 7 --protocol wti --fault skip-invalidate --minimize
 //              --trace repro.trace.json
 //
 // Every failure line ends with the exact replay command.

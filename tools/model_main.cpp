@@ -1,0 +1,247 @@
+// ccnoc_model — exhaustive protocol model checker (see src/verify/model.hpp).
+//
+// Explores every reachable configuration of (directory entry x N cache-line
+// FSMs x in-flight messages x write-buffer occupancy) for one abstract
+// block, proves the reachable set closes (fixpoint), and checks SWMR,
+// data-value, directory agreement and deadlock freedom on every state.
+// Counterexamples print as message-level scenarios with a ccnoc_fuzz replay
+// hint.
+//
+//   ccnoc_model --protocol mesi --caches 3 --json verdict.json --dot fsm.dot
+//   ccnoc_model --all --out-dir artifacts/        # CI sweep, fails on
+//                                                 # violations AND dead rows
+//   ccnoc_model --protocol wti --fault skip-invalidate   # expect SWMR CE
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "proto/tables.hpp"
+#include "verify/model.hpp"
+
+namespace {
+
+using ccnoc::verify::ModelConfig;
+using ccnoc::verify::ModelResult;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --protocol P     wti | mesi | wtu (default wti)\n"
+               "  --caches N       abstract caches, 2..4 (default 2)\n"
+               "  --wbuf N         write-buffer depth, 1..3 (default 2)\n"
+               "  --direct-ack     model the paper 4.2 direct-ack rounds\n"
+               "  --no-untracked   drop the icache-style untracked reader\n"
+               "  --fault F        inject a protocol bug: skip-invalidate\n"
+               "  --fault-cache N  the cache that misbehaves (default 1)\n"
+               "  --fault-after N  correct invalidations before the bug\n"
+               "  --max-states N   fixpoint guard (default 4000000)\n"
+               "  --json PATH      write the JSON verdict ('-' = stdout)\n"
+               "  --dot PATH       write the explored graph as DOT\n"
+               "  --dot-limit N    DOT node cap (default 2000)\n"
+               "  --all            verify every protocol at 2 and 3 caches,\n"
+               "                   direct-ack off and on; union coverage and\n"
+               "                   fail on dead table rows\n"
+               "  --out-dir DIR    with --all: write per-run JSON/DOT there\n"
+               "  --quiet          summary lines only\n",
+               argv0);
+}
+
+bool parse_u(const char* s, unsigned* out) {
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s, &end, 0);
+  if (end == nullptr || *end != '\0' || end == s) return false;
+  *out = unsigned(v);
+  return true;
+}
+
+const char* proto_name(ccnoc::mem::Protocol p) {
+  switch (p) {
+    case ccnoc::mem::Protocol::kWti: return "wti";
+    case ccnoc::mem::Protocol::kWbMesi: return "mesi";
+    case ccnoc::mem::Protocol::kWtu: return "wtu";
+  }
+  return "?";
+}
+
+// `out` is stderr when the JSON verdict goes to stdout (--json -), so the
+// machine-readable stream stays parseable on its own.
+void print_result(const ModelConfig& cfg, const ModelResult& r, bool quiet,
+                  std::FILE* out = stdout) {
+  std::fprintf(out,
+               "%-4s caches=%u wbuf=%u direct=%d: %zu states, %zu edges, %s "
+               "(%.1f ms)\n",
+               proto_name(cfg.protocol), cfg.num_caches, cfg.wbuf_depth,
+               cfg.direct_ack ? 1 : 0, r.states, r.edges,
+               r.ok() ? "VERIFIED"
+                      : (r.closed ? "VIOLATIONS" : "INCOMPLETE"),
+               r.wall_ms);
+  if (quiet) return;
+  for (const auto& v : r.violations) {
+    std::fprintf(out, "  violation [%s]: %s\n", v.rule.c_str(),
+                 v.detail.c_str());
+    std::fprintf(out, "  scenario (%zu steps):\n", v.trace.size());
+    for (const auto& step : v.trace) std::fprintf(out, "    %s\n", step.c_str());
+    std::fprintf(out, "  failing state:\n%s", v.state_dump.c_str());
+    std::fprintf(out, "  replay hint: %s\n", v.fuzz_hint.c_str());
+  }
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  f << content;
+  return true;
+}
+
+/// --all: sweep protocols x {2,3} caches x direct-ack off/on, union each
+/// protocol's coverage across its runs, and demand every declared row of
+/// every table is exercised somewhere (dead rows fail the sweep).
+int run_all(const std::string& out_dir, unsigned max_states, bool quiet) {
+  using ccnoc::mem::Protocol;
+  bool all_ok = true;
+  for (Protocol p : {Protocol::kWti, Protocol::kWbMesi, Protocol::kWtu}) {
+    ccnoc::proto::CoverageSet unioned;
+    for (unsigned caches : {2u, 3u}) {
+      for (bool direct : {false, true}) {
+        // Direct-ack rounds only exist for invalidation protocols.
+        if (direct && p == Protocol::kWtu) continue;
+        ModelConfig cfg;
+        cfg.protocol = p;
+        cfg.num_caches = caches;
+        cfg.direct_ack = direct;
+        cfg.max_states = max_states;
+        if (caches >= 3) {
+          // Keep the 3-cache run tractable: the rows that need a third
+          // sharer are control-path rows, independent of buffer depth and
+          // the untracked reader (both fully explored at 2 caches).
+          cfg.wbuf_depth = 1;
+          cfg.untracked_reads = false;
+        }
+        ccnoc::verify::ModelChecker mc(cfg);
+        ModelResult r = mc.run();
+        print_result(cfg, r, quiet);
+        unioned.merge(r.covered);
+        if (!r.ok()) all_ok = false;
+        if (!out_dir.empty()) {
+          std::string stem = out_dir + "/model-" + proto_name(p) + "-c" +
+                             std::to_string(caches) +
+                             (direct ? "-direct" : "");
+          write_file(stem + ".json", to_json(cfg, r));
+          write_file(stem + ".dot", mc.to_dot());
+        }
+      }
+    }
+    const auto& tbl = ccnoc::proto::table_for(p);
+    unsigned dead = 0;
+    for (int id = tbl.base_id(); id < tbl.base_id() + tbl.row_count(); ++id) {
+      if (!unioned.covered(id)) {
+        std::printf("DEAD ROW: %s\n", ccnoc::proto::row_name(id).c_str());
+        ++dead;
+        all_ok = false;
+      }
+    }
+    std::printf("%-4s table: %d rows, %u covered across the sweep%s\n",
+                proto_name(p), tbl.row_count(), unsigned(tbl.row_count()) - dead,
+                dead == 0 ? "" : " — DEAD ROWS PRESENT");
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ModelConfig cfg;
+  bool all = false;
+  bool quiet = false;
+  std::string json_path;
+  std::string dot_path;
+  std::string out_dir;
+  unsigned dot_limit = 2000;
+  unsigned max_states = 4'000'000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    unsigned n = 0;
+    if (a == "--protocol") {
+      const std::string p = value();
+      if (p == "wti") {
+        cfg.protocol = ccnoc::mem::Protocol::kWti;
+      } else if (p == "mesi") {
+        cfg.protocol = ccnoc::mem::Protocol::kWbMesi;
+      } else if (p == "wtu") {
+        cfg.protocol = ccnoc::mem::Protocol::kWtu;
+      } else {
+        std::fprintf(stderr, "%s: unknown protocol '%s'\n", argv[0], p.c_str());
+        return 2;
+      }
+    } else if (a == "--caches" && parse_u(value(), &n)) {
+      cfg.num_caches = n;
+    } else if (a == "--wbuf" && parse_u(value(), &n)) {
+      cfg.wbuf_depth = n;
+    } else if (a == "--direct-ack") {
+      cfg.direct_ack = true;
+    } else if (a == "--no-untracked") {
+      cfg.untracked_reads = false;
+    } else if (a == "--fault") {
+      const std::string f = value();
+      if (f != "skip-invalidate") {
+        std::fprintf(stderr, "%s: unknown fault '%s'\n", argv[0], f.c_str());
+        return 2;
+      }
+      cfg.fault_skip_invalidate = true;
+    } else if (a == "--fault-cache" && parse_u(value(), &n)) {
+      cfg.fault_cache = n;
+    } else if (a == "--fault-after" && parse_u(value(), &n)) {
+      cfg.fault_after = n;
+    } else if (a == "--max-states" && parse_u(value(), &n)) {
+      max_states = n;
+    } else if (a == "--json") {
+      json_path = value();
+    } else if (a == "--dot") {
+      dot_path = value();
+    } else if (a == "--dot-limit" && parse_u(value(), &n)) {
+      dot_limit = n;
+    } else if (a == "--all") {
+      all = true;
+    } else if (a == "--out-dir") {
+      out_dir = value();
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: bad argument '%s'\n", argv[0], a.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (all) return run_all(out_dir, max_states, quiet);
+
+  cfg.max_states = max_states;
+  ccnoc::verify::ModelChecker mc(cfg);
+  ModelResult r = mc.run();
+  print_result(cfg, r, quiet, json_path == "-" ? stderr : stdout);
+  if (!json_path.empty() && !write_file(json_path, to_json(cfg, r))) return 2;
+  if (!dot_path.empty() && !write_file(dot_path, mc.to_dot(dot_limit))) return 2;
+  return r.ok() ? 0 : 1;
+}

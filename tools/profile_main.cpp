@@ -5,7 +5,7 @@
 // With --protocol both, WTI and WB-MESI run back to back and the HTML is
 // the side-by-side diff the paper's write-policy comparison calls for.
 //
-//   ccnoc_profile --app ocean --arch 1 --n 4 --protocol both \
+//   ccnoc_profile --app ocean --arch 1 --n 4 --protocol both
 //                 --json profile.json --html report.html
 //
 // Compare mode: diff two previously written profile records field by field
