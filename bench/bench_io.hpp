@@ -28,6 +28,9 @@
 ///   --perf-tolerance <pct>  also compare host-speed fields (events_per_sec,
 ///                           wall_seconds, *_ratio) within this drift;
 ///                           negative (default) skips them entirely
+///   --parallel-domains <n>  run the measured platforms on the conservative
+///                           parallel core with n domains (0 = serial core);
+///                           results are byte-identical either way
 ///
 /// The JSON schema is documented in EXPERIMENTS.md ("JSON bench output").
 
@@ -42,6 +45,7 @@ struct BenchOptions {
   std::string baseline_path;      ///< empty = no baseline compare
   double tolerance = 0.0;         ///< % drift allowed on deterministic fields
   double perf_tolerance = -1.0;   ///< % drift on perf fields; <0 = skip them
+  unsigned parallel_domains = 0;  ///< SystemConfig::parallel_domains for runs
 
   /// Any profile output requested? (drives ProfileMode for the runs)
   [[nodiscard]] bool want_profile() const {
@@ -69,11 +73,14 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       opt.tolerance = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--perf-tolerance") == 0 && i + 1 < argc) {
       opt.perf_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--parallel-domains") == 0 && i + 1 < argc) {
+      long v = std::strtol(argv[++i], nullptr, 10);
+      if (v > 0) opt.parallel_domains = unsigned(v);
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf("usage: %s [--json <path>] [--threads <n>] [--serial]\n"
                   "          [--profile <path>] [--profile-html <path>]\n"
                   "          [--baseline <path>] [--tolerance <pct>]\n"
-                  "          [--perf-tolerance <pct>]\n", argv[0]);
+                  "          [--perf-tolerance <pct>] [--parallel-domains <n>]\n", argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);

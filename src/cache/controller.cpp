@@ -18,7 +18,7 @@ CacheController::CacheController(sim::Simulator& sim, noc::Network& net,
       tr_(&sim.tracer()),
       pf_(&sim.profiler()),
       tbl_(proto::table_for(cfg.protocol)),
-      cov_(&sim.proto_coverage()) {
+      cov_(&sim.proto_coverage_shard(node)) {
   // Controller spans land on the "cache" process track, one thread per
   // (node, sub-port) so a node's dcache and icache stay distinct.
   tr_->set_track_name(sim::Tracer::kPidCache, track_tid(), name_);

@@ -121,9 +121,15 @@ class CacheController : public CacheIface {
     return &sim_.stats().histogram(name_ + "." + suffix, buckets);
   }
 
-  /// Globally-unique transaction id (delegates to the tracer's monotonic
-  /// allocator), so a txn can be followed end-to-end across components.
-  [[nodiscard]] std::uint64_t next_txn() { return sim_.alloc_txn(); }
+  /// Transaction id for following a miss end-to-end across components.
+  /// Composed from (node, port, local sequence) rather than drawn from a
+  /// global counter, so ids are unique across the platform yet allocation
+  /// touches only this controller's state — the order controllers start
+  /// transactions in (which varies with the domain partition mid-cycle)
+  /// can't leak into the ids. Consumers treat ids as opaque.
+  [[nodiscard]] std::uint64_t next_txn() {
+    return (std::uint64_t(node_) * 2 + port_ + 1) << 40 | ++txn_seq_;
+  }
 
   /// Tracer thread id on the "cache" track. A node hosts two sub-ports
   /// (0 = dcache, 1 = icache) that must not share a track.
@@ -162,9 +168,10 @@ class CacheController : public CacheIface {
   sim::Tracer* tr_;    ///< cached; hot paths guard on tr_->on() / tr_->full()
   sim::Profiler* pf_;  ///< cached; every hook is one predicted branch when off
   const proto::ProtocolTable& tbl_;  ///< this protocol's transition table
-  proto::CoverageSet* cov_;          ///< the platform's coverage bitmap
+  proto::CoverageSet* cov_;          ///< this node's domain coverage shard
 
  private:
+  std::uint64_t txn_seq_ = 0;
   bool fault_fired_ = false;
   unsigned fault_seen_ = 0;
 };

@@ -27,6 +27,7 @@ std::string FuzzOptions::command_line() const {
   if (fault == cache::CacheConfig::FaultKind::kSkipInvalidate) {
     os << " --fault skip-invalidate --fault-after " << fault_after;
   }
+  if (parallel_domains != 0) os << " --parallel-domains " << parallel_domains;
   return os.str();
 }
 
@@ -56,6 +57,7 @@ FuzzOutcome run_fuzz(const FuzzOptions& opt) {
   cfg.dcache.fault_after = opt.fault_after;
   if (!opt.trace_path.empty()) cfg.trace = sim::TraceMode::kFull;
   if (!opt.profile_path.empty()) cfg.profile = sim::ProfileMode::kOn;
+  cfg.parallel_domains = opt.parallel_domains;
 
   apps::FuzzWorkload::Config wcfg;
   wcfg.seed = opt.seed;

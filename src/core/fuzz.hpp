@@ -42,6 +42,12 @@ struct FuzzOptions {
   /// When non-empty, write a line-granularity sharing profile of the run
   /// here (same schema as tools/ccnoc_profile; see EXPERIMENTS.md).
   std::string profile_path;
+  /// Domain partition to build the platform with (SystemConfig::
+  /// parallel_domains). A fuzz run is always coherence-checked, so it takes
+  /// the sequenced engine regardless — the flag still exercises the
+  /// partitioned construction path (coverage shards, domain seeding
+  /// eligibility) and pins that partitioning alone never changes a result.
+  unsigned parallel_domains = 0;
 
   /// The equivalent tools/ccnoc_fuzz invocation (minus --trace/--minimize).
   [[nodiscard]] std::string command_line() const;

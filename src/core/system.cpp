@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/parallel.hpp"
+
 namespace ccnoc::core {
 
 SystemConfig SystemConfig::architecture1(unsigned n, mem::Protocol p) {
@@ -54,6 +56,18 @@ System::System(SystemConfig cfg)
   sim_.profiler().set_epoch_cycles(cfg_.profile_epoch);
   sim_.profiler().set_block_bytes(cfg_.dcache.block_bytes);
 
+  // Domain partition before any component: controllers and banks cache
+  // their coverage shard (and the node-to-domain map is fixed) at
+  // construction. Serial configs (0/1) leave the classic single-queue
+  // layout untouched.
+  if (cfg_.parallel_domains > 1) {
+    CCNOC_ASSERT(cfg_.network == NetworkKind::kGmn,
+                 "the parallel core requires the GMN fabric (its min_latency "
+                 "is the lookahead)");
+    sim_.configure_domains(
+        std::min(cfg_.parallel_domains, unsigned(map_.num_nodes())));
+  }
+
   // Checker likewise before any component: processors and banks cache the
   // probe pointer in their constructors.
   if (cfg_.check.enabled) {
@@ -65,8 +79,10 @@ System::System(SystemConfig cfg)
   const std::size_t nodes = map_.num_nodes();
   switch (cfg_.network) {
     case NetworkKind::kGmn: {
-      noc::GmnConfig g = cfg_.gmn;
-      if (g.min_latency == 0) g = noc::GmnConfig::for_nodes(nodes);
+      // Explicit config wins; otherwise derive from the node count. The
+      // GmnNetwork constructor rejects min_latency == 0 (an explicit zero
+      // was historically a derive-me sentinel; now it is just invalid).
+      const noc::GmnConfig g = cfg_.gmn ? *cfg_.gmn : noc::GmnConfig::for_nodes(nodes);
       net_ = std::make_unique<noc::GmnNetwork>(sim_, nodes, g);
       break;
     }
@@ -119,10 +135,21 @@ RunResult System::run(apps::Workload& workload, unsigned nthreads,
 
   std::vector<cpu::Processor*> cpu_ptrs;
   for (auto& p : cpus_) cpu_ptrs.push_back(p.get());
+  // Engine choice must precede launch: Processor::start seeds each CPU's
+  // first event, and it must land in the queue the chosen engine will run.
+  const bool use_parallel = checker_ == nullptr && parallel_eligible(nthreads);
+  sim_.set_domain_seeding(use_parallel);
   kernel_->launch(cpu_ptrs);
 
   RunResult r;
-  r.events = checker_ ? run_with_checker(max_cycles) : sim_.run_to_completion(max_cycles);
+  if (checker_) {
+    r.events = run_with_checker(max_cycles);
+  } else if (use_parallel) {
+    r.engine_domains = sim_.num_domains();
+    r.events = run_parallel(max_cycles);
+  } else {
+    r.events = sim_.run_to_completion(max_cycles);
+  }
   r.completed = kernel_->all_finished();
 
   // Execution time = last cycle a processor retired work (the event queue
@@ -156,6 +183,49 @@ RunResult System::run(apps::Workload& workload, unsigned nthreads,
   }
   r.verified = r.completed && workload.verify(*dmem_);
   return r;
+}
+
+bool System::parallel_eligible(unsigned nthreads) const {
+  if (sim_.num_domains() <= 1) return false;
+  // The sequenced observers assume one chronological event stream: the
+  // tracer orders spans, the profiler epochs series, the logger interleaves
+  // lines, and the checker walks a quiescent-between-events platform. Any
+  // of them active → serial engine, which is byte-identical anyway.
+  if (sim_.tracer().on() || sim_.profiler().on() || checker_ != nullptr) return false;
+  if (sim_.logger().level() != sim::LogLevel::None) return false;
+  // Oversubscription migrates threads through the shared scheduler queues
+  // mid-run; with at most one thread per CPU those queues stay empty and
+  // the scheduler never couples two domains.
+  if (nthreads > cfg_.num_cpus) return false;
+  return true;
+}
+
+std::uint64_t System::run_parallel(sim::Cycle max_cycles) {
+  auto* gmn = static_cast<noc::GmnNetwork*>(net_.get());
+
+  // Everything scheduled so far went through Processor::start, which seeds
+  // each CPU's first step directly into its own domain queue; the global
+  // queue must be empty or those events would never execute.
+  CCNOC_ASSERT(sim_.queue().empty(), "parallel run with events in the serial queue");
+
+  sim::ParallelConfig pc;
+  pc.domains = sim_.num_domains();
+  pc.lookahead = gmn->config().min_latency;
+  pc.workers = cfg_.parallel_workers;
+  sim::ParallelEngine engine(sim_, pc);
+
+  net_->enable_sharded_stats(map_.num_nodes());
+  gmn->set_cross_post([&engine](sim::NodeId src, sim::NodeId dst, sim::Cycle when,
+                                std::uint64_t seq, sim::EventQueue::Callback cb) {
+    engine.post(src, dst, when, seq, std::move(cb));
+  });
+
+  const sim::Cycle limit = max_cycles;  // all domain clocks start at zero
+  const std::uint64_t events = engine.run(limit);
+
+  gmn->set_cross_post({});
+  net_->finalize_stats();
+  return events;
 }
 
 std::uint64_t System::run_with_checker(sim::Cycle max_cycles) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,8 +44,12 @@ struct SystemConfig {
   cache::CacheConfig dcache{};
   cache::CacheConfig icache{};
   mem::BankConfig bank{};
-  noc::GmnConfig gmn{.min_latency = 0};  ///< used when network == kGmn; zero
-                                         ///< min_latency = derive from node count
+  /// GMN fabric parameters (used when network == kGmn). Disengaged = derive
+  /// from the node count via GmnConfig::for_nodes. An explicitly supplied
+  /// config is used as-is and must have min_latency >= 1 — there is no
+  /// longer a magic zero sentinel, so a zero can only be a mistake and is
+  /// rejected at construction instead of silently re-derived.
+  std::optional<noc::GmnConfig> gmn;
   noc::MeshConfig mesh{};
   os::KernelConfig kernel{};
   cpu::CpuConfig cpu{};
@@ -69,6 +74,20 @@ struct SystemConfig {
   /// branch per hook. Set before construction, like the tracer mode.
   check::CheckConfig check{};
 
+  /// Conservative parallel simulation (see sim/parallel.hpp). 0 or 1 =
+  /// classic serial core. >1 = partition the platform's NoC nodes into this
+  /// many domains (clamped to the node count) and run them on worker
+  /// threads under the GMN min_latency lookahead. Requires network == kGmn.
+  /// Results are byte-identical to serial for any domain/worker count; runs
+  /// that need the sequenced observers (tracing, profiling, checking,
+  /// trace-level logging) or oversubscribed thread scheduling fall back to
+  /// the serial engine automatically.
+  unsigned parallel_domains = 0;
+  /// Worker threads for the parallel engine. 0 = one per domain, capped at
+  /// the hardware concurrency (or the CCNOC_PARALLEL_WORKERS environment
+  /// variable). Purely a throughput knob — never affects results.
+  unsigned parallel_workers = 0;
+
   /// Paper architecture 1: 2 banks, centralized layout, SMP scheduler.
   static SystemConfig architecture1(unsigned n, mem::Protocol p);
   /// Paper architecture 2: n+3 banks, distributed layout, DS scheduler.
@@ -88,6 +107,11 @@ struct RunResult {
   std::uint64_t d_stall_cycles = 0;
   std::uint64_t i_stall_cycles = 0;
   std::uint64_t events = 0;
+  /// Domains the engine actually ran with: 1 = serial core (including
+  /// sequenced fallback), >1 = the conservative parallel engine. Every
+  /// other field is independent of this one — that is the engine's
+  /// determinism contract, and what the equivalence tests pin.
+  unsigned engine_domains = 1;
 
   /// Per-CPU stall attribution (load/store/atomic/ifetch). Populated only
   /// when the run was traced (SystemConfig::trace != kOff); the category
@@ -145,10 +169,18 @@ class System {
   /// True when every cache and bank has no in-flight transaction.
   [[nodiscard]] bool quiescent() const;
 
+  /// True when run() will use the parallel engine for a \p nthreads-thread
+  /// workload: domains were configured and no sequenced observer is active.
+  [[nodiscard]] bool parallel_eligible(unsigned nthreads) const;
+
  private:
   /// Event-pump for a checked run: interleaves queue chunks with invariant
   /// walks without perturbing the event sequence. Returns events executed.
   std::uint64_t run_with_checker(sim::Cycle max_cycles);
+
+  /// Conservative parallel run (sim/parallel.hpp): sharded statistics,
+  /// cross-domain posts through the epoch mailbox. Returns events executed.
+  std::uint64_t run_parallel(sim::Cycle max_cycles);
 
   SystemConfig cfg_;
   sim::Simulator sim_;

@@ -17,9 +17,20 @@ Processor::Processor(sim::Simulator& sim, cache::CacheIface& dcache,
       pf_(&sim.profiler()),
       probe_(sim.probe()) {
   tr_->set_track_name(sim::Tracer::kPidCpu, cpu_, name_);
+  auto& st = sim_.stats();
+  static const char* kExportKeys[] = {".d_stall_cycles",     ".i_stall_cycles",
+                                      ".instructions",       ".ops",
+                                      ".context_switches",   ".last_active"};
+  for (std::size_t i = 0; i < export_ctrs_.size(); ++i) {
+    export_ctrs_[i] = &st.counter(name_ + kExportKeys[i]);
+  }
 }
 
 void Processor::start() {
+  // Seed the first step into whichever queue the run needs it in: this
+  // CPU's domain queue before a parallel run (the cache node id equals the
+  // CPU index), the global queue otherwise — see Simulator::seed_queue.
+  sim::Simulator::ExecScope scope(sim_, sim_.seed_queue(sim::NodeId(cpu_)));
   if (sched_) next_tick_ = sim_.now() + sched_->tick_period();
   schedule_step(1);
 }
@@ -296,18 +307,19 @@ void Processor::record_stall(sim::StallCat cat) {
 }
 
 void Processor::export_stats() {
-  auto& st = sim_.stats();
-  auto set = [&](const std::string& k, std::uint64_t v) {
-    auto& c = st.counter(name_ + k);
-    c.reset();
-    c.inc(v);
+  // Counters were resolved in the constructor: this runs every time the CPU
+  // goes idle, possibly while other domains execute concurrently, and must
+  // not touch the shared registry map — only this CPU's own counters.
+  auto set = [&](std::size_t i, std::uint64_t v) {
+    export_ctrs_[i]->reset();
+    export_ctrs_[i]->inc(v);
   };
-  set(".d_stall_cycles", d_stall_);
-  set(".i_stall_cycles", i_stall_);
-  set(".instructions", instructions_);
-  set(".ops", ops_);
-  set(".context_switches", context_switches_);
-  set(".last_active", last_active_);
+  set(0, d_stall_);
+  set(1, i_stall_);
+  set(2, instructions_);
+  set(3, ops_);
+  set(4, context_switches_);
+  set(5, last_active_);
 }
 
 }  // namespace ccnoc::cpu

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -111,6 +112,10 @@ class Processor {
 
   // Resolved once at construction; bumped on every timer tick.
   sim::Counter* scheduler_ticks_ctr_;
+  // export_stats() targets, also resolved at construction: the registry map
+  // must not grow while parallel domains are executing (export_stats runs
+  // whenever a CPU goes idle), and lazy creation would grow it.
+  std::array<sim::Counter*, 6> export_ctrs_{};
   sim::Tracer* tr_;    ///< cached; stall attribution is guarded on tr_->on()
   sim::Profiler* pf_;  ///< cached; per-line stall attribution when profiling
   sim::CoherenceProbe* probe_;  ///< cached; null unless checking is on

@@ -19,7 +19,7 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
       node_(map.bank_node(bank_index)),
       dir_(map.num_cpus()),
       ptbl_(proto::table_for(proto)),
-      cov_(&sim.proto_coverage()),
+      cov_(&sim.proto_coverage_shard(node_)),
       tr_(&sim.tracer()),
       probe_(sim.probe()),
       pf_(&sim.profiler()),
@@ -120,7 +120,7 @@ void Bank::start_service(Message req, sim::NodeId src) {
   // Service occupancy on the bank's trace track, one slice per request.
   tr_->complete(start, start + service, to_string(rt), sim::Tracer::kPidBank,
                 bank_tid_);
-  sim_.queue().schedule_at(start + service, [this, block] { process_request(block); });
+  sim_.schedule_at(start + service, [this, block] { process_request(block); });
 }
 
 void Bank::process_request(sim::Addr block) {

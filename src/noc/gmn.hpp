@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "noc/network.hpp"
@@ -12,13 +14,34 @@
 /// serialization reproduces mesh-like contention. We model each port as a
 /// busy-until reservation: a packet occupies its ingress port and its egress
 /// port for its flit count, and crosses the fabric in `min_latency` cycles.
+///
+/// Routing is two-phase, split at the fabric crossing:
+///
+///   route()  — runs at the *source*: reserves the ingress port, computes
+///              fabric_done = ingress_start + flits + min_latency, and posts
+///              an egress event at fabric_done keyed by (source node,
+///              per-source sequence);
+///   egress() — runs at the *destination* when the packet exits the fabric:
+///              reserves the egress port, accounts FIFO overflow and latency,
+///              and schedules endpoint delivery.
+///
+/// The split is what makes the model parallelizable: phase one touches only
+/// source-side state, phase two only destination-side state, and the only
+/// hand-off between them is the keyed egress event — which the conservative
+/// engine (sim/parallel.hpp) can route through its epoch mailbox because
+/// fabric_done is always at least min_latency cycles in the future. The
+/// serial build takes the identical two-phase path (posting the egress event
+/// into the one global queue with the same canonical key), so both engines
+/// execute the same event sequence cycle for cycle.
 
 namespace ccnoc::noc {
 
 struct GmnConfig {
   /// Zero-load fabric traversal delay in cycles. The default (set by
   /// `for_nodes`) models the average hop count of a square mesh:
-  /// ceil(1.5 * sqrt(nodes)) + 3.
+  /// ceil(1.5 * sqrt(nodes)) + 3. Must be >= 1: it is also the conservative
+  /// engine's lookahead window, and a zero-latency fabric would leave no
+  /// horizon to run ahead in.
   sim::Cycle min_latency = 8;
 
   /// Depth of the internal delay FIFOs, in flits. When the backlog on a
@@ -36,12 +59,18 @@ struct GmnConfig {
 
 class GmnNetwork final : public Network {
  public:
+  /// Cross-domain post hook: (src, dst, when, per-src seq, egress callback).
+  /// Installed by the parallel engine; when absent the egress event goes
+  /// straight into the active queue with the same canonical key.
+  using CrossPost = std::function<void(sim::NodeId, sim::NodeId, sim::Cycle,
+                                       std::uint64_t, sim::EventQueue::Callback)>;
+
   GmnNetwork(sim::Simulator& s, std::size_t nodes, GmnConfig cfg)
       : Network(s),
         cfg_(cfg),
-        ingress_free_(nodes, 0),
-        egress_free_(nodes, 0),
+        ports_(nodes),
         fifo_overflow_ctr_(&s.stats().counter("noc.fifo_overflow_cycles")) {
+    CCNOC_ASSERT(cfg_.min_latency >= 1, "GMN min_latency must be positive");
     // Per-port flit telemetry: each node has one ingress and one egress
     // port on the crossbar; the tracer buckets their traffic per epoch.
     for (std::size_t i = 0; i < nodes; ++i) {
@@ -64,14 +93,35 @@ class GmnNetwork final : public Network {
 
   [[nodiscard]] const GmnConfig& config() const { return cfg_; }
 
+  void set_cross_post(CrossPost hook) { cross_post_ = std::move(hook); }
+
+  /// Folds per-port overflow shards, then the base traffic shards.
+  void finalize_stats() override;
+
  protected:
   void route(Packet&& pkt) override;
 
  private:
+  void egress(sim::Cycle flits, Packet&& pkt);
+
+  /// Per-node crossbar port state. Everything here is owned by the node's
+  /// own domain: the ingress fields are written only when the node sends
+  /// (an event of its domain), the egress fields only when a packet exits
+  /// the fabric toward it (the egress event executes in the destination's
+  /// domain). Alignment keeps neighbouring nodes — different domains under
+  /// the round-robin partition — off each other's cache lines.
+  struct alignas(64) PortState {
+    sim::Cycle ingress_free = 0;   ///< source side: port busy-until
+    std::uint64_t fabric_seq = 0;  ///< source side: canonical egress-key seq
+    sim::Cycle egress_free = 0;    ///< destination side: port busy-until
+    std::uint64_t overflow = 0;    ///< destination side: sharded overflow cycles
+  };
+
   GmnConfig cfg_;
-  std::vector<sim::Cycle> ingress_free_;
-  std::vector<sim::Cycle> egress_free_;
-  sim::Counter* fifo_overflow_ctr_;  ///< resolved once; route() is per-packet
+  std::vector<PortState> ports_;
+  CrossPost cross_post_;             ///< set only by the parallel engine
+  bool overflow_finalized_ = false;
+  sim::Counter* fifo_overflow_ctr_;  ///< resolved once; egress() is per-packet
   std::vector<unsigned> link_in_;    ///< tracer link ids, per ingress port
   std::vector<unsigned> link_out_;   ///< tracer link ids, per egress port
   std::vector<unsigned> plink_in_;   ///< profiler link ids, per ingress port

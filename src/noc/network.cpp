@@ -21,6 +21,29 @@ void Network::attach(sim::NodeId id, Endpoint& ep) {
   endpoints_[id] = &ep;
 }
 
+void Network::enable_sharded_stats(std::size_t nodes) {
+  CCNOC_ASSERT(total_packets_ == 0, "sharded accounting enabled mid-run");
+  shards_.assign(nodes, NodeShard{});
+  stats_finalized_ = false;
+}
+
+void Network::finalize_stats() {
+  if (shards_.empty() || stats_finalized_) return;
+  stats_finalized_ = true;
+  // Node order: the fold is a canonical function of per-node totals, never
+  // of the execution interleaving.
+  for (const NodeShard& sh : shards_) {
+    total_bytes_ += sh.bytes;
+    total_packets_ += sh.packets;
+    bytes_ctr_->inc(sh.bytes);
+    packets_ctr_->inc(sh.packets);
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
+      if (sh.per_type[t] != 0) pkt_type_ctr_[t]->inc(sh.per_type[t]);
+    }
+    latency_sample_->merge(sh.latency);
+  }
+}
+
 void Network::send(sim::NodeId src, sim::NodeId dst, const Message& msg) {
   CCNOC_ASSERT(src < endpoints_.size() && endpoints_[src] != nullptr, "unknown src node");
   CCNOC_ASSERT(dst < endpoints_.size() && endpoints_[dst] != nullptr, "unknown dst node");
@@ -30,25 +53,43 @@ void Network::send(sim::NodeId src, sim::NodeId dst, const Message& msg) {
   pkt.dst = dst;
   pkt.msg = msg;
   pkt.sent_at = sim_.now();
-  pkt.id = next_pkt_id_++;
 
-  total_bytes_ += wire_bytes(msg);
-  ++total_packets_;
+  if (shards_.empty()) {
+    pkt.id = next_pkt_id_++;
+    total_bytes_ += wire_bytes(msg);
+    ++total_packets_;
+    bytes_ctr_->inc(wire_bytes(msg));
+    packets_ctr_->inc();
+    pkt_type_ctr_[std::size_t(msg.type)]->inc();
+  } else {
+    // Parallel run: only the sender's shard is touched, which the sender's
+    // domain owns. The packet id is composed from (src, per-src count) so
+    // it needs no global counter.
+    NodeShard& sh = shards_[src];
+    pkt.id = (std::uint64_t(src) << 40) | sh.packets;
+    sh.bytes += wire_bytes(msg);
+    ++sh.packets;
+    ++sh.per_type[std::size_t(msg.type)];
+  }
   // Every packet is attributed to the cache line its address falls in (the
   // profiler rounds to a block), so per-line traffic sums exactly to
-  // total_bytes_ / total_packets_.
+  // total_bytes_ / total_packets_. (Profiling forces the sequenced engine,
+  // so this hook is a dead branch on parallel runs.)
   profiler_->traffic(msg.addr, wire_bytes(msg));
-  bytes_ctr_->inc(wire_bytes(msg));
-  packets_ctr_->inc();
-  pkt_type_ctr_[std::size_t(msg.type)]->inc();
 
   route(std::move(pkt));
 }
 
-void Network::deliver_at(sim::Cycle when, Packet&& pkt) {
-  CCNOC_ASSERT(when >= sim_.now(), "delivery in the past");
-  latency_sample_->add(double(when - pkt.sent_at));
-  sim_.queue().schedule_at(when, [this, p = std::move(pkt)]() mutable {
+void Network::record_latency(sim::NodeId dst, sim::Cycle latency) {
+  if (shards_.empty()) {
+    latency_sample_->add(double(latency));
+  } else {
+    shards_[dst].latency.add(double(latency));
+  }
+}
+
+void Network::schedule_delivery(sim::Cycle when, Packet&& pkt) {
+  sim_.schedule_at(when, [this, p = std::move(pkt)]() mutable {
     sim_.trace("noc", [&p] {
       char line[96];
       std::snprintf(line, sizeof line, "%s %u->%u addr=0x%llx", to_string(p.msg.type),
@@ -64,6 +105,12 @@ void Network::deliver_at(sim::Cycle when, Packet&& pkt) {
     }
     endpoints_[p.dst]->deliver(p);
   });
+}
+
+void Network::deliver_at(sim::Cycle when, Packet&& pkt) {
+  CCNOC_ASSERT(when >= sim_.now(), "delivery in the past");
+  record_latency(pkt.dst, when - pkt.sent_at);
+  schedule_delivery(when, std::move(pkt));
 }
 
 }  // namespace ccnoc::noc

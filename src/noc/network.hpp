@@ -48,6 +48,22 @@ class Network {
   /// interconnect model; per-flow FIFO order is preserved.
   void send(sim::NodeId src, sim::NodeId dst, const Message& msg);
 
+  /// Switch traffic accounting to per-node shards (parallel runs): send()
+  /// then writes only state owned by the source node's domain, and arrivals
+  /// only state owned by the destination's, so concurrent domains never
+  /// share a counter. Call before the first send; fold with
+  /// finalize_stats() after the run. Totals and registry statistics come
+  /// out byte-identical to the serial direct path — counters are exact and
+  /// the latency sample adds whole cycles (sim::Sample::merge).
+  void enable_sharded_stats(std::size_t nodes);
+
+  /// Fold the per-node shards (node order, so the fold is canonical) into
+  /// the registry and the run totals. Idempotent; a no-op when sharding was
+  /// never enabled.
+  virtual void finalize_stats();
+
+  [[nodiscard]] bool sharded_stats() const { return !shards_.empty(); }
+
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
   [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
 
@@ -58,7 +74,17 @@ class Network {
   /// whatever shared resources it occupies) and schedule delivery.
   virtual void route(Packet&& pkt) = 0;
 
+  /// One-shot delivery path for the serial interconnects (mesh, bus):
+  /// latency accounting plus the delivery event.
   void deliver_at(sim::Cycle when, Packet&& pkt);
+
+  /// Record an arrival latency for \p dst — into its shard when sharded,
+  /// the registry sample otherwise. Runs in the destination's domain.
+  void record_latency(sim::NodeId dst, sim::Cycle latency);
+
+  /// Schedule the endpoint delivery event for \p pkt at \p when in the
+  /// active (destination) domain. Latency must already be recorded.
+  void schedule_delivery(sim::Cycle when, Packet&& pkt);
 
   sim::Simulator& sim_;
   sim::Tracer* tracer_;    ///< cached; route() implementations report per-link
@@ -66,7 +92,21 @@ class Network {
   sim::Profiler* profiler_;  ///< cached; per-line traffic attribution
 
  private:
+  /// Per-node traffic shard. The send-side fields are written only by the
+  /// node's own domain (a node sends from its own events); the latency
+  /// sample only by arrivals, which also execute in the node's domain.
+  /// Cache-line alignment keeps neighbouring nodes' shards from false
+  /// sharing under round-robin node-to-domain assignment.
+  struct alignas(64) NodeShard {
+    std::uint64_t bytes = 0;
+    std::uint64_t packets = 0;
+    std::array<std::uint64_t, kNumMsgTypes> per_type{};
+    sim::Sample latency;
+  };
+
   std::vector<Endpoint*> endpoints_;
+  std::vector<NodeShard> shards_;  ///< empty = serial direct accounting
+  bool stats_finalized_ = false;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_packets_ = 0;
   std::uint64_t next_pkt_id_ = 0;

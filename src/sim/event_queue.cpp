@@ -4,10 +4,19 @@
 
 namespace ccnoc::sim {
 
-void EventQueue::schedule_at(Cycle when, Callback cb) {
+void EventQueue::push(Cycle when, std::uint64_t order, Callback cb) {
   CCNOC_ASSERT(when >= now_, "event scheduled in the past");
-  heap_.push_back(Event{when, next_seq_++, std::move(cb)});
+  heap_.push_back(Event{when, order, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventQueue::schedule_at(Cycle when, Callback cb) {
+  push(when, kLocalOrder | next_seq_++, std::move(cb));
+}
+
+void EventQueue::schedule_keyed(Cycle when, std::uint64_t key, Callback cb) {
+  CCNOC_ASSERT((key & kLocalOrder) == 0, "canonical order key has bit 63 set");
+  push(when, key, std::move(cb));
 }
 
 bool EventQueue::step() {
@@ -30,6 +39,15 @@ std::uint64_t EventQueue::run(Cycle limit) {
     ++n;
   }
   if (now_ < limit && limit != ~Cycle{0}) now_ = limit;
+  return n;
+}
+
+std::uint64_t EventQueue::run_before(Cycle horizon) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.front().when < horizon) {
+    step();
+    ++n;
+  }
   return n;
 }
 

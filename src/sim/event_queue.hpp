@@ -7,9 +7,20 @@
 #include "sim/types.hpp"
 
 /// \file event_queue.hpp
-/// Deterministic discrete-event queue. Events scheduled for the same cycle
-/// fire in insertion order (a monotonically increasing sequence number breaks
-/// ties), so a given configuration and seed always replays identically.
+/// Deterministic discrete-event queue. Every event carries an explicit
+/// 64-bit order key that breaks same-cycle ties, so a given configuration
+/// and seed always replays identically — and, crucially for the parallel
+/// core (sim/parallel.hpp), the order of two same-cycle events never
+/// depends on which queue they were inserted into or when:
+///
+///  - locally scheduled events (schedule_in / schedule_at) get an order key
+///    of `kLocalOrder | seq` (bit 63 set, seq = per-queue insertion count),
+///    preserving the classic insertion-order tiebreak;
+///  - cross-domain events (NoC fabric arrivals) are inserted with
+///    schedule_keyed() and a caller-provided canonical key (bit 63 clear,
+///    derived from the sending node and its per-node sequence number), so
+///    they sort identically no matter how the platform is partitioned into
+///    domains — and always ahead of same-cycle local events.
 
 namespace ccnoc::sim {
 
@@ -17,11 +28,27 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
+  /// Order-key bit marking locally scheduled events. Keys passed to
+  /// schedule_keyed() must keep this bit clear so canonical cross-domain
+  /// events sort ahead of same-cycle local ones in every partition.
+  static constexpr std::uint64_t kLocalOrder = std::uint64_t{1} << 63;
+
   /// Schedule \p cb to run \p delay cycles after the current time.
   void schedule_in(Cycle delay, Callback cb) { schedule_at(now_ + delay, std::move(cb)); }
 
-  /// Schedule \p cb at absolute cycle \p when (must not be in the past).
+  /// Schedule \p cb at absolute cycle \p when. Scheduling in the past is a
+  /// contract violation (it would silently time-travel and corrupt replay
+  /// determinism) and raises a checked error: CCNOC_ASSERT stays armed in
+  /// release builds and surfaces as std::logic_error, which a parallel
+  /// sweep (sim/sweep.hpp) rethrows from the offending job.
   void schedule_at(Cycle when, Callback cb);
+
+  /// Schedule \p cb at absolute cycle \p when with an explicit canonical
+  /// order key (bit 63 must be clear; keys at one cycle must be unique).
+  /// Used for cross-domain NoC arrivals, whose tiebreak order must be a
+  /// pure function of (cycle, sending node, per-node sequence) rather than
+  /// of insertion interleaving.
+  void schedule_keyed(Cycle when, std::uint64_t key, Callback cb);
 
   /// Run the next event (advancing time to its timestamp).
   /// Returns false if the queue is empty.
@@ -30,6 +57,13 @@ class EventQueue {
   /// Run events until the queue drains or \p limit cycles elapse.
   /// Returns the number of events executed.
   std::uint64_t run(Cycle limit = ~Cycle{0});
+
+  /// Run every event strictly before \p horizon, leaving `now()` at the
+  /// last executed event (no idle advance). The conservative parallel
+  /// engine steps each domain queue with this: events at or beyond the
+  /// epoch horizon may still be reordered against in-flight cross-domain
+  /// arrivals and must not execute yet. Returns the events executed.
+  std::uint64_t run_before(Cycle horizon);
 
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -41,15 +75,17 @@ class EventQueue {
  private:
   struct Event {
     Cycle when;
-    std::uint64_t seq;
+    std::uint64_t order;
     Callback cb;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+      return a.order > b.order;
     }
   };
+
+  void push(Cycle when, std::uint64_t order, Callback cb);
 
   // An explicit binary heap (std::push_heap/std::pop_heap over a vector)
   // rather than std::priority_queue: pop_heap moves the minimum to the back

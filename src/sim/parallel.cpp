@@ -1,0 +1,142 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace ccnoc::sim {
+
+namespace {
+
+unsigned default_parallel_workers(unsigned domains) {
+  if (const char* env = std::getenv("CCNOC_PARALLEL_WORKERS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return std::min(unsigned(v), domains);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::min(hw, domains);
+}
+
+}  // namespace
+
+void SpinBarrier::arrive_and_wait(bool& sense) {
+  const bool my = !sense;
+  sense = my;
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    phase_.store(my, std::memory_order_release);
+    return;
+  }
+  unsigned spins = 0;
+  while (phase_.load(std::memory_order_acquire) != my) {
+    if (abort_ != nullptr && abort_->load(std::memory_order_acquire)) return;
+    if (++spins > 4096) std::this_thread::yield();
+  }
+}
+
+ParallelEngine::ParallelEngine(Simulator& sim, ParallelConfig cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      workers_(cfg.workers != 0 ? std::min(cfg.workers, cfg.domains)
+                                : default_parallel_workers(cfg.domains)),
+      cells_(std::size_t(cfg.domains) * cfg.domains),
+      barrier_(workers_, &aborted_),
+      worker_min_(std::make_unique<WorkerMin[]>(workers_)) {
+  CCNOC_ASSERT(cfg_.domains >= 1, "parallel engine needs at least one domain");
+  CCNOC_ASSERT(cfg_.domains == sim.num_domains(),
+               "engine domain count does not match the Simulator partition");
+  // A zero lookahead would make every epoch empty: a packet could arrive in
+  // the very cycle it was sent, so no domain could safely run ahead at all.
+  CCNOC_ASSERT(cfg_.lookahead >= 1, "conservative lookahead must be positive");
+}
+
+void ParallelEngine::post(NodeId src, NodeId dst, Cycle when, std::uint64_t seq,
+                          EventQueue::Callback cb) {
+  const unsigned s = sim_.domain_of(src);
+  const unsigned d = sim_.domain_of(dst);
+  cells_[std::size_t(s) * cfg_.domains + d].recs.push_back(
+      Crossing{when, cross_order_key(src, seq), std::move(cb)});
+}
+
+void ParallelEngine::drain_into(unsigned domain) {
+  EventQueue& q = sim_.domain_queue(domain);
+  for (unsigned s = 0; s < cfg_.domains; ++s) {
+    Cell& c = cells_[std::size_t(s) * cfg_.domains + domain];
+    // Insertion order is irrelevant: the queue orders by (cycle, canonical
+    // key), and keys are unique, so any arrival interleaving merges to the
+    // same execution order.
+    for (Crossing& r : c.recs) q.schedule_keyed(r.when, r.key, std::move(r.cb));
+    c.recs.clear();
+  }
+}
+
+void ParallelEngine::worker_loop(unsigned w) {
+  bool sense = false;
+  while (true) {
+    // Barrier A: every worker finished executing (and posting) the previous
+    // epoch, so the mailbox cells targeting our domains are complete.
+    barrier_.arrive_and_wait(sense);
+    if (aborted_.load(std::memory_order_acquire)) return;
+
+    Cycle mine = ~Cycle{0};
+    for (unsigned d = w; d < cfg_.domains; d += workers_) {
+      drain_into(d);
+      const EventQueue& q = sim_.domain_queue(d);
+      if (!q.empty()) mine = std::min(mine, q.next_event_at());
+    }
+    worker_min_[w].t.store(mine, std::memory_order_release);
+
+    // Barrier B: all minima published; every worker derives the same epoch
+    // base M and horizon, so the stop decision needs no leader.
+    barrier_.arrive_and_wait(sense);
+    if (aborted_.load(std::memory_order_acquire)) return;
+
+    Cycle m = ~Cycle{0};
+    for (unsigned i = 0; i < workers_; ++i) {
+      m = std::min(m, worker_min_[i].t.load(std::memory_order_acquire));
+    }
+    if (m == ~Cycle{0} || m > limit_) return;  // drained, or past the cycle guard
+
+    Cycle horizon = m + cfg_.lookahead;  // execute when < horizon
+    if (limit_ != ~Cycle{0}) horizon = std::min(horizon, limit_ + 1);
+    for (unsigned d = w; d < cfg_.domains; d += workers_) {
+      EventQueue& q = sim_.domain_queue(d);
+      Simulator::ExecScope scope(sim_, q);
+      q.run_before(horizon);
+    }
+  }
+}
+
+std::uint64_t ParallelEngine::run(Cycle limit) {
+  limit_ = limit;
+  if (workers_ <= 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers_);
+    for (unsigned w = 0; w < workers_; ++w) {
+      pool.emplace_back([this, w] {
+        try {
+          worker_loop(w);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mu_);
+            if (!error_) error_ = std::current_exception();
+          }
+          // Release every worker spinning at a barrier, then bail.
+          aborted_.store(true, std::memory_order_release);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (error_) std::rethrow_exception(error_);
+  }
+  std::uint64_t executed = 0;
+  for (unsigned d = 0; d < cfg_.domains; ++d) {
+    executed += sim_.domain_queue(d).executed();
+  }
+  return executed;
+}
+
+}  // namespace ccnoc::sim

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+/// \file parallel.hpp
+/// Conservative parallel discrete-event engine over the domain partition of
+/// a Simulator (simulator.hpp). The platform is split into independently
+/// steppable domains — each NoC node (cache tile or memory bank) maps to
+/// one — and the GMN fabric's `min_latency` becomes the lookahead horizon:
+///
+///   epoch:  M = min over all domains of the next event time
+///           every domain may execute all events with  when < M + L
+///
+/// which is safe because the only cross-domain traffic is NoC fabric
+/// arrivals, and a packet injected at time t >= M reaches its destination's
+/// domain no earlier than t + flits + L > M + L (the flits term is the
+/// ingress serialization; L is the fabric-crossing floor). Cross-domain
+/// arrivals are exchanged through a sharded mailbox at an epoch barrier and
+/// inserted with a canonical (cycle, source node, per-source sequence)
+/// order key, so the merged event order — and therefore every statistic and
+/// output — is a pure function of the configuration and seed, byte-identical
+/// for any domain count and worker count, including the serial reference.
+///
+/// Determinism argument (why domains may run an epoch unsynchronized):
+///  - every component schedules only events for its own node; the only
+///    cross-node channel is Network::send, which the engine intercepts at
+///    the fabric-crossing point;
+///  - same-cycle events of *different* nodes commute: each touches only its
+///    node's state plus commutative sinks (per-node statistic shards folded
+///    in node order, per-domain coverage shards OR-folded);
+///  - same-cycle events of the *same* node are ordered by keys that do not
+///    depend on the partition (canonical keys for fabric arrivals, which
+///    always sort first; per-queue insertion order for local events, whose
+///    relative order per node is reproduced in every partition).
+
+namespace ccnoc::sim {
+
+/// Canonical order key for a fabric arrival: source node then per-source
+/// sequence. Bit 63 stays clear, so arrivals sort ahead of same-cycle local
+/// events (EventQueue::kLocalOrder) in every partition.
+[[nodiscard]] inline std::uint64_t cross_order_key(NodeId src, std::uint64_t seq) {
+  CCNOC_ASSERT(seq < (std::uint64_t{1} << 40), "per-source NoC sequence overflow");
+  return (std::uint64_t(src) + 1) << 40 | seq;
+}
+
+/// Sense-reversing spin barrier. The epoch loop synchronizes a handful of
+/// workers hundreds of thousands of times per run (epochs are only
+/// min_latency cycles long), which is exactly the regime where futex-parking
+/// primitives lose to a bounded spin; the spin yields after a short burst so
+/// oversubscribed hosts still make progress. An optional abort flag lets a
+/// failing worker release everyone instead of deadlocking the barrier.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned parties, const std::atomic<bool>* abort = nullptr)
+      : parties_(parties), abort_(abort) {}
+
+  /// \p sense is the caller's thread-local phase flag (start false).
+  void arrive_and_wait(bool& sense);
+
+ private:
+  const unsigned parties_;
+  const std::atomic<bool>* abort_;
+  std::atomic<unsigned> arrived_{0};
+  std::atomic<bool> phase_{false};
+};
+
+struct ParallelConfig {
+  unsigned domains = 1;   ///< domain count; must match the Simulator's partition
+  Cycle lookahead = 1;    ///< epoch window length; the GMN min_latency. >= 1.
+  unsigned workers = 0;   ///< worker threads; 0 = min(domains, hardware or the
+                          ///< CCNOC_PARALLEL_WORKERS environment variable)
+};
+
+/// Epoch-barrier engine. One instance drives one run; the NoC posts its
+/// fabric crossings through post() (installed as the network's cross-domain
+/// hook by core::System) and the engine delivers them into the destination
+/// domain's queue at the next barrier, ordered by canonical key.
+class ParallelEngine {
+ public:
+  ParallelEngine(Simulator& sim, ParallelConfig cfg);
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Post a fabric arrival: run \p cb at \p when in the domain owning
+  /// \p dst, ordered by cross_order_key(\p src, \p seq). Must be called
+  /// from an executing event of the domain owning \p src (worker-owned
+  /// outbox cells make the post lock-free).
+  void post(NodeId src, NodeId dst, Cycle when, std::uint64_t seq,
+            EventQueue::Callback cb);
+
+  /// Run the partitioned platform to completion (all queues and mailboxes
+  /// empty) or until the next epoch base would pass \p limit (events at
+  /// exactly \p limit still execute, matching EventQueue::run). Returns the
+  /// number of events executed across all domains.
+  std::uint64_t run(Cycle limit = ~Cycle{0});
+
+ private:
+  struct Crossing {
+    Cycle when = 0;
+    std::uint64_t key = 0;
+    EventQueue::Callback cb;
+  };
+  /// One outbox cell per (source domain, destination domain) pair; only the
+  /// worker executing the source domain appends, only the worker owning the
+  /// destination domain drains (after a barrier), so cells need no locks.
+  /// Padded out so two workers never write the same cache line.
+  struct alignas(64) Cell {
+    std::vector<Crossing> recs;
+  };
+  struct alignas(64) WorkerMin {
+    std::atomic<Cycle> t{~Cycle{0}};
+  };
+
+  void worker_loop(unsigned w);
+  void drain_into(unsigned domain);
+
+  Simulator& sim_;
+  ParallelConfig cfg_;
+  unsigned workers_;
+  std::vector<Cell> cells_;  ///< [src_domain * domains + dst_domain]
+  std::atomic<bool> aborted_{false};
+  SpinBarrier barrier_;
+  std::unique_ptr<WorkerMin[]> worker_min_;
+  Cycle limit_ = ~Cycle{0};
+  std::mutex error_mu_;
+  std::exception_ptr error_;  ///< first worker failure, rethrown from run()
+};
+
+}  // namespace ccnoc::sim

@@ -72,6 +72,21 @@ class Sample {
 
   void reset() { *this = Sample{}; }
 
+  /// Fold \p other into this sample. Exact for integer-valued samples
+  /// (cycle latencies, queue depths): integral doubles add without rounding
+  /// below 2^53, so a set of per-node shards folded in node order yields
+  /// byte-identical count/sum/min/max/buckets to one chronologically filled
+  /// sample — the property the parallel core's sharded NoC statistics
+  /// depend on (see noc/network.hpp).
+  void merge(const Sample& other) {
+    if (other.count_ == 0) return;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (std::size_t b = 0; b < kQuantileBuckets; ++b) buckets_[b] += other.buckets_[b];
+  }
+
  private:
   /// Bucket b>0 holds values in [2^(b-1), 2^b); bucket 0 holds v < 1.
   static std::size_t bucket_of(double v) {

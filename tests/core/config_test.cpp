@@ -52,6 +52,40 @@ TEST(Table2, DescribeMentionsEveryKnob) {
   EXPECT_NE(d.find("SMP"), std::string::npos);
 }
 
+TEST(GmnConfigField, UnsetConfigDerivesFromTheNodeCount) {
+  // SystemConfig::gmn is an optional, not a zero-sentinel: leaving it
+  // disengaged derives the fabric parameters from the platform size.
+  SystemConfig c = SystemConfig::architecture1(4, mem::Protocol::kWti);
+  ASSERT_FALSE(c.gmn.has_value());
+  System sys(c);
+  const auto& net = static_cast<noc::GmnNetwork&>(sys.network());
+  EXPECT_EQ(net.config().min_latency,
+            noc::GmnConfig::for_nodes(c.num_cpus + c.num_banks).min_latency);
+}
+
+TEST(GmnConfigField, ExplicitConfigIsUsedVerbatim) {
+  SystemConfig c = SystemConfig::architecture1(4, mem::Protocol::kWti);
+  noc::GmnConfig g;
+  g.min_latency = 23;
+  g.fifo_depth = 5;
+  c.gmn = g;
+  System sys(c);
+  const auto& net = static_cast<noc::GmnNetwork&>(sys.network());
+  EXPECT_EQ(net.config().min_latency, 23u);
+  EXPECT_EQ(net.config().fifo_depth, 5u);
+}
+
+TEST(GmnConfigField, ZeroMinLatencyIsRejectedNotRederived) {
+  // Historically min_latency == 0 silently meant "derive me"; a genuine
+  // zero (no fabric-crossing floor) was unrepresentable and a config bug
+  // could hide behind the sentinel. Now it is a checked error.
+  SystemConfig c = SystemConfig::architecture1(4, mem::Protocol::kWti);
+  noc::GmnConfig g;
+  g.min_latency = 0;
+  c.gmn = g;
+  EXPECT_THROW(System sys(c), std::logic_error);
+}
+
 TEST(RunResultTest, DerivedMetrics) {
   RunResult r;
   r.exec_cycles = 2'000'000;

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/ocean.hpp"
+#include "apps/water.hpp"
+#include "core/fuzz.hpp"
+#include "core/system.hpp"
+#include "sim/profile.hpp"
+
+/// The conservative parallel core's contract (EXPERIMENTS.md, "Parallel
+/// simulation"): for any domain count and worker count, every statistic and
+/// observer output is byte-identical to the serial reference. These tests
+/// pin that contract end-to-end on full platform runs — workloads, seeds
+/// and partitions chosen to cross domain boundaries heavily — plus the
+/// sequenced-fallback and degenerate-partition edges.
+
+namespace ccnoc::core {
+namespace {
+
+struct Capture {
+  RunResult r;
+  std::string stats;     ///< full StatsRegistry::to_string() dump
+  unsigned coverage = 0; ///< protocol transition-coverage population
+};
+
+/// Every field of RunResult except engine_domains must match; engine_domains
+/// is asserted separately so a test cannot pass because the parallel path
+/// silently never ran.
+void expect_identical(const Capture& a, const Capture& b) {
+  EXPECT_EQ(a.r.completed, b.r.completed);
+  EXPECT_EQ(a.r.verified, b.r.verified);
+  EXPECT_EQ(a.r.exec_cycles, b.r.exec_cycles);
+  EXPECT_EQ(a.r.noc_bytes, b.r.noc_bytes);
+  EXPECT_EQ(a.r.noc_packets, b.r.noc_packets);
+  EXPECT_EQ(a.r.instructions, b.r.instructions);
+  EXPECT_EQ(a.r.d_stall_cycles, b.r.d_stall_cycles);
+  EXPECT_EQ(a.r.i_stall_cycles, b.r.i_stall_cycles);
+  EXPECT_EQ(a.r.events, b.r.events);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.stats, b.stats);  // byte-for-byte, every counter and sample
+}
+
+Capture run_ocean(unsigned cpus, std::uint64_t seed, unsigned domains,
+                  unsigned workers = 0, unsigned rows = 2, unsigned iters = 2) {
+  SystemConfig cfg = SystemConfig::architecture1(cpus, mem::Protocol::kWbMesi);
+  cfg.seed = seed;
+  cfg.kernel.seed = seed;
+  cfg.parallel_domains = domains;
+  cfg.parallel_workers = workers;
+  System sys(cfg);
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = rows;
+  oc.iterations = iters;
+  apps::Ocean w(oc);
+  Capture c;
+  c.r = sys.run(w);
+  c.stats = sys.simulator().stats().to_string();
+  c.coverage = sys.simulator().proto_coverage().count();
+  return c;
+}
+
+Capture run_water(unsigned cpus, std::uint64_t seed, unsigned domains) {
+  SystemConfig cfg = SystemConfig::architecture2(cpus, mem::Protocol::kWbMesi);
+  cfg.seed = seed;
+  cfg.kernel.seed = seed;
+  cfg.parallel_domains = domains;
+  System sys(cfg);
+  apps::Water::Config wc;
+  wc.steps = 1;
+  apps::Water w(wc);
+  Capture c;
+  c.r = sys.run(w);
+  c.stats = sys.simulator().stats().to_string();
+  c.coverage = sys.simulator().proto_coverage().count();
+  return c;
+}
+
+TEST(ParallelEquivalence, OceanMatchesSerialAcrossDomainCounts) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const Capture serial = run_ocean(4, seed, 0);
+    ASSERT_TRUE(serial.r.verified) << "seed " << seed;
+    EXPECT_EQ(serial.r.engine_domains, 1u);
+    for (unsigned domains : {2u, 4u, 6u}) {
+      const Capture par = run_ocean(4, seed, domains);
+      EXPECT_EQ(par.r.engine_domains, domains)
+          << "parallel path did not run (seed " << seed << ")";
+      expect_identical(serial, par);
+    }
+  }
+}
+
+TEST(ParallelEquivalence, DomainCountIsClampedToTheNodeCount) {
+  // architecture1(4) has 4 caches + 2 banks = 6 NoC nodes; asking for 7
+  // domains must clamp to 6, not leave empty domains (or worse, crash).
+  const Capture serial = run_ocean(4, 3, 0);
+  const Capture par = run_ocean(4, 3, 7);
+  EXPECT_EQ(par.r.engine_domains, 6u);
+  expect_identical(serial, par);
+}
+
+TEST(ParallelEquivalence, ExplicitWorkerThreadsDoNotChangeResults) {
+  // Force a real thread pool even on a small host: workers is purely a
+  // throughput knob, so the schedule must not move by a single cycle.
+  const Capture serial = run_ocean(4, 11, 0);
+  const Capture par = run_ocean(4, 11, 4, /*workers=*/4);
+  EXPECT_EQ(par.r.engine_domains, 4u);
+  expect_identical(serial, par);
+}
+
+TEST(ParallelEquivalence, SingleDomainPartitionDegeneratesToSerial) {
+  // parallel_domains = 1 is, by definition, the serial core.
+  const Capture serial = run_ocean(4, 5, 0);
+  const Capture one = run_ocean(4, 5, 1);
+  EXPECT_EQ(one.r.engine_domains, 1u);
+  expect_identical(serial, one);
+}
+
+TEST(ParallelEquivalence, WaterOnDistributedArchMatchesSerial) {
+  const Capture serial = run_water(16, 9, 0);
+  ASSERT_TRUE(serial.r.verified);
+  const Capture par = run_water(16, 9, 4);
+  EXPECT_EQ(par.r.engine_domains, 4u);
+  expect_identical(serial, par);
+}
+
+TEST(ParallelEquivalence, LargePlatformManyDomainsMatchesSerial) {
+  // The acceptance configuration: 64 CPUs, kept small per-thread so the
+  // unit suite stays fast. 16 domains puts four nodes in each.
+  const Capture serial = run_ocean(64, 2, 0, 0, /*rows=*/1, /*iters=*/1);
+  ASSERT_TRUE(serial.r.verified);
+  const Capture par = run_ocean(64, 2, 16, 0, /*rows=*/1, /*iters=*/1);
+  EXPECT_EQ(par.r.engine_domains, 16u);
+  expect_identical(serial, par);
+}
+
+TEST(ParallelEquivalence, TracedRunsFallBackSequencedWithIdenticalOutput) {
+  // Tracing and profiling are sequenced observers: a domain-partitioned
+  // platform must fall back to the serial engine (engine_domains == 1) and
+  // produce byte-identical trace and profile JSON.
+  auto traced = [](unsigned domains) {
+    SystemConfig cfg = SystemConfig::architecture1(4, mem::Protocol::kWbMesi);
+    cfg.seed = 13;
+    cfg.kernel.seed = 13;
+    cfg.trace = sim::TraceMode::kFull;
+    cfg.profile = sim::ProfileMode::kOn;
+    cfg.parallel_domains = domains;
+    System sys(cfg);
+    apps::Ocean::Config oc;
+    oc.rows_per_thread = 2;
+    oc.iterations = 2;
+    apps::Ocean w(oc);
+    RunResult r = sys.run(w);
+    return std::tuple<unsigned, std::string, std::string>(
+        r.engine_domains, sys.simulator().tracer().chrome_json(),
+        sim::profile_json(sys.simulator().profiler().snapshot("eq")));
+  };
+  const auto [dom_serial, trace_serial, prof_serial] = traced(0);
+  const auto [dom_par, trace_par, prof_par] = traced(4);
+  EXPECT_EQ(dom_serial, 1u);
+  EXPECT_EQ(dom_par, 1u);  // sequenced fallback engaged
+  EXPECT_EQ(trace_serial, trace_par);
+  EXPECT_EQ(prof_serial, prof_par);
+}
+
+TEST(ParallelEquivalence, CheckedFuzzRunsAreUnchangedByPartitioning) {
+  // Fuzz runs are always coherence-checked and therefore sequenced, but the
+  // partition still reshapes construction (coverage shards, seeding
+  // eligibility) — none of which may change a single outcome field.
+  FuzzOptions opt;
+  opt.seed = 21;
+  opt.ops = 120;
+  const FuzzOutcome serial = run_fuzz(opt);
+  opt.parallel_domains = 4;
+  const FuzzOutcome par = run_fuzz(opt);
+  EXPECT_TRUE(serial.passed());
+  EXPECT_EQ(serial.passed(), par.passed());
+  EXPECT_EQ(serial.cycles, par.cycles);
+  EXPECT_EQ(serial.loads_checked, par.loads_checked);
+  EXPECT_EQ(serial.violations, par.violations);
+  EXPECT_EQ(serial.exercised.count(), par.exercised.count());
+}
+
+TEST(ParallelEquivalence, NonGmnNetworkRejectsDomainPartitioning) {
+  SystemConfig cfg = SystemConfig::architecture1(4, mem::Protocol::kWbMesi);
+  cfg.network = NetworkKind::kMesh;
+  cfg.parallel_domains = 4;
+  EXPECT_THROW(System sys(cfg), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccnoc::core

@@ -236,6 +236,7 @@ TEST_F(WtiBank, SameBlockRequestsSerialize) {
   w.access_size = 4;
   w.data_len = 4;
   caches[0]->send(map.bank_node(0), w);
+  sim.run_to_completion();  // write arrives; invalidation round now pending
   caches[2]->send(map.bank_node(0), read_req(0x100));
   sim.run_to_completion();
 

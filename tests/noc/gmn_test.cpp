@@ -98,13 +98,51 @@ TEST_F(GmnTest, AccountsBytesAndPackets) {
 }
 
 TEST_F(GmnTest, HeavyBacklogAddsOverflowDelay) {
-  for (int i = 0; i < 64; ++i) {
-    net.send(0, 1, make_msg(MsgType::kReadResponse, sim::Addr(i * 32), 32));
+  // One source can never overload an egress port by itself — its own
+  // ingress serialization limits it to the egress drain rate. Three sources
+  // converging on one destination inject 30 flits per 10 cycles, so the
+  // egress backlog grows without bound and overflow pressure accrues.
+  for (int i = 0; i < 24; ++i) {
+    for (sim::NodeId src : {sim::NodeId{0}, sim::NodeId{2}, sim::NodeId{3}}) {
+      net.send(src, 1, make_msg(MsgType::kReadResponse, sim::Addr(i * 32), 32));
+    }
   }
   sim.run_to_completion();
   EXPECT_GT(sim.stats().counter_value("noc.fifo_overflow_cycles"), 0u);
-  // Still delivered, in order.
-  ASSERT_EQ(eps[1]->count(), 64u);
+  // Still delivered, all of them.
+  ASSERT_EQ(eps[1]->count(), 72u);
+}
+
+TEST_F(GmnTest, OverflowCountsOnlyNewExcessPerPacket) {
+  // Two rounds of three converging 10-flit packets (sources 0, 2, 3 all to
+  // node 1), issued at t=0. Per source, round r exits the fabric at
+  // 10*(r+2), so the egress sees three 10-flit packets every 10 cycles and
+  // drains one. Allowance = fifo_depth + flits = 18 flit-cycles of backlog.
+  //   t=20: backlogs after each packet are 10, 20, 30 -> excess 0, 2, 10
+  //   t=30: backlogs 30, 40, 50 over bases 20, 30, 40 -> excess 10, 10, 10
+  // Total 42. Each packet is charged at most its own flit count — the
+  // standing backlog earlier packets created is never re-counted.
+  for (int round = 0; round < 2; ++round) {
+    for (sim::NodeId src : {sim::NodeId{0}, sim::NodeId{2}, sim::NodeId{3}}) {
+      net.send(src, 1, make_msg(MsgType::kReadResponse, sim::Addr(round * 32), 32));
+    }
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(sim.stats().counter_value("noc.fifo_overflow_cycles"), 42u);
+}
+
+TEST_F(GmnTest, OverflowGrowsLinearlyUnderSteadyOverload) {
+  // Four rounds of the same convergence pattern: 12 for the ramp-up round,
+  // then 30 (3 packets x 10 flits) per saturated round — linear in the
+  // packet count. The historic accounting charged every packet the whole
+  // standing backlog again, growing quadratically; this pins the fix.
+  for (int round = 0; round < 4; ++round) {
+    for (sim::NodeId src : {sim::NodeId{0}, sim::NodeId{2}, sim::NodeId{3}}) {
+      net.send(src, 1, make_msg(MsgType::kReadResponse, sim::Addr(round * 32), 32));
+    }
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(sim.stats().counter_value("noc.fifo_overflow_cycles"), 12u + 3u * 30u);
 }
 
 TEST_F(GmnTest, LatencySampleRecorded) {

@@ -95,6 +95,68 @@ TEST(EventQueue, SchedulingInThePastThrows) {
   EXPECT_THROW(q.schedule_at(5, [] {}), std::logic_error);
 }
 
+TEST(EventQueue, KeyedSchedulingInThePastThrowsToo) {
+  // CCNOC_ASSERT stays on in release builds and throws (types.cpp), so a
+  // past-scheduling bug surfaces as a checked error in release sweeps, not
+  // just as a debug abort.
+  EventQueue q;
+  q.schedule_in(10, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule_keyed(5, 1, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, SchedulingAtTheCurrentCycleIsAllowed) {
+  EventQueue q;
+  q.schedule_in(10, [] {});
+  q.step();
+  bool fired = false;
+  q.schedule_at(10, [&] { fired = true; });
+  q.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, KeyedEventsSortBeforeSameCycleLocalEvents) {
+  // Fabric arrivals (keyed, bit 63 clear) outrank local events (bit 63
+  // set) at the same cycle, regardless of insertion order — the property
+  // that makes the merged order independent of the domain partition.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&] { order.push_back(100); });  // local, inserted first
+  q.schedule_keyed(5, 42, [&] { order.push_back(1); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 100}));
+}
+
+TEST(EventQueue, KeyedOrderFollowsKeysNotInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_keyed(5, 300, [&] { order.push_back(3); });
+  q.schedule_keyed(5, 100, [&] { order.push_back(1); });
+  q.schedule_keyed(5, 200, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, KeyedKeyMustClearTheLocalOrderBit) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_keyed(5, EventQueue::kLocalOrder | 1, [] {}),
+               std::logic_error);
+}
+
+TEST(EventQueue, RunBeforeExecutesStrictlyBelowHorizonOnly) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&] { order.push_back(5); });
+  q.schedule_at(9, [&] { order.push_back(9); });
+  q.schedule_at(10, [&] { order.push_back(10); });
+  q.run_before(10);
+  EXPECT_EQ(order, (std::vector<int>{5, 9}));
+  EXPECT_EQ(q.now(), 9u);  // no idle advance: now() stays at the last event
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_before(11);
+  EXPECT_EQ(order, (std::vector<int>{5, 9, 10}));
+}
+
 TEST(EventQueue, ZeroDelayFiresAtCurrentCycle) {
   EventQueue q;
   q.schedule_in(10, [] {});

@@ -1,0 +1,199 @@
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace ccnoc::sim {
+namespace {
+
+// --- canonical cross-domain order keys --------------------------------------
+
+TEST(CrossOrderKey, ClearsTheLocalOrderBit) {
+  EXPECT_EQ(cross_order_key(0, 0) & EventQueue::kLocalOrder, 0u);
+  EXPECT_EQ(cross_order_key(63, (std::uint64_t{1} << 40) - 1) &
+                EventQueue::kLocalOrder,
+            0u);
+}
+
+TEST(CrossOrderKey, OrdersBySourceThenSequence) {
+  // Any arrival from a lower-numbered node sorts ahead of any from a higher
+  // one, and arrivals from one node sort by their per-node sequence — the
+  // total order the serial reference produces by construction.
+  EXPECT_LT(cross_order_key(0, 0), cross_order_key(0, 1));
+  EXPECT_LT(cross_order_key(0, (std::uint64_t{1} << 40) - 1),
+            cross_order_key(1, 0));
+  EXPECT_LT(cross_order_key(1, 7), cross_order_key(2, 0));
+}
+
+TEST(CrossOrderKey, SequenceOverflowIsChecked) {
+  EXPECT_THROW((void)cross_order_key(0, std::uint64_t{1} << 40),
+               std::logic_error);
+}
+
+// --- spin barrier ------------------------------------------------------------
+
+TEST(SpinBarrier, SynchronizesRepeatedPhases) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kPhases = 200;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      bool sense = false;
+      for (int p = 0; p < kPhases; ++p) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait(sense);
+        // Everyone contributed phase p's increment, and the trailing barrier
+        // keeps fast threads from starting phase p+1 before this check.
+        if (counter.load() != int(kThreads) * (p + 1)) mismatch.store(true);
+        barrier.arrive_and_wait(sense);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(counter.load(), int(kThreads) * kPhases);
+}
+
+TEST(SpinBarrier, AbortFlagReleasesWaiters) {
+  std::atomic<bool> abort{false};
+  SpinBarrier barrier(2, &abort);
+  std::thread waiter([&] {
+    bool sense = false;
+    barrier.arrive_and_wait(sense);  // second party never arrives
+  });
+  abort.store(true, std::memory_order_release);
+  waiter.join();  // would hang forever without the abort release
+}
+
+// --- engine ------------------------------------------------------------------
+
+TEST(ParallelEngine, SingleDomainDegeneratesToTheSerialQueue) {
+  // With no partition the engine drives the global queue directly: same
+  // events, same times, same executed count as EventQueue::run.
+  Simulator sim;
+  std::vector<Cycle> fired;
+  sim.queue().schedule_at(10, [&] { fired.push_back(sim.now()); });
+  sim.queue().schedule_at(30, [&] { fired.push_back(sim.now()); });
+  sim.queue().schedule_at(20, [&] { fired.push_back(sim.now()); });
+  ParallelEngine engine(sim, ParallelConfig{1, 4, 1});
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(fired, (std::vector<Cycle>{10, 20, 30}));
+  EXPECT_EQ(sim.queue().now(), 30u);
+}
+
+TEST(ParallelEngine, HonoursTheCycleLimitLikeRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.queue().schedule_at(5, [&] { ++fired; });
+  sim.queue().schedule_at(10, [&] { ++fired; });  // exactly on the limit
+  sim.queue().schedule_at(50, [&] { ++fired; });
+  ParallelEngine engine(sim, ParallelConfig{1, 1, 1});
+  EXPECT_EQ(engine.run(10), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.queue().pending(), 1u);  // the event beyond the limit stays
+}
+
+/// Ping-pong between two single-node domains: each hop runs in its own
+/// domain and posts the next hop across the fabric mailbox one lookahead
+/// later. Returns the per-domain execution timestamps (each log has exactly
+/// one writer — the worker owning that domain — so no synchronization is
+/// needed beyond the engine's own barriers).
+std::array<std::vector<Cycle>, 2> ping_pong(unsigned workers, Cycle lookahead) {
+  Simulator sim;
+  sim.configure_domains(2);
+  ParallelEngine engine(sim, ParallelConfig{2, lookahead, workers});
+  std::array<std::vector<Cycle>, 2> log;
+  std::array<std::uint64_t, 2> seq{};
+  std::function<void(NodeId)> hop = [&](NodeId me) {
+    log[me].push_back(sim.now());
+    if (log[me].size() >= 4) return;  // each side hops four times
+    const NodeId other = NodeId(1 - me);
+    engine.post(me, other, sim.now() + lookahead, seq[me]++,
+                [&hop, other] { hop(other); });
+  };
+  sim.domain_queue(0).schedule_at(0, [&hop] { hop(0); });
+  const std::uint64_t executed = engine.run();
+  EXPECT_EQ(executed, log[0].size() + log[1].size());
+  return log;
+}
+
+TEST(ParallelEngine, CrossDomainPostsArriveOneLookaheadLater) {
+  const auto log = ping_pong(/*workers=*/1, /*lookahead=*/3);
+  // Node 0 hops at 0, 6, 12, 18; its fourth hop stops the rally, so node 1
+  // answers three times, each exactly one lookahead after the serve.
+  EXPECT_EQ(log[0], (std::vector<Cycle>{0, 6, 12, 18}));
+  EXPECT_EQ(log[1], (std::vector<Cycle>{3, 9, 15}));
+}
+
+TEST(ParallelEngine, WorkerCountDoesNotChangeTheSchedule) {
+  const auto one = ping_pong(1, 3);
+  const auto two = ping_pong(2, 3);
+  EXPECT_EQ(one[0], two[0]);
+  EXPECT_EQ(one[1], two[1]);
+}
+
+TEST(ParallelEngine, SameCycleArrivalsMergeBySourceKeyNotPostOrder) {
+  // Nodes 4 (domain 1) and 2 (domain 2) both post to node 0 for the same
+  // cycle. A single worker executes domain 1 first, so node 4's post lands
+  // in the mailbox first — but the destination queue orders by canonical
+  // key, so node 2's arrival runs first, exactly as the serial reference
+  // (which orders fabric exits by source) would.
+  Simulator sim;
+  sim.configure_domains(3);
+  ParallelEngine engine(sim, ParallelConfig{3, 6, 1});
+  std::vector<NodeId> arrivals;
+  sim.domain_queue(1).schedule_at(0, [&] {
+    engine.post(4, 0, 6, 0, [&] { arrivals.push_back(4); });
+  });
+  sim.domain_queue(2).schedule_at(0, [&] {
+    engine.post(2, 0, 6, 0, [&] { arrivals.push_back(2); });
+  });
+  EXPECT_EQ(engine.run(), 4u);
+  EXPECT_EQ(arrivals, (std::vector<NodeId>{2, 4}));
+}
+
+TEST(ParallelEngine, WorkerExceptionAbortsAndRethrows) {
+  // A failing event in one domain must release the other workers from the
+  // barrier and surface from run() instead of deadlocking the pool.
+  Simulator sim;
+  sim.configure_domains(2);
+  ParallelEngine engine(sim, ParallelConfig{2, 2, 2});
+  sim.domain_queue(0).schedule_at(1, [] {
+    throw std::runtime_error("domain 0 event failed");
+  });
+  sim.domain_queue(1).schedule_at(1, [] {});
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(ParallelEngine, EventsMayScheduleLocallyDuringTheRun) {
+  // Inside the run, plain schedule_in routes to the executing domain's
+  // queue through the thread-local execution scope.
+  Simulator sim;
+  sim.configure_domains(2);
+  ParallelEngine engine(sim, ParallelConfig{2, 4, 2});
+  std::array<std::vector<Cycle>, 2> log;
+  for (unsigned d = 0; d < 2; ++d) {
+    sim.domain_queue(d).schedule_at(0, [&sim, &log, d] {
+      log[d].push_back(sim.now());
+      sim.schedule_in(5, [&sim, &log, d] { log[d].push_back(sim.now()); });
+    });
+  }
+  EXPECT_EQ(engine.run(), 4u);
+  EXPECT_EQ(log[0], (std::vector<Cycle>{0, 5}));
+  EXPECT_EQ(log[1], (std::vector<Cycle>{0, 5}));
+}
+
+}  // namespace
+}  // namespace ccnoc::sim

@@ -9,6 +9,7 @@
 
 #include "apps/micro.hpp"
 #include "core/system.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/sweep.hpp"
 
 /// SweepRunner contract: results land at submission index, failures are
@@ -65,6 +66,24 @@ TEST(SweepRunner, AllJobsStillRunWhenOneFails) {
                                   }),
                std::runtime_error);
   EXPECT_EQ(ran.load(), 32u);
+}
+
+TEST(SweepRunner, PastSchedulingInsideAJobSurfacesAsItsFailure) {
+  // EventQueue::schedule_at rejects past timestamps with a checked error
+  // that stays armed in release builds; a sweep job tripping it must fail
+  // loudly through the runner instead of silently corrupting its point.
+  SweepRunner runner(4);
+  try {
+    runner.run_indexed(8, [](std::size_t i) {
+      EventQueue q;
+      q.schedule_in(10, [] {});
+      q.step();
+      if (i == 2) q.schedule_at(3, [] {});  // time-travel: checked error
+    });
+    FAIL() << "expected the past-scheduling error to propagate";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("past"), std::string::npos);
+  }
 }
 
 TEST(SweepRunner, DefaultThreadsHonorsEnvironment) {

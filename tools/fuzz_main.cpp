@@ -37,6 +37,8 @@ void usage(const char* argv0) {
                "  --max-cycles N      hang guard (default 50000000)\n"
                "  --fault F           inject a protocol bug: skip-invalidate\n"
                "  --fault-after N     correct invalidations before the bug fires\n"
+               "  --parallel-domains N  build the platform with N simulation\n"
+               "                      domains (checked runs stay sequenced)\n"
                "  --minimize          shrink a failing config to a minimal repro\n"
                "  --trace PATH        dump a Chrome trace of the failing run\n"
                "  --profile PATH      dump a sharing profile of the failing run\n"
@@ -115,6 +117,8 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--fault-after" && parse_u64(value(), &n)) {
       opt.fault_after = unsigned(n);
+    } else if (a == "--parallel-domains" && parse_u64(value(), &n)) {
+      opt.parallel_domains = unsigned(n);
     } else if (a == "--minimize") {
       minimize = true;
     } else if (a == "--trace") {
