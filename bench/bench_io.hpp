@@ -31,6 +31,8 @@
 ///   --parallel-domains <n>  run the measured platforms on the conservative
 ///                           parallel core with n domains (0 = serial core);
 ///                           results are byte-identical either way
+///   --heartbeat <ms>        live progress heartbeat on stderr every <ms>
+///   --heartbeat-json <path> stream heartbeats as ccnoc-heartbeat-v1 JSONL
 ///
 /// The JSON schema is documented in EXPERIMENTS.md ("JSON bench output").
 
@@ -46,6 +48,8 @@ struct BenchOptions {
   double tolerance = 0.0;         ///< % drift allowed on deterministic fields
   double perf_tolerance = -1.0;   ///< % drift on perf fields; <0 = skip them
   unsigned parallel_domains = 0;  ///< SystemConfig::parallel_domains for runs
+  unsigned heartbeat_ms = 0;      ///< SystemConfig::heartbeat_ms passthrough
+  std::string heartbeat_json;     ///< SystemConfig::heartbeat_json passthrough
 
   /// Any profile output requested? (drives ProfileMode for the runs)
   [[nodiscard]] bool want_profile() const {
@@ -76,11 +80,17 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--parallel-domains") == 0 && i + 1 < argc) {
       long v = std::strtol(argv[++i], nullptr, 10);
       if (v > 0) opt.parallel_domains = unsigned(v);
+    } else if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
+      long v = std::strtol(argv[++i], nullptr, 10);
+      if (v > 0) opt.heartbeat_ms = unsigned(v);
+    } else if (std::strcmp(argv[i], "--heartbeat-json") == 0 && i + 1 < argc) {
+      opt.heartbeat_json = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf("usage: %s [--json <path>] [--threads <n>] [--serial]\n"
                   "          [--profile <path>] [--profile-html <path>]\n"
                   "          [--baseline <path>] [--tolerance <pct>]\n"
-                  "          [--perf-tolerance <pct>] [--parallel-domains <n>]\n", argv[0]);
+                  "          [--perf-tolerance <pct>] [--parallel-domains <n>]\n"
+                  "          [--heartbeat <ms>] [--heartbeat-json <path>]\n", argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);

@@ -26,7 +26,7 @@ AccessResult ICacheController::access(const MemAccess& a, std::uint64_t* hit_val
   pending_access_ = a;
   pending_cb_ = std::move(on_complete);
   pending_txn_ = next_txn();
-  tr_->txn_begin(sim_.now(), pending_txn_, "ifetch_miss", track_tid(), block);
+  tr_->txn_begin(sim_.now(), pending_txn_, "ifetch_miss", node_, track_tid(), block);
   Message m;
   m.type = MsgType::kReadShared;
   m.addr = block;
@@ -46,7 +46,7 @@ void ICacheController::on_packet(const noc::Packet& pkt) {
   std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
   tags_.touch(l);
   hops_fetch_miss_->add(pkt.msg.path_hops);
-  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
 
   std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
   pending_ = false;

@@ -88,7 +88,7 @@ AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value
     pending_line_ = l;
     pending_is_upgrade_ = true;
     pending_txn_ = next_txn();
-    tr_->txn_begin(sim_.now(), pending_txn_, "mesi.upgrade", track_tid(), block);
+    tr_->txn_begin(sim_.now(), pending_txn_, "mesi.upgrade", node_, track_tid(), block);
     Message m;
     m.type = MsgType::kUpgrade;
     m.addr = block;
@@ -113,7 +113,8 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
   pf_->miss(sim_.now(), node_, block);
   pending_txn_ = next_txn();
   tr_->txn_begin(sim_.now(), pending_txn_,
-                 a.is_store ? "mesi.write_miss" : "mesi.read_miss", track_tid(), block);
+                 a.is_store ? "mesi.write_miss" : "mesi.read_miss", node_,
+                 track_tid(), block);
   CacheLine& victim = tags_.victim(block);
   if (victim.state == LineState::kModified &&
       wb_buffer_.size() >= cfg_.writeback_buffer_entries) {
@@ -121,7 +122,7 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
     // launches once one frees.
     st_.wb_buffer_stalls->inc();
     pf_->wbuf_stall(sim_.now(), node_, victim.block);
-    tr_->txn_note(sim_.now(), pending_txn_, "wb_slot_wait", "wb_buffer",
+    tr_->txn_note(sim_.now(), pending_txn_, node_, "wb_slot_wait", "wb_buffer",
                   wb_buffer_.size());
     pending_ = Pending::kWbSlot;
     pending_line_ = &victim;
@@ -156,7 +157,7 @@ void MesiController::do_writeback(CacheLine& victim) {
   m.type = MsgType::kWriteBack;
   m.addr = victim.block;
   m.txn = next_txn();
-  tr_->txn_begin(sim_.now(), m.txn, "mesi.writeback", track_tid(), victim.block);
+  tr_->txn_begin(sim_.now(), m.txn, "mesi.writeback", node_, track_tid(), victim.block);
   m.data_len = std::uint8_t(cfg_.block_bytes);
   std::memcpy(m.data.data(), victim.data.data(), cfg_.block_bytes);
   send_to_bank(victim.block, std::move(m));
@@ -198,7 +199,7 @@ void MesiController::handle_read_response(const noc::Packet& pkt) {
   }
   (pending_access_.is_store ? st_.hops_write_miss : st_.hops_read_miss)
       ->add(pkt.msg.path_hops);
-  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
   finish_pending(l);
 }
 
@@ -224,7 +225,7 @@ void MesiController::handle_upgrade_ack(const noc::Packet& pkt) {
                  "upgrade ack without data for a lost line");
   }
   st_.hops_write_hit_s->add(pkt.msg.path_hops);
-  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
   finish_pending(l);
 }
 
@@ -255,7 +256,7 @@ void MesiController::maybe_finish_direct_upgrade() {
                  "direct upgrade ack without data for a lost line");
   }
   st_.hops_write_hit_s->add(msg.path_hops);
-  tr_->txn_end(sim_.now(), pending_txn_, msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, node_, msg.path_hops);
   finish_pending(l);
 }
 
@@ -297,9 +298,9 @@ void MesiController::finish_pending(CacheLine& l) {
 void MesiController::handle_invalidate(const noc::Packet& pkt) {
   st_.invalidations->inc();
   if (tr_->full()) {
-    tr_->instant(sim_.now(), "mesi.invalidate_recv", sim::Tracer::kPidCache, track_tid(),
-                 "addr", pkt.msg.addr);
-    tr_->txn_note(sim_.now(), pkt.msg.txn, "invalidate", "sharer", node_);
+    tr_->instant(sim_.now(), node_, "mesi.invalidate_recv", sim::Tracer::kPidCache,
+                 track_tid(), "addr", pkt.msg.addr);
+    tr_->txn_note(sim_.now(), pkt.msg.txn, node_, "invalidate", "sharer", node_);
   }
   CacheLine* l = tags_.find(pkt.msg.addr);
   pf_->invalidate_recv(sim_.now(), node_, pkt.msg.addr, l != nullptr);
@@ -318,9 +319,11 @@ void MesiController::handle_invalidate(const noc::Packet& pkt) {
 void MesiController::handle_fetch(const noc::Packet& pkt, bool invalidate) {
   (invalidate ? st_.fetch_invs : st_.fetches)->inc();
   if (tr_->full()) {
-    tr_->instant(sim_.now(), invalidate ? "mesi.fetchinv_recv" : "mesi.fetch_recv",
+    tr_->instant(sim_.now(), node_,
+                 invalidate ? "mesi.fetchinv_recv" : "mesi.fetch_recv",
                  sim::Tracer::kPidCache, track_tid(), "addr", pkt.msg.addr);
-    tr_->txn_note(sim_.now(), pkt.msg.txn, invalidate ? "fetch_inv" : "fetch", "owner", node_);
+    tr_->txn_note(sim_.now(), pkt.msg.txn, node_, invalidate ? "fetch_inv" : "fetch",
+                  "owner", node_);
   }
   Message resp;
   resp.type = MsgType::kFetchResponse;
@@ -355,7 +358,7 @@ void MesiController::handle_fetch(const noc::Packet& pkt, bool invalidate) {
 void MesiController::handle_writeback_ack(const noc::Packet& pkt) {
   auto erased = wb_buffer_.erase(tags_.block_of(pkt.msg.addr));
   CCNOC_ASSERT(erased == 1, "write-back ack for unknown block");
-  if (tr_->on()) tr_->txn_end(sim_.now(), pkt.msg.txn, pkt.msg.path_hops);
+  if (tr_->on()) tr_->txn_end(sim_.now(), pkt.msg.txn, node_, pkt.msg.path_hops);
   if (pending_ == Pending::kWbSlot) {
     CacheLine& victim = *pending_line_;
     if (victim.state == LineState::kModified) {

@@ -59,14 +59,16 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
     pending_txn_ = next_txn();
-    tr_->txn_begin(sim_.now(), pending_txn_, "wti.load_miss", track_tid(), block);
+    tr_->txn_begin(sim_.now(), pending_txn_, "wti.load_miss", node_, track_tid(),
+                   block);
     if (cfg_.drain_on_load_miss && !wbuf_.empty()) {
       // Sequential consistency: older buffered writes become globally
       // visible before this read is ordered.
       pending_ = Pending::kLoadDrain;
       st_.load_drain_waits->inc();
       pf_->wbuf_stall(sim_.now(), node_, a.addr);
-      tr_->txn_note(sim_.now(), pending_txn_, "drain_wait", "wbuf", wbuf_.size());
+      tr_->txn_note(sim_.now(), pending_txn_, node_, "drain_wait", "wbuf",
+                    wbuf_.size());
     } else {
       pending_ = Pending::kLoadResponse;
       issue_read();
@@ -83,10 +85,11 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
     pending_txn_ = next_txn();
-    tr_->txn_begin(sim_.now(), pending_txn_, "wti.atomic", track_tid(), block);
+    tr_->txn_begin(sim_.now(), pending_txn_, "wti.atomic", node_, track_tid(), block);
     if (!wbuf_.empty()) {
       pending_ = Pending::kSwapDrain;
-      tr_->txn_note(sim_.now(), pending_txn_, "drain_wait", "wbuf", wbuf_.size());
+      tr_->txn_note(sim_.now(), pending_txn_, node_, "drain_wait", "wbuf",
+                    wbuf_.size());
     } else {
       pending_ = Pending::kSwapResponse;
       issue_swap();
@@ -98,8 +101,8 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
   if (wbuf_.size() >= cfg_.write_buffer_entries) {
     st_.wbuf_full_stalls->inc();
     pf_->wbuf_stall(sim_.now(), node_, a.addr);
-    tr_->instant(sim_.now(), "wti.wbuf_full", sim::Tracer::kPidCache, track_tid(),
-                 "addr", a.addr);
+    tr_->instant(sim_.now(), node_, "wti.wbuf_full", sim::Tracer::kPidCache,
+                 track_tid(), "addr", a.addr);
     pending_ = Pending::kStoreBuffer;
     pending_access_ = a;
     pending_cb_ = std::move(on_complete);
@@ -135,7 +138,8 @@ void WtiController::start_drain() {
   m.access_size = e.size;
   m.data_len = e.size;
   m.txn = drain_txn_ = next_txn();
-  tr_->txn_begin(sim_.now(), drain_txn_, "wti.write_through", track_tid(), e.addr);
+  tr_->txn_begin(sim_.now(), drain_txn_, "wti.write_through", node_, track_tid(),
+                 e.addr);
   std::memcpy(m.data.data(), &e.value, e.size);
   drain_in_flight_ = true;
   send_to_bank(e.addr, std::move(m));
@@ -190,7 +194,7 @@ void WtiController::handle_read_response(const noc::Packet& pkt) {
   tags_.touch(l);
 
   st_.hops_read_miss->add(pkt.msg.path_hops);
-  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
   std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
   pending_ = Pending::kNone;
   auto cb = std::move(pending_cb_);
@@ -210,7 +214,7 @@ void WtiController::handle_write_ack(const noc::Packet& pkt) {
     return;
   }
   st_.hops_write_through->add(pkt.msg.path_hops);
-  tr_->txn_end(sim_.now(), pkt.msg.txn, pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pkt.msg.txn, node_, pkt.msg.path_hops);
   wbuf_.pop_front();
   drain_in_flight_ = false;
   start_drain();
@@ -241,7 +245,7 @@ void WtiController::maybe_finish_direct_write() {
   if (!have_write_ack_ || direct_acks_got_ < direct_acks_needed_) return;
   st_.direct_ack_writes->inc();
   st_.hops_write_through->add(saved_ack_hops_);
-  tr_->txn_end(sim_.now(), drain_txn_, saved_ack_hops_);
+  tr_->txn_end(sim_.now(), drain_txn_, node_, saved_ack_hops_);
   // Release the bank's per-block transaction lock. Carrying the finishing
   // transaction's id lets the trace tie the unlock to its write.
   Message done;
@@ -290,7 +294,7 @@ AccessResult WtiController::drain(CompleteFn on_drained) {
 void WtiController::handle_swap_response(const noc::Packet& pkt) {
   CCNOC_ASSERT(pending_ == Pending::kSwapResponse, "unexpected swap response");
   st_.hops_atomic_swap->add(pkt.msg.path_hops);
-  tr_->txn_end(sim_.now(), pending_txn_, pkt.msg.path_hops);
+  tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
   std::uint64_t old = 0;
   std::memcpy(&old, pkt.msg.data.data(), pkt.msg.data_len);
   pending_ = Pending::kNone;
@@ -304,8 +308,8 @@ void WtiController::handle_update(const noc::Packet& pkt) {
   // stale-sharer ack tells the directory to stop updating us.
   st_.updates->inc();
   pf_->update_recv(sim_.now(), node_, pkt.msg.addr);
-  tr_->instant(sim_.now(), "wti.update_recv", sim::Tracer::kPidCache, track_tid(),
-               "addr", pkt.msg.addr);
+  tr_->instant(sim_.now(), node_, "wti.update_recv", sim::Tracer::kPidCache,
+               track_tid(), "addr", pkt.msg.addr);
   Message ack;
   ack.type = MsgType::kUpdateAck;
   ack.addr = pkt.msg.addr;
@@ -342,8 +346,8 @@ void WtiController::handle_update(const noc::Packet& pkt) {
 
 void WtiController::handle_invalidate(const noc::Packet& pkt) {
   st_.invalidations->inc();
-  tr_->instant(sim_.now(), "wti.invalidate_recv", sim::Tracer::kPidCache, track_tid(),
-               "addr", pkt.msg.addr);
+  tr_->instant(sim_.now(), node_, "wti.invalidate_recv", sim::Tracer::kPidCache,
+               track_tid(), "addr", pkt.msg.addr);
   CacheLine* l = tags_.find(pkt.msg.addr);
   pf_->invalidate_recv(sim_.now(), node_, pkt.msg.addr, l != nullptr);
   if (l) {

@@ -1,0 +1,163 @@
+#include "check/replay.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ccnoc::check {
+
+ProbeRecorder::ProbeRecorder(sim::Simulator& sim, const mem::AddressMap& map,
+                             Checker& chk, unsigned domains)
+    : sim_(sim), map_(map), chk_(chk) {
+  CCNOC_ASSERT(domains > 1, "the recorder exists only for partitioned runs");
+  CCNOC_ASSERT(chk_.wants_probe(),
+               "a walker-only checker records nothing to replay");
+  shards_.assign(domains, Shard{});
+}
+
+void ProbeRecorder::record(sim::NodeId node, Rec rec) {
+  Shard& sh = shards_[node % shards_.size()];
+  if (sh.node_seq.size() <= node)
+    sh.node_seq.resize(std::size_t(node) + 1, 0);
+  rec.cycle = sim_.now();
+  rec.node = node;
+  rec.seq = sh.node_seq[node]++;
+  sh.recs.push_back(rec);
+}
+
+void ProbeRecorder::load_commit(unsigned cpu, sim::Addr a, unsigned size,
+                                std::uint64_t v, sim::Cycle issued) {
+  if (passthrough_) return chk_.load_commit(cpu, a, size, v, issued);
+  Rec r;
+  r.k = Rec::K::kLoad;
+  r.a = a;
+  r.v = v;
+  r.w = issued;
+  r.cpu = std::uint16_t(cpu);
+  r.size = std::uint8_t(size);
+  record(sim::NodeId(cpu), r);
+}
+
+void ProbeRecorder::store_commit(unsigned cpu, sim::Addr a, unsigned size,
+                                 std::uint64_t v) {
+  if (passthrough_) return chk_.store_commit(cpu, a, size, v);
+  Rec r;
+  r.k = Rec::K::kStore;
+  r.a = a;
+  r.v = v;
+  r.cpu = std::uint16_t(cpu);
+  r.size = std::uint8_t(size);
+  record(sim::NodeId(cpu), r);
+}
+
+void ProbeRecorder::atomic_commit(unsigned cpu, sim::Addr a, unsigned size,
+                                  std::uint64_t returned_old,
+                                  std::uint64_t operand, bool is_add) {
+  if (passthrough_)
+    return chk_.atomic_commit(cpu, a, size, returned_old, operand, is_add);
+  Rec r;
+  r.k = Rec::K::kAtomic;
+  r.a = a;
+  r.v = returned_old;
+  r.w = operand;
+  r.cpu = std::uint16_t(cpu);
+  r.size = std::uint8_t(size);
+  r.flag = is_add;
+  record(sim::NodeId(cpu), r);
+}
+
+void ProbeRecorder::global_store(unsigned cpu, sim::Addr a, unsigned size,
+                                 std::uint64_t v, bool deferred) {
+  if (passthrough_) return chk_.global_store(cpu, a, size, v, deferred);
+  Rec r;
+  r.k = Rec::K::kGlobalStore;
+  r.a = a;
+  r.v = v;
+  r.cpu = std::uint16_t(cpu);
+  r.size = std::uint8_t(size);
+  r.flag = deferred;
+  record(map_.bank_node_of(a), r);
+}
+
+void ProbeRecorder::global_atomic(unsigned cpu, sim::Addr a, unsigned size,
+                                  bool is_add, std::uint64_t operand) {
+  if (passthrough_) return chk_.global_atomic(cpu, a, size, is_add, operand);
+  Rec r;
+  r.k = Rec::K::kGlobalAtomic;
+  r.a = a;
+  r.w = operand;
+  r.cpu = std::uint16_t(cpu);
+  r.size = std::uint8_t(size);
+  r.flag = is_add;
+  record(map_.bank_node_of(a), r);
+}
+
+void ProbeRecorder::txn_released(unsigned cpu, sim::Addr block) {
+  if (passthrough_) return chk_.txn_released(cpu, block);
+  Rec r;
+  r.k = Rec::K::kTxnReleased;
+  r.a = block;
+  r.cpu = std::uint16_t(cpu);
+  record(map_.bank_node_of(block), r);
+}
+
+void ProbeRecorder::backdoor_write(sim::Addr a, const void* data,
+                                   unsigned len) {
+  // Untimed and only fired outside the epoch loop; forward immediately so
+  // program loading lands in the reference image before any recorded event.
+  chk_.backdoor_write(a, data, len);
+}
+
+std::size_t ProbeRecorder::recorded() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.recs.size();
+  return n;
+}
+
+void ProbeRecorder::replay() {
+  CCNOC_ASSERT(!passthrough_, "replay() must run exactly once");
+  std::size_t total = recorded();
+  std::vector<Rec> merged;
+  merged.reserve(total);
+  for (Shard& sh : shards_) {
+    merged.insert(merged.end(), sh.recs.begin(), sh.recs.end());
+    sh.recs.clear();
+  }
+  // (cycle, node, seq) totally orders the stream — one worker owns each
+  // node — and is identical for every domain/worker count.
+  std::sort(merged.begin(), merged.end(), [](const Rec& x, const Rec& y) {
+    return std::tie(x.cycle, x.node, x.seq) < std::tie(y.cycle, y.node, y.seq);
+  });
+  std::size_t fed = 0;
+  for (const Rec& r : merged) {
+    chk_.set_replay_now(r.cycle);
+    switch (r.k) {
+      case Rec::K::kLoad:
+        chk_.load_commit(r.cpu, r.a, r.size, r.v, sim::Cycle(r.w));
+        break;
+      case Rec::K::kStore:
+        chk_.store_commit(r.cpu, r.a, r.size, r.v);
+        break;
+      case Rec::K::kAtomic:
+        chk_.atomic_commit(r.cpu, r.a, r.size, r.v, r.w, r.flag);
+        break;
+      case Rec::K::kGlobalStore:
+        chk_.global_store(r.cpu, r.a, r.size, r.v, r.flag);
+        break;
+      case Rec::K::kGlobalAtomic:
+        chk_.global_atomic(r.cpu, r.a, r.size, r.flag, r.w);
+        break;
+      case Rec::K::kTxnReleased:
+        chk_.txn_released(r.cpu, r.a);
+        break;
+    }
+    // Trim the oracle's byte-version history as the replay clock advances,
+    // mirroring the periodic walk's gc on the serial path.
+    if ((++fed & 0xfff) == 0) chk_.replay_gc();
+  }
+  chk_.clear_replay_now();
+  shards_.clear();
+  shards_.shrink_to_fit();
+  passthrough_ = true;
+}
+
+}  // namespace ccnoc::check

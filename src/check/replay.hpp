@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "mem/address_map.hpp"
+#include "sim/probe.hpp"
+
+/// \file replay.hpp
+/// Parallel-native coherence checking: a `sim::CoherenceProbe` that records
+/// the probe stream into per-domain shards during a partitioned run and
+/// replays it through the real Checker afterwards.
+///
+/// The golden-model oracle is inherently sequential — it folds every commit
+/// and global-visibility event into one SC reference image — so it cannot
+/// run concurrently inside domain workers. Instead of forcing checked runs
+/// onto the serial engine, the recorder captures each hook as a compact
+/// record stamped (cycle, recording node, per-node seq): processor commit
+/// hooks execute in the CPU's node event, bank visibility hooks in the home
+/// bank's node event, so each record stream is single-writer per domain.
+/// After the epoch loop drains, `replay()` merges the shards, sorts by the
+/// order key (a total order, identical for every domain/worker count), and
+/// feeds the real Checker with its clock overridden to each record's cycle.
+/// On violation-free runs the verdict is identical to the serial engine's;
+/// the canonical same-cycle cross-node order can only differ from a serial
+/// interleaving in which of several *legal* values a load observed, and the
+/// oracle's reads-from window accepts every legal value either way.
+///
+/// `backdoor_write` forwards immediately: it is untimed and only fires
+/// outside the epoch loop (program loading before the run, cache flushes
+/// after `replay()` has switched the recorder to pass-through).
+namespace ccnoc::check {
+
+class ProbeRecorder final : public sim::CoherenceProbe {
+ public:
+  /// \p domains is the partition width (shard count). The recorder starts
+  /// in recording mode; `replay()` flips it to pass-through forwarding.
+  /// Hook timestamps come from \p sim's clock, which the parallel engine
+  /// routes to the executing domain's queue.
+  ProbeRecorder(sim::Simulator& sim, const mem::AddressMap& map, Checker& chk,
+                unsigned domains);
+  ProbeRecorder(const ProbeRecorder&) = delete;
+  ProbeRecorder& operator=(const ProbeRecorder&) = delete;
+
+  // --- sim::CoherenceProbe -------------------------------------------------
+  void load_commit(unsigned cpu, sim::Addr a, unsigned size, std::uint64_t v,
+                   sim::Cycle issued) override;
+  void store_commit(unsigned cpu, sim::Addr a, unsigned size,
+                    std::uint64_t v) override;
+  void atomic_commit(unsigned cpu, sim::Addr a, unsigned size,
+                     std::uint64_t returned_old, std::uint64_t operand,
+                     bool is_add) override;
+  void global_store(unsigned cpu, sim::Addr a, unsigned size, std::uint64_t v,
+                    bool deferred) override;
+  void global_atomic(unsigned cpu, sim::Addr a, unsigned size, bool is_add,
+                     std::uint64_t operand) override;
+  void txn_released(unsigned cpu, sim::Addr block) override;
+  void backdoor_write(sim::Addr a, const void* data, unsigned len) override;
+
+  /// Merge shards, sort by (cycle, node, seq), feed the Checker with its
+  /// clock pinned to each record, then switch to pass-through mode. Call
+  /// once, after the event queues drain and before Checker::final_audit().
+  void replay();
+
+  [[nodiscard]] std::size_t recorded() const;
+  [[nodiscard]] bool passthrough() const { return passthrough_; }
+
+ private:
+  struct Rec {
+    enum class K : std::uint8_t {
+      kLoad, kStore, kAtomic, kGlobalStore, kGlobalAtomic, kTxnReleased,
+    };
+    sim::Cycle cycle = 0;
+    std::uint64_t seq = 0;
+    sim::Addr a = 0;
+    std::uint64_t v = 0;  ///< value / returned_old
+    std::uint64_t w = 0;  ///< operand / issue cycle
+    sim::NodeId node = 0;
+    std::uint16_t cpu = 0;
+    std::uint8_t size = 0;
+    K k{};
+    bool flag = false;  ///< is_add / deferred
+  };
+  struct alignas(64) Shard {
+    std::vector<Rec> recs;
+    std::vector<std::uint64_t> node_seq;
+  };
+
+  void record(sim::NodeId node, Rec rec);
+
+  sim::Simulator& sim_;
+  const mem::AddressMap& map_;
+  Checker& chk_;
+  bool passthrough_ = false;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ccnoc::check

@@ -35,7 +35,9 @@ std::string FuzzOutcome::summary() const {
   std::ostringstream os;
   if (passed()) {
     os << "PASS (" << cycles << " cycles, " << loads_checked
-       << " loads checked)";
+       << " loads checked";
+    if (engine == "parallel") os << ", parallel x" << engine_domains;
+    os << ")";
     return os.str();
   }
   os << "FAIL:";
@@ -58,6 +60,8 @@ FuzzOutcome run_fuzz(const FuzzOptions& opt) {
   if (!opt.trace_path.empty()) cfg.trace = sim::TraceMode::kFull;
   if (!opt.profile_path.empty()) cfg.profile = sim::ProfileMode::kOn;
   cfg.parallel_domains = opt.parallel_domains;
+  cfg.heartbeat_ms = opt.heartbeat_ms;
+  cfg.heartbeat_json = opt.heartbeat_json;
 
   apps::FuzzWorkload::Config wcfg;
   wcfg.seed = opt.seed;
@@ -86,6 +90,8 @@ FuzzOutcome run_fuzz(const FuzzOptions& opt) {
   out.violations = r.check_violations;
   out.loads_checked = r.check_loads_verified;
   out.cycles = r.exec_cycles;
+  out.engine = r.engine;
+  out.engine_domains = r.engine_domains;
   out.report = r.check_report;
   out.exercised = sys.simulator().proto_coverage();
   return out;

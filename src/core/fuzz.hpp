@@ -43,11 +43,16 @@ struct FuzzOptions {
   /// here (same schema as tools/ccnoc_profile; see EXPERIMENTS.md).
   std::string profile_path;
   /// Domain partition to build the platform with (SystemConfig::
-  /// parallel_domains). A fuzz run is always coherence-checked, so it takes
-  /// the sequenced engine regardless — the flag still exercises the
-  /// partitioned construction path (coverage shards, domain seeding
-  /// eligibility) and pins that partitioning alone never changes a result.
+  /// parallel_domains). Coherence checking is parallel-native — the probe
+  /// stream is recorded per domain and replayed through the checker in
+  /// canonical order — so a partitioned fuzz run genuinely takes the
+  /// parallel engine, and its verdict and every outcome field must still be
+  /// identical to the serial reference.
   unsigned parallel_domains = 0;
+  /// Live telemetry passthrough (SystemConfig::heartbeat_*): progress
+  /// heartbeats every heartbeat_ms, optionally streamed as JSONL.
+  unsigned heartbeat_ms = 0;
+  std::string heartbeat_json;
 
   /// The equivalent tools/ccnoc_fuzz invocation (minus --trace/--minimize).
   [[nodiscard]] std::string command_line() const;
@@ -60,6 +65,8 @@ struct FuzzOutcome {
   std::uint64_t violations = 0;
   std::uint64_t loads_checked = 0;
   sim::Cycle cycles = 0;
+  std::string engine;           ///< engine actually used ("serial"/"parallel")
+  unsigned engine_domains = 1;  ///< RunResult::engine_domains
   std::string report;  ///< checker violation report; empty when clean
   /// Declarative table rows (proto/tables.hpp) this run's controllers and
   /// bank took. Reconciled against the model checker's explored set: every

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/heartbeat.hpp"
 #include "sim/parallel.hpp"
 
 namespace ccnoc::core {
@@ -69,11 +70,22 @@ System::System(SystemConfig cfg)
   }
 
   // Checker likewise before any component: processors and banks cache the
-  // probe pointer in their constructors.
+  // probe pointer in their constructors. On partitioned runs the probe is a
+  // recorder: events land in per-domain shards and are replayed through the
+  // checker in canonical order after the run (check/replay.hpp), so the
+  // oracle sees one deterministic stream regardless of the engine.
   if (cfg_.check.enabled) {
     checker_ = std::make_unique<check::Checker>(sim_, map_, cfg_.protocol,
                                                 cfg_.dcache, cfg_.check);
-    if (checker_->wants_probe()) sim_.set_probe(checker_.get());
+    if (checker_->wants_probe()) {
+      if (sim_.num_domains() > 1) {
+        recorder_ = std::make_unique<check::ProbeRecorder>(sim_, map_, *checker_,
+                                                           sim_.num_domains());
+        sim_.set_probe(recorder_.get());
+      } else {
+        sim_.set_probe(checker_.get());
+      }
+    }
   }
 
   const std::size_t nodes = map_.num_nodes();
@@ -137,19 +149,39 @@ RunResult System::run(apps::Workload& workload, unsigned nthreads,
   for (auto& p : cpus_) cpu_ptrs.push_back(p.get());
   // Engine choice must precede launch: Processor::start seeds each CPU's
   // first event, and it must land in the queue the chosen engine will run.
-  const bool use_parallel = checker_ == nullptr && parallel_eligible(nthreads);
+  const bool partitioned = sim_.num_domains() > 1;
+  const char* block = partitioned ? parallel_block_reason(nthreads) : nullptr;
+  const bool use_parallel = partitioned && block == nullptr;
   sim_.set_domain_seeding(use_parallel);
   kernel_->launch(cpu_ptrs);
 
   RunResult r;
-  if (checker_) {
-    r.events = run_with_checker(max_cycles);
-  } else if (use_parallel) {
+  r.observers = observer_set();
+  if (use_parallel) {
+    r.engine = "parallel";
     r.engine_domains = sim_.num_domains();
+  } else if (partitioned) {
+    r.engine_fallback = block;
+  }
+  if (sim_.tracer().on()) {
+    sim_.tracer().set_run_context(r.engine, r.engine_domains, r.engine_fallback,
+                                  r.observers);
+  }
+  if (use_parallel) {
     r.events = run_parallel(max_cycles);
+  } else if (checker_ && recorder_ == nullptr) {
+    r.events = run_with_checker(max_cycles);
   } else {
+    // Includes partitioned checked runs that fell back serial: the recorder
+    // is already installed, so the probe stream is replayed below either
+    // way and the verdict is engine-independent.
     r.events = sim_.run_to_completion(max_cycles);
   }
+  // Feed the recorded probe stream through the checker in canonical
+  // (cycle, node, seq) order before anything below consults the verdict.
+  // Periodic invariant walks are skipped on recorded runs — the strict
+  // final audit below still covers every end-state invariant.
+  if (recorder_ != nullptr) recorder_->replay();
   r.completed = kernel_->all_finished();
 
   // Execution time = last cycle a processor retired work (the event queue
@@ -186,18 +218,40 @@ RunResult System::run(apps::Workload& workload, unsigned nthreads,
 }
 
 bool System::parallel_eligible(unsigned nthreads) const {
-  if (sim_.num_domains() <= 1) return false;
-  // The sequenced observers assume one chronological event stream: the
-  // tracer orders spans, the profiler epochs series, the logger interleaves
-  // lines, and the checker walks a quiescent-between-events platform. Any
-  // of them active → serial engine, which is byte-identical anyway.
-  if (sim_.tracer().on() || sim_.profiler().on() || checker_ != nullptr) return false;
-  if (sim_.logger().level() != sim::LogLevel::None) return false;
-  // Oversubscription migrates threads through the shared scheduler queues
-  // mid-run; with at most one thread per CPU those queues stay empty and
-  // the scheduler never couples two domains.
-  if (nthreads > cfg_.num_cpus) return false;
-  return true;
+  return sim_.num_domains() > 1 && parallel_block_reason(nthreads) == nullptr;
+}
+
+const char* System::parallel_block_reason(unsigned nthreads) const {
+  // The tracer, profiler and oracle checker are parallel-native: they
+  // record into per-domain shards stamped with (cycle, node, seq) order
+  // keys and merge/replay deterministically after the run, so they no
+  // longer force the serial engine. What remains serial-only:
+  //
+  //  - trace-level logging interleaves free-form lines in execution order,
+  //    which has no canonical merge;
+  //  - a walker-only checker (no probe) audits invariants on a platform
+  //    that is quiescent *between events*, which only the sequenced core
+  //    guarantees;
+  //  - oversubscription migrates threads through the shared scheduler
+  //    queues mid-run and couples domains. With at most one thread per CPU
+  //    those queues stay empty.
+  if (sim_.logger().level() != sim::LogLevel::None) return "trace-logging";
+  if (checker_ != nullptr && !checker_->wants_probe()) return "walker-only-checker";
+  if (nthreads > cfg_.num_cpus) return "oversubscribed";
+  return nullptr;
+}
+
+std::string System::observer_set() const {
+  std::string s;
+  auto add = [&s](const char* name) {
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  if (sim_.tracer().on()) add(sim_.tracer().full() ? "trace" : "metrics");
+  if (sim_.profiler().on()) add("profile");
+  if (checker_ != nullptr) add("check");
+  if (sim_.logger().level() != sim::LogLevel::None) add("log");
+  return s.empty() ? std::string("none") : s;
 }
 
 std::uint64_t System::run_parallel(sim::Cycle max_cycles) {
@@ -215,16 +269,46 @@ std::uint64_t System::run_parallel(sim::Cycle max_cycles) {
   sim::ParallelEngine engine(sim_, pc);
 
   net_->enable_sharded_stats(map_.num_nodes());
+  sim_.tracer().begin_sharded(pc.domains);
+  sim_.profiler().begin_sharded(pc.domains);
   gmn->set_cross_post([&engine](sim::NodeId src, sim::NodeId dst, sim::Cycle when,
                                 std::uint64_t seq, sim::EventQueue::Callback cb) {
     engine.post(src, dst, when, seq, std::move(cb));
   });
 
+  // Live telemetry: a wall-clock sampler thread off the workers reads the
+  // engine's relaxed progress counters. Barrier-wait timing costs two clock
+  // reads per worker per barrier, so it is only armed when someone listens.
+  sim::HeartbeatConfig hc;
+  hc.interval_ms = cfg_.heartbeat_ms;
+  hc.json_path = cfg_.heartbeat_json;
+  sim::Heartbeat hb(hc, [&engine] {
+    sim::Heartbeat::Sample s;
+    s.engine = "parallel";
+    const sim::ParallelEngine::ProgressSnapshot p = engine.progress();
+    s.epochs = p.epochs;
+    s.domains.reserve(p.domains.size());
+    for (std::size_t d = 0; d < p.domains.size(); ++d) {
+      s.domains.push_back({unsigned(d), p.domains[d].cycle, p.domains[d].events,
+                           p.domains[d].mailbox});
+    }
+    s.workers.reserve(p.worker_barrier_wait_ns.size());
+    for (std::size_t w = 0; w < p.worker_barrier_wait_ns.size(); ++w) {
+      s.workers.push_back({unsigned(w), p.worker_barrier_wait_ns[w]});
+    }
+    return s;
+  });
+  if (hb.enabled()) engine.enable_progress_timing();
+  hb.start();
+
   const sim::Cycle limit = max_cycles;  // all domain clocks start at zero
   const std::uint64_t events = engine.run(limit);
 
+  hb.stop();
   gmn->set_cross_post({});
   net_->finalize_stats();
+  sim_.tracer().finalize_sharded();
+  sim_.profiler().finalize_sharded();
   return events;
 }
 

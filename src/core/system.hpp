@@ -8,6 +8,7 @@
 #include "apps/workload.hpp"
 #include "cache/cache_node.hpp"
 #include "check/checker.hpp"
+#include "check/replay.hpp"
 #include "cpu/processor.hpp"
 #include "mem/address_map.hpp"
 #include "mem/bank.hpp"
@@ -78,15 +79,25 @@ struct SystemConfig {
   /// classic serial core. >1 = partition the platform's NoC nodes into this
   /// many domains (clamped to the node count) and run them on worker
   /// threads under the GMN min_latency lookahead. Requires network == kGmn.
-  /// Results are byte-identical to serial for any domain/worker count; runs
-  /// that need the sequenced observers (tracing, profiling, checking,
-  /// trace-level logging) or oversubscribed thread scheduling fall back to
-  /// the serial engine automatically.
+  /// Results are byte-identical to serial for any domain/worker count. The
+  /// observers are parallel-native — tracing, profiling and oracle-backed
+  /// coherence checking record into per-domain shards and merge
+  /// deterministically — so only trace-level logging, a walker-only
+  /// checker, or oversubscribed thread scheduling still fall back to the
+  /// serial engine (RunResult::engine_fallback names the reason).
   unsigned parallel_domains = 0;
   /// Worker threads for the parallel engine. 0 = one per domain, capped at
   /// the hardware concurrency (or the CCNOC_PARALLEL_WORKERS environment
   /// variable). Purely a throughput knob — never affects results.
   unsigned parallel_workers = 0;
+
+  /// Live run telemetry (sim/heartbeat.hpp): 0 disables. When the parallel
+  /// engine runs, a wall-clock sampler thread reports per-domain progress
+  /// (cycle, events, mailbox depth, barrier wait) every heartbeat_ms as a
+  /// stderr one-liner and, when heartbeat_json is set, as a
+  /// ccnoc-heartbeat-v1 JSONL stream.
+  unsigned heartbeat_ms = 0;
+  std::string heartbeat_json;
 
   /// Paper architecture 1: 2 banks, centralized layout, SMP scheduler.
   static SystemConfig architecture1(unsigned n, mem::Protocol p);
@@ -108,10 +119,18 @@ struct RunResult {
   std::uint64_t i_stall_cycles = 0;
   std::uint64_t events = 0;
   /// Domains the engine actually ran with: 1 = serial core (including
-  /// sequenced fallback), >1 = the conservative parallel engine. Every
-  /// other field is independent of this one — that is the engine's
-  /// determinism contract, and what the equivalence tests pin.
+  /// fallback), >1 = the conservative parallel engine. Every other field is
+  /// independent of this one — that is the engine's determinism contract,
+  /// and what the equivalence tests pin.
   unsigned engine_domains = 1;
+  /// Engine actually used: "serial" or "parallel".
+  std::string engine = "serial";
+  /// When a partitioned config still ran serial, the reason (e.g.
+  /// "trace-logging", "walker-only-checker", "oversubscribed"); empty
+  /// otherwise.
+  std::string engine_fallback;
+  /// Active observer set, comma-joined ("trace,profile,check"), or "none".
+  std::string observers = "none";
 
   /// Per-CPU stall attribution (load/store/atomic/ifetch). Populated only
   /// when the run was traced (SystemConfig::trace != kOff); the category
@@ -170,8 +189,16 @@ class System {
   [[nodiscard]] bool quiescent() const;
 
   /// True when run() will use the parallel engine for a \p nthreads-thread
-  /// workload: domains were configured and no sequenced observer is active.
+  /// workload: domains were configured and nothing forces the serial core.
   [[nodiscard]] bool parallel_eligible(unsigned nthreads) const;
+  /// Why a partitioned run would still take the serial engine, or nullptr
+  /// when the parallel engine is usable. Meaningful only when domains were
+  /// configured; the reason string lands in RunResult::engine_fallback and
+  /// the schema-v1 run report.
+  [[nodiscard]] const char* parallel_block_reason(unsigned nthreads) const;
+  /// Comma-joined active observer set ("trace,profile,check,log" subset),
+  /// "none" when every observer is off.
+  [[nodiscard]] std::string observer_set() const;
 
  private:
   /// Event-pump for a checked run: interleaves queue chunks with invariant
@@ -186,6 +213,9 @@ class System {
   sim::Simulator sim_;
   mem::AddressMap map_;
   std::unique_ptr<check::Checker> checker_;  ///< built first: hooks are cached
+  /// Installed as the Simulator probe instead of the checker on partitioned
+  /// checked runs: records the probe stream, replayed before final_audit().
+  std::unique_ptr<check::ProbeRecorder> recorder_;
   std::unique_ptr<noc::Network> net_;
   std::vector<std::unique_ptr<mem::Bank>> banks_;
   std::vector<std::unique_ptr<cache::CacheNode>> nodes_;

@@ -301,8 +301,8 @@ void Processor::record_stall(sim::StallCat cat) {
   if (delta > 0 && tr_->full()) {
     static const char* kStallName[sim::kNumStallCats] = {"stall.load", "stall.store",
                                                          "stall.atomic", "stall.ifetch"};
-    tr_->complete(wait_started_, sim_.now(), kStallName[std::size_t(cat)],
-                  sim::Tracer::kPidCpu, cpu_);
+    tr_->complete(wait_started_, sim_.now(), sim::NodeId(cpu_),
+                  kStallName[std::size_t(cat)], sim::Tracer::kPidCpu, cpu_);
   }
 }
 

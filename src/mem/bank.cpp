@@ -44,9 +44,9 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
   st_.queue_delay = &reg.sample(prefix + "queue_delay");
 
   std::string bank_name = "bank" + std::to_string(bank_index);
-  trace_bank_id_ = tr_->register_bank(bank_name);
-  profile_bank_id_ = pf_->register_bank(bank_name);
-  if (pf_->on()) dir_.set_profiler(pf_);
+  trace_bank_id_ = tr_->register_bank(bank_name, node_);
+  profile_bank_id_ = pf_->register_bank(bank_name, node_);
+  if (pf_->on()) dir_.set_profiler(pf_, node_);
   tr_->set_track_name(sim::Tracer::kPidBank, bank_tid_, std::move(bank_name));
 }
 
@@ -92,7 +92,7 @@ void Bank::enqueue_request(const noc::Packet& pkt) {
     pf_->bank_enqueue(sim_.now(), profile_bank_id_, block, waiting_count_);
     if (tr_->on()) {
       tr_->bank_queue_depth(trace_bank_id_, sim_.now(), waiting_count_);
-      tr_->txn_note(sim_.now(), pkt.msg.txn, "bank_queued", "block", block);
+      tr_->txn_note(sim_.now(), pkt.msg.txn, node_, "bank_queued", "block", block);
     }
     return;
   }
@@ -118,8 +118,8 @@ void Bank::start_service(Message req, sim::NodeId src) {
   st_.busy_cycles->inc(cfg_.initiation_interval);
   st_.queue_delay->add(double(start - sim_.now()));
   // Service occupancy on the bank's trace track, one slice per request.
-  tr_->complete(start, start + service, to_string(rt), sim::Tracer::kPidBank,
-                bank_tid_);
+  tr_->complete(start, start + service, node_, to_string(rt),
+                sim::Tracer::kPidBank, bank_tid_);
   sim_.schedule_at(start + service, [this, block] { process_request(block); });
 }
 
@@ -258,7 +258,7 @@ void Bank::process_write_word(Txn& t) {
 void Bank::send_updates(sim::Addr block, Txn& t, sim::NodeId except) {
   auto targets = dir_.sharers(block, except);
   CCNOC_ASSERT(!targets.empty(), "update round with no targets");
-  pf_->fanout(sim_.now(), block, unsigned(targets.size()));
+  pf_->fanout(sim_.now(), node_, block, unsigned(targets.size()));
   t.pending_acks = unsigned(targets.size());
   t.had_inval_round = true;  // same critical-path hop accounting as invalidations
 
@@ -271,7 +271,8 @@ void Bank::send_updates(sim::Addr block, Txn& t, sim::NodeId except) {
     final += storage_.read_uint(t.req.addr, t.req.access_size);
   }
 
-  tr_->txn_note(sim_.now(), t.req.txn, "update_fanout", "targets", targets.size());
+  tr_->txn_note(sim_.now(), t.req.txn, node_, "update_fanout", "targets",
+                targets.size());
   for (sim::NodeId c : targets) {
     Message u;
     u.type = MsgType::kUpdateWord;
@@ -305,7 +306,7 @@ void Bank::handle_update_ack(const noc::Packet& pkt) {
 void Bank::send_invalidations(sim::Addr block, Txn& t, sim::NodeId except) {
   auto targets = dir_.sharers(block, except);
   CCNOC_ASSERT(!targets.empty(), "invalidation round with no targets");
-  pf_->fanout(sim_.now(), block, unsigned(targets.size()));
+  pf_->fanout(sim_.now(), node_, block, unsigned(targets.size()));
   // Direct-ack mode applies to rounds the requester itself triggered (its
   // own writes/upgrades); data-bearing allocations keep the memory-collected
   // flow.
@@ -319,8 +320,8 @@ void Bank::send_invalidations(sim::Addr block, Txn& t, sim::NodeId except) {
   } else {
     t.pending_acks = unsigned(targets.size());
   }
-  tr_->txn_note(sim_.now(), t.req.txn, "inval_fanout", "targets", targets.size(),
-                "direct", direct ? 1 : 0);
+  tr_->txn_note(sim_.now(), t.req.txn, node_, "inval_fanout", "targets",
+                targets.size(), "direct", direct ? 1 : 0);
   for (sim::NodeId c : targets) {
     Message inv;
     inv.type = MsgType::kInvalidate;
@@ -351,7 +352,7 @@ void Bank::request_fetch(sim::Addr block, Txn& t, MsgType fetch_type) {
   t.waiting_data = true;
   t.data_from = e.owner;
   t.had_fetch_round = true;
-  tr_->txn_note(sim_.now(), t.req.txn, "fetch_owner", "owner", e.owner);
+  tr_->txn_note(sim_.now(), t.req.txn, node_, "fetch_owner", "owner", e.owner);
   Message f;
   f.type = fetch_type;
   f.addr = block;
@@ -485,7 +486,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
   // invalidate, ack-to-requester (the response overlaps the invalidations).
   unsigned hops = t.had_inval_round ? (t.direct_mode ? 3 : 4) : 2;
   if (t.had_inval_round) {
-    tr_->txn_note(sim_.now(), t.req.txn, "acks_complete", "hops", hops);
+    tr_->txn_note(sim_.now(), t.req.txn, node_, "acks_complete", "hops", hops);
   }
   proto::DirState before = dstate(block);
   proto::DirEvent ev = proto::DirEvent::kReadExclusive;
@@ -618,14 +619,14 @@ void Bank::complete_txn(sim::Addr block) {
 
 void Bank::dir_set_exclusive(sim::Addr block, sim::NodeId owner) {
   dir_.set_exclusive(block, owner);
-  tr_->instant(sim_.now(), "dir.set_exclusive", sim::Tracer::kPidBank, bank_tid_,
-               "owner", owner);
+  tr_->instant(sim_.now(), node_, "dir.set_exclusive", sim::Tracer::kPidBank,
+               bank_tid_, "owner", owner);
 }
 
 void Bank::dir_clear_dirty(sim::Addr block) {
   dir_.clear_dirty(block);
-  tr_->instant(sim_.now(), "dir.clear_dirty", sim::Tracer::kPidBank, bank_tid_,
-               "addr", block);
+  tr_->instant(sim_.now(), node_, "dir.clear_dirty", sim::Tracer::kPidBank,
+               bank_tid_, "addr", block);
 }
 
 }  // namespace ccnoc::mem

@@ -40,14 +40,19 @@ class Directory {
   }
 
   /// Sharing profiler attachment (null when profiling is off, mirroring the
-  /// probe pattern: the common path pays one null-pointer branch).
-  void set_profiler(sim::Profiler* p) { pf_ = p; }
+  /// probe pattern: the common path pays one null-pointer branch). \p node
+  /// is the owning bank's NoC node, the profiler's recording/order key.
+  void set_profiler(sim::Profiler* p, sim::NodeId node) {
+    pf_ = p;
+    node_ = node;
+  }
 
   void add_sharer(sim::Addr block, sim::NodeId c) {
     check(c);
     auto& e = entries_[block];
     e.presence |= std::uint64_t(1) << c;
-    if (pf_ != nullptr) [[unlikely]] pf_->dir_width(block, e.sharer_count());
+    if (pf_ != nullptr) [[unlikely]]
+      pf_->dir_width(node_, block, e.sharer_count());
   }
 
   void remove_sharer(sim::Addr block, sim::NodeId c) {
@@ -71,7 +76,7 @@ class Directory {
     e.presence = std::uint64_t(1) << c;
     e.dirty = true;
     e.owner = c;
-    if (pf_ != nullptr) [[unlikely]] pf_->dir_width(block, 1);
+    if (pf_ != nullptr) [[unlikely]] pf_->dir_width(node_, block, 1);
   }
 
   /// Owner downgraded (M→S after a Fetch): memory now clean, owner remains
@@ -134,6 +139,7 @@ class Directory {
 
   unsigned num_caches_;
   sim::Profiler* pf_ = nullptr;
+  sim::NodeId node_ = 0;  ///< owning bank's NoC node (profiler order key)
   std::unordered_map<sim::Addr, DirEntry> entries_;
 };
 

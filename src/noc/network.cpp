@@ -73,9 +73,10 @@ void Network::send(sim::NodeId src, sim::NodeId dst, const Message& msg) {
   }
   // Every packet is attributed to the cache line its address falls in (the
   // profiler rounds to a block), so per-line traffic sums exactly to
-  // total_bytes_ / total_packets_. (Profiling forces the sequenced engine,
-  // so this hook is a dead branch on parallel runs.)
-  profiler_->traffic(msg.addr, wire_bytes(msg));
+  // total_bytes_ / total_packets_ in both engines — snapshot() asserts the
+  // reconciliation. Under the parallel engine the hook records into the
+  // sender's domain shard (same single-writer argument as NodeShard above).
+  profiler_->traffic(sim_.now(), src, msg.addr, wire_bytes(msg));
 
   route(std::move(pkt));
 }
@@ -100,8 +101,10 @@ void Network::schedule_delivery(sim::Cycle when, Packet&& pkt) {
     if (tracer_->full()) {
       // Delivery-time flow note inside the owning transaction's async span:
       // a miss reads request → directory → fan-out → acks in Perfetto.
-      tracer_->txn_note(sim_.now(), p.msg.txn, to_string(p.msg.type), "src", p.src,
-                        "dst", p.dst);
+      // Recorded at the destination: the delivery event executes in the
+      // receiving node's domain.
+      tracer_->txn_note(sim_.now(), p.msg.txn, p.dst, to_string(p.msg.type),
+                        "src", p.src, "dst", p.dst);
     }
     endpoints_[p.dst]->deliver(p);
   });

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/types.hpp"
+
+/// \file heartbeat.hpp
+/// Live run telemetry: a wall-clock sampler thread that periodically
+/// snapshots run progress — off the simulation/worker threads — and emits
+/// one line per beat to stderr and, optionally, to a JSONL stream
+/// (`--heartbeat-json` on the bench and fuzz CLIs). Long sweeps and fuzz
+/// campaigns become observable while running instead of only post-mortem.
+///
+/// The sampler callback is supplied by the run driver (core::System wires
+/// it to ParallelEngine::progress()); the heartbeat owns the thread and the
+/// output channels and never touches simulation state itself.
+///
+/// JSON schema (`ccnoc-heartbeat-v1`), one object per line:
+///   {"schema":"ccnoc-heartbeat-v1","wall_ms":N,"engine":"parallel",
+///    "epochs":N,
+///    "domains":[{"domain":0,"cycle":N,"events":N,"mailbox":N},...],
+///    "workers":[{"worker":0,"barrier_wait_ms":X.XXX},...]}
+/// `mailbox` is the number of cross-domain arrivals the domain drained at
+/// its most recent epoch barrier; `barrier_wait_ms` is the worker's
+/// cumulative time spent waiting at barriers. A final beat is always
+/// emitted at stop(), so even sub-interval runs leave one sample.
+namespace ccnoc::sim {
+
+struct HeartbeatConfig {
+  unsigned interval_ms = 0;    ///< sampling period; 0 disables the heartbeat
+  std::string json_path;       ///< JSONL stream path; empty = stderr only
+  bool stderr_lines = true;    ///< human-readable one-liners on stderr
+};
+
+class Heartbeat {
+ public:
+  /// One progress snapshot. The driver's sampler fills everything except
+  /// `wall_ms`, which the heartbeat stamps from its own start time.
+  struct Sample {
+    struct Domain {
+      unsigned domain = 0;
+      Cycle cycle = 0;
+      std::uint64_t events = 0;
+      std::uint64_t mailbox = 0;
+    };
+    struct Worker {
+      unsigned worker = 0;
+      std::uint64_t barrier_wait_ns = 0;
+    };
+    std::uint64_t wall_ms = 0;
+    std::uint64_t epochs = 0;
+    std::string engine = "parallel";
+    std::vector<Domain> domains;
+    std::vector<Worker> workers;
+  };
+  using Sampler = std::function<Sample()>;
+
+  /// A disabled config (interval_ms == 0) constructs an inert heartbeat:
+  /// start()/stop() are no-ops and no thread is spawned.
+  Heartbeat(HeartbeatConfig cfg, Sampler sampler);
+  ~Heartbeat();
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  void start();
+  /// Emit one final beat, then join the sampler thread. Idempotent.
+  void stop();
+  [[nodiscard]] bool enabled() const { return cfg_.interval_ms != 0; }
+  [[nodiscard]] std::uint64_t beats() const { return beats_.load(std::memory_order_relaxed); }
+
+  /// One `ccnoc-heartbeat-v1` JSONL line (no trailing newline).
+  static std::string to_json(const Sample& s);
+  /// The human-readable stderr one-liner (no trailing newline).
+  static std::string to_stderr_line(const Sample& s);
+
+ private:
+  void loop();
+  void beat();
+
+  HeartbeatConfig cfg_;
+  Sampler sampler_;
+  std::FILE* json_ = nullptr;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::atomic<std::uint64_t> beats_{0};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace ccnoc::sim

@@ -1,6 +1,7 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 
@@ -42,7 +43,9 @@ ParallelEngine::ParallelEngine(Simulator& sim, ParallelConfig cfg)
                                 : default_parallel_workers(cfg.domains)),
       cells_(std::size_t(cfg.domains) * cfg.domains),
       barrier_(workers_, &aborted_),
-      worker_min_(std::make_unique<WorkerMin[]>(workers_)) {
+      worker_min_(std::make_unique<WorkerMin[]>(workers_)),
+      progress_(std::make_unique<DomainProgress[]>(cfg.domains)),
+      worker_wait_(std::make_unique<WorkerWait[]>(workers_)) {
   CCNOC_ASSERT(cfg_.domains >= 1, "parallel engine needs at least one domain");
   CCNOC_ASSERT(cfg_.domains == sim.num_domains(),
                "engine domain count does not match the Simulator partition");
@@ -59,29 +62,66 @@ void ParallelEngine::post(NodeId src, NodeId dst, Cycle when, std::uint64_t seq,
       Crossing{when, cross_order_key(src, seq), std::move(cb)});
 }
 
-void ParallelEngine::drain_into(unsigned domain) {
+std::size_t ParallelEngine::drain_into(unsigned domain) {
   EventQueue& q = sim_.domain_queue(domain);
+  std::size_t drained = 0;
   for (unsigned s = 0; s < cfg_.domains; ++s) {
     Cell& c = cells_[std::size_t(s) * cfg_.domains + domain];
     // Insertion order is irrelevant: the queue orders by (cycle, canonical
     // key), and keys are unique, so any arrival interleaving merges to the
     // same execution order.
     for (Crossing& r : c.recs) q.schedule_keyed(r.when, r.key, std::move(r.cb));
+    drained += c.recs.size();
     c.recs.clear();
   }
+  return drained;
+}
+
+ParallelEngine::ProgressSnapshot ParallelEngine::progress() const {
+  ProgressSnapshot s;
+  s.epochs = epochs_.load(std::memory_order_relaxed);
+  s.domains.resize(cfg_.domains);
+  for (unsigned d = 0; d < cfg_.domains; ++d) {
+    s.domains[d].cycle = progress_[d].cycle.load(std::memory_order_relaxed);
+    s.domains[d].events = progress_[d].events.load(std::memory_order_relaxed);
+    s.domains[d].mailbox = progress_[d].mailbox.load(std::memory_order_relaxed);
+  }
+  s.worker_barrier_wait_ns.resize(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    s.worker_barrier_wait_ns[w] =
+        worker_wait_[w].ns.load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 void ParallelEngine::worker_loop(unsigned w) {
+  using SteadyClock = std::chrono::steady_clock;
   bool sense = false;
+  // Barrier-wait attribution is the one progress counter that costs clock
+  // reads on the epoch loop, so it only runs when a heartbeat asked for it.
+  const auto timed_barrier = [&] {
+    if (!progress_timing_) {
+      barrier_.arrive_and_wait(sense);
+      return;
+    }
+    const auto t0 = SteadyClock::now();
+    barrier_.arrive_and_wait(sense);
+    const auto dt = SteadyClock::now() - t0;
+    worker_wait_[w].ns.fetch_add(
+        std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()),
+        std::memory_order_relaxed);
+  };
   while (true) {
     // Barrier A: every worker finished executing (and posting) the previous
     // epoch, so the mailbox cells targeting our domains are complete.
-    barrier_.arrive_and_wait(sense);
+    timed_barrier();
     if (aborted_.load(std::memory_order_acquire)) return;
 
     Cycle mine = ~Cycle{0};
     for (unsigned d = w; d < cfg_.domains; d += workers_) {
-      drain_into(d);
+      const std::size_t drained = drain_into(d);
+      progress_[d].mailbox.store(drained, std::memory_order_relaxed);
       const EventQueue& q = sim_.domain_queue(d);
       if (!q.empty()) mine = std::min(mine, q.next_event_at());
     }
@@ -89,7 +129,7 @@ void ParallelEngine::worker_loop(unsigned w) {
 
     // Barrier B: all minima published; every worker derives the same epoch
     // base M and horizon, so the stop decision needs no leader.
-    barrier_.arrive_and_wait(sense);
+    timed_barrier();
     if (aborted_.load(std::memory_order_acquire)) return;
 
     Cycle m = ~Cycle{0};
@@ -97,6 +137,7 @@ void ParallelEngine::worker_loop(unsigned w) {
       m = std::min(m, worker_min_[i].t.load(std::memory_order_acquire));
     }
     if (m == ~Cycle{0} || m > limit_) return;  // drained, or past the cycle guard
+    if (w == 0) epochs_.fetch_add(1, std::memory_order_relaxed);
 
     Cycle horizon = m + cfg_.lookahead;  // execute when < horizon
     if (limit_ != ~Cycle{0}) horizon = std::min(horizon, limit_ + 1);
@@ -104,6 +145,8 @@ void ParallelEngine::worker_loop(unsigned w) {
       EventQueue& q = sim_.domain_queue(d);
       Simulator::ExecScope scope(sim_, q);
       q.run_before(horizon);
+      progress_[d].cycle.store(q.now(), std::memory_order_relaxed);
+      progress_[d].events.store(q.executed(), std::memory_order_relaxed);
     }
   }
 }

@@ -104,6 +104,26 @@ class ParallelEngine {
   /// number of events executed across all domains.
   std::uint64_t run(Cycle limit = ~Cycle{0});
 
+  // --- live-progress publication (sim::Heartbeat) --------------------------
+  /// Point-in-time copy of the engine's progress counters, safe to take
+  /// from any thread while the epoch loop runs (relaxed atomics; the values
+  /// are telemetry, not synchronization).
+  struct ProgressSnapshot {
+    struct Domain {
+      Cycle cycle = 0;              ///< domain clock after its last epoch
+      std::uint64_t events = 0;     ///< events drained by the domain queue
+      std::uint64_t mailbox = 0;    ///< crossings drained at the last barrier
+    };
+    std::uint64_t epochs = 0;
+    std::vector<Domain> domains;
+    std::vector<std::uint64_t> worker_barrier_wait_ns;  ///< cumulative
+  };
+  /// Turn on barrier-wait timing (two clock reads per barrier per worker).
+  /// The cycle/event/mailbox counters are always published — they are one
+  /// relaxed store per domain per epoch. Call before run().
+  void enable_progress_timing() { progress_timing_ = true; }
+  [[nodiscard]] ProgressSnapshot progress() const;
+
  private:
   struct Crossing {
     Cycle when = 0;
@@ -120,9 +140,17 @@ class ParallelEngine {
   struct alignas(64) WorkerMin {
     std::atomic<Cycle> t{~Cycle{0}};
   };
+  struct alignas(64) DomainProgress {
+    std::atomic<Cycle> cycle{0};
+    std::atomic<std::uint64_t> events{0};
+    std::atomic<std::uint64_t> mailbox{0};
+  };
+  struct alignas(64) WorkerWait {
+    std::atomic<std::uint64_t> ns{0};
+  };
 
   void worker_loop(unsigned w);
-  void drain_into(unsigned domain);
+  std::size_t drain_into(unsigned domain);
 
   Simulator& sim_;
   ParallelConfig cfg_;
@@ -131,6 +159,10 @@ class ParallelEngine {
   std::atomic<bool> aborted_{false};
   SpinBarrier barrier_;
   std::unique_ptr<WorkerMin[]> worker_min_;
+  std::unique_ptr<DomainProgress[]> progress_;
+  std::unique_ptr<WorkerWait[]> worker_wait_;
+  std::atomic<std::uint64_t> epochs_{0};
+  bool progress_timing_ = false;
   Cycle limit_ = ~Cycle{0};
   std::mutex error_mu_;
   std::exception_ptr error_;  ///< first worker failure, rethrown from run()

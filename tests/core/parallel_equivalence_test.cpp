@@ -1,19 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "apps/ocean.hpp"
 #include "apps/water.hpp"
 #include "core/fuzz.hpp"
 #include "core/system.hpp"
+#include "sim/jsonv.hpp"
 #include "sim/profile.hpp"
 
 /// The conservative parallel core's contract (EXPERIMENTS.md, "Parallel
-/// simulation"): for any domain count and worker count, every statistic and
-/// observer output is byte-identical to the serial reference. These tests
-/// pin that contract end-to-end on full platform runs — workloads, seeds
-/// and partitions chosen to cross domain boundaries heavily — plus the
-/// sequenced-fallback and degenerate-partition edges.
+/// simulation" and "Parallel observability"): for any domain count and
+/// worker count, every statistic and every observer artifact — trace JSON,
+/// run report, profile JSON, HTML report, checker verdict — is
+/// byte-identical to the serial reference. These tests pin that contract
+/// end-to-end on full platform runs — workloads, seeds and partitions
+/// chosen to cross domain boundaries heavily — plus the remaining
+/// serial-fallback and degenerate-partition edges.
 
 namespace ccnoc::core {
 namespace {
@@ -134,39 +140,145 @@ TEST(ParallelEquivalence, LargePlatformManyDomainsMatchesSerial) {
   expect_identical(serial, par);
 }
 
-TEST(ParallelEquivalence, TracedRunsFallBackSequencedWithIdenticalOutput) {
-  // Tracing and profiling are sequenced observers: a domain-partitioned
-  // platform must fall back to the serial engine (engine_domains == 1) and
-  // produce byte-identical trace and profile JSON.
-  auto traced = [](unsigned domains) {
-    SystemConfig cfg = SystemConfig::architecture1(4, mem::Protocol::kWbMesi);
-    cfg.seed = 13;
-    cfg.kernel.seed = 13;
-    cfg.trace = sim::TraceMode::kFull;
-    cfg.profile = sim::ProfileMode::kOn;
-    cfg.parallel_domains = domains;
-    System sys(cfg);
-    apps::Ocean::Config oc;
-    oc.rows_per_thread = 2;
-    oc.iterations = 2;
-    apps::Ocean w(oc);
-    RunResult r = sys.run(w);
-    return std::tuple<unsigned, std::string, std::string>(
-        r.engine_domains, sys.simulator().tracer().chrome_json(),
-        sim::profile_json(sys.simulator().profiler().snapshot("eq")));
-  };
-  const auto [dom_serial, trace_serial, prof_serial] = traced(0);
-  const auto [dom_par, trace_par, prof_par] = traced(4);
-  EXPECT_EQ(dom_serial, 1u);
-  EXPECT_EQ(dom_par, 1u);  // sequenced fallback engaged
-  EXPECT_EQ(trace_serial, trace_par);
-  EXPECT_EQ(prof_serial, prof_par);
+// --- observer-on equivalence ---------------------------------------------
+//
+// The observers are parallel-native: tracer, profiler and coherence probe
+// record into per-domain shards stamped with (cycle, node, seq) order keys
+// and merge deterministically after the run. Every observer artifact —
+// Chrome trace JSON, schema-v1 run report, profile JSON, the HTML report
+// built from it — must be BYTE-identical between the serial and parallel
+// engines at any domain and worker count. Only the report's "run" context
+// object differs by design (it names the engine), so it is stripped before
+// the byte compare and asserted separately.
+
+struct ObservedCapture {
+  RunResult r;
+  std::string stats;
+  std::string chrome;   ///< full Chrome/Perfetto trace JSON
+  std::string report;   ///< schema-v1 run report, "run" object stripped
+  std::string profile;  ///< schema-v1 profile JSON
+  std::string html;     ///< HTML report (heatmap inputs and all)
+};
+
+std::string strip_run_object(std::string j) {
+  const std::size_t at = j.find(",\"run\":{");
+  EXPECT_NE(at, std::string::npos);
+  const std::size_t end = j.find('}', at);
+  j.erase(at, end - at + 1);
+  return j;
 }
 
-TEST(ParallelEquivalence, CheckedFuzzRunsAreUnchangedByPartitioning) {
-  // Fuzz runs are always coherence-checked and therefore sequenced, but the
-  // partition still reshapes construction (coverage shards, seeding
-  // eligibility) — none of which may change a single outcome field.
+ObservedCapture run_observed(unsigned cpus, std::uint64_t seed, unsigned domains,
+                             unsigned workers = 0, unsigned rows = 1,
+                             unsigned iters = 1) {
+  SystemConfig cfg = SystemConfig::architecture1(cpus, mem::Protocol::kWbMesi);
+  cfg.seed = seed;
+  cfg.kernel.seed = seed;
+  cfg.trace = sim::TraceMode::kFull;
+  cfg.profile = sim::ProfileMode::kOn;
+  cfg.parallel_domains = domains;
+  cfg.parallel_workers = workers;
+  System sys(cfg);
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = rows;
+  oc.iterations = iters;
+  apps::Ocean w(oc);
+  ObservedCapture c;
+  c.r = sys.run(w);
+  c.stats = sys.simulator().stats().to_string();
+  c.chrome = sys.simulator().tracer().chrome_json();
+  c.report = strip_run_object(sys.simulator().tracer().report_json());
+  const sim::ProfileSnapshot snap = sys.simulator().profiler().snapshot("eq");
+  c.profile = sim::profile_json(snap);
+  c.html = sim::profile_html("eq", snap);
+  return c;
+}
+
+void expect_observed_identical(const ObservedCapture& serial,
+                               const ObservedCapture& par) {
+  EXPECT_EQ(serial.stats, par.stats);
+  EXPECT_EQ(serial.chrome, par.chrome);
+  EXPECT_EQ(serial.report, par.report);
+  EXPECT_EQ(serial.profile, par.profile);
+  EXPECT_EQ(serial.html, par.html);
+}
+
+TEST(ParallelEquivalence, TracedProfiledRunsEngageParallelWithIdenticalOutput) {
+  for (std::uint64_t seed : {13ull, 29ull}) {
+    const ObservedCapture serial =
+        run_observed(4, seed, 0, 0, /*rows=*/2, /*iters=*/2);
+    ASSERT_TRUE(serial.r.verified);
+    EXPECT_EQ(serial.r.engine, "serial");
+    EXPECT_EQ(serial.r.observers, "trace,profile");
+    for (unsigned domains : {2u, 4u, 6u}) {
+      const ObservedCapture par =
+          run_observed(4, seed, domains, 0, /*rows=*/2, /*iters=*/2);
+      EXPECT_EQ(par.r.engine, "parallel")
+          << "observers forced a fallback (seed " << seed << "): "
+          << par.r.engine_fallback;
+      EXPECT_EQ(par.r.engine_domains, domains);
+      expect_observed_identical(serial, par);
+    }
+  }
+}
+
+TEST(ParallelEquivalence, ObserverOutputUnchangedByWorkerPoolSize) {
+  const ObservedCapture serial = run_observed(4, 17, 0, 0, 2, 2);
+  for (unsigned workers : {1u, 2u, 4u}) {
+    const ObservedCapture par = run_observed(4, 17, 4, workers, 2, 2);
+    EXPECT_EQ(par.r.engine, "parallel") << par.r.engine_fallback;
+    expect_observed_identical(serial, par);
+  }
+}
+
+TEST(ParallelEquivalence, ObserversOnMediumPlatformMatchSerial) {
+  const ObservedCapture serial = run_observed(16, 3, 0);
+  ASSERT_TRUE(serial.r.verified);
+  for (unsigned domains : {4u, 8u}) {
+    const ObservedCapture par = run_observed(16, 3, domains);
+    EXPECT_EQ(par.r.engine, "parallel") << par.r.engine_fallback;
+    expect_observed_identical(serial, par);
+  }
+}
+
+TEST(ParallelEquivalence, ObserversOnLargePlatformMatchSerial) {
+  // The acceptance configuration: 64 CPUs with full tracing + profiling,
+  // merged from 16 domain shards.
+  const ObservedCapture serial = run_observed(64, 2, 0);
+  ASSERT_TRUE(serial.r.verified);
+  const ObservedCapture par = run_observed(64, 2, 16);
+  EXPECT_EQ(par.r.engine, "parallel") << par.r.engine_fallback;
+  EXPECT_EQ(par.r.engine_domains, 16u);
+  expect_observed_identical(serial, par);
+}
+
+TEST(ParallelEquivalence, TraceLevelLoggingStillFallsBackSerial) {
+  // Free-form log lines interleave in execution order, which has no
+  // canonical merge: the one observer that still forces the serial engine,
+  // and the run report must say why.
+  SystemConfig cfg = SystemConfig::architecture1(4, mem::Protocol::kWbMesi);
+  cfg.seed = 13;
+  cfg.kernel.seed = 13;
+  cfg.parallel_domains = 4;
+  System sys(cfg);
+  sys.simulator().logger().set_level(sim::LogLevel::Trace);
+  sys.simulator().logger().set_sink([](const std::string&) {});
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = 1;
+  oc.iterations = 1;
+  apps::Ocean w(oc);
+  RunResult r = sys.run(w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.engine, "serial");
+  EXPECT_EQ(r.engine_domains, 1u);
+  EXPECT_EQ(r.engine_fallback, "trace-logging");
+}
+
+TEST(ParallelEquivalence, CheckedRunsEngageParallelWithIdenticalVerdict) {
+  // Coherence checking is parallel-native: the probe stream is recorded per
+  // domain and replayed through the oracle in canonical order, so a checked
+  // partitioned run genuinely takes the parallel engine and must reach the
+  // same verdict, load count and statistics as the serial reference.
   FuzzOptions opt;
   opt.seed = 21;
   opt.ops = 120;
@@ -174,11 +286,72 @@ TEST(ParallelEquivalence, CheckedFuzzRunsAreUnchangedByPartitioning) {
   opt.parallel_domains = 4;
   const FuzzOutcome par = run_fuzz(opt);
   EXPECT_TRUE(serial.passed());
+  EXPECT_EQ(serial.engine, "serial");
+  EXPECT_EQ(par.engine, "parallel");
+  EXPECT_EQ(par.engine_domains, 4u);
   EXPECT_EQ(serial.passed(), par.passed());
   EXPECT_EQ(serial.cycles, par.cycles);
   EXPECT_EQ(serial.loads_checked, par.loads_checked);
   EXPECT_EQ(serial.violations, par.violations);
   EXPECT_EQ(serial.exercised.count(), par.exercised.count());
+}
+
+TEST(ParallelEquivalence, CheckedRunsAcrossSeedsAndDomainCounts) {
+  for (std::uint64_t seed : {5ull, 33ull}) {
+    FuzzOptions opt;
+    opt.seed = seed;
+    opt.ops = 100;
+    opt.protocol = mem::Protocol::kWbMesi;
+    const FuzzOutcome serial = run_fuzz(opt);
+    ASSERT_TRUE(serial.passed()) << "seed " << seed;
+    for (unsigned domains : {2u, 6u}) {
+      opt.parallel_domains = domains;
+      const FuzzOutcome par = run_fuzz(opt);
+      EXPECT_EQ(par.engine, "parallel") << "seed " << seed;
+      EXPECT_TRUE(par.passed()) << "seed " << seed << " domains " << domains;
+      EXPECT_EQ(serial.cycles, par.cycles);
+      EXPECT_EQ(serial.loads_checked, par.loads_checked);
+    }
+  }
+}
+
+TEST(ParallelEquivalence, HeartbeatStreamsValidJsonl) {
+  const std::string path = ::testing::TempDir() + "ccnoc_heartbeat_test.jsonl";
+  SystemConfig cfg = SystemConfig::architecture1(4, mem::Protocol::kWbMesi);
+  cfg.seed = 13;
+  cfg.kernel.seed = 13;
+  cfg.parallel_domains = 4;
+  cfg.heartbeat_ms = 1;
+  cfg.heartbeat_json = path;
+  System sys(cfg);
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = 2;
+  oc.iterations = 2;
+  apps::Ocean w(oc);
+  RunResult r = sys.run(w);
+  EXPECT_EQ(r.engine, "parallel") << r.engine_fallback;
+  EXPECT_TRUE(r.verified);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string line;
+  unsigned beats = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++beats;
+    sim::Jsonv v;
+    std::string err;
+    ASSERT_TRUE(sim::jsonv_parse(line, v, err)) << err << "\n" << line;
+    ASSERT_NE(v.get("schema"), nullptr);
+    EXPECT_EQ(v.get("schema")->string, "ccnoc-heartbeat-v1");
+    ASSERT_NE(v.get("domains"), nullptr);
+    EXPECT_EQ(v.get("domains")->array.size(), 4u);
+    ASSERT_NE(v.get("workers"), nullptr);
+    ASSERT_NE(v.get("epochs"), nullptr);
+  }
+  // stop() always emits one final beat, even on sub-millisecond runs.
+  EXPECT_GE(beats, 1u);
+  std::remove(path.c_str());
 }
 
 TEST(ParallelEquivalence, NonGmnNetworkRejectsDomainPartitioning) {

@@ -1,0 +1,110 @@
+#include "sim/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/jsonv.hpp"
+
+namespace ccnoc::sim {
+namespace {
+
+Heartbeat::Sample make_sample() {
+  Heartbeat::Sample s;
+  s.epochs = 7;
+  s.domains.push_back({0, 120, 64, 3});
+  s.domains.push_back({1, 118, 51, 0});
+  s.workers.push_back({0, 1'234'567});  // 1.234 ms
+  s.workers.push_back({1, 999});        // rounds to 0.000 ms
+  return s;
+}
+
+TEST(HeartbeatTest, JsonLineIsWellFormedAndStable) {
+  Heartbeat::Sample s = make_sample();
+  s.wall_ms = 1500;
+  const std::string j = Heartbeat::to_json(s);
+  Jsonv v;
+  std::string err;
+  ASSERT_TRUE(jsonv_parse(j, v, err)) << err << "\n" << j;
+  EXPECT_EQ(v.get("schema")->string, "ccnoc-heartbeat-v1");
+  EXPECT_EQ(v.get("wall_ms")->number, 1500.0);
+  EXPECT_EQ(v.get("engine")->string, "parallel");
+  EXPECT_EQ(v.get("epochs")->number, 7.0);
+  ASSERT_EQ(v.get("domains")->array.size(), 2u);
+  const Jsonv& d0 = v.get("domains")->array[0];
+  EXPECT_EQ(d0.get("domain")->number, 0.0);
+  EXPECT_EQ(d0.get("cycle")->number, 120.0);
+  EXPECT_EQ(d0.get("events")->number, 64.0);
+  EXPECT_EQ(d0.get("mailbox")->number, 3.0);
+  ASSERT_EQ(v.get("workers")->array.size(), 2u);
+  // Fixed 3-decimal millisecond formatting, locale-independent.
+  EXPECT_NE(j.find("\"barrier_wait_ms\":1.234"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"barrier_wait_ms\":0.000"), std::string::npos) << j;
+  // Identical samples must serialize identically.
+  EXPECT_EQ(j, Heartbeat::to_json(s));
+}
+
+TEST(HeartbeatTest, StderrLineSummarizesDomains) {
+  Heartbeat::Sample s = make_sample();
+  s.wall_ms = 2048;
+  const std::string line = Heartbeat::to_stderr_line(s);
+  EXPECT_NE(line.find("[heartbeat]"), std::string::npos);
+  EXPECT_NE(line.find("t=2.048s"), std::string::npos) << line;
+  EXPECT_NE(line.find("epochs=7"), std::string::npos);
+  EXPECT_NE(line.find("cycle=118..120"), std::string::npos) << line;
+  EXPECT_NE(line.find("events=115"), std::string::npos);
+  EXPECT_NE(line.find("mailbox=3"), std::string::npos);
+}
+
+TEST(HeartbeatTest, DisabledHeartbeatIsInert) {
+  HeartbeatConfig cfg;  // interval_ms == 0
+  Heartbeat hb(cfg, [] { return Heartbeat::Sample{}; });
+  EXPECT_FALSE(hb.enabled());
+  hb.start();
+  hb.stop();
+  EXPECT_EQ(hb.beats(), 0u);
+}
+
+TEST(HeartbeatTest, SamplerThreadEmitsFinalBeatAndJsonl) {
+  const std::string path = ::testing::TempDir() + "hb_unit_test.jsonl";
+  HeartbeatConfig cfg;
+  cfg.interval_ms = 1;
+  cfg.stderr_lines = false;
+  cfg.json_path = path;
+  std::atomic<unsigned> sampled{0};
+  Heartbeat hb(cfg, [&sampled] {
+    ++sampled;
+    return make_sample();
+  });
+  hb.start();
+  // Spin until the sampler thread has demonstrably fired at least once, then
+  // stop — which must add exactly one final beat after the join.
+  while (hb.beats() == 0) {}
+  hb.stop();
+  EXPECT_GE(hb.beats(), 2u);
+  EXPECT_EQ(sampled.load(), hb.beats());
+  hb.stop();  // idempotent
+  const std::uint64_t beats_after_stop = hb.beats();
+  EXPECT_EQ(beats_after_stop, hb.beats());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    Jsonv v;
+    std::string err;
+    ASSERT_TRUE(jsonv_parse(line, v, err)) << err;
+    EXPECT_EQ(v.get("schema")->string, "ccnoc-heartbeat-v1");
+  }
+  EXPECT_EQ(lines, hb.beats());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ccnoc::sim

@@ -156,7 +156,7 @@ TEST_F(ProfileTest, RepeatMissesAfterOneInvalidationCountOnce) {
 TEST_F(ProfileTest, LittlesLawOccupancyIdentity) {
   // Two overlapping requests on one bank: the time-integral of queue
   // depth must equal the sum of the per-request waits exactly.
-  unsigned b = pf.register_bank("bank0");
+  unsigned b = pf.register_bank("bank0", 0);
   ASSERT_NE(b, Profiler::kInvalidId);
   pf.bank_enqueue(0, b, 0x900, 1);   // depth 0 -> 1
   pf.bank_enqueue(2, b, 0x900, 2);   // depth 1 -> 2
@@ -176,11 +176,11 @@ TEST_F(ProfileTest, LittlesLawOccupancyIdentity) {
 }
 
 TEST_F(ProfileTest, FanoutAndDirectoryWidth) {
-  pf.fanout(1, 0xa00, 3);
-  pf.fanout(2, 0xa00, 5);
-  pf.dir_width(0xa00, 2);
-  pf.dir_width(0xa00, 4);
-  pf.dir_width(0xa00, 1);
+  pf.fanout(1, 0, 0xa00, 3);
+  pf.fanout(2, 0, 0xa00, 5);
+  pf.dir_width(0, 0xa00, 2);
+  pf.dir_width(0, 0xa00, 4);
+  pf.dir_width(0, 0xa00, 1);
   const auto* l = line(0xa00);
   ASSERT_NE(l, nullptr);
   EXPECT_EQ(l->fanout_rounds, 2u);
@@ -190,9 +190,9 @@ TEST_F(ProfileTest, FanoutAndDirectoryWidth) {
 }
 
 TEST_F(ProfileTest, TrafficRoundsToBlocks) {
-  pf.traffic(0xb04, 8);
-  pf.traffic(0xb1c, 12);
-  pf.traffic(0xb20, 40);  // next block
+  pf.traffic(1, 0, 0xb04, 8);
+  pf.traffic(2, 0, 0xb1c, 12);
+  pf.traffic(3, 0, 0xb20, 40);  // next block
   snap = pf.snapshot("test");
   const auto* a = snap.find(0xb00);
   const auto* b = snap.find(0xb20);
@@ -237,9 +237,9 @@ TEST_F(ProfileTest, OffModeRecordsNothing) {
   Profiler off;  // default mode is kOff
   off.access(1, 0, 0x100, 4, AccessClass::kLoad);
   off.miss(1, 0, 0x100);
-  off.traffic(0x100, 32);
+  off.traffic(1, 0, 0x100, 32);
   off.stall(1, 0, 0x100, 9, AccessClass::kLoad);
-  EXPECT_EQ(off.register_bank("b"), Profiler::kInvalidId);
+  EXPECT_EQ(off.register_bank("b", 0), Profiler::kInvalidId);
   EXPECT_EQ(off.register_link("l"), Profiler::kInvalidId);
   off.bank_enqueue(1, Profiler::kInvalidId, 0x100, 1);
   off.link_flits(Profiler::kInvalidId, 4);
@@ -256,11 +256,11 @@ TEST_F(ProfileTest, JsonIsDeterministicAndParses) {
     p.set_mode(ProfileMode::kOn);
     p.set_epoch_cycles(64);
     p.set_block_bytes(32);
-    unsigned b = p.register_bank("bank0");
+    unsigned b = p.register_bank("bank0", 0);
     // Insert lines in non-sorted address order: the snapshot sorts.
     p.access(1, 0, 0x500, 4, AccessClass::kStore);
     p.access(2, 1, 0x100, 4, AccessClass::kLoad);
-    p.traffic(0x500, 44);
+    p.traffic(2, 0, 0x500, 44);
     p.bank_enqueue(3, b, 0x100, 1);
     p.bank_dequeue(9, b, 0x100, 0);
   };
@@ -288,10 +288,10 @@ TEST_F(ProfileTest, JsonIsDeterministicAndParses) {
 TEST_F(ProfileTest, HottestAndFalseSharedOrdering) {
   pf.access(1, 0, 0x100, 4, AccessClass::kStore);
   pf.access(2, 1, 0x11c, 4, AccessClass::kStore);
-  pf.traffic(0x100, 10);
+  pf.traffic(3, 0, 0x100, 10);
   pf.access(1, 0, 0x200, 4, AccessClass::kStore);
   pf.access(2, 1, 0x21c, 4, AccessClass::kStore);
-  pf.traffic(0x200, 99);
+  pf.traffic(3, 1, 0x200, 99);
   snap = pf.snapshot("test");
   auto hot = snap.hottest(2);
   ASSERT_EQ(hot.size(), 2u);
@@ -300,6 +300,83 @@ TEST_F(ProfileTest, HottestAndFalseSharedOrdering) {
   ASSERT_EQ(fs.size(), 2u);
   EXPECT_EQ(fs[0]->block, 0x200u);
   EXPECT_EQ(fs[1]->block, 0x100u);
+}
+
+
+TEST_F(ProfileTest, ShardedMergeMatchesDirectRecording) {
+  // Serial reference, canonical order.
+  auto feed_serial = [](Profiler& p) {
+    p.set_mode(ProfileMode::kOn);
+    p.set_epoch_cycles(64);
+    p.set_block_bytes(32);
+    unsigned b = p.register_bank("bank0", 2);
+    unsigned l = p.register_link("l0");
+    p.access(1, 0, 0x100, 4, AccessClass::kStore);
+    p.access(1, 1, 0x200, 4, AccessClass::kLoad);
+    p.invalidate_recv(2, 1, 0x100, true);
+    p.miss(3, 1, 0x100);
+    p.traffic(3, 0, 0x100, 44);
+    p.traffic(3, 1, 0x200, 20);
+    p.fanout(4, 2, 0x100, 2);
+    p.dir_width(2, 0x100, 2);
+    p.bank_enqueue(5, b, 0x100, 1);
+    p.bank_dequeue(9, b, 0x100, 0);
+    p.stall(9, 1, 0x100, 6, AccessClass::kLoad);
+    p.wbuf_stall(10, 0, 0x100);
+    p.update_recv(10, 1, 0x200);
+    p.link_flits(l, 3);
+  };
+  Profiler ref;
+  feed_serial(ref);
+
+  // Sharded run: same per-node streams, scrambled cross-node interleaving.
+  Profiler sh;
+  sh.set_mode(ProfileMode::kOn);
+  sh.set_epoch_cycles(64);
+  sh.set_block_bytes(32);
+  unsigned b = sh.register_bank("bank0", 2);
+  unsigned l = sh.register_link("l0");
+  sh.begin_sharded(3);
+  ASSERT_TRUE(sh.sharded());
+  sh.access(1, 1, 0x200, 4, AccessClass::kLoad);   // node 1 stream first
+  sh.invalidate_recv(2, 1, 0x100, true);
+  sh.miss(3, 1, 0x100);
+  sh.traffic(3, 1, 0x200, 20);
+  sh.stall(9, 1, 0x100, 6, AccessClass::kLoad);
+  sh.fanout(4, 2, 0x100, 2);                        // then the bank node
+  sh.dir_width(2, 0x100, 2);
+  sh.bank_enqueue(5, b, 0x100, 1);
+  sh.bank_dequeue(9, b, 0x100, 0);
+  sh.access(1, 0, 0x100, 4, AccessClass::kStore);   // node 0 stream last
+  sh.traffic(3, 0, 0x100, 44);
+  sh.wbuf_stall(10, 0, 0x100);
+  sh.update_recv(10, 1, 0x200);
+  sh.link_flits(l, 3);
+  sh.finalize_sharded();
+  ASSERT_FALSE(sh.sharded());
+
+  EXPECT_EQ(profile_json(ref.snapshot("run"), 0), profile_json(sh.snapshot("run"), 0));
+}
+
+TEST_F(ProfileTest, ShardedNoOpWhenOff) {
+  Profiler off;  // kOff
+  off.begin_sharded(4);
+  EXPECT_FALSE(off.sharded());
+  off.finalize_sharded();
+  EXPECT_EQ(off.line_count(), 0u);
+}
+
+TEST_F(ProfileTest, SnapshotReconcilesLineTrafficWithTotals) {
+  pf.traffic(1, 0, 0x100, 16);
+  pf.traffic(2, 1, 0x200, 48);
+  snap = pf.snapshot("test");
+  std::uint64_t line_bytes = 0, line_packets = 0;
+  for (const auto& l : snap.lines) {
+    line_bytes += l.traffic_bytes;
+    line_packets += l.packets;
+  }
+  EXPECT_EQ(line_bytes, snap.total_traffic_bytes);
+  EXPECT_EQ(line_packets, snap.total_packets);
 }
 
 }  // namespace

@@ -135,14 +135,14 @@ TEST(TracerTest, OffModeRecordsNothing) {
   Tracer t;  // default mode is kOff
   ASSERT_FALSE(t.on());
   unsigned link = t.register_link("l0");
-  unsigned bank = t.register_bank("b0");
+  unsigned bank = t.register_bank("b0", 0);
   std::uint64_t txn = t.alloc_txn();
-  t.txn_begin(10, txn, "kind", 0, 0x100);
-  t.txn_note(12, txn, "note", "arg", 1);
-  t.txn_end(20, txn, 4);
-  t.instant(11, "evt", Tracer::kPidNoc, 0);
-  t.complete(10, 20, "svc", Tracer::kPidBank, 0);
-  t.counter(10, "ctr", Tracer::kPidBank, 0, 7);
+  t.txn_begin(10, txn, "kind", 0, 0, 0x100);
+  t.txn_note(12, txn, 0, "note", "arg", 1);
+  t.txn_end(20, txn, 0, 4);
+  t.instant(11, 0, "evt", Tracer::kPidNoc, 0);
+  t.complete(10, 20, 0, "svc", Tracer::kPidBank, 0);
+  t.counter(10, 0, "ctr", Tracer::kPidBank, 0, 7);
   t.add_stall(0, StallCat::kLoad, 5);
   t.add_link_flits(link, 10, 3);
   t.bank_queue_depth(bank, 10, 2);
@@ -170,11 +170,11 @@ TEST(TracerTest, OutOfOrderSpanPairing) {
   t.set_mode(TraceMode::kFull);
   std::uint64_t a = t.alloc_txn();
   std::uint64_t b = t.alloc_txn();
-  t.txn_begin(10, a, "slow", 0, 0x100);
-  t.txn_begin(12, b, "fast", 1, 0x200);
+  t.txn_begin(10, a, "slow", 0, 0, 0x100);
+  t.txn_begin(12, b, "fast", 1, 1, 0x200);
   EXPECT_EQ(t.open_span_count(), 2u);
-  t.txn_end(20, b, 2);
-  t.txn_end(50, a, 4);
+  t.txn_end(20, b, 1, 2);
+  t.txn_end(50, a, 0, 4);
   EXPECT_EQ(t.open_span_count(), 0u);
 
   const auto& ks = t.txn_stats();
@@ -190,7 +190,7 @@ TEST(TracerTest, OutOfOrderSpanPairing) {
 TEST(TracerTest, EndWithoutBeginIsIgnored) {
   Tracer t;
   t.set_mode(TraceMode::kFull);
-  t.txn_end(10, 999, 4);  // never began; must not crash or create a kind
+  t.txn_end(10, 999, 0, 4);  // never began; must not crash or create a kind
   EXPECT_TRUE(t.txn_stats().empty());
   EXPECT_EQ(t.open_span_count(), 0u);
 }
@@ -199,8 +199,8 @@ TEST(TracerTest, MetricsModeKeepsAggregatesNotEvents) {
   Tracer t;
   t.set_mode(TraceMode::kMetrics);
   std::uint64_t a = t.alloc_txn();
-  t.txn_begin(0, a, "k", 0, 0);
-  t.txn_end(16, a, 3);
+  t.txn_begin(0, a, "k", 0, 0, 0);
+  t.txn_end(16, a, 0, 3);
   t.add_stall(2, StallCat::kStore, 7);
 
   EXPECT_TRUE(t.events().empty());
@@ -218,15 +218,15 @@ Tracer make_populated_tracer() {
   t.set_track_name(Tracer::kPidCpu, 0, "cpu0");
   t.set_track_name(Tracer::kPidCache, 0, "cpu0.dcache");
   unsigned link = t.register_link("gmn.in.0");
-  unsigned bank = t.register_bank("bank0");
+  unsigned bank = t.register_bank("bank0", 2);
 
   std::uint64_t txn = t.alloc_txn();
-  t.txn_begin(5, txn, "wti.load_miss", 0, 0x1234);
-  t.txn_note(9, txn, "noc.deliver", "src", 0, "dst", 2);
-  t.instant(11, "wti.invalidate_recv", Tracer::kPidCache, 0, "addr", 0x1234);
-  t.complete(10, 14, "read", Tracer::kPidBank, 0);
-  t.counter(12, "queue", Tracer::kPidBank, 0, 3);
-  t.txn_end(21, txn, 2);
+  t.txn_begin(5, txn, "wti.load_miss", 0, 0, 0x1234);
+  t.txn_note(9, txn, 2, "noc.deliver", "src", 0, "dst", 2);
+  t.instant(11, 0, "wti.invalidate_recv", Tracer::kPidCache, 0, "addr", 0x1234);
+  t.complete(10, 14, 2, "read", Tracer::kPidBank, 0);
+  t.counter(12, 2, "queue", Tracer::kPidBank, 0, 3);
+  t.txn_end(21, txn, 0, 2);
   t.add_stall(0, StallCat::kLoad, 16);
   t.add_link_flits(link, 9, 5);
   t.add_link_flits(link, 40, 2);  // second epoch
@@ -276,6 +276,65 @@ TEST(TracerTest, LinkFlitsBucketByEpoch) {
   std::string j = t.report_json();
   // Epoch 0 holds 2 flits, epoch 1 holds 1.
   EXPECT_NE(j.find("[2,1]"), std::string::npos) << j;
+}
+
+
+TEST(TracerTest, ShardedMergeMatchesDirectRecording) {
+  // Serial reference: events recorded in canonical order.
+  Tracer ref;
+  ref.set_mode(TraceMode::kFull);
+  unsigned bank_r = ref.register_bank("bank0", 2);
+  std::uint64_t r0 = ref.alloc_txn();
+  std::uint64_t r1 = ref.alloc_txn();
+  ref.txn_begin(5, r0, "load", 0, 0, 0x100);
+  ref.txn_begin(5, r1, "store", 1, 1, 0x200);
+  ref.instant(6, 0, "evt", Tracer::kPidCache, 0);
+  ref.complete(6, 9, 2, "read", Tracer::kPidBank, 0);
+  ref.txn_end(12, r0, 0, 2);
+  ref.txn_end(12, r1, 1, 2);
+  ref.add_stall(0, StallCat::kLoad, 3);
+  ref.bank_queue_depth(bank_r, 7, 1);
+
+  // Sharded run: the same per-node hook streams, issued in a scrambled
+  // cross-node interleaving — exactly the freedom the parallel engine has.
+  Tracer sh;
+  sh.set_mode(TraceMode::kFull);
+  unsigned bank_s = sh.register_bank("bank0", 2);
+  std::uint64_t s0 = sh.alloc_txn();
+  std::uint64_t s1 = sh.alloc_txn();
+  sh.begin_sharded(2);
+  ASSERT_TRUE(sh.sharded());
+  sh.txn_begin(5, s1, "store", 1, 1, 0x200);
+  sh.txn_end(12, s1, 1, 2);
+  sh.complete(6, 9, 2, "read", Tracer::kPidBank, 0);
+  sh.bank_queue_depth(bank_s, 7, 1);
+  sh.txn_begin(5, s0, "load", 0, 0, 0x100);
+  sh.instant(6, 0, "evt", Tracer::kPidCache, 0);
+  sh.txn_end(12, s0, 0, 2);
+  sh.add_stall(0, StallCat::kLoad, 3);
+  sh.finalize_sharded();
+  ASSERT_FALSE(sh.sharded());
+
+  EXPECT_EQ(ref.chrome_json(), sh.chrome_json());
+  EXPECT_EQ(ref.report_json(), sh.report_json());
+}
+
+TEST(TracerTest, ShardedNoOpWhenOff) {
+  Tracer t;  // kOff
+  t.begin_sharded(4);
+  EXPECT_FALSE(t.sharded());
+  t.finalize_sharded();  // must be a harmless no-op
+}
+
+TEST(TracerTest, RunContextAppearsInReport) {
+  Tracer t = make_populated_tracer();
+  t.set_run_context("parallel", 4, "", "trace,profile");
+  std::string j = t.report_json();
+  EXPECT_TRUE(JsonChecker(j).valid()) << j;
+  EXPECT_NE(j.find("\"run\""), std::string::npos);
+  EXPECT_NE(j.find("\"engine\":\"parallel\""), std::string::npos);
+  EXPECT_NE(j.find("\"domains\":4"), std::string::npos);
+  EXPECT_NE(j.find("\"observers\":\"trace,profile\""), std::string::npos);
 }
 
 }  // namespace

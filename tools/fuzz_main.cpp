@@ -37,11 +37,17 @@ void usage(const char* argv0) {
                "  --max-cycles N      hang guard (default 50000000)\n"
                "  --fault F           inject a protocol bug: skip-invalidate\n"
                "  --fault-after N     correct invalidations before the bug fires\n"
-               "  --parallel-domains N  build the platform with N simulation\n"
-               "                      domains (checked runs stay sequenced)\n"
+               "  --parallel-domains N  run under the conservative parallel engine\n"
+               "                      with N domains (checking, tracing and\n"
+               "                      profiling are parallel-native; the verdict\n"
+               "                      is identical to the serial reference)\n"
                "  --minimize          shrink a failing config to a minimal repro\n"
-               "  --trace PATH        dump a Chrome trace of the failing run\n"
-               "  --profile PATH      dump a sharing profile of the failing run\n"
+               "  --trace PATH        record a Chrome trace of every run\n"
+               "                      (multi-seed runs overwrite; the minimized\n"
+               "                      repro is re-recorded after --minimize)\n"
+               "  --profile PATH      record a sharing profile of every run\n"
+               "  --heartbeat N       progress heartbeat every N ms on stderr\n"
+               "  --heartbeat-json PATH  stream heartbeats as JSONL (ccnoc-heartbeat-v1)\n"
                "  --quiet             only print failures and the final tally\n",
                argv0);
 }
@@ -119,6 +125,10 @@ int main(int argc, char** argv) {
       opt.fault_after = unsigned(n);
     } else if (a == "--parallel-domains" && parse_u64(value(), &n)) {
       opt.parallel_domains = unsigned(n);
+    } else if (a == "--heartbeat" && parse_u64(value(), &n)) {
+      opt.heartbeat_ms = unsigned(n);
+    } else if (a == "--heartbeat-json") {
+      opt.heartbeat_json = value();
     } else if (a == "--minimize") {
       minimize = true;
     } else if (a == "--trace") {
@@ -141,6 +151,11 @@ int main(int argc, char** argv) {
   for (std::uint64_t s = 0; s < num_seeds; ++s) {
     FuzzOptions run = opt;
     run.seed = opt.seed + s;
+    // Observers ride along on the primary run — tracing/profiling are
+    // parallel-native, so there is no need to wait for a failure and re-run
+    // on the sequenced engine.
+    run.trace_path = trace_path;
+    run.profile_path = profile_path;
     FuzzOutcome out = ccnoc::core::run_fuzz(run);
     if (out.passed()) {
       if (!quiet) {
@@ -155,24 +170,29 @@ int main(int argc, char** argv) {
     if (!out.report.empty()) std::printf("%s", out.report.c_str());
 
     if (minimize) {
-      ccnoc::core::MinimizeResult m = ccnoc::core::minimize_fuzz(run);
+      // Shrink without observers (dozens of candidate runs), then re-record
+      // the minimized repro so the trace/profile on disk match it.
+      FuzzOptions shrink = run;
+      shrink.trace_path.clear();
+      shrink.profile_path.clear();
+      ccnoc::core::MinimizeResult m = ccnoc::core::minimize_fuzz(shrink);
       std::printf("minimized after %u runs: cpus=%u ops=%u lock_every=%u "
                   "barrier_every=%u (%s)\n",
                   m.runs, m.reduced.cpus, m.reduced.ops, m.reduced.lock_every,
                   m.reduced.barrier_every, m.outcome.summary().c_str());
       run = m.reduced;
+      if (!trace_path.empty() || !profile_path.empty()) {
+        run.trace_path = trace_path;
+        run.profile_path = profile_path;
+        (void)ccnoc::core::run_fuzz(run);
+      }
     }
-    if (!trace_path.empty() || !profile_path.empty()) {
-      run.trace_path = trace_path;
-      run.profile_path = profile_path;
-      (void)ccnoc::core::run_fuzz(run);
-      if (!trace_path.empty()) {
-        std::printf("trace of failing run written to %s\n", trace_path.c_str());
-      }
-      if (!profile_path.empty()) {
-        std::printf("sharing profile of failing run written to %s\n",
-                    profile_path.c_str());
-      }
+    if (!trace_path.empty()) {
+      std::printf("trace of failing run written to %s\n", trace_path.c_str());
+    }
+    if (!profile_path.empty()) {
+      std::printf("sharing profile of failing run written to %s\n",
+                  profile_path.c_str());
     }
     std::printf("replay: %s\n", run.command_line().c_str());
   }
