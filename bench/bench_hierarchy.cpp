@@ -1,0 +1,110 @@
+// Two-level hierarchy bench: the flat paper platform vs private L1s in
+// front of banked shared L2s, per write policy. The L2 tier is where the
+// paper's central tension moves: write-through traffic that used to cross
+// the NoC to DRAM on every store now stops at the shared L2 bank (DRAM sees
+// only dirty-line evictions), while MESI pays the extra hop on misses. The
+// table reports simulated execution time, NoC traffic and the L2's own
+// activity (fills, capacity recalls, dirty write-backs to DRAM) for the
+// default 16 KB banks and for deliberately tiny 2 KB banks, where recalls
+// dominate and inclusion back-invalidations eat into the L1s.
+//
+// Every reported field is simulated and deterministic, so CI holds the
+// committed baseline (bench/baselines/BENCH_hierarchy.json) at exact
+// tolerance; only wall_seconds is host-speed.
+
+#include <cstdio>
+#include <string>
+
+#include "paper_sweep.hpp"
+
+using namespace ccnoc;
+
+namespace {
+
+struct HierRun {
+  core::RunResult r;
+  std::uint64_t fills = 0;
+  std::uint64_t recalls = 0;
+  std::uint64_t recall_invals = 0;
+  std::uint64_t recall_fetches = 0;
+  std::uint64_t evictions_dirty = 0;
+};
+
+HierRun run_one(mem::Protocol p, unsigned cpus, unsigned l2_banks,
+                unsigned l2_bytes) {
+  core::SystemConfig cfg = core::SystemConfig::architecture1(cpus, p);
+  if (l2_banks != 0) {
+    cfg.hierarchy_levels = 2;
+    cfg.num_l2_banks = l2_banks;
+    cfg.l2.size_bytes = l2_bytes;
+  }
+  core::System sys(cfg);
+  auto app = bench::make_app("ocean");
+  HierRun out;
+  out.r = sys.run(*app);
+  for (unsigned i = 0; i < l2_banks; ++i) {
+    const std::string prefix = "l2bank" + std::to_string(i) + ".";
+    auto& st = sys.simulator().stats();
+    out.fills += st.counter_value(prefix + "fills");
+    out.recalls += st.counter_value(prefix + "recalls");
+    out.recall_invals += st.counter_value(prefix + "recall_invals");
+    out.recall_fetches += st.counter_value(prefix + "recall_fetches");
+    out.evictions_dirty += st.counter_value(prefix + "evictions_dirty");
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_bench_args(argc, argv);
+  bench::MetricLog log;
+  const unsigned cpus = 8;
+
+  std::printf("=== Two-level hierarchy (Ocean, arch 1, n=%u) ===\n", cpus);
+  std::printf("%7s %14s %12s %12s %8s %8s %10s\n", "proto", "config",
+              "Mcycles", "NoC MB", "fills", "recalls", "dirty-evs");
+
+  struct Config {
+    const char* label;
+    unsigned l2_banks;
+    unsigned l2_bytes;
+  };
+  const Config configs[] = {
+      {"flat", 0, 0},
+      {"l2x2_16k", 2, 16384},
+      {"l2x4_16k", 4, 16384},
+      {"l2x2_2k", 2, 2048},  // capacity-starved: recalls on the hot path
+  };
+
+  for (mem::Protocol p :
+       {mem::Protocol::kWti, mem::Protocol::kWbMesi, mem::Protocol::kWtu}) {
+    for (const Config& c : configs) {
+      HierRun h = run_one(p, cpus, c.l2_banks, c.l2_bytes);
+      std::printf("%7s %14s %12.3f %12.3f %8llu %8llu %10llu%s\n",
+                  mem::to_string(p), c.label, h.r.exec_megacycles(),
+                  double(h.r.noc_bytes) / 1e6,
+                  (unsigned long long)h.fills, (unsigned long long)h.recalls,
+                  (unsigned long long)h.evictions_dirty,
+                  h.r.verified ? "" : " [VERIFY FAILED]");
+      log.add(std::string(mem::to_string(p)) + "_" + c.label,
+              {{"l2_banks", double(c.l2_banks)},
+               {"l2_bytes", double(c.l2_bytes)},
+               {"cycles", double(h.r.exec_cycles)},
+               {"noc_bytes", double(h.r.noc_bytes)},
+               {"noc_packets", double(h.r.noc_packets)},
+               {"l2_fills", double(h.fills)},
+               {"l2_recalls", double(h.recalls)},
+               {"l2_recall_invals", double(h.recall_invals)},
+               {"l2_recall_fetches", double(h.recall_fetches)},
+               {"l2_evictions_dirty", double(h.evictions_dirty)},
+               {"verified", h.r.verified ? 1.0 : 0.0}});
+    }
+  }
+
+  std::printf(
+      "\n(Write-through traffic terminates at the shared L2: DRAM is touched\n"
+      " only by dirty-line evictions, so WTI/WTU shed most of their memory-\n"
+      " side NoC traffic, while MESI pays the extra tier on its miss path.)\n");
+  return bench::finish_metric_bench(opt, "hierarchy", log);
+}

@@ -48,6 +48,13 @@ struct CacheConfig {
   /// the relaxed-ordering ablation.
   bool drain_on_load_miss = true;
 
+  /// True when this L1 fronts a banked shared L2 (hierarchy_levels=2): the
+  /// controller then resolves transitions that only exist in the two-level
+  /// extension tables (a WTU L1 acknowledging a back-invalidation) through
+  /// proto::l2_table_for(). Flat platforms leave this false and are
+  /// bit-identical to before.
+  bool hierarchy = false;
+
   [[nodiscard]] unsigned num_lines() const { return size_bytes / block_bytes; }
   [[nodiscard]] unsigned num_sets() const { return num_lines() / ways; }
 };

@@ -18,6 +18,7 @@ CacheController::CacheController(sim::Simulator& sim, noc::Network& net,
       tr_(&sim.tracer()),
       pf_(&sim.profiler()),
       tbl_(proto::table_for(cfg.protocol)),
+      tbl2_(cfg.hierarchy ? &proto::l2_table_for(cfg.protocol) : nullptr),
       cov_(&sim.proto_coverage_shard(node)) {
   // Controller spans land on the "cache" process track, one thread per
   // (node, sub-port) so a node's dcache and icache stay distinct.
@@ -27,7 +28,9 @@ CacheController::CacheController(sim::Simulator& sim, noc::Network& net,
 void CacheController::send_to_bank(sim::Addr addr, noc::Message m) {
   m.requester = node_;
   m.port = port_;
-  net_.send(node_, map_.bank_node_of(addr), m);
+  // The home node serializes this block: its memory bank on a flat
+  // platform, its address-interleaved shared L2 bank on a two-level one.
+  net_.send(node_, map_.home_node_of(addr), m);
 }
 
 void CacheController::send_to_node(sim::NodeId dst, noc::Message m) {

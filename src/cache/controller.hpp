@@ -143,7 +143,7 @@ class CacheController : public CacheIface {
   /// bitmap. An undeclared (state, event) pair aborts — the table is the
   /// single source of truth shared with the exhaustive model checker.
   void fsm(CacheLine& l, proto::CacheEvent ev) {
-    l.state = proto::apply_cache(tbl_, *cov_, l.state, ev);
+    l.state = proto::apply_cache(tbl_, tbl2_, *cov_, l.state, ev);
   }
 
   /// Fault injection (CacheConfig::fault): true when the current incoming
@@ -168,6 +168,10 @@ class CacheController : public CacheIface {
   sim::Tracer* tr_;    ///< cached; hot paths guard on tr_->on() / tr_->full()
   sim::Profiler* pf_;  ///< cached; every hook is one predicted branch when off
   const proto::ProtocolTable& tbl_;  ///< this protocol's transition table
+  /// Hierarchy extension table, installed only when this L1 fronts a shared
+  /// L2 (CacheConfig::hierarchy): a WTU L1's back-invalidation row exists
+  /// only there. Null on flat platforms — fsm() behaves exactly as before.
+  const proto::ProtocolTable* tbl2_ = nullptr;
   proto::CoverageSet* cov_;          ///< this node's domain coverage shard
 
  private:

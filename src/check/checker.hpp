@@ -47,6 +47,10 @@ class WtiController;
 class MesiController;
 }  // namespace ccnoc::cache
 
+namespace ccnoc::mem {
+class L2Bank;
+}  // namespace ccnoc::mem
+
 namespace ccnoc::check {
 
 struct CheckConfig {
@@ -88,6 +92,12 @@ class Checker final : public sim::CoherenceProbe {
   void register_node(unsigned cpu, cache::CacheController& dcache,
                      cache::CacheController& icache);
   void register_bank(mem::Bank& bank);
+  /// Two-level platforms also register their shared L2 banks: the walker
+  /// then retargets every L1-facing cross-check at the block's home L2 bank
+  /// (that is where the L1 directory lives), audits inclusion in both
+  /// directions, and audits the memory tier as a MESI directory over the L2
+  /// banks.
+  void register_l2(mem::L2Bank& l2);
 
   [[nodiscard]] bool oracle_enabled() const { return oracle_ != nullptr; }
   /// True when the probe must be installed on the Simulator (oracle on);
@@ -177,6 +187,7 @@ class Checker final : public sim::CoherenceProbe {
   std::unique_ptr<Oracle> oracle_;  ///< null when gated off (see ctor)
   std::vector<NodeRec> nodes_;      ///< indexed by cpu
   std::vector<mem::Bank*> banks_;   ///< indexed by bank
+  std::vector<mem::L2Bank*> l2_banks_;  ///< indexed by l2 bank; empty = flat
 
   sim::Cycle replay_now_ = kNoReplayNow;
   std::vector<Violation> violations_;  ///< first `max_violations` kept

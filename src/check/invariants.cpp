@@ -6,6 +6,7 @@
 #include "cache/mesi_controller.hpp"
 #include "cache/wti_controller.hpp"
 #include "check/checker.hpp"
+#include "mem/l2_bank.hpp"
 
 /// \file invariants.cpp
 /// The invariant walker: Checker::walk_impl audits every cache tag array
@@ -82,8 +83,25 @@ void Checker::walk_impl(bool strict) {
       ctl->tags().for_each_line([&](const cache::CacheLine& l) {
         if (l.state == cache::LineState::kInvalid) return;
         const sim::Addr block = l.block;
-        mem::Bank& bank = bank_of(block);
+        // The block's home is where its L1-facing directory (and the
+        // freshest non-owned copy of its bytes) lives: the memory bank on a
+        // flat platform, the address-interleaved L2 bank on a two-level one.
+        mem::L2Bank* l2 =
+            l2_banks_.empty() ? nullptr : l2_banks_[map_.l2_index_of(block)];
+        mem::Bank& bank = l2 != nullptr ? static_cast<mem::Bank&>(*l2) : bank_of(block);
         const bool open_txn = !strict && bank.has_open_txn(block);
+
+        // Inclusion: a valid L1 data-cache line implies a resident line in
+        // its home L2 bank (the recall machinery exists to preserve this).
+        // I-caches are exempt — their fetches are untracked, so the L2 may
+        // evict code blocks without back-invalidating them (read-only data,
+        // so the stale copy is harmless by construction).
+        if (l2 != nullptr && !is_icache && !l2->resident(block) && !open_txn) {
+          violation("inclusion",
+                    line_desc(cpu, is_icache, block) +
+                        " is valid but its home L2 bank (l2bank" +
+                        std::to_string(l2->l2_index()) + ") holds no resident line");
+        }
 
         // Write-through caches (and every I-cache) never own a line.
         const bool exclusive = l.state == cache::LineState::kExclusive ||
@@ -171,34 +189,120 @@ void Checker::walk_impl(bool strict) {
     }
   }
 
-  // Directory-side audit.
-  for (unsigned b = 0; b < banks_.size(); ++b) {
-    banks_[b]->directory().for_each_entry([&](sim::Addr block,
-                                              const mem::DirEntry& e) {
+  // Directory-side audit of the L1-facing tier: the memory banks on a flat
+  // platform, the L2 banks on a two-level one. Either way the directory
+  // tracks L1 data caches under the platform protocol, so the same rules
+  // apply.
+  auto audit_l1_facing_dir = [&](mem::Bank& bank, const std::string& who) {
+    bank.directory().for_each_entry([&](sim::Addr block, const mem::DirEntry& e) {
       if (num_cpus < 64 && (e.presence >> num_cpus) != 0) {
-        violation("presence", "directory of bank" + std::to_string(b) +
+        violation("presence", "directory of " + who +
                                   " names a nonexistent cache for block " +
                                   hex(block) + " (presence=" + hex(e.presence) + ")");
       }
       if (write_through_) {
-        // The write-through property: memory is always clean, so the
-        // directory never records an owner.
+        // The write-through property: the next level down is always clean,
+        // so the directory never records an owner.
         if (e.dirty || e.owner != sim::kInvalidNode) {
           violation("wti-dir-clean",
-                    "bank" + std::to_string(b) + " directory marks block " +
-                        hex(block) + " dirty under a write-through protocol");
+                    who + " directory marks block " + hex(block) +
+                        " dirty under a write-through protocol");
         }
         return;
       }
-      const bool open_txn = !strict && banks_[b]->has_open_txn(block);
+      const bool open_txn = !strict && bank.has_open_txn(block);
       if (e.dirty && !open_txn) {
         if (e.owner == sim::kInvalidNode || e.owner >= num_cpus ||
             !e.is_sharer(e.owner) || e.sharer_count() != 1) {
           violation("dirty-owner",
-                    "bank" + std::to_string(b) + " directory entry for block " +
-                        hex(block) + " is dirty but malformed (owner=" +
+                    who + " directory entry for block " + hex(block) +
+                        " is dirty but malformed (owner=" +
                         std::to_string(e.owner) + ", presence=" +
                         hex(e.presence) + ")");
+        }
+      }
+    });
+  };
+
+  if (l2_banks_.empty()) {
+    for (unsigned b = 0; b < banks_.size(); ++b) {
+      audit_l1_facing_dir(*banks_[b], "bank" + std::to_string(b));
+    }
+    return;
+  }
+
+  // --- two-level-only audits -------------------------------------------------
+  const unsigned num_l2 = unsigned(l2_banks_.size());
+
+  for (mem::L2Bank* l2 : l2_banks_) {
+    const std::string who = "l2bank" + std::to_string(l2->l2_index());
+    audit_l1_facing_dir(*l2, who);
+
+    // Inclusion, L2 side: a directory entry naming L1 sharers on a block
+    // that is not resident here means a line escaped the recall teardown.
+    l2->directory().for_each_entry([&](sim::Addr block, const mem::DirEntry& e) {
+      const bool open_txn = !strict && l2->has_open_txn(block);
+      if (e.has_sharer() && !l2->resident(block) && !open_txn) {
+        violation("inclusion",
+                  who + " tracks L1 sharers for block " + hex(block) +
+                      " (presence=" + hex(e.presence) +
+                      ") but holds no resident line");
+      }
+    });
+
+    // Per resident line: the memory tier must record this (sole) L2 bank as
+    // the block's dirty owner — fills are tracked and granted Exclusive —
+    // and a clean (E) line must still hold DRAM's exact bytes, since the
+    // first transaction-path write dirties it to M.
+    l2->for_each_line([&](sim::Addr block, proto::LineState state) {
+      const bool open_txn = !strict && (l2->has_open_txn(block) ||
+                                        bank_of(block).has_open_txn(block));
+      const mem::DirEntry e = bank_of(block).directory().lookup(block);
+      if (!open_txn &&
+          (!e.dirty || e.owner != l2->node_id() || !e.is_sharer(l2->node_id()))) {
+        violation("l2-tracking",
+                  who + " holds block " + hex(block) +
+                      " but the memory directory does not record it as the "
+                      "dirty owner (dirty=" + (e.dirty ? "1" : "0") +
+                      ", owner=" + std::to_string(e.owner) + ")");
+      }
+      if (state == proto::LineState::kModified || open_txn) return;
+      std::vector<std::uint8_t> l2_bytes(bb);
+      l2->storage().read(block, l2_bytes.data(), bb);
+      bank_of(block).storage().read(block, mem_bytes.data(), bb);
+      for (unsigned i = 0; i < bb; ++i) {
+        if (l2_bytes[i] == mem_bytes[i]) continue;
+        violation("freshness",
+                  who + " holds block " + hex(block) + " clean (" +
+                      proto::to_string(state) + ") but disagrees with memory at " +
+                      hex(block + i) + ": L2 holds " + hex(l2_bytes[i]) +
+                      ", memory holds " + hex(mem_bytes[i]));
+        break;
+      }
+    });
+  }
+
+  // Memory-tier directory audit: clients are the L2 banks (write-back MESI
+  // regardless of the platform protocol — see core/system.cpp), and the
+  // block interleave means a tracked entry's owner can only ever be the
+  // block's single home L2 node.
+  for (unsigned b = 0; b < banks_.size(); ++b) {
+    banks_[b]->directory().for_each_entry([&](sim::Addr block,
+                                              const mem::DirEntry& e) {
+      if (num_l2 < 64 && (e.presence >> num_l2) != 0) {
+        violation("presence", "directory of bank" + std::to_string(b) +
+                                  " names a nonexistent L2 bank for block " +
+                                  hex(block) + " (presence=" + hex(e.presence) + ")");
+      }
+      const bool open_txn = !strict && banks_[b]->has_open_txn(block);
+      if (e.dirty && !open_txn) {
+        if (e.owner != map_.l2_node_of(block) || !e.is_sharer(e.owner) ||
+            e.sharer_count() != 1) {
+          violation("dirty-owner",
+                    "bank" + std::to_string(b) + " directory entry for block " +
+                        hex(block) + " is dirty but its owner is not the "
+                        "block's home L2 bank (owner=" + std::to_string(e.owner) +
+                        ", presence=" + hex(e.presence) + ")");
         }
       }
     });

@@ -27,6 +27,10 @@ std::string FuzzOptions::command_line() const {
   if (fault == cache::CacheConfig::FaultKind::kSkipInvalidate) {
     os << " --fault skip-invalidate --fault-after " << fault_after;
   }
+  if (l2_banks != 0) {
+    os << " --l2-banks " << l2_banks;
+    if (l2_size_bytes != 2048) os << " --l2-bytes " << l2_size_bytes;
+  }
   if (parallel_domains != 0) os << " --parallel-domains " << parallel_domains;
   return os.str();
 }
@@ -57,6 +61,11 @@ FuzzOutcome run_fuzz(const FuzzOptions& opt) {
   cfg.check.walk_interval = opt.walk_interval;
   cfg.dcache.fault = opt.fault;
   cfg.dcache.fault_after = opt.fault_after;
+  if (opt.l2_banks != 0) {
+    cfg.hierarchy_levels = 2;
+    cfg.num_l2_banks = opt.l2_banks;
+    cfg.l2.size_bytes = opt.l2_size_bytes;
+  }
   if (!opt.trace_path.empty()) cfg.trace = sim::TraceMode::kFull;
   if (!opt.profile_path.empty()) cfg.profile = sim::ProfileMode::kOn;
   cfg.parallel_domains = opt.parallel_domains;
@@ -121,6 +130,13 @@ MinimizeResult minimize_fuzz(const FuzzOptions& failing) {
   if (m.reduced.lock_every != 0) {
     FuzzOptions cand = m.reduced;
     cand.lock_every = 0;
+    try_adopt(cand);
+  }
+  // 1b. A two-level failure that also reproduces flat is a protocol bug,
+  //     not a hierarchy bug — drop the L2 tier if the failure survives.
+  if (m.reduced.l2_banks != 0) {
+    FuzzOptions cand = m.reduced;
+    cand.l2_banks = 0;
     try_adopt(cand);
   }
 

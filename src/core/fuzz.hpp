@@ -35,6 +35,12 @@ struct FuzzOptions {
   unsigned barrier_every = 128;
   cache::CacheConfig::FaultKind fault = cache::CacheConfig::FaultKind::kNone;
   unsigned fault_after = 0;
+  /// Two-level platform: 0 = flat (the default), N > 0 = private L1s in
+  /// front of N shared L2 banks (SystemConfig::hierarchy_levels = 2). The
+  /// L2 data array is shrunk to l2_size_bytes so capacity recalls — the
+  /// hierarchy's raciest machinery — fire under fuzzing, not just fills.
+  unsigned l2_banks = 0;
+  unsigned l2_size_bytes = 2048;
   sim::Cycle max_cycles = 50'000'000;
   sim::Cycle walk_interval = 1024;
   /// When non-empty, record a full Chrome/Perfetto trace of the run here.

@@ -31,20 +31,51 @@ SystemConfig SystemConfig::architecture2(unsigned n, mem::Protocol p) {
 std::string SystemConfig::describe() const {
   std::ostringstream os;
   os << to_string(protocol) << " " << to_string(arch) << " n=" << num_cpus
-     << " m=" << num_banks << " " << to_string(kernel.policy)
+     << " m=" << num_banks;
+  if (two_level()) os << " l2=" << num_l2_banks;
+  os << " " << to_string(kernel.policy)
      << (network == NetworkKind::kGmn    ? " GMN"
          : network == NetworkKind::kMesh ? " mesh"
                                          : " bus");
   return os.str();
 }
 
+namespace {
+unsigned log2u(unsigned v) {
+  unsigned s = 0;
+  while ((1u << s) < v) ++s;
+  return s;
+}
+}  // namespace
+
 System::System(SystemConfig cfg)
-    : cfg_(cfg), sim_(cfg.seed), map_(cfg.num_cpus, cfg.num_banks) {
+    : cfg_(cfg),
+      sim_(cfg.seed),
+      // Block-granularity L2 interleave (l2_shift = log2 block size): each
+      // memory-tier block then has exactly one L2 client, which is what lets
+      // the memory banks keep the unmodified flat engine.
+      map_(cfg.num_cpus, cfg.num_banks, 24,
+           cfg.two_level() ? cfg.num_l2_banks : 0, log2u(cfg.dcache.block_bytes)) {
   // One platform-wide block size: caches and banks must agree on the
   // coherence granule.
   CCNOC_ASSERT(cfg_.dcache.block_bytes == cfg_.icache.block_bytes,
                "I/D caches must share one block size");
+  CCNOC_ASSERT(cfg_.hierarchy_levels >= 1 && cfg_.hierarchy_levels <= 2,
+               "hierarchy_levels must be 1 (flat) or 2 (shared L2)");
   cfg_.bank.block_bytes = cfg_.dcache.block_bytes;
+  if (cfg_.two_level()) {
+    CCNOC_ASSERT(cfg_.num_l2_banks >= 1 && cfg_.num_l2_banks <= 64,
+                 "memory directories track L2 banks in a 64-bit presence word");
+    cfg_.l2.bank.block_bytes = cfg_.dcache.block_bytes;
+    // The direct-ack optimization is an L1-facing policy; it rides on the
+    // platform knob so a two-level run of an optimized config stays
+    // comparable to its flat counterpart.
+    cfg_.l2.bank.direct_inval_ack = cfg_.bank.direct_inval_ack;
+    // L1 controllers resolve hierarchy-only transitions (e.g. a WTU L1
+    // acknowledging a back-invalidation) through the extension tables.
+    cfg_.dcache.hierarchy = true;
+    cfg_.icache.hierarchy = true;
+  }
 
   // Tracer mode before any component is built: constructors register their
   // tracks, link slots and bank slots with it.
@@ -106,13 +137,33 @@ System::System(SystemConfig cfg)
       break;
   }
 
+  // Memory tier. On a two-level platform its clients are the L2 banks, not
+  // the CPUs: the directory is re-pointed at the L2 node-id range, and the
+  // engine always runs flat write-back MESI — the block interleave gives
+  // memory one client per block, so fills are granted Exclusive and the L1
+  // protocol choice is entirely an upper-tier affair.
+  mem::BankConfig mem_cfg = cfg_.bank;
+  mem::Protocol mem_proto = cfg_.protocol;
+  if (cfg_.two_level()) {
+    mem_cfg.dir_clients = cfg_.num_l2_banks;
+    mem_cfg.dir_client_base = map_.l2_node(0);
+    mem_cfg.direct_inval_ack = false;  // L1-facing policy; meaningless here
+    mem_proto = mem::Protocol::kWbMesi;
+  }
   std::vector<mem::Bank*> bank_ptrs;
   for (unsigned b = 0; b < cfg_.num_banks; ++b) {
     banks_.push_back(
-        std::make_unique<mem::Bank>(sim_, *net_, map_, b, cfg_.protocol, cfg_.bank));
+        std::make_unique<mem::Bank>(sim_, *net_, map_, b, mem_proto, mem_cfg));
     bank_ptrs.push_back(banks_.back().get());
   }
   dmem_ = std::make_unique<mem::BankedDirectMemory>(map_, std::move(bank_ptrs));
+
+  if (cfg_.two_level()) {
+    for (unsigned i = 0; i < cfg_.num_l2_banks; ++i) {
+      l2_banks_.push_back(std::make_unique<mem::L2Bank>(sim_, *net_, map_, i,
+                                                        cfg_.protocol, cfg_.l2));
+    }
+  }
 
   for (unsigned c = 0; c < cfg_.num_cpus; ++c) {
     nodes_.push_back(std::make_unique<cache::CacheNode>(
@@ -122,6 +173,7 @@ System::System(SystemConfig cfg)
 
   if (checker_) {
     for (auto& b : banks_) checker_->register_bank(*b);
+    for (auto& l2 : l2_banks_) checker_->register_l2(*l2);
     for (unsigned c = 0; c < cfg_.num_cpus; ++c) {
       checker_->register_node(c, nodes_[c]->dcache(), nodes_[c]->icache());
     }
@@ -331,8 +383,25 @@ std::uint64_t System::run_with_checker(sim::Cycle max_cycles) {
 }
 
 void System::flush_caches() {
+  if (l2_banks_.empty()) {
+    for (auto& n : nodes_) {
+      n->dcache().flush_dirty([this](sim::Addr a, const void* data, unsigned len) {
+        dmem_->write(a, data, len);
+      });
+    }
+    return;
+  }
+  // Two-level: dirty L1 lines collapse into their home L2 bank first
+  // (inclusion guarantees the line is resident there), then dirty L2 lines
+  // land in DRAM — the same path a timed write-back would take.
   for (auto& n : nodes_) {
     n->dcache().flush_dirty([this](sim::Addr a, const void* data, unsigned len) {
+      l2_banks_[map_.l2_index_of(a)]->absorb_l1_flush(
+          a, static_cast<const std::uint8_t*>(data), len);
+    });
+  }
+  for (auto& l2 : l2_banks_) {
+    l2->flush_dirty([this](sim::Addr a, const void* data, unsigned len) {
       dmem_->write(a, data, len);
     });
   }
@@ -344,6 +413,9 @@ bool System::quiescent() const {
   }
   for (const auto& b : banks_) {
     if (!b->idle()) return false;
+  }
+  for (const auto& l2 : l2_banks_) {
+    if (!l2->idle()) return false;
   }
   return true;
 }

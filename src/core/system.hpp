@@ -13,6 +13,7 @@
 #include "mem/address_map.hpp"
 #include "mem/bank.hpp"
 #include "mem/direct_memory.hpp"
+#include "mem/l2_bank.hpp"
 #include "noc/bus.hpp"
 #include "noc/gmn.hpp"
 #include "noc/mesh.hpp"
@@ -45,6 +46,19 @@ struct SystemConfig {
   cache::CacheConfig dcache{};
   cache::CacheConfig icache{};
   mem::BankConfig bank{};
+
+  /// Memory-hierarchy depth (ROADMAP direction 2). 1 = the paper's flat
+  /// platform — the default, preserved bit-exactly. 2 = the per-CPU caches
+  /// become private L1s in front of `num_l2_banks` address-interleaved
+  /// shared L2 banks (mem/l2_bank.hpp): each L2 bank inclusively tracks its
+  /// L1 sharers, and the memory directory tracks the L2 banks (under the
+  /// flat write-back MESI engine regardless of the L1 protocol — the
+  /// block-granularity interleave gives memory exactly one client per
+  /// block). `l2` sets the L2 banks' geometry and service timing.
+  unsigned hierarchy_levels = 1;
+  unsigned num_l2_banks = 4;
+  mem::L2BankConfig l2{};
+  [[nodiscard]] bool two_level() const { return hierarchy_levels >= 2; }
   /// GMN fabric parameters (used when network == kGmn). Disengaged = derive
   /// from the node count via GmnConfig::for_nodes. An explicitly supplied
   /// config is used as-is and must have min_latency >= 1 — there is no
@@ -177,6 +191,9 @@ class System {
   [[nodiscard]] cpu::Processor& processor(unsigned i) { return *cpus_.at(i); }
   [[nodiscard]] cache::CacheNode& cache_node(unsigned i) { return *nodes_.at(i); }
   [[nodiscard]] mem::Bank& bank(unsigned i) { return *banks_.at(i); }
+  /// Shared L2 bank \p i (two-level platforms only).
+  [[nodiscard]] mem::L2Bank& l2_bank(unsigned i) { return *l2_banks_.at(i); }
+  [[nodiscard]] unsigned num_l2_banks() const { return unsigned(l2_banks_.size()); }
   [[nodiscard]] const mem::AddressMap& address_map() const { return map_; }
   /// The coherence checker, or nullptr when checking is off.
   [[nodiscard]] check::Checker* checker() { return checker_.get(); }
@@ -218,6 +235,7 @@ class System {
   std::unique_ptr<check::ProbeRecorder> recorder_;
   std::unique_ptr<noc::Network> net_;
   std::vector<std::unique_ptr<mem::Bank>> banks_;
+  std::vector<std::unique_ptr<mem::L2Bank>> l2_banks_;  ///< empty when flat
   std::vector<std::unique_ptr<cache::CacheNode>> nodes_;
   std::vector<std::unique_ptr<cpu::Processor>> cpus_;
   std::unique_ptr<mem::BankedDirectMemory> dmem_;

@@ -9,20 +9,38 @@
 /// fixed-size, power-of-two region of the address space; an address's bank
 /// index is simply its high bits. Cache nodes are numbered 0..n-1 and bank
 /// nodes n..n+m-1 on the NoC, as in the paper's modelled architectures.
+///
+/// Two-level hierarchy (hierarchy_levels=2): a tier of shared L2 bank nodes
+/// is appended AFTER the memory banks (NoC ids n+m..n+m+k-1), so every flat
+/// node id is unchanged. L2 banks are address-interleaved at block
+/// granularity — consecutive blocks map to consecutive L2 banks — and
+/// `home_node_of()` names the node a cache request must be sent to: the
+/// block's home L2 bank when the tier exists, its memory bank otherwise.
 
 namespace ccnoc::mem {
 
 class AddressMap {
  public:
-  /// \param num_cpus   number of processor/cache nodes (NoC ids 0..n-1)
-  /// \param num_banks  number of memory bank nodes (NoC ids n..n+m-1)
-  /// \param bank_shift log2 of the per-bank region size (default 16 MB)
-  AddressMap(unsigned num_cpus, unsigned num_banks, unsigned bank_shift = 24)
-      : num_cpus_(num_cpus), num_banks_(num_banks), bank_shift_(bank_shift) {}
+  /// \param num_cpus     number of processor/cache nodes (NoC ids 0..n-1)
+  /// \param num_banks    number of memory bank nodes (NoC ids n..n+m-1)
+  /// \param bank_shift   log2 of the per-bank region size (default 16 MB)
+  /// \param num_l2_banks shared L2 bank nodes (0 = single-level platform)
+  /// \param l2_shift     log2 of the L2 interleave granule (the block size)
+  AddressMap(unsigned num_cpus, unsigned num_banks, unsigned bank_shift = 24,
+             unsigned num_l2_banks = 0, unsigned l2_shift = 5)
+      : num_cpus_(num_cpus),
+        num_banks_(num_banks),
+        bank_shift_(bank_shift),
+        num_l2_banks_(num_l2_banks),
+        l2_shift_(l2_shift) {}
 
   [[nodiscard]] unsigned num_cpus() const { return num_cpus_; }
   [[nodiscard]] unsigned num_banks() const { return num_banks_; }
-  [[nodiscard]] unsigned num_nodes() const { return num_cpus_ + num_banks_; }
+  [[nodiscard]] unsigned num_l2_banks() const { return num_l2_banks_; }
+  [[nodiscard]] bool two_level() const { return num_l2_banks_ != 0; }
+  [[nodiscard]] unsigned num_nodes() const {
+    return num_cpus_ + num_banks_ + num_l2_banks_;
+  }
 
   [[nodiscard]] sim::Addr bank_region_bytes() const { return sim::Addr(1) << bank_shift_; }
 
@@ -55,11 +73,38 @@ class AddressMap {
   [[nodiscard]] bool is_bank_node(sim::NodeId n) const {
     return n >= num_cpus_ && n < num_cpus_ + num_banks_;
   }
+  [[nodiscard]] bool is_l2_node(sim::NodeId n) const {
+    return n >= num_cpus_ + num_banks_ && n < num_nodes();
+  }
+
+  // --- shared L2 tier (two-level platforms only) ---------------------------
+  [[nodiscard]] unsigned l2_index_of(sim::Addr a) const {
+    CCNOC_ASSERT(num_l2_banks_ != 0, "no L2 tier in this platform");
+    return unsigned(a >> l2_shift_) % num_l2_banks_;
+  }
+
+  [[nodiscard]] sim::NodeId l2_node(unsigned l2) const {
+    CCNOC_ASSERT(l2 < num_l2_banks_, "bad L2 bank index");
+    return sim::NodeId(num_cpus_ + num_banks_ + l2);
+  }
+
+  [[nodiscard]] sim::NodeId l2_node_of(sim::Addr a) const {
+    return l2_node(l2_index_of(a));
+  }
+
+  /// Where an L1 request for \p a must be sent: the home L2 bank in a
+  /// two-level platform, the memory bank otherwise. In a single-level map
+  /// this is exactly bank_node_of(), so flat platforms are bit-identical.
+  [[nodiscard]] sim::NodeId home_node_of(sim::Addr a) const {
+    return num_l2_banks_ != 0 ? l2_node_of(a) : bank_node_of(a);
+  }
 
  private:
   unsigned num_cpus_;
   unsigned num_banks_;
   unsigned bank_shift_;
+  unsigned num_l2_banks_;
+  unsigned l2_shift_;
 };
 
 }  // namespace ccnoc::mem

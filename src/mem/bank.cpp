@@ -11,25 +11,32 @@ using noc::MsgType;
 
 Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
            unsigned bank_index, Protocol proto, BankConfig cfg)
+    : Bank(sim, net, map, map.bank_node(bank_index),
+           "bank" + std::to_string(bank_index), bank_index, proto, cfg) {}
+
+Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
+           sim::NodeId node, const std::string& name, std::uint32_t tid,
+           Protocol proto, BankConfig cfg)
     : sim_(sim),
       net_(net),
       map_(map),
       proto_(proto),
       cfg_(cfg),
-      node_(map.bank_node(bank_index)),
-      dir_(map.num_cpus()),
+      node_(node),
+      dir_(cfg.dir_clients != 0 ? cfg.dir_clients : map.num_cpus(),
+           cfg.dir_client_base),
       ptbl_(proto::table_for(proto)),
       cov_(&sim.proto_coverage_shard(node_)),
       tr_(&sim.tracer()),
       probe_(sim.probe()),
       pf_(&sim.profiler()),
-      bank_tid_(bank_index) {
+      bank_tid_(tid) {
   CCNOC_ASSERT((cfg_.block_bytes & (cfg_.block_bytes - 1)) == 0,
                "block size must be a power of two");
   CCNOC_ASSERT(cfg_.block_bytes <= noc::kMaxBlockBytes, "block too large for messages");
   net_.attach(node_, *this);
 
-  const std::string prefix = "bank" + std::to_string(bank_index) + ".";
+  const std::string prefix = name + ".";
   auto& reg = sim_.stats();
   st_.requests = &reg.counter(prefix + "requests");
   st_.block_conflicts = &reg.counter(prefix + "block_conflicts");
@@ -43,9 +50,10 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
   st_.writebacks = &reg.counter(prefix + "writebacks");
   st_.queue_delay = &reg.sample(prefix + "queue_delay");
 
-  std::string bank_name = "bank" + std::to_string(bank_index);
+  std::string bank_name = name;
   trace_bank_id_ = tr_->register_bank(bank_name, node_);
-  profile_bank_id_ = pf_->register_bank(bank_name, node_);
+  profile_bank_id_ =
+      pf_->register_bank(bank_name, node_, map_.is_l2_node(node_) ? 1u : 0u);
   if (pf_->on()) dir_.set_profiler(pf_, node_);
   tr_->set_track_name(sim::Tracer::kPidBank, bank_tid_, std::move(bank_name));
 }
@@ -419,6 +427,7 @@ void Bank::handle_write_back(const noc::Packet& pkt) {
 
   CCNOC_ASSERT(pkt.msg.data_len == cfg_.block_bytes, "short write-back");
   storage_.write(block, pkt.msg.data.data(), cfg_.block_bytes);
+  on_storage_write(block);
   proto::DirState before = dstate(block);
   dir_.remove_sharer(block, pkt.src);
   dir_event(block, before, proto::DirEvent::kWriteBack);
@@ -435,6 +444,7 @@ void Bank::on_data_arrived(sim::Addr block, Txn& t, const Message& data_msg) {
   if (data_msg.data_len != 0) {
     CCNOC_ASSERT(data_msg.data_len == cfg_.block_bytes, "short fetch data");
     storage_.write(block, data_msg.data.data(), cfg_.block_bytes);
+    on_storage_write(block);
   }
   // data_len == 0: the owner had silently evicted a clean Exclusive copy,
   // so the memory copy is already current.
@@ -493,6 +503,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
   switch (t.req.type) {
     case MsgType::kWriteWord: {
       storage_.write(t.req.addr, t.req.data.data(), t.req.access_size);
+      on_storage_write(block);
       if (probe_ != nullptr) [[unlikely]] probe_global_store(t);
       // Invalidate flavour: foreign copies are gone; the writer keeps its
       // (updated) copy if it had one. Update flavour: every copy was
@@ -526,6 +537,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
       } else {
         storage_.write(t.req.addr, t.req.data.data(), t.req.access_size);
       }
+      on_storage_write(block);
       if (proto_ == Protocol::kWtu) {
         // Sharers were patched with the post-RMW value; only the requester
         // dropped its copy when issuing the atomic.

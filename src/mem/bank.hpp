@@ -21,6 +21,13 @@
 /// Timing: every request passes through the bank's single service port
 /// (busy-until reservation), which is what creates the memory-bank
 /// contention the paper studies on architecture 1.
+///
+/// The same engine serves both tiers of a two-level platform: the shared
+/// L2 banks (L2Bank, l2_bank.hpp) subclass it — directory clients are the
+/// private L1s — and the memory banks keep using it directly with their
+/// directory re-pointed at the L2 bank nodes (dir_clients/dir_client_base
+/// below). The protected surface is exactly what the L2 subclass layers
+/// its fill/recall machinery on.
 
 namespace ccnoc::mem {
 
@@ -41,12 +48,20 @@ struct BankConfig {
   /// serialization — and with it sequential consistency — is preserved.
   /// Applies to WTI write-through rounds and MESI upgrades.
   bool direct_inval_ack = false;
+
+  /// Directory client set. 0 clients = the platform's CPUs starting at node
+  /// 0 (the flat default). The memory tier of a two-level platform instead
+  /// tracks the L2 bank nodes: num_l2_banks clients based at the first L2
+  /// node id.
+  unsigned dir_clients = 0;
+  sim::NodeId dir_client_base = 0;
 };
 
-class Bank final : public noc::Endpoint {
+class Bank : public noc::Endpoint {
  public:
   Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
        unsigned bank_index, Protocol proto, BankConfig cfg = {});
+  ~Bank() override = default;
 
   void deliver(const noc::Packet& pkt) override;
 
@@ -71,7 +86,15 @@ class Bank final : public noc::Endpoint {
     return txns_.count(block_of(block)) != 0;
   }
 
- private:
+ protected:
+  /// Role constructor shared by the memory tier and the L2 subclass:
+  /// \p node and \p name identify the endpoint explicitly instead of being
+  /// derived from a memory-bank index, \p tid is the slot on the tracer's
+  /// "bank" track (memory banks use their bank index; L2 banks follow).
+  Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
+       sim::NodeId node, const std::string& name, std::uint32_t tid,
+       Protocol proto, BankConfig cfg);
+
   struct Txn {
     noc::Message req;
     sim::NodeId src = sim::kInvalidNode;
@@ -108,7 +131,16 @@ class Bank final : public noc::Endpoint {
   void request_fetch(sim::Addr block, Txn& t, noc::MsgType fetch_type);
 
   void respond(const Txn& t, noc::Message&& m, unsigned path_hops);
-  void complete_txn(sim::Addr block);
+  /// Virtual so the L2 bank can intercept the moment a block unlocks: a
+  /// freed block whose waiters target a no-longer-resident line must refill
+  /// before the base implementation may start the next request.
+  virtual void complete_txn(sim::Addr block);
+
+  /// Called after every transaction-path write to \p block's bytes in
+  /// storage_ (write-through words, atomics, absorbed write-backs and fetch
+  /// data). The L2 bank overrides it to dirty its own line state; the
+  /// memory tier's DRAM has no line state, so the default is a no-op.
+  virtual void on_storage_write(sim::Addr block) { (void)block; }
 
   [[nodiscard]] sim::Addr block_of(sim::Addr a) const {
     return a & ~sim::Addr(cfg_.block_bytes - 1);
@@ -127,8 +159,10 @@ class Bank final : public noc::Endpoint {
   }
   /// Validate a directory mutation cluster against the protocol's
   /// declarative table: (before, ev, current state) must be a declared row.
+  /// The L2 bank installs its hierarchy extension table as xtbl_, so recall
+  /// rows resolve; flat banks leave it null and behave exactly as before.
   void dir_event(sim::Addr block, proto::DirState before, proto::DirEvent ev) {
-    proto::apply_dir(ptbl_, *cov_, before, ev, dstate(block));
+    proto::apply_dir(ptbl_, xtbl_, *cov_, before, ev, dstate(block));
   }
 
   sim::Simulator& sim_;
@@ -151,6 +185,7 @@ class Bank final : public noc::Endpoint {
   __attribute__((cold)) void probe_global_atomic(const Txn& t);
 
   const proto::ProtocolTable& ptbl_;  ///< this protocol's transition table
+  const proto::ProtocolTable* xtbl_ = nullptr;  ///< hierarchy extension (L2)
   proto::CoverageSet* cov_;           ///< the platform's coverage bitmap
   sim::Tracer* tr_;            ///< cached; guarded on tr_->on() / tr_->full()
   sim::CoherenceProbe* probe_; ///< cached; null unless checking is on

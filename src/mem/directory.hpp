@@ -14,22 +14,33 @@
 /// 64-bit word. Entries are stored sparsely — blocks never cached have no
 /// entry — which keeps the host-memory footprint proportional to the
 /// touched working set.
+///
+/// Clients are identified by NoC node id. A directory whose clients start
+/// at a nonzero node id (the memory tier of a two-level platform tracks L2
+/// bank nodes, which sit above every CPU and memory-bank id) passes that
+/// first id as \p client_base: presence bit i then stands for node
+/// base + i, so the vector never wastes bits on nodes that cannot be
+/// clients and 64 real clients always fit.
 
 namespace ccnoc::mem {
 
 struct DirEntry {
-  std::uint64_t presence = 0;  ///< bit i set ⇔ cache i may hold a copy
+  std::uint64_t presence = 0;  ///< bit i set ⇔ client (base + i) may hold a copy
   bool dirty = false;          ///< an owner holds the block in E or M
   sim::NodeId owner = sim::kInvalidNode;
+  sim::NodeId base = 0;  ///< node id of presence bit 0 (owning Directory's)
 
   [[nodiscard]] bool has_sharer() const { return presence != 0; }
   [[nodiscard]] unsigned sharer_count() const { return unsigned(__builtin_popcountll(presence)); }
-  [[nodiscard]] bool is_sharer(sim::NodeId c) const { return (presence >> c) & 1; }
+  [[nodiscard]] bool is_sharer(sim::NodeId c) const {
+    return c >= base && ((presence >> (c - base)) & 1);
+  }
 };
 
 class Directory {
  public:
-  explicit Directory(unsigned num_caches) : num_caches_(num_caches) {
+  explicit Directory(unsigned num_caches, sim::NodeId client_base = 0)
+      : num_caches_(num_caches), base_(client_base) {
     CCNOC_ASSERT(num_caches <= 64, "full-map directory supports up to 64 caches");
   }
 
@@ -50,7 +61,8 @@ class Directory {
   void add_sharer(sim::Addr block, sim::NodeId c) {
     check(c);
     auto& e = entries_[block];
-    e.presence |= std::uint64_t(1) << c;
+    e.base = base_;
+    e.presence |= std::uint64_t(1) << (c - base_);
     if (pf_ != nullptr) [[unlikely]]
       pf_->dir_width(node_, block, e.sharer_count());
   }
@@ -59,7 +71,7 @@ class Directory {
     check(c);
     auto it = entries_.find(block);
     if (it == entries_.end()) return;
-    it->second.presence &= ~(std::uint64_t(1) << c);
+    it->second.presence &= ~(std::uint64_t(1) << (c - base_));
     if (it->second.owner == c) {
       it->second.owner = sim::kInvalidNode;
       it->second.dirty = false;
@@ -73,7 +85,8 @@ class Directory {
   void set_exclusive(sim::Addr block, sim::NodeId c) {
     check(c);
     auto& e = entries_[block];
-    e.presence = std::uint64_t(1) << c;
+    e.base = base_;
+    e.presence = std::uint64_t(1) << (c - base_);
     e.dirty = true;
     e.owner = c;
     if (pf_ != nullptr) [[unlikely]] pf_->dir_width(node_, block, 1);
@@ -95,8 +108,9 @@ class Directory {
   void clear_all_except(sim::Addr block, sim::NodeId keep = sim::kInvalidNode) {
     auto it = entries_.find(block);
     if (it == entries_.end()) return;
-    std::uint64_t mask =
-        (keep == sim::kInvalidNode) ? 0 : (it->second.presence & (std::uint64_t(1) << keep));
+    std::uint64_t mask = (keep == sim::kInvalidNode)
+                             ? 0
+                             : (it->second.presence & (std::uint64_t(1) << (keep - base_)));
     it->second.presence = mask;
     if (mask == 0 || it->second.owner != keep) {
       it->second.dirty = false;
@@ -112,10 +126,10 @@ class Directory {
     auto it = entries_.find(block);
     if (it == entries_.end()) return out;
     std::uint64_t bits = it->second.presence;
-    if (except != sim::kInvalidNode) bits &= ~(std::uint64_t(1) << except);
+    if (except != sim::kInvalidNode) bits &= ~(std::uint64_t(1) << (except - base_));
     while (bits) {
       unsigned c = unsigned(__builtin_ctzll(bits));
-      out.push_back(sim::NodeId(c));
+      out.push_back(sim::NodeId(c) + base_);
       bits &= bits - 1;
     }
     return out;
@@ -131,13 +145,17 @@ class Directory {
   }
 
  private:
-  void check(sim::NodeId c) const { CCNOC_ASSERT(c < num_caches_, "cache id out of range"); }
+  void check(sim::NodeId c) const {
+    CCNOC_ASSERT(c >= base_ && unsigned(c - base_) < num_caches_,
+                 "cache id out of range");
+  }
 
   void gc(std::unordered_map<sim::Addr, DirEntry>::iterator it) {
     if (it->second.presence == 0 && !it->second.dirty) entries_.erase(it);
   }
 
   unsigned num_caches_;
+  sim::NodeId base_ = 0;  ///< node id of presence bit 0
   sim::Profiler* pf_ = nullptr;
   sim::NodeId node_ = 0;  ///< owning bank's NoC node (profiler order key)
   std::unordered_map<sim::Addr, DirEntry> entries_;

@@ -1,0 +1,346 @@
+#include "mem/l2_bank.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ccnoc::mem {
+
+using noc::Grant;
+using noc::Message;
+using noc::MsgType;
+
+L2Bank::L2Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
+               unsigned l2_index, Protocol proto, L2BankConfig cfg)
+    : Bank(sim, net, map, map.l2_node(l2_index),
+           "l2bank" + std::to_string(l2_index),
+           // Memory banks occupy trace-track slots 0..num_banks-1.
+           std::uint32_t(map.num_banks() + l2_index), proto, cfg.bank),
+      l2_index_(l2_index),
+      l2cfg_(cfg),
+      sets_(cfg.num_sets()) {
+  CCNOC_ASSERT(cfg.num_sets() >= 1, "L2 bank smaller than one set");
+  CCNOC_ASSERT(cfg.ways >= 1, "L2 bank needs at least one way");
+  xtbl_ = &proto::l2_table_for(proto);
+
+  const std::string prefix = "l2bank" + std::to_string(l2_index) + ".";
+  auto& reg = sim_.stats();
+  l2st_.fills = &reg.counter(prefix + "fills");
+  l2st_.recalls = &reg.counter(prefix + "recalls");
+  l2st_.recall_invals = &reg.counter(prefix + "recall_invals");
+  l2st_.recall_fetches = &reg.counter(prefix + "recall_fetches");
+  l2st_.evictions_clean = &reg.counter(prefix + "evictions_clean");
+  l2st_.evictions_dirty = &reg.counter(prefix + "evictions_dirty");
+}
+
+void L2Bank::deliver(const noc::Packet& pkt) {
+  const sim::Addr block = block_of(pkt.msg.addr);
+  switch (pkt.msg.type) {
+    case MsgType::kReadShared:
+    case MsgType::kReadExclusive:
+    case MsgType::kUpgrade:
+    case MsgType::kWriteWord:
+    case MsgType::kAtomicSwap:
+    case MsgType::kAtomicAdd:
+      // A request for a non-resident, unlocked block opens a fill first;
+      // the base engine then queues the request behind the fill's txn slot
+      // and services it once the line is installed.
+      if (!resident(block) && txns_.count(block) == 0) start_fill(block);
+      break;
+    case MsgType::kReadResponse:
+      handle_fill_response(pkt);
+      return;
+    case MsgType::kWriteBackAck:
+      // The memory bank acknowledged one of our eviction write-backs;
+      // nothing is held on it (the line was already torn down).
+      return;
+    case MsgType::kInvalidateAck:
+      if (recalls_.count(block) != 0) {
+        recall_invalidate_ack(pkt);
+        return;
+      }
+      break;
+    case MsgType::kFetchResponse:
+      if (recalls_.count(block) != 0) {
+        recall_fetch_response(pkt);
+        return;
+      }
+      break;
+    case MsgType::kWriteBack:
+      if (recalls_.count(block) != 0) {
+        recall_write_back(pkt);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  Bank::deliver(pkt);
+}
+
+void L2Bank::l2_fsm(sim::Addr block, proto::CacheEvent ev) {
+  auto it = lines_.find(block);
+  CCNOC_ASSERT(it != lines_.end(), "L2 line FSM on a non-resident block");
+  it->second = proto::apply_cache(ptbl_, xtbl_, *cov_, it->second, ev);
+}
+
+void L2Bank::on_storage_write(sim::Addr block) {
+  // Any transaction-path byte write leaves the L2 copy newer than DRAM:
+  // the fill's Exclusive line dirties to Modified (and Modified stays).
+  l2_fsm(block, proto::CacheEvent::kStoreHit);
+}
+
+// --- fills ----------------------------------------------------------------
+
+void L2Bank::start_fill(sim::Addr block) {
+  auto [it, fresh] = txns_.emplace(block, Txn{});
+  CCNOC_ASSERT(fresh, "fill started on a busy block");
+  // Synthetic lock entry: never routed through start_service, so the
+  // request fields stay inert; src marks it as bank-originated.
+  it->second.src = node_;
+  Fill& f = fills_[block];
+  f.txn = next_l2_txn();
+  l2st_.fills->inc();
+  if (tr_->on()) {
+    tr_->txn_note(sim_.now(), f.txn, node_, "l2_fill_start", "block", block);
+  }
+  try_launch_fill(block, f);
+}
+
+void L2Bank::try_launch_fill(sim::Addr block, Fill& f) {
+  while (!f.requested) {
+    auto& set = sets_[set_of(block)];
+    if (set.size() < l2cfg_.ways) {
+      f.requested = true;
+      Message m;
+      m.type = MsgType::kReadShared;
+      m.addr = block;
+      m.txn = f.txn;
+      m.requester = node_;
+      m.track = true;  // the memory directory must record us (grants E)
+      net_.send(node_, map_.bank_node_of(block), m);
+      return;
+    }
+    // Set full: recall a victim. One recall at a time per set keeps the
+    // replacement deterministic; its completion retries deferred fills.
+    for (sim::Addr v : set) {
+      if (recalls_.count(v) != 0) return;
+    }
+    sim::Addr victim = 0;
+    bool found = false;
+    for (sim::Addr v : set) {
+      if (txns_.count(v) != 0) continue;  // a busy line cannot be recalled
+      victim = v;
+      found = true;
+      break;
+    }
+    // Every way is transaction-busy; a later completion retries this fill.
+    if (!found) return;
+    start_recall(victim);
+    // A recall with no live L1 copies completes synchronously (its nested
+    // complete_txn may even have launched this very fill — the f.requested
+    // loop condition covers that); loop to re-check the freed way. An
+    // in-flight recall retries us at its completion instead.
+    if (recalls_.count(victim) != 0) return;
+  }
+}
+
+void L2Bank::retry_deferred_fills() {
+  if (retrying_) return;
+  retrying_ = true;
+  for (auto& [block, f] : fills_) try_launch_fill(block, f);
+  retrying_ = false;
+}
+
+void L2Bank::handle_fill_response(const noc::Packet& pkt) {
+  sim::Addr block = block_of(pkt.msg.addr);
+  auto fit = fills_.find(block);
+  CCNOC_ASSERT(fit != fills_.end() && fit->second.requested &&
+                   pkt.msg.txn == fit->second.txn,
+               "stray fill response");
+  // The block-granularity interleave makes this bank the memory's sole
+  // client for the block, so a tracked read is always granted Exclusive.
+  CCNOC_ASSERT(pkt.msg.grant == Grant::kExclusive, "fill granted non-exclusive");
+  CCNOC_ASSERT(pkt.msg.data_len == cfg_.block_bytes, "short fill data");
+  storage_.write(block, pkt.msg.data.data(), cfg_.block_bytes);
+  auto [lit, fresh] = lines_.emplace(block, proto::LineState::kInvalid);
+  CCNOC_ASSERT(fresh, "fill for an already-resident line");
+  lit->second = proto::apply_cache(ptbl_, xtbl_, *cov_, lit->second,
+                                   proto::CacheEvent::kFillExclusive);
+  sets_[set_of(block)].push_back(block);
+  fills_.erase(fit);
+  if (tr_->on()) {
+    tr_->txn_note(sim_.now(), pkt.msg.txn, node_, "l2_fill_done", "block", block);
+  }
+  complete_txn(block);  // unlock: queued L1 requests now run against the line
+}
+
+// --- recalls (back-invalidation) ------------------------------------------
+
+void L2Bank::start_recall(sim::Addr victim) {
+  auto [it, fresh] = txns_.emplace(victim, Txn{});
+  CCNOC_ASSERT(fresh, "recall started on a busy block");
+  it->second.src = node_;
+  Recall& r = recalls_[victim];
+  r.txn = next_l2_txn();
+  l2st_.recalls->inc();
+  if (tr_->on()) {
+    tr_->txn_note(sim_.now(), r.txn, node_, "l2_recall_start", "block", victim);
+  }
+
+  DirEntry e = dir_.lookup(victim);
+  if (e.dirty) {
+    // An L1 owner (MESI) holds the only fresh copy: pull it back before the
+    // line leaves the L2.
+    r.waiting_data = true;
+    r.owner = e.owner;
+    Message f;
+    f.type = MsgType::kFetchInv;
+    f.addr = victim;
+    f.txn = r.txn;
+    f.requester = node_;
+    net_.send(node_, e.owner, f);
+    l2st_.recall_fetches->inc();
+    st_.fetches_sent->inc();
+    return;
+  }
+  auto targets = dir_.sharers(victim);
+  if (targets.empty()) {
+    finish_recall(victim);
+    return;
+  }
+  r.pending_acks = unsigned(targets.size());
+  l2st_.recall_invals->inc(targets.size());
+  st_.invalidations_sent->inc(targets.size());
+  pf_->fanout(sim_.now(), node_, victim, unsigned(targets.size()));
+  for (sim::NodeId c : targets) {
+    Message inv;
+    inv.type = MsgType::kInvalidate;
+    inv.addr = victim;
+    inv.txn = r.txn;
+    inv.requester = node_;
+    inv.direct_ack = false;  // recall acks always return to this bank
+    net_.send(node_, c, inv);
+  }
+}
+
+void L2Bank::recall_invalidate_ack(const noc::Packet& pkt) {
+  sim::Addr block = block_of(pkt.msg.addr);
+  Recall& r = recalls_.at(block);
+  CCNOC_ASSERT(r.pending_acks > 0, "unexpected recall InvalidateAck");
+  proto::DirState before = dstate(block);
+  dir_.remove_sharer(block, pkt.src);
+  dir_event(block, before, proto::DirEvent::kSharerDrop);
+  if (--r.pending_acks == 0) finish_recall(block);
+}
+
+void L2Bank::recall_fetch_response(const noc::Packet& pkt) {
+  sim::Addr block = block_of(pkt.msg.addr);
+  Recall& r = recalls_.at(block);
+  if (!r.waiting_data || pkt.src != r.owner || pkt.msg.txn != r.txn) {
+    // The owner's spontaneous WriteBack crossed our FetchInv and already
+    // satisfied the recall; drop the dangling response.
+    st_.stale_fetch_responses->inc();
+    return;
+  }
+  absorb_recall_data(block, r, pkt.msg);
+}
+
+void L2Bank::recall_write_back(const noc::Packet& pkt) {
+  sim::Addr block = block_of(pkt.msg.addr);
+  Recall& r = recalls_.at(block);
+  CCNOC_ASSERT(r.waiting_data && pkt.src == r.owner,
+               "write-back from a non-owner during a recall");
+  st_.writebacks->inc();
+  // The owner evicted on its own while our FetchInv was in flight: accept
+  // the write-back as the recall data and acknowledge it like the flat
+  // engine's crossing branch does.
+  Message ack;
+  ack.type = MsgType::kWriteBackAck;
+  ack.addr = block;
+  ack.txn = pkt.msg.txn;
+  ack.port = pkt.msg.port;
+  net_.send(node_, pkt.src, ack);
+  absorb_recall_data(block, r, pkt.msg);
+}
+
+void L2Bank::absorb_recall_data(sim::Addr block, Recall& r,
+                                const Message& msg) {
+  if (msg.data_len != 0) {
+    CCNOC_ASSERT(msg.data_len == cfg_.block_bytes, "short recall data");
+    storage_.write(block, msg.data.data(), cfg_.block_bytes);
+    on_storage_write(block);  // the L2 copy is now newer than DRAM
+  }
+  // data_len == 0: the owner silently evicted a clean Exclusive copy, so
+  // the L2 copy is already current.
+  r.waiting_data = false;
+  finish_recall(block);
+}
+
+void L2Bank::finish_recall(sim::Addr block) {
+  // The completion point of the back-invalidation: every ack is in (each
+  // fired its flat SharerDrop row) or the owner's data was absorbed. A
+  // lingering owner registration collapses here so the Owned->Uncached
+  // recall row is the one that fires.
+  proto::DirState before = dstate(block);
+  dir_.clear_all_except(block);
+  dir_event(block, before, proto::DirEvent::kRecall);
+  if (tr_->on()) {
+    tr_->txn_note(sim_.now(), recalls_.at(block).txn, node_, "l2_recall_done",
+                  "block", block);
+  }
+  evict_line(block);
+}
+
+void L2Bank::evict_line(sim::Addr block) {
+  auto lit = lines_.find(block);
+  CCNOC_ASSERT(lit != lines_.end(), "evicting a non-resident line");
+  const bool dirty = lit->second == proto::LineState::kModified;
+  l2_fsm(block, dirty ? proto::CacheEvent::kEvictDirty : proto::CacheEvent::kEvict);
+  lines_.erase(block);
+  auto& set = sets_[set_of(block)];
+  set.erase(std::find(set.begin(), set.end(), block));
+  recalls_.erase(block);
+  (dirty ? l2st_.evictions_dirty : l2st_.evictions_clean)->inc();
+  if (dirty) {
+    // Inclusive write-back collapse: the line absorbed write-through words
+    // and/or L1 write-backs; DRAM sees one block write at eviction time.
+    Message wb;
+    wb.type = MsgType::kWriteBack;
+    wb.addr = block;
+    wb.txn = next_l2_txn();
+    wb.requester = node_;
+    wb.data_len = std::uint8_t(cfg_.block_bytes);
+    storage_.read(block, wb.data.data(), cfg_.block_bytes);
+    net_.send(node_, map_.bank_node_of(block), wb);
+  }
+  complete_txn(block);
+}
+
+// --- unlock ---------------------------------------------------------------
+
+void L2Bank::complete_txn(sim::Addr block) {
+  txns_.erase(block);
+  if (!resident(block)) {
+    auto wit = waiting_.find(block);
+    if (wit != waiting_.end() && !wit->second.empty()) {
+      // The block unlocked but the line is gone (a recall evicted it) and
+      // L1 requests are still queued: refill before serving them.
+      start_fill(block);
+      retry_deferred_fills();
+      return;
+    }
+  }
+  Bank::complete_txn(block);
+  retry_deferred_fills();
+}
+
+void L2Bank::absorb_l1_flush(sim::Addr block, const std::uint8_t* data,
+                             unsigned len) {
+  CCNOC_ASSERT(resident(block), "L1 flushed a line the L2 does not hold");
+  storage_.write(block, data, len);
+  // Untimed post-run bookkeeping, outside the protocol tables (like the L1
+  // flush itself): DRAM no longer matches this line.
+  lines_[block] = proto::LineState::kModified;
+}
+
+}  // namespace ccnoc::mem

@@ -1,0 +1,178 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "mem/bank.hpp"
+
+/// \file l2_bank.hpp
+/// A banked shared L2 node of a two-level platform (ROADMAP direction 2):
+/// private L1s in front of address-interleaved L2 banks in front of the
+/// memory banks. The L2 bank IS the coherence home for the blocks it is
+/// interleaved onto — it inherits the whole memory-side protocol engine
+/// from mem::Bank, with its Censier–Feautrier directory tracking the L1s —
+/// and layers two things on top:
+///
+///  * a finite, set-associative data array: a request for a non-resident
+///    block first *fills* the line from the block's memory bank (granted
+///    Exclusive — the block-granularity interleave makes this L2 bank the
+///    memory's only client for the block, so the flat MESI memory engine
+///    serves the upper tier unchanged), and a fill into a full set first
+///    *recalls* the victim — back-invalidating its L1 sharers (Invalidate)
+///    or pulling the data from its L1 owner (FetchInv) — before the victim
+///    is evicted (silently when clean, with a WriteBack when the L2 copy is
+///    newer than DRAM). Recalls are what keep the hierarchy inclusive.
+///
+///  * an L2 line state per resident block (E from the fill, dirtied to M by
+///    any transaction-path byte write via the on_storage_write hook), so
+///    write-through traffic stops at the shared L2: DRAM is updated only
+///    when a dirty line is evicted or flushed.
+///
+/// Every new transition is a declared row: the L2 line FSM and the recall
+/// completion events resolve through proto::l2_table_for() (falling back
+/// from the flat table), so the hierarchy is covered by the same
+/// declarative tables the exhaustive model checker verifies.
+///
+/// Fills and recalls occupy the block's transaction slot (txns_), which is
+/// exactly the serialization the base engine already enforces: L1 requests
+/// arriving meanwhile queue behind them and are serviced in order once the
+/// line is resident.
+
+namespace ccnoc::mem {
+
+struct L2BankConfig {
+  BankConfig bank;  ///< service timing, block size, direct-ack policy
+
+  /// Data-array geometry per L2 bank. The default (16 KB, 4-way) is four
+  /// L1s' worth of capacity — small enough that directed tests can force
+  /// recalls without heroics.
+  unsigned size_bytes = 16384;
+  unsigned ways = 4;
+
+  [[nodiscard]] unsigned num_sets() const {
+    return size_bytes / bank.block_bytes / ways;
+  }
+};
+
+class L2Bank final : public Bank {
+ public:
+  L2Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
+         unsigned l2_index, Protocol proto, L2BankConfig cfg = {});
+
+  void deliver(const noc::Packet& pkt) override;
+
+  [[nodiscard]] unsigned l2_index() const { return l2_index_; }
+  [[nodiscard]] const L2BankConfig& l2_config() const { return l2cfg_; }
+
+  [[nodiscard]] bool resident(sim::Addr block) const {
+    return lines_.count(block_of(block)) != 0;
+  }
+  /// Line state of \p block (kInvalid when not resident).
+  [[nodiscard]] proto::LineState line_state(sim::Addr block) const {
+    auto it = lines_.find(block_of(block));
+    return it == lines_.end() ? proto::LineState::kInvalid : it->second;
+  }
+  /// True while \p block's victim recall is in flight (invariant-walker
+  /// escape: the L1-facing directory is legitimately mid-teardown).
+  [[nodiscard]] bool has_open_recall(sim::Addr block) const {
+    return recalls_.count(block_of(block)) != 0;
+  }
+
+  /// Visit every resident line as (block, state), in deterministic
+  /// (set, insertion) order.
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const auto& set : sets_)
+      for (sim::Addr block : set) fn(block, lines_.at(block));
+  }
+
+  /// Untimed post-run flush: copy Modified L2 lines back via \p write so
+  /// the memory image is complete for verification (stage two of the
+  /// System's hierarchical flush; stage one is absorb_l1_flush below).
+  template <typename WriteFn>
+  void flush_dirty(WriteFn&& write) const {
+    std::array<std::uint8_t, noc::kMaxBlockBytes> buf;
+    for (const auto& set : sets_) {
+      for (sim::Addr block : set) {
+        if (lines_.at(block) != proto::LineState::kModified) continue;
+        storage_.read(block, buf.data(), cfg_.block_bytes);
+        write(block, buf.data(), cfg_.block_bytes);
+      }
+    }
+  }
+
+  /// Untimed absorption of an L1's flushed Modified line. Inclusion makes
+  /// the line resident here by construction; its bytes land in L2 storage
+  /// and the line is dirty from DRAM's point of view. Like the L1 flush
+  /// itself this is outside the timed protocol, so no FSM row fires.
+  void absorb_l1_flush(sim::Addr block, const std::uint8_t* data, unsigned len);
+
+ protected:
+  void complete_txn(sim::Addr block) override;
+  void on_storage_write(sim::Addr block) override;
+
+ private:
+  /// A fill in flight (or deferred on a victim recall): the block's txn
+  /// slot is held from start_fill until the ReadResponse installs the line.
+  struct Fill {
+    std::uint64_t txn = 0;
+    bool requested = false;  ///< ReadShared sent to the memory bank
+  };
+  /// A victim recall in flight: the victim's txn slot is held until every
+  /// L1 ack (or the owner's data) arrived and the line is evicted.
+  struct Recall {
+    std::uint64_t txn = 0;
+    unsigned pending_acks = 0;              ///< Invalidate flavour
+    bool waiting_data = false;              ///< FetchInv flavour
+    sim::NodeId owner = sim::kInvalidNode;  ///< FetchInv target
+  };
+
+  [[nodiscard]] unsigned set_of(sim::Addr block) const {
+    return unsigned((block / cfg_.block_bytes) / map_.num_l2_banks()) %
+           l2cfg_.num_sets();
+  }
+  /// Unique ids for bank-originated transactions (fills, recalls, write-
+  /// backs); the L2 node id keys a namespace disjoint from every CPU's.
+  [[nodiscard]] std::uint64_t next_l2_txn() {
+    return (std::uint64_t(node_) * 2 + 1) << 40 | ++l2_seq_;
+  }
+  void l2_fsm(sim::Addr block, proto::CacheEvent ev);
+
+  void start_fill(sim::Addr block);
+  void try_launch_fill(sim::Addr block, Fill& f);
+  void retry_deferred_fills();
+  void handle_fill_response(const noc::Packet& pkt);
+
+  void start_recall(sim::Addr victim);
+  void recall_invalidate_ack(const noc::Packet& pkt);
+  void recall_fetch_response(const noc::Packet& pkt);
+  void recall_write_back(const noc::Packet& pkt);
+  void absorb_recall_data(sim::Addr block, Recall& r, const noc::Message& msg);
+  void finish_recall(sim::Addr block);
+  void evict_line(sim::Addr block);
+
+  unsigned l2_index_;
+  L2BankConfig l2cfg_;
+  std::uint64_t l2_seq_ = 0;
+  bool retrying_ = false;  ///< re-entrancy guard for retry_deferred_fills
+
+  std::unordered_map<sim::Addr, proto::LineState> lines_;
+  std::vector<std::vector<sim::Addr>> sets_;  ///< resident blocks, in order
+  // Ordered maps: deferred-fill retry and teardown must iterate in a
+  // platform-independent order.
+  std::map<sim::Addr, Fill> fills_;
+  std::map<sim::Addr, Recall> recalls_;
+
+  struct L2Stats {
+    sim::Counter* fills;
+    sim::Counter* recalls;
+    sim::Counter* recall_invals;
+    sim::Counter* recall_fetches;
+    sim::Counter* evictions_clean;
+    sim::Counter* evictions_dirty;
+  };
+  L2Stats l2st_;
+};
+
+}  // namespace ccnoc::mem

@@ -81,9 +81,12 @@ enum class DirEvent : std::uint8_t {
   kAtomic,         ///< bank-side atomic performed (WT protocols)
   kWriteBack,      ///< MESI owner wrote the block back
   kSharerDrop,     ///< one presence bit removed
+  kRecall,         ///< L2 eviction recalled the block from its L1 sharers
+                   ///< (two-level hierarchy back-invalidation; fired at the
+                   ///< recall's completion point, after every ack returned)
 };
 
-inline constexpr std::size_t kNumDirEvents = std::size_t(DirEvent::kSharerDrop) + 1;
+inline constexpr std::size_t kNumDirEvents = std::size_t(DirEvent::kRecall) + 1;
 
 [[nodiscard]] const char* to_string(DirEvent e);
 

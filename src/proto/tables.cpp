@@ -31,6 +31,7 @@ const char* to_string(DirEvent e) {
     case DirEvent::kAtomic: return "Atomic";
     case DirEvent::kWriteBack: return "WriteBack";
     case DirEvent::kSharerDrop: return "SharerDrop";
+    case DirEvent::kRecall: return "Recall";
   }
   return "?";
 }
@@ -130,13 +131,59 @@ constexpr DirRule kMesiDir[] = {
     {DO, DE::kSharerDrop, DU},     // self-owner correction (silent E eviction)
 };
 
+// --- Two-level hierarchy extension tables ---------------------------------
+// Transitions that only exist when private L1s sit in front of banked
+// shared L2s (mem/l2_bank.hpp). Cache-side rows describe the L2 bank's OWN
+// line FSM against the memory tier: a fill installs clean-exclusive (the
+// home L2 is the memory directory's only client for its blocks, so the
+// MESI memory tier always grants E), any serialized write dirties the line
+// at the L2 (write-through stops at the shared level; DRAM is updated on
+// eviction), and evictions are silent when clean / write back when dirty.
+// Dir-side rows are the recall completion events at the L2's L1-facing
+// directory: the per-sharer invalidation acks fire the flat kSharerDrop
+// rows, so by completion the entry is Uncached (or was Owned when a MESI
+// owner supplied data). MESI's L2-line rows all coincide with flat MESI
+// cache rows, so its extension is dir-only.
+constexpr CacheRule kL2CommonCache[] = {
+    {I, CE::kFillExclusive, E},  // memory-tier fill (sole client ⇒ grant E)
+    {E, CE::kStoreHit, M},       // first serialized write dirties the L2 copy
+    {M, CE::kStoreHit, M},
+    {E, CE::kEvict, I},          // clean eviction: silent towards memory
+    {M, CE::kEvictDirty, I},     // dirty eviction: write back to DRAM
+};
+constexpr CacheRule kWtuL2Cache[] = {
+    {I, CE::kFillExclusive, E},
+    {E, CE::kStoreHit, M},
+    {M, CE::kStoreHit, M},
+    {E, CE::kEvict, I},
+    {M, CE::kEvictDirty, I},
+    // L1 facet of a back-invalidation: a flat WTU platform never sends
+    // invalidations (foreign writes PATCH copies), but an L2 eviction must
+    // destroy the L1 copies it recalls.
+    {S, CE::kInvalidate, I},
+};
+constexpr DirRule kL2CommonDir[] = {
+    {DU, DE::kRecall, DU},  // recall completed; sharers (if any) already
+                            // dropped by their acks' kSharerDrop rows
+};
+constexpr DirRule kMesiL2Dir[] = {
+    {DU, DE::kRecall, DU},
+    {DO, DE::kRecall, DU},  // recalled from a (possibly silent-E) owner:
+                            // the FetchInv data/ack drops the owner here
+};
+
 int g_total_rows = 0;
 
 }  // namespace
 
 ProtocolTable::ProtocolTable(mem::Protocol proto, std::span<const CacheRule> cache_rules,
-                             std::span<const DirRule> dir_rules, int base_id)
-    : proto_(proto), cache_rules_(cache_rules), dir_rules_(dir_rules), base_(base_id) {
+                             std::span<const DirRule> dir_rules, int base_id,
+                             const char* tag)
+    : proto_(proto),
+      tag_(tag != nullptr ? tag : mem::to_string(proto)),
+      cache_rules_(cache_rules),
+      dir_rules_(dir_rules),
+      base_(base_id) {
   // (from, ev) must dictate a unique outcome on the cache side.
   for (std::size_t a = 0; a < cache_rules_.size(); ++a) {
     for (std::size_t b = a + 1; b < cache_rules_.size(); ++b) {
@@ -175,7 +222,7 @@ LineState ProtocolTable::cache_to(int id) const {
 
 std::string ProtocolTable::row_name(int id) const {
   CCNOC_ASSERT(owns_row(id), "row id outside this table");
-  std::string name = mem::to_string(proto_);
+  std::string name = tag_;
   if (is_cache_row(id)) {
     const CacheRule& r = cache_rules_[std::size_t(id - base_)];
     name += std::string(" cache: ") + to_string(r.from) + " --" + to_string(r.ev) +
@@ -190,12 +237,13 @@ std::string ProtocolTable::row_name(int id) const {
 
 const ProtocolTable& table_for(mem::Protocol p) {
   // Bases are assigned in declaration order; ids are stable process-wide.
+  // The L2 extension tables register AFTER every flat table (see
+  // l2_table_for), so flat row ids are identical with or without them.
   static const ProtocolTable wti(mem::Protocol::kWti, kWtiCache, kWtiDir, 0);
   static const ProtocolTable wtu(mem::Protocol::kWtu, kWtuCache, kWtuDir,
                                  wti.base_id() + wti.row_count());
   static const ProtocolTable mesi(mem::Protocol::kWbMesi, kMesiCache, kMesiDir,
                                   wtu.base_id() + wtu.row_count());
-  if (g_total_rows == 0) g_total_rows = mesi.base_id() + mesi.row_count();
   switch (p) {
     case mem::Protocol::kWti: return wti;
     case mem::Protocol::kWtu: return wtu;
@@ -204,8 +252,29 @@ const ProtocolTable& table_for(mem::Protocol p) {
   return wti;
 }
 
+const ProtocolTable& l2_table_for(mem::Protocol p) {
+  const int flat_end = table_for(mem::Protocol::kWbMesi).base_id() +
+                       table_for(mem::Protocol::kWbMesi).row_count();
+  static const ProtocolTable wti_l2(mem::Protocol::kWti, kL2CommonCache,
+                                    kL2CommonDir, flat_end, "WTI-L2");
+  static const ProtocolTable wtu_l2(mem::Protocol::kWtu, kWtuL2Cache, kL2CommonDir,
+                                    wti_l2.base_id() + wti_l2.row_count(),
+                                    "WTU-L2");
+  static const ProtocolTable mesi_l2(mem::Protocol::kWbMesi,
+                                     std::span<const CacheRule>{}, kMesiL2Dir,
+                                     wtu_l2.base_id() + wtu_l2.row_count(),
+                                     "MESI-L2");
+  if (g_total_rows == 0) g_total_rows = mesi_l2.base_id() + mesi_l2.row_count();
+  switch (p) {
+    case mem::Protocol::kWti: return wti_l2;
+    case mem::Protocol::kWtu: return wtu_l2;
+    case mem::Protocol::kWbMesi: return mesi_l2;
+  }
+  return wti_l2;
+}
+
 int total_rows() {
-  (void)table_for(mem::Protocol::kWbMesi);  // force registration
+  (void)l2_table_for(mem::Protocol::kWbMesi);  // force registration
   return g_total_rows;
 }
 
@@ -214,6 +283,8 @@ std::string row_name(int id) {
        {mem::Protocol::kWti, mem::Protocol::kWtu, mem::Protocol::kWbMesi}) {
     const ProtocolTable& t = table_for(p);
     if (t.owns_row(id)) return t.row_name(id);
+    const ProtocolTable& t2 = l2_table_for(p);
+    if (t2.owns_row(id)) return t2.row_name(id);
   }
   return "row#" + std::to_string(id);
 }

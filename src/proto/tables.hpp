@@ -43,8 +43,12 @@ struct DirRule {
 
 class ProtocolTable {
  public:
+  /// \p tag overrides the protocol name in row_name() output (the two-level
+  /// extension tables use "<proto>-L2" so their rows are distinguishable
+  /// from the flat rows in coverage reports); nullptr = the protocol name.
   ProtocolTable(mem::Protocol proto, std::span<const CacheRule> cache_rules,
-                std::span<const DirRule> dir_rules, int base_id);
+                std::span<const DirRule> dir_rules, int base_id,
+                const char* tag = nullptr);
 
   [[nodiscard]] mem::Protocol protocol() const { return proto_; }
 
@@ -72,6 +76,7 @@ class ProtocolTable {
 
  private:
   mem::Protocol proto_;
+  std::string tag_;  ///< row_name() prefix (protocol name, or "<proto>-L2")
   std::span<const CacheRule> cache_rules_;
   std::span<const DirRule> dir_rules_;
   int base_;
@@ -80,7 +85,18 @@ class ProtocolTable {
 /// The table for one protocol (static lifetime).
 [[nodiscard]] const ProtocolTable& table_for(mem::Protocol p);
 
-/// Total declared rows across all protocol tables.
+/// The two-level-hierarchy extension table for one protocol (static
+/// lifetime): the transitions that only exist when private L1s sit in front
+/// of banked shared L2s. Cache-side rows cover the L2 bank's own line FSM
+/// (fill in E, dirtying at the L2, clean/dirty eviction) plus — for WTU —
+/// the L1 facet of a back-invalidation (a flat WTU platform never sends
+/// invalidations, so {S, Invalidate, I} lives here, not in the flat table).
+/// Dir-side rows cover the recall completion events at the L2's L1-facing
+/// directory. Extension tables are registered after the flat tables, so
+/// every flat row id is unchanged.
+[[nodiscard]] const ProtocolTable& l2_table_for(mem::Protocol p);
+
+/// Total declared rows across all protocol tables (flat + L2 extensions).
 [[nodiscard]] int total_rows();
 
 /// Row name by global id (any table).
@@ -109,6 +125,36 @@ inline LineState apply_cache(const ProtocolTable& t, CoverageSet& cov,
 inline void apply_dir(const ProtocolTable& t, CoverageSet& cov, DirState from,
                       DirEvent ev, DirState to) {
   int id = t.find_dir(from, ev, to);
+  CCNOC_ASSERT(id >= 0, std::string("undeclared directory transition: ") +
+                            mem::to_string(t.protocol()) + " " + to_string(from) +
+                            " --" + to_string(ev) + "--> " + to_string(to));
+  cov.record(id);
+}
+
+/// apply_cache with an optional extension-table fallback: the flat table is
+/// consulted first (so flat row ids keep their coverage), then \p ext. Used
+/// by two-level platforms, where e.g. a WTU L1 handles a back-invalidation
+/// whose row only exists in the hierarchy extension table.
+inline LineState apply_cache(const ProtocolTable& t, const ProtocolTable* ext,
+                             CoverageSet& cov, LineState from, CacheEvent ev) {
+  int id = t.find_cache(from, ev);
+  const ProtocolTable* hit = &t;
+  if (id < 0 && ext != nullptr) {
+    id = ext->find_cache(from, ev);
+    hit = ext;
+  }
+  CCNOC_ASSERT(id >= 0, std::string("undeclared cache transition: ") +
+                            mem::to_string(t.protocol()) + " " + to_string(from) +
+                            " --" + to_string(ev) + "-->");
+  cov.record(id);
+  return hit->cache_to(id);
+}
+
+/// apply_dir with the same extension-table fallback.
+inline void apply_dir(const ProtocolTable& t, const ProtocolTable* ext,
+                      CoverageSet& cov, DirState from, DirEvent ev, DirState to) {
+  int id = t.find_dir(from, ev, to);
+  if (id < 0 && ext != nullptr) id = ext->find_dir(from, ev, to);
   CCNOC_ASSERT(id >= 0, std::string("undeclared directory transition: ") +
                             mem::to_string(t.protocol()) + " " + to_string(from) +
                             " --" + to_string(ev) + "--> " + to_string(to));

@@ -355,10 +355,11 @@ void Profiler::apply_dir_width(Addr addr, unsigned sharers) {
   l.dir_max_sharers = std::max(l.dir_max_sharers, sharers);
 }
 
-unsigned Profiler::register_bank(std::string name, NodeId node) {
+unsigned Profiler::register_bank(std::string name, NodeId node, unsigned level) {
   if (!on()) return kInvalidId;
   banks_.push_back(BankState{});
   banks_.back().name = std::move(name);
+  banks_.back().level = level;
   bank_nodes_.push_back(node);
   return unsigned(banks_.size() - 1);
 }
@@ -590,6 +591,7 @@ ProfileSnapshot Profiler::snapshot(std::string label) const {
   for (const BankState& b : banks_) {
     ProfileSnapshot::Bank out;
     out.name = b.name;
+    out.level = b.level;
     out.conflicts = b.conflicts;
     out.wait_cycles = b.wait_cycles;
     out.occupancy_integral = b.occupancy_integral;

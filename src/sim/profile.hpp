@@ -91,6 +91,7 @@ struct ProfileSnapshot {
   };
   struct Bank {
     std::string name;
+    unsigned level = 0;  // 0 = memory tier, 1 = shared L2 tier (two-level)
     std::uint64_t conflicts = 0;       // requests that had to queue
     std::uint64_t wait_cycles = 0;     // sum of per-request queue waits
     std::uint64_t occupancy_integral = 0;  // cycle-weighted queue depth
@@ -186,7 +187,10 @@ class Profiler {
     if (on()) [[unlikely]] dir_width_slow(node, addr, sharers);
   }
   // `node` is the bank's NoC node; the queue hooks shard and order by it.
-  unsigned register_bank(std::string name, NodeId node);
+  // `level` attributes the queue to a hierarchy tier in the report
+  // (0 = memory, 1 = shared L2), so two-level runs can tell which tier a
+  // hot queue belongs to.
+  unsigned register_bank(std::string name, NodeId node, unsigned level = 0);
   void bank_enqueue(Cycle now, unsigned bank, Addr addr, std::size_t depth) {
     if (on()) [[unlikely]] bank_enqueue_slow(now, bank, addr, depth);
   }
@@ -247,6 +251,7 @@ class Profiler {
   };
   struct BankState {
     std::string name;
+    unsigned level = 0;  ///< hierarchy tier (0 = memory, 1 = shared L2)
     std::uint64_t conflicts = 0;
     std::uint64_t wait_cycles = 0;
     std::uint64_t occupancy_integral = 0;

@@ -205,11 +205,12 @@ void emit_bank_table(std::ostringstream& os, const ProfileSnapshot& s) {
   if (s.banks.empty()) return;
   os << "<h3>Bank queues — ";
   html_escape(os, s.label);
-  os << "</h3>\n<table><tr><th>bank</th><th>conflicts</th>"
+  os << "</h3>\n<table><tr><th>bank</th><th>tier</th><th>conflicts</th>"
         "<th>wait cyc</th><th>&int;Q dt</th><th>max depth</th></tr>\n";
   for (const auto& b : s.banks) {
     os << "<tr><td>";
     html_escape(os, b.name);
+    os << "</td><td>" << (b.level == 0 ? "mem" : "L2");
     os << "</td><td>" << b.conflicts << "</td><td>" << b.wait_cycles
        << "</td><td>" << b.occupancy_integral << "</td><td>" << b.max_depth
        << "</td></tr>\n";
@@ -263,7 +264,7 @@ std::string profile_json(const ProfileSnapshot& s, std::size_t top_n) {
     first = false;
     os << "\n{\"name\":";
     json_escape(os, b.name);
-    os << ",\"conflicts\":" << b.conflicts
+    os << ",\"level\":" << b.level << ",\"conflicts\":" << b.conflicts
        << ",\"wait_cycles\":" << b.wait_cycles
        << ",\"occupancy_integral\":" << b.occupancy_integral
        << ",\"max_depth\":" << b.max_depth << ",\"max_depth_per_epoch\":[";

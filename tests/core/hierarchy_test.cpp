@@ -1,0 +1,264 @@
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/micro.hpp"
+#include "apps/ocean.hpp"
+#include "core/system.hpp"
+
+/// Two-level hierarchy tests. The banked shared L2 is a performance
+/// structure, not a semantic one: for any data-deterministic workload the
+/// final memory image of a two-level run must be BIT-IDENTICAL to the flat
+/// run of the same protocol, for every protocol and every L2 bank count. A
+/// single differing byte means the hierarchy lost or misordered a write.
+///
+/// The directed back-invalidation tests then force the recall machinery —
+/// an L2 bank small enough that fills evict lines with live L1 copies — and
+/// run under the full coherence checker, whose strict final audit includes
+/// the inclusion invariants (every valid L1 line resident in its home L2
+/// bank, L2 sharer vectors matching actual L1 states).
+
+namespace ccnoc::core {
+namespace {
+
+using Image = std::map<sim::Addr, std::vector<std::uint8_t>>;
+
+/// Scheduler ticks are wall-clock-driven: their count — and with it the
+/// run-queue word values — depends on how long the run takes, which
+/// legitimately differs between a flat and a two-level platform. Disable
+/// them so every remaining byte is program data and must match exactly.
+void disable_ticks(SystemConfig& cfg) {
+  cfg.kernel.sched.tick_period = sim::Cycle(1) << 40;
+}
+
+template <typename MakeWorkload>
+Image run_and_snapshot(mem::Protocol proto, unsigned cpus, unsigned l2_banks,
+                       MakeWorkload&& make) {
+  SystemConfig cfg = SystemConfig::architecture1(cpus, proto);
+  disable_ticks(cfg);
+  if (l2_banks != 0) {
+    cfg.hierarchy_levels = 2;
+    cfg.num_l2_banks = l2_banks;
+  }
+  System sys(cfg);
+  auto workload = make();
+  RunResult r = sys.run(*workload, 0, 200'000'000ull);
+  EXPECT_TRUE(r.completed) << "workload hung under " << mem::to_string(proto)
+                           << " with " << l2_banks << " L2 banks";
+  EXPECT_TRUE(r.verified) << "functional oracle failed under "
+                          << mem::to_string(proto) << " with " << l2_banks
+                          << " L2 banks";
+  Image img;
+  for (unsigned b = 0; b < cfg.num_banks; ++b) {
+    sys.bank(b).storage().for_each_page(
+        [&](sim::Addr base, const std::uint8_t* data, unsigned len) {
+          img[base].assign(data, data + len);
+        });
+  }
+  return img;
+}
+
+void expect_identical(const Image& a, const Image& b, const char* pa,
+                      const std::string& pb) {
+  auto all_zero = [](const std::vector<std::uint8_t>& page) {
+    for (std::uint8_t v : page) {
+      if (v != 0) return false;
+    }
+    return true;
+  };
+  Image::const_iterator ia = a.begin();
+  Image::const_iterator ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      EXPECT_TRUE(all_zero(ia->second))
+          << pa << " wrote page 0x" << std::hex << ia->first << " but " << pb
+          << " never touched it";
+      ++ia;
+      continue;
+    }
+    if (ia == a.end() || ib->first < ia->first) {
+      EXPECT_TRUE(all_zero(ib->second))
+          << pb << " wrote page 0x" << std::hex << ib->first << " but " << pa
+          << " never touched it";
+      ++ib;
+      continue;
+    }
+    ASSERT_EQ(ia->second.size(), ib->second.size());
+    if (std::memcmp(ia->second.data(), ib->second.data(),
+                    ia->second.size()) != 0) {
+      for (std::size_t i = 0; i < ia->second.size(); ++i) {
+        ASSERT_EQ(ia->second[i], ib->second[i])
+            << pa << " and " << pb << " diverge at address 0x" << std::hex
+            << (ia->first + i);
+      }
+    }
+    ++ia;
+    ++ib;
+  }
+}
+
+/// The satellite matrix: flat vs two-level final images for every protocol
+/// at this CPU count, across 2/4/8 L2 banks.
+template <typename MakeWorkload>
+void diff_flat_vs_two_level(unsigned cpus, MakeWorkload&& make) {
+  for (mem::Protocol proto :
+       {mem::Protocol::kWti, mem::Protocol::kWbMesi, mem::Protocol::kWtu}) {
+    Image flat = run_and_snapshot(proto, cpus, 0, make);
+    for (unsigned l2 : {2u, 4u, 8u}) {
+      Image two = run_and_snapshot(proto, cpus, l2, make);
+      expect_identical(flat, two, "flat",
+                       std::string(mem::to_string(proto)) + "+L2x" +
+                           std::to_string(l2));
+    }
+  }
+}
+
+TEST(HierarchyDiff, FourCpuImagesMatchFlatAcrossL2BankCounts) {
+  diff_flat_vs_two_level(4, [] { return std::make_unique<apps::HotCounter>(40); });
+}
+
+TEST(HierarchyDiff, SixteenCpuImagesMatchFlatAcrossL2BankCounts) {
+  diff_flat_vs_two_level(16, [] { return std::make_unique<apps::HotCounter>(12); });
+}
+
+TEST(HierarchyDiff, SixtyFourCpuImagesMatchFlatAcrossL2BankCounts) {
+  diff_flat_vs_two_level(64, [] { return std::make_unique<apps::HotCounter>(4); });
+}
+
+TEST(HierarchyDiff, ProducerConsumerImagesMatchFlat) {
+  diff_flat_vs_two_level(4, [] {
+    return std::make_unique<apps::ProducerConsumer>(24, 6);
+  });
+}
+
+// A wide-footprint workload through a deliberately tiny L2, so the diff
+// also covers the recall/refill path (capacity evictions with live L1
+// copies) rather than only the steady-state fill path.
+TEST(HierarchyDiff, OceanThroughTinyL2MatchesFlat) {
+  for (mem::Protocol proto :
+       {mem::Protocol::kWti, mem::Protocol::kWbMesi, mem::Protocol::kWtu}) {
+    auto make = [] {
+      apps::Ocean::Config oc;
+      oc.rows_per_thread = 2;
+      oc.iterations = 2;
+      return std::make_unique<apps::Ocean>(oc);
+    };
+    Image flat = run_and_snapshot(proto, 4, 0, make);
+    SystemConfig cfg = SystemConfig::architecture1(4, proto);
+    disable_ticks(cfg);
+    cfg.hierarchy_levels = 2;
+    cfg.num_l2_banks = 2;
+    cfg.l2.size_bytes = 512;  // 4 sets x 4 ways of 32 B: forces recalls
+    System sys(cfg);
+    auto workload = make();
+    RunResult r = sys.run(*workload, 0, 200'000'000ull);
+    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.verified);
+    Image two;
+    for (unsigned b = 0; b < cfg.num_banks; ++b) {
+      sys.bank(b).storage().for_each_page(
+          [&](sim::Addr base, const std::uint8_t* data, unsigned len) {
+            two[base].assign(data, data + len);
+          });
+    }
+    expect_identical(flat, two, "flat",
+                     std::string(mem::to_string(proto)) + "+tinyL2");
+    std::uint64_t recalls = 0;
+    for (unsigned i = 0; i < cfg.num_l2_banks; ++i) {
+      recalls += sys.simulator().stats().counter_value(
+          "l2bank" + std::to_string(i) + ".recalls");
+    }
+    EXPECT_GT(recalls, 0u) << "tiny L2 never recalled a line under "
+                           << mem::to_string(proto);
+  }
+}
+
+// --- directed back-invalidation --------------------------------------------
+
+struct BackInvalRun {
+  std::uint64_t recalls = 0;
+  std::uint64_t recall_invals = 0;
+  std::uint64_t recall_fetches = 0;
+  std::uint64_t evictions_dirty = 0;
+};
+
+/// Ocean through a tiny L2 under the full coherence checker: every recall
+/// teardown (back-invalidation of S copies, data pull from an M owner) is
+/// audited by the periodic invariant walks and the strict final audit,
+/// which in a two-level run include both inclusion directions.
+BackInvalRun run_back_inval(mem::Protocol proto, unsigned l2_size_bytes) {
+  SystemConfig cfg = SystemConfig::architecture1(4, proto);
+  cfg.hierarchy_levels = 2;
+  cfg.num_l2_banks = 2;
+  cfg.l2.size_bytes = l2_size_bytes;
+  cfg.check.enabled = true;
+  cfg.check.walk_interval = 256;
+  System sys(cfg);
+  apps::Ocean::Config oc;
+  oc.rows_per_thread = 2;
+  oc.iterations = 2;
+  apps::Ocean workload(oc);
+  RunResult r = sys.run(workload, 0, 200'000'000ull);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+  EXPECT_TRUE(r.check_ok) << r.check_report;
+  BackInvalRun out;
+  for (unsigned i = 0; i < cfg.num_l2_banks; ++i) {
+    const std::string p = "l2bank" + std::to_string(i) + ".";
+    auto& st = sys.simulator().stats();
+    out.recalls += st.counter_value(p + "recalls");
+    out.recall_invals += st.counter_value(p + "recall_invals");
+    out.recall_fetches += st.counter_value(p + "recall_fetches");
+    out.evictions_dirty += st.counter_value(p + "evictions_dirty");
+  }
+  return out;
+}
+
+TEST(HierarchyBackInval, WtiRecallsInvalidateSharedL1Copies) {
+  BackInvalRun r = run_back_inval(mem::Protocol::kWti, 512);
+  EXPECT_GT(r.recalls, 0u);
+  // Write-through L1s only ever hold S copies, so every back-invalidation
+  // is the Invalidate flavour; there is no M owner to pull data from.
+  EXPECT_GT(r.recall_invals, 0u);
+  EXPECT_EQ(r.recall_fetches, 0u);
+  // Write-through traffic dirties the L2 lines, so capacity evictions must
+  // write back to DRAM.
+  EXPECT_GT(r.evictions_dirty, 0u);
+}
+
+TEST(HierarchyBackInval, WtuRecallsInvalidateSharedL1Copies) {
+  BackInvalRun r = run_back_inval(mem::Protocol::kWtu, 512);
+  EXPECT_GT(r.recalls, 0u);
+  EXPECT_GT(r.recall_invals, 0u);
+  EXPECT_EQ(r.recall_fetches, 0u);
+}
+
+TEST(HierarchyBackInval, MesiRecallsFetchModifiedL1Lines) {
+  BackInvalRun r = run_back_inval(mem::Protocol::kWbMesi, 512);
+  EXPECT_GT(r.recalls, 0u);
+  // An Ocean sweep leaves both S copies (read-shared boundary rows) and
+  // M/E owners (each thread's own rows) in the L1s, so both recall
+  // flavours must appear.
+  EXPECT_GT(r.recall_fetches, 0u);
+}
+
+TEST(HierarchyChecked, AllProtocolsPassTheCheckerWithDefaultL2) {
+  for (mem::Protocol proto :
+       {mem::Protocol::kWti, mem::Protocol::kWbMesi, mem::Protocol::kWtu}) {
+    SystemConfig cfg = SystemConfig::architecture1(4, proto);
+    cfg.hierarchy_levels = 2;
+    cfg.num_l2_banks = 4;
+    cfg.check.enabled = true;
+    System sys(cfg);
+    apps::HotCounter workload(60);
+    RunResult r = sys.run(workload, 0, 200'000'000ull);
+    EXPECT_TRUE(r.completed) << mem::to_string(proto);
+    EXPECT_TRUE(r.verified) << mem::to_string(proto);
+    EXPECT_TRUE(r.check_ok) << mem::to_string(proto) << "\n" << r.check_report;
+  }
+}
+
+}  // namespace
+}  // namespace ccnoc::core

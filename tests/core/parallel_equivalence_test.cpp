@@ -48,12 +48,18 @@ void expect_identical(const Capture& a, const Capture& b) {
 }
 
 Capture run_ocean(unsigned cpus, std::uint64_t seed, unsigned domains,
-                  unsigned workers = 0, unsigned rows = 2, unsigned iters = 2) {
-  SystemConfig cfg = SystemConfig::architecture1(cpus, mem::Protocol::kWbMesi);
+                  unsigned workers = 0, unsigned rows = 2, unsigned iters = 2,
+                  unsigned l2_banks = 0, mem::Protocol proto = mem::Protocol::kWbMesi) {
+  SystemConfig cfg = SystemConfig::architecture1(cpus, proto);
   cfg.seed = seed;
   cfg.kernel.seed = seed;
   cfg.parallel_domains = domains;
   cfg.parallel_workers = workers;
+  if (l2_banks != 0) {
+    cfg.hierarchy_levels = 2;
+    cfg.num_l2_banks = l2_banks;
+    cfg.l2.size_bytes = 512;  // tiny: domain boundaries meet recalls
+  }
   System sys(cfg);
   apps::Ocean::Config oc;
   oc.rows_per_thread = rows;
@@ -138,6 +144,53 @@ TEST(ParallelEquivalence, LargePlatformManyDomainsMatchesSerial) {
   const Capture par = run_ocean(64, 2, 16, 0, /*rows=*/1, /*iters=*/1);
   EXPECT_EQ(par.r.engine_domains, 16u);
   expect_identical(serial, par);
+}
+
+// --- two-level hierarchy --------------------------------------------------
+//
+// The banked L2 tier adds NoC nodes (each L2 bank is its own endpoint) and
+// new cross-node flows — L1->L2 requests, L2->memory fills and eviction
+// write-backs, recall invalidations cutting back across domains. Domain
+// partitioning must not move any of it by a cycle: a two-level parallel run
+// is held byte-identical to the two-level SERIAL reference (the flat-vs-
+// two-level image equivalence is hierarchy_test.cpp's job).
+
+TEST(ParallelEquivalence, TwoLevelHierarchyMatchesSerialAcrossDomainCounts) {
+  for (mem::Protocol proto :
+       {mem::Protocol::kWti, mem::Protocol::kWbMesi, mem::Protocol::kWtu}) {
+    const Capture serial =
+        run_ocean(4, 7, 0, 0, 2, 2, /*l2_banks=*/2, proto);
+    ASSERT_TRUE(serial.r.verified) << mem::to_string(proto);
+    EXPECT_EQ(serial.r.engine_domains, 1u);
+    for (unsigned domains : {2u, 4u}) {
+      const Capture par =
+          run_ocean(4, 7, domains, 0, 2, 2, /*l2_banks=*/2, proto);
+      EXPECT_EQ(par.r.engine_domains, domains)
+          << "parallel path did not run (" << mem::to_string(proto) << ")";
+      expect_identical(serial, par);
+    }
+  }
+}
+
+TEST(ParallelEquivalence, TwoLevelCheckedFuzzMatchesSerial) {
+  // A coherence-checked two-level fuzz run through the parallel engine:
+  // the probe recorder now also streams the L2 banks' recall teardowns,
+  // and the replayed verdict must not depend on the partition.
+  FuzzOptions opt;
+  opt.seed = 19;
+  opt.ops = 120;
+  opt.protocol = mem::Protocol::kWbMesi;
+  opt.l2_banks = 2;
+  const FuzzOutcome serial = run_fuzz(opt);
+  ASSERT_TRUE(serial.passed()) << serial.summary();
+  EXPECT_EQ(serial.engine, "serial");
+  opt.parallel_domains = 4;
+  const FuzzOutcome par = run_fuzz(opt);
+  EXPECT_EQ(par.engine, "parallel");
+  EXPECT_TRUE(par.passed()) << par.summary();
+  EXPECT_EQ(serial.cycles, par.cycles);
+  EXPECT_EQ(serial.loads_checked, par.loads_checked);
+  EXPECT_EQ(serial.exercised.count(), par.exercised.count());
 }
 
 // --- observer-on equivalence ---------------------------------------------

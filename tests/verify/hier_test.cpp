@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "proto/tables.hpp"
+#include "verify/hier.hpp"
+
+/// The two-tier model checker's own contract (verify/hier.hpp): every paper
+/// protocol's (2 L1 x 1 L2 bank x 1 memory bank) product verifies clean —
+/// fixpoint below the state cap, zero violations, deadlock-free — while
+/// exercising every row of the protocol's L2 extension table, exploration
+/// is deterministic, and the JSON verdict carries the hierarchy shape. The
+/// 3-L1 products also verify but take seconds-to-minutes; `ccnoc_model
+/// --all` runs the tractable ones, so the unit suite stays at 2 L1s.
+
+namespace ccnoc::verify {
+namespace {
+
+HierConfig base(mem::Protocol proto) {
+  HierConfig cfg;
+  cfg.protocol = proto;
+  cfg.num_l1 = 2;
+  cfg.wbuf_depth = 1;
+  return cfg;
+}
+
+ModelResult run(const HierConfig& cfg) { return HierChecker(cfg).run(); }
+
+TEST(HierModel, WtiTwoLevelVerifies) {
+  ModelResult r = run(base(mem::Protocol::kWti));
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "did not close"
+                                               : r.violations[0].detail);
+  EXPECT_GT(r.states, 1000u);
+  EXPECT_GT(r.edges, r.states);
+}
+
+TEST(HierModel, WtuTwoLevelVerifies) {
+  ModelResult r = run(base(mem::Protocol::kWtu));
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "did not close"
+                                               : r.violations[0].detail);
+  EXPECT_GT(r.states, 1000u);
+}
+
+TEST(HierModel, MesiTwoLevelVerifies) {
+  ModelResult r = run(base(mem::Protocol::kWbMesi));
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "did not close"
+                                               : r.violations[0].detail);
+  EXPECT_GT(r.states, 1000u);
+}
+
+TEST(HierModel, ExplorationIsDeterministic) {
+  ModelResult a = run(base(mem::Protocol::kWbMesi));
+  ModelResult b = run(base(mem::Protocol::kWbMesi));
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.covered.count(), b.covered.count());
+}
+
+TEST(HierModel, StateCapReportsIncompleteNotVerified) {
+  HierConfig cfg = base(mem::Protocol::kWti);
+  cfg.max_states = 500;
+  ModelResult r = run(cfg);
+  EXPECT_FALSE(r.closed);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.states, 500u);
+}
+
+TEST(HierModel, TwoL1sCoverTheWholeExtensionTable) {
+  // The acceptance bar for the hierarchy tables: even the two-L1 world
+  // reaches every declared L2 extension row — fills (I->E), write-through
+  // dirtying (E->M), recalls of both flavours, clean and dirty evictions.
+  for (mem::Protocol p :
+       {mem::Protocol::kWti, mem::Protocol::kWbMesi, mem::Protocol::kWtu}) {
+    ModelResult r = run(base(p));
+    ASSERT_TRUE(r.ok()) << mem::to_string(p);
+    EXPECT_TRUE(r.dead_rows.empty()) << mem::to_string(p) << " left "
+                                     << r.dead_rows.size() << " dead rows";
+    const auto& xt = proto::l2_table_for(p);
+    for (int id = xt.base_id(); id < xt.base_id() + xt.row_count(); ++id) {
+      EXPECT_TRUE(r.covered.covered(id)) << proto::row_name(id);
+    }
+  }
+}
+
+TEST(HierModel, HierarchyRunsExerciseFlatRowsToo) {
+  // The L2's transaction engine IS the flat home engine, and on a MESI
+  // platform the L2 line's own fills/evictions resolve to flat MESI rows
+  // (the fallback lookup finds them first) — so a hierarchy run must light
+  // up a healthy slice of the flat table as well.
+  ModelResult r = run(base(mem::Protocol::kWbMesi));
+  ASSERT_TRUE(r.ok());
+  const auto& flat = proto::table_for(mem::Protocol::kWbMesi);
+  unsigned flat_covered = 0;
+  for (int id = flat.base_id(); id < flat.base_id() + flat.row_count(); ++id) {
+    if (r.covered.covered(id)) ++flat_covered;
+  }
+  EXPECT_GT(flat_covered, unsigned(flat.row_count()) / 2);
+}
+
+TEST(HierModel, UntrackedReaderEnlargesTheStateSpace) {
+  HierConfig with = base(mem::Protocol::kWti);
+  with.untracked_reads = true;
+  ModelResult a = run(with);
+  ModelResult b = run(base(mem::Protocol::kWti));
+  EXPECT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(a.states, b.states);
+}
+
+TEST(HierModel, JsonCarriesTheHierVerdict) {
+  HierConfig cfg = base(mem::Protocol::kWtu);
+  ModelResult r = run(cfg);
+  std::string js = to_json(cfg, r);
+  EXPECT_NE(js.find("\"hier\": true"), std::string::npos);
+  EXPECT_NE(js.find("\"protocol\": \"wtu\""), std::string::npos);
+  EXPECT_NE(js.find("\"num_l1\": 2"), std::string::npos);
+  EXPECT_NE(js.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(js.find("\"violations\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccnoc::verify

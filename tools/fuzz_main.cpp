@@ -37,6 +37,10 @@ void usage(const char* argv0) {
                "  --max-cycles N      hang guard (default 50000000)\n"
                "  --fault F           inject a protocol bug: skip-invalidate\n"
                "  --fault-after N     correct invalidations before the bug fires\n"
+               "  --l2-banks N        two-level platform: private L1s in front\n"
+               "                      of N shared L2 banks (default 0 = flat)\n"
+               "  --l2-bytes N        L2 data array per bank (default 2048 —\n"
+               "                      tiny, so capacity recalls fire)\n"
                "  --parallel-domains N  run under the conservative parallel engine\n"
                "                      with N domains (checking, tracing and\n"
                "                      profiling are parallel-native; the verdict\n"
@@ -123,6 +127,10 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--fault-after" && parse_u64(value(), &n)) {
       opt.fault_after = unsigned(n);
+    } else if (a == "--l2-banks" && parse_u64(value(), &n)) {
+      opt.l2_banks = unsigned(n);
+    } else if (a == "--l2-bytes" && parse_u64(value(), &n)) {
+      opt.l2_size_bytes = unsigned(n);
     } else if (a == "--parallel-domains" && parse_u64(value(), &n)) {
       opt.parallel_domains = unsigned(n);
     } else if (a == "--heartbeat" && parse_u64(value(), &n)) {

@@ -20,10 +20,12 @@
 #include <vector>
 
 #include "proto/tables.hpp"
+#include "verify/hier.hpp"
 #include "verify/model.hpp"
 
 namespace {
 
+using ccnoc::verify::HierConfig;
 using ccnoc::verify::ModelConfig;
 using ccnoc::verify::ModelResult;
 
@@ -33,6 +35,10 @@ void usage(const char* argv0) {
                "  --protocol P     wti | mesi | wtu (default wti)\n"
                "  --caches N       abstract caches, 2..4 (default 2)\n"
                "  --wbuf N         write-buffer depth, 1..3 (default 2)\n"
+               "  --hier           check the two-level hierarchy instead: N\n"
+               "                   private L1s x 1 shared L2 bank x 1 memory\n"
+               "                   bank, two-tier directory, fills + recalls\n"
+               "                   (--caches = L1s, 2..3; no --dot/--fault)\n"
                "  --direct-ack     model the paper 4.2 direct-ack rounds\n"
                "  --no-untracked   drop the icache-style untracked reader\n"
                "  --fault F        inject a protocol bug: skip-invalidate\n"
@@ -43,8 +49,10 @@ void usage(const char* argv0) {
                "  --dot PATH       write the explored graph as DOT\n"
                "  --dot-limit N    DOT node cap (default 2000)\n"
                "  --all            verify every protocol at 2 and 3 caches,\n"
-               "                   direct-ack off and on; union coverage and\n"
-               "                   fail on dead table rows\n"
+               "                   direct-ack off and on, plus the two-level\n"
+               "                   hierarchy at 2 and 3 L1s; union coverage\n"
+               "                   and fail on dead rows in the flat AND the\n"
+               "                   L2 extension tables\n"
                "  --out-dir DIR    with --all: write per-run JSON/DOT there\n"
                "  --quiet          summary lines only\n",
                argv0);
@@ -90,6 +98,25 @@ void print_result(const ModelConfig& cfg, const ModelResult& r, bool quiet,
   }
 }
 
+void print_hier_result(const HierConfig& cfg, const ModelResult& r, bool quiet,
+                       std::FILE* out = stdout) {
+  std::fprintf(out,
+               "%-4s hier l1=%u wbuf=%u: %zu states, %zu edges, %s (%.1f ms)\n",
+               proto_name(cfg.protocol), cfg.num_l1, cfg.wbuf_depth, r.states,
+               r.edges,
+               r.ok() ? "VERIFIED" : (r.closed ? "VIOLATIONS" : "INCOMPLETE"),
+               r.wall_ms);
+  if (quiet) return;
+  for (const auto& v : r.violations) {
+    std::fprintf(out, "  violation [%s]: %s\n", v.rule.c_str(),
+                 v.detail.c_str());
+    std::fprintf(out, "  scenario (%zu steps):\n", v.trace.size());
+    for (const auto& step : v.trace) std::fprintf(out, "    %s\n", step.c_str());
+    std::fprintf(out, "  failing state:\n%s", v.state_dump.c_str());
+    std::fprintf(out, "  replay hint: %s\n", v.fuzz_hint.c_str());
+  }
+}
+
 bool write_file(const std::string& path, const std::string& content) {
   if (path == "-") {
     std::fwrite(content.data(), 1, content.size(), stdout);
@@ -104,9 +131,10 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
-/// --all: sweep protocols x {2,3} caches x direct-ack off/on, union each
-/// protocol's coverage across its runs, and demand every declared row of
-/// every table is exercised somewhere (dead rows fail the sweep).
+/// --all: sweep protocols x {2,3} caches x direct-ack off/on, then the
+/// two-level hierarchy at 2 and 3 L1s; union each protocol's coverage
+/// across its runs, and demand every declared row of both its tables (flat
+/// and L2 extension) is exercised somewhere (dead rows fail the sweep).
 int run_all(const std::string& out_dir, unsigned max_states, bool quiet) {
   using ccnoc::mem::Protocol;
   bool all_ok = true;
@@ -142,18 +170,48 @@ int run_all(const std::string& out_dir, unsigned max_states, bool quiet) {
         }
       }
     }
-    const auto& tbl = ccnoc::proto::table_for(p);
-    unsigned dead = 0;
-    for (int id = tbl.base_id(); id < tbl.base_id() + tbl.row_count(); ++id) {
-      if (!unioned.covered(id)) {
-        std::printf("DEAD ROW: %s\n", ccnoc::proto::row_name(id).c_str());
-        ++dead;
-        all_ok = false;
+    for (unsigned l1 : {2u, 3u}) {
+      // MESI at 3 L1s closes (16.5M states) but takes minutes and gigabytes;
+      // every L2 extension row is already covered at 2 L1s, so the sweep
+      // keeps the third sharer only where it is cheap. Run it by hand with
+      //   ccnoc_model --hier --protocol mesi --caches 3 --max-states 20000000
+      if (l1 >= 3 && p == Protocol::kWbMesi) continue;
+      HierConfig hc;
+      hc.protocol = p;
+      hc.num_l1 = l1;
+      hc.wbuf_depth = 1;  // depth sensitivity is fully explored flat
+      hc.max_states = max_states;
+      ccnoc::verify::HierChecker hmc(hc);
+      ModelResult r = hmc.run();
+      print_hier_result(hc, r, quiet);
+      unioned.merge(r.covered);
+      if (!r.ok()) all_ok = false;
+      if (!out_dir.empty()) {
+        std::string stem = out_dir + "/model-" + proto_name(p) + "-hier-l" +
+                           std::to_string(l1);
+        write_file(stem + ".json", to_json(hc, r));
       }
     }
-    std::printf("%-4s table: %d rows, %u covered across the sweep%s\n",
-                proto_name(p), tbl.row_count(), unsigned(tbl.row_count()) - dead,
-                dead == 0 ? "" : " — DEAD ROWS PRESENT");
+    for (const auto* tbl :
+         {&ccnoc::proto::table_for(p), &ccnoc::proto::l2_table_for(p)}) {
+      unsigned dead = 0;
+      for (int id = tbl->base_id(); id < tbl->base_id() + tbl->row_count();
+           ++id) {
+        if (!unioned.covered(id)) {
+          std::printf("DEAD ROW: %s\n", ccnoc::proto::row_name(id).c_str());
+          ++dead;
+          all_ok = false;
+        }
+      }
+      if (tbl->row_count() == 0) continue;
+      const std::string name =
+          std::string(proto_name(p)) +
+          (tbl == &ccnoc::proto::table_for(p) ? "" : "-L2");
+      std::printf("%-7s table: %d rows, %u covered across the sweep%s\n",
+                  name.c_str(), tbl->row_count(),
+                  unsigned(tbl->row_count()) - dead,
+                  dead == 0 ? "" : " — DEAD ROWS PRESENT");
+    }
   }
   return all_ok ? 0 : 1;
 }
@@ -163,6 +221,7 @@ int run_all(const std::string& out_dir, unsigned max_states, bool quiet) {
 int main(int argc, char** argv) {
   ModelConfig cfg;
   bool all = false;
+  bool hier = false;
   bool quiet = false;
   std::string json_path;
   std::string dot_path;
@@ -196,6 +255,8 @@ int main(int argc, char** argv) {
       cfg.num_caches = n;
     } else if (a == "--wbuf" && parse_u(value(), &n)) {
       cfg.wbuf_depth = n;
+    } else if (a == "--hier") {
+      hier = true;
     } else if (a == "--direct-ack") {
       cfg.direct_ack = true;
     } else if (a == "--no-untracked") {
@@ -236,6 +297,27 @@ int main(int argc, char** argv) {
   }
 
   if (all) return run_all(out_dir, max_states, quiet);
+
+  if (hier) {
+    if (cfg.direct_ack || cfg.fault_skip_invalidate || !dot_path.empty()) {
+      std::fprintf(stderr,
+                   "%s: --hier supports neither --direct-ack, --fault nor "
+                   "--dot\n",
+                   argv[0]);
+      return 2;
+    }
+    HierConfig hc;
+    hc.protocol = cfg.protocol;
+    hc.num_l1 = cfg.num_caches;
+    hc.wbuf_depth = cfg.wbuf_depth;
+    hc.untracked_reads = cfg.untracked_reads;
+    hc.max_states = max_states;
+    ccnoc::verify::HierChecker hmc(hc);
+    ModelResult r = hmc.run();
+    print_hier_result(hc, r, quiet, json_path == "-" ? stderr : stdout);
+    if (!json_path.empty() && !write_file(json_path, to_json(hc, r))) return 2;
+    return r.ok() ? 0 : 1;
+  }
 
   cfg.max_states = max_states;
   ccnoc::verify::ModelChecker mc(cfg);
