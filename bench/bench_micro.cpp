@@ -145,7 +145,8 @@ struct ObsRun {
 
 /// Repeated full-platform HotCounter runs under one observability setting.
 ObsRun measure_hot_counter(unsigned n, int reps, sim::TraceMode trace,
-                           sim::ProfileMode profile) {
+                           sim::ProfileMode profile,
+                           sim::LatencyMode latency = sim::LatencyMode::kOff) {
   ObsRun out;
   auto t0 = std::chrono::steady_clock::now();
   for (int rep = 0; rep < reps; ++rep) {
@@ -153,6 +154,7 @@ ObsRun measure_hot_counter(unsigned n, int reps, sim::TraceMode trace,
         core::SystemConfig::architecture2(n, mem::Protocol::kWbMesi);
     cfg.trace = trace;
     cfg.profile = profile;
+    cfg.latency = latency;
     core::System sys(cfg);
     apps::HotCounter w(20);
     auto r = sys.run(w);
@@ -233,8 +235,11 @@ int main(int argc, char** argv) {
                                       sim::ProfileMode::kOff);
     ObsRun prof = measure_hot_counter(n, reps, sim::TraceMode::kOff,
                                       sim::ProfileMode::kOn);
+    ObsRun lat = measure_hot_counter(n, reps, sim::TraceMode::kOff,
+                                     sim::ProfileMode::kOff,
+                                     sim::LatencyMode::kOn);
     bool same = true;
-    for (const ObsRun* m : {&metrics, &full, &prof}) {
+    for (const ObsRun* m : {&metrics, &full, &prof, &lat}) {
       same = same && m->cycles == off.cycles && m->events == off.events;
     }
     if (!same) {
@@ -254,9 +259,11 @@ int main(int argc, char** argv) {
              {"metrics_events_per_sec", metrics.events_per_sec()},
              {"full_events_per_sec", full.events_per_sec()},
              {"profile_events_per_sec", prof.events_per_sec()},
+             {"latency_events_per_sec", lat.events_per_sec()},
              {"metrics_ratio", ratio(metrics)},
              {"full_ratio", ratio(full)},
              {"profile_ratio", ratio(prof)},
+             {"latency_ratio", ratio(lat)},
              {"verified", (off.verified && prof.verified) ? 1.0 : 0.0}});
   }
 

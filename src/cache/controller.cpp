@@ -17,6 +17,7 @@ CacheController::CacheController(sim::Simulator& sim, noc::Network& net,
       tags_(cfg),
       tr_(&sim.tracer()),
       pf_(&sim.profiler()),
+      lat_(&sim.latency()),
       tbl_(proto::table_for(cfg.protocol)),
       tbl2_(cfg.hierarchy ? &proto::l2_table_for(cfg.protocol) : nullptr),
       cov_(&sim.proto_coverage_shard(node)) {

@@ -167,6 +167,7 @@ class CacheController : public CacheIface {
   TagArray tags_;
   sim::Tracer* tr_;    ///< cached; hot paths guard on tr_->on() / tr_->full()
   sim::Profiler* pf_;  ///< cached; every hook is one predicted branch when off
+  sim::LatencyObservatory* lat_;  ///< cached; same one-branch-when-off discipline
   const proto::ProtocolTable& tbl_;  ///< this protocol's transition table
   /// Hierarchy extension table, installed only when this L1 fronts a shared
   /// L2 (CacheConfig::hierarchy): a WTU L1's back-invalidation row exists

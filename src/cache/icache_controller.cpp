@@ -27,6 +27,8 @@ AccessResult ICacheController::access(const MemAccess& a, std::uint64_t* hit_val
   pending_cb_ = std::move(on_complete);
   pending_txn_ = next_txn();
   tr_->txn_begin(sim_.now(), pending_txn_, "ifetch_miss", node_, track_tid(), block);
+  lat_->txn_begin(sim_.now(), pending_txn_, "ifetch_miss", node_);
+  lat_->mark(sim_.now(), pending_txn_, node_, sim::Phase::kWbufWait, sim_.now());
   Message m;
   m.type = MsgType::kReadShared;
   m.addr = block;
@@ -47,6 +49,7 @@ void ICacheController::on_packet(const noc::Packet& pkt) {
   tags_.touch(l);
   hops_fetch_miss_->add(pkt.msg.path_hops);
   tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
+  lat_->txn_end(sim_.now(), pending_txn_, node_);
 
   std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
   pending_ = false;

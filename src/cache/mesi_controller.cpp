@@ -89,6 +89,10 @@ AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value
     pending_is_upgrade_ = true;
     pending_txn_ = next_txn();
     tr_->txn_begin(sim_.now(), pending_txn_, "mesi.upgrade", node_, track_tid(), block);
+    lat_->txn_begin(sim_.now(), pending_txn_, "mesi.upgrade", node_);
+    // Upgrades launch synchronously; the zero-width mark anchors the phase
+    // chain at the send cycle.
+    lat_->mark(sim_.now(), pending_txn_, node_, sim::Phase::kWbufWait, sim_.now());
     Message m;
     m.type = MsgType::kUpgrade;
     m.addr = block;
@@ -115,6 +119,8 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
   tr_->txn_begin(sim_.now(), pending_txn_,
                  a.is_store ? "mesi.write_miss" : "mesi.read_miss", node_,
                  track_tid(), block);
+  lat_->txn_begin(sim_.now(), pending_txn_,
+                  a.is_store ? "mesi.write_miss" : "mesi.read_miss", node_);
   CacheLine& victim = tags_.victim(block);
   if (victim.state == LineState::kModified &&
       wb_buffer_.size() >= cfg_.writeback_buffer_entries) {
@@ -139,6 +145,9 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
 }
 
 void MesiController::launch_miss() {
+  // Time between txn_begin and this send was write-back-slot wait (zero
+  // when the miss launched immediately).
+  lat_->mark(sim_.now(), pending_txn_, node_, sim::Phase::kWbufWait, sim_.now());
   sim::Addr block = tags_.block_of(pending_access_.addr);
   Message m;
   m.type = pending_access_.is_store ? MsgType::kReadExclusive : MsgType::kReadShared;
@@ -158,6 +167,8 @@ void MesiController::do_writeback(CacheLine& victim) {
   m.addr = victim.block;
   m.txn = next_txn();
   tr_->txn_begin(sim_.now(), m.txn, "mesi.writeback", node_, track_tid(), victim.block);
+  lat_->txn_begin(sim_.now(), m.txn, "mesi.writeback", node_);
+  lat_->mark(sim_.now(), m.txn, node_, sim::Phase::kWbufWait, sim_.now());
   m.data_len = std::uint8_t(cfg_.block_bytes);
   std::memcpy(m.data.data(), victim.data.data(), cfg_.block_bytes);
   send_to_bank(victim.block, std::move(m));
@@ -200,6 +211,7 @@ void MesiController::handle_read_response(const noc::Packet& pkt) {
   (pending_access_.is_store ? st_.hops_write_miss : st_.hops_read_miss)
       ->add(pkt.msg.path_hops);
   tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
+  lat_->txn_end(sim_.now(), pending_txn_, node_);
   finish_pending(l);
 }
 
@@ -226,6 +238,7 @@ void MesiController::handle_upgrade_ack(const noc::Packet& pkt) {
   }
   st_.hops_write_hit_s->add(pkt.msg.path_hops);
   tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
+  lat_->txn_end(sim_.now(), pending_txn_, node_);
   finish_pending(l);
 }
 
@@ -257,6 +270,9 @@ void MesiController::maybe_finish_direct_upgrade() {
   }
   st_.hops_write_hit_s->add(msg.path_hops);
   tr_->txn_end(sim_.now(), pending_txn_, node_, msg.path_hops);
+  // Direct-ack round: the sharers' acks converge here, not at the bank.
+  lat_->mark(sim_.now(), pending_txn_, node_, sim::Phase::kFanoutAcks, sim_.now());
+  lat_->txn_end(sim_.now(), pending_txn_, node_);
   finish_pending(l);
 }
 
@@ -359,6 +375,7 @@ void MesiController::handle_writeback_ack(const noc::Packet& pkt) {
   auto erased = wb_buffer_.erase(tags_.block_of(pkt.msg.addr));
   CCNOC_ASSERT(erased == 1, "write-back ack for unknown block");
   if (tr_->on()) tr_->txn_end(sim_.now(), pkt.msg.txn, node_, pkt.msg.path_hops);
+  lat_->txn_end(sim_.now(), pkt.msg.txn, node_);
   if (pending_ == Pending::kWbSlot) {
     CacheLine& victim = *pending_line_;
     if (victim.state == LineState::kModified) {

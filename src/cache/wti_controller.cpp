@@ -61,6 +61,7 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
     pending_txn_ = next_txn();
     tr_->txn_begin(sim_.now(), pending_txn_, "wti.load_miss", node_, track_tid(),
                    block);
+    lat_->txn_begin(sim_.now(), pending_txn_, "wti.load_miss", node_);
     if (cfg_.drain_on_load_miss && !wbuf_.empty()) {
       // Sequential consistency: older buffered writes become globally
       // visible before this read is ordered.
@@ -86,6 +87,7 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
     pending_cb_ = std::move(on_complete);
     pending_txn_ = next_txn();
     tr_->txn_begin(sim_.now(), pending_txn_, "wti.atomic", node_, track_tid(), block);
+    lat_->txn_begin(sim_.now(), pending_txn_, "wti.atomic", node_);
     if (!wbuf_.empty()) {
       pending_ = Pending::kSwapDrain;
       tr_->txn_note(sim_.now(), pending_txn_, node_, "drain_wait", "wbuf",
@@ -140,12 +142,19 @@ void WtiController::start_drain() {
   m.txn = drain_txn_ = next_txn();
   tr_->txn_begin(sim_.now(), drain_txn_, "wti.write_through", node_, track_tid(),
                  e.addr);
+  lat_->txn_begin(sim_.now(), drain_txn_, "wti.write_through", node_);
+  // Buffered stores launch the moment the port frees, so their wbuf wait is
+  // structurally zero; the mark anchors the phase chain at the send cycle.
+  lat_->mark(sim_.now(), drain_txn_, node_, sim::Phase::kWbufWait, sim_.now());
   std::memcpy(m.data.data(), &e.value, e.size);
   drain_in_flight_ = true;
   send_to_bank(e.addr, std::move(m));
 }
 
 void WtiController::issue_read() {
+  // Everything between txn_begin and this send was write-buffer drain wait
+  // (zero when the miss issued immediately).
+  lat_->mark(sim_.now(), pending_txn_, node_, sim::Phase::kWbufWait, sim_.now());
   Message m;
   m.type = MsgType::kReadShared;
   m.addr = tags_.block_of(pending_access_.addr);
@@ -154,6 +163,7 @@ void WtiController::issue_read() {
 }
 
 void WtiController::issue_swap() {
+  lat_->mark(sim_.now(), pending_txn_, node_, sim::Phase::kWbufWait, sim_.now());
   Message m;
   m.type = pending_access_.atomic == AtomicKind::kAdd ? MsgType::kAtomicAdd
                                                       : MsgType::kAtomicSwap;
@@ -195,6 +205,7 @@ void WtiController::handle_read_response(const noc::Packet& pkt) {
 
   st_.hops_read_miss->add(pkt.msg.path_hops);
   tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
+  lat_->txn_end(sim_.now(), pending_txn_, node_);
   std::uint64_t v = read_line(l, pending_access_.addr, pending_access_.size);
   pending_ = Pending::kNone;
   auto cb = std::move(pending_cb_);
@@ -215,6 +226,7 @@ void WtiController::handle_write_ack(const noc::Packet& pkt) {
   }
   st_.hops_write_through->add(pkt.msg.path_hops);
   tr_->txn_end(sim_.now(), pkt.msg.txn, node_, pkt.msg.path_hops);
+  lat_->txn_end(sim_.now(), pkt.msg.txn, node_);
   wbuf_.pop_front();
   drain_in_flight_ = false;
   start_drain();
@@ -246,6 +258,10 @@ void WtiController::maybe_finish_direct_write() {
   st_.direct_ack_writes->inc();
   st_.hops_write_through->add(saved_ack_hops_);
   tr_->txn_end(sim_.now(), drain_txn_, node_, saved_ack_hops_);
+  // Direct-ack round: the sharers' acks converge here, not at the bank, so
+  // the fan-out phase is attributed requester-side.
+  lat_->mark(sim_.now(), drain_txn_, node_, sim::Phase::kFanoutAcks, sim_.now());
+  lat_->txn_end(sim_.now(), drain_txn_, node_);
   // Release the bank's per-block transaction lock. Carrying the finishing
   // transaction's id lets the trace tie the unlock to its write.
   Message done;
@@ -295,6 +311,7 @@ void WtiController::handle_swap_response(const noc::Packet& pkt) {
   CCNOC_ASSERT(pending_ == Pending::kSwapResponse, "unexpected swap response");
   st_.hops_atomic_swap->add(pkt.msg.path_hops);
   tr_->txn_end(sim_.now(), pending_txn_, node_, pkt.msg.path_hops);
+  lat_->txn_end(sim_.now(), pending_txn_, node_);
   std::uint64_t old = 0;
   std::memcpy(&old, pkt.msg.data.data(), pkt.msg.data_len);
   pending_ = Pending::kNone;

@@ -68,6 +68,7 @@ FuzzOutcome run_fuzz(const FuzzOptions& opt) {
   }
   if (!opt.trace_path.empty()) cfg.trace = sim::TraceMode::kFull;
   if (!opt.profile_path.empty()) cfg.profile = sim::ProfileMode::kOn;
+  if (!opt.latency_path.empty()) cfg.latency = sim::LatencyMode::kOn;
   cfg.parallel_domains = opt.parallel_domains;
   cfg.heartbeat_ms = opt.heartbeat_ms;
   cfg.heartbeat_json = opt.heartbeat_json;
@@ -90,6 +91,9 @@ FuzzOutcome run_fuzz(const FuzzOptions& opt) {
           << " arch" << opt.arch << " n=" << opt.cpus;
     (void)sim::write_profile_json(
         opt.profile_path, sys.simulator().profiler().snapshot(label.str()));
+  }
+  if (!opt.latency_path.empty()) {
+    (void)sim::write_latency_json(opt.latency_path, sys.simulator().latency());
   }
 
   FuzzOutcome out;

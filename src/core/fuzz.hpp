@@ -48,6 +48,9 @@ struct FuzzOptions {
   /// When non-empty, write a line-granularity sharing profile of the run
   /// here (same schema as tools/ccnoc_profile; see EXPERIMENTS.md).
   std::string profile_path;
+  /// When non-empty, write a per-phase latency breakdown of the run here
+  /// (same schema as tools/ccnoc_latency; see EXPERIMENTS.md).
+  std::string latency_path;
   /// Domain partition to build the platform with (SystemConfig::
   /// parallel_domains). Coherence checking is parallel-native — the probe
   /// stream is recorded per domain and replayed through the checker in

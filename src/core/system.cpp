@@ -88,6 +88,11 @@ System::System(SystemConfig cfg)
   sim_.profiler().set_epoch_cycles(cfg_.profile_epoch);
   sim_.profiler().set_block_bytes(cfg_.dcache.block_bytes);
 
+  // Latency observatory likewise: controllers, banks and the network cache
+  // `&sim.latency()` at construction.
+  sim_.latency().set_mode(cfg_.latency);
+  sim_.latency().set_top_k(cfg_.latency_top_k);
+
   // Domain partition before any component: controllers and banks cache
   // their coverage shard (and the node-to-domain map is fixed) at
   // construction. Serial configs (0/1) leave the classic single-queue
@@ -252,6 +257,14 @@ RunResult System::run(apps::Workload& workload, unsigned nthreads,
     r.stall_attr = sim_.tracer().stall_attr();
     r.stall_attr.resize(cfg_.num_cpus);  // CPUs that never stalled stay zero
   }
+  // Embed the latency breakdown into the tracer's run report, so one
+  // report_json() carries both views. latency_json is deterministic (no
+  // run/engine metadata), so the embedded report stays byte-identical
+  // across engines too.
+  if (sim_.tracer().on() && sim_.latency().on()) {
+    sim_.tracer().set_report_extra(",\"latency\":" +
+                                   sim::latency_json(sim_.latency()));
+  }
 
   // The strict end-of-run audit needs the caches intact (pre-flush) and a
   // quiescent platform; the image check runs post-flush, which deliberately
@@ -301,6 +314,7 @@ std::string System::observer_set() const {
   };
   if (sim_.tracer().on()) add(sim_.tracer().full() ? "trace" : "metrics");
   if (sim_.profiler().on()) add("profile");
+  if (sim_.latency().on()) add("latency");
   if (checker_ != nullptr) add("check");
   if (sim_.logger().level() != sim::LogLevel::None) add("log");
   return s.empty() ? std::string("none") : s;
@@ -323,6 +337,7 @@ std::uint64_t System::run_parallel(sim::Cycle max_cycles) {
   net_->enable_sharded_stats(map_.num_nodes());
   sim_.tracer().begin_sharded(pc.domains);
   sim_.profiler().begin_sharded(pc.domains);
+  sim_.latency().begin_sharded(pc.domains);
   gmn->set_cross_post([&engine](sim::NodeId src, sim::NodeId dst, sim::Cycle when,
                                 std::uint64_t seq, sim::EventQueue::Callback cb) {
     engine.post(src, dst, when, seq, std::move(cb));
@@ -361,6 +376,7 @@ std::uint64_t System::run_parallel(sim::Cycle max_cycles) {
   net_->finalize_stats();
   sim_.tracer().finalize_sharded();
   sim_.profiler().finalize_sharded();
+  sim_.latency().finalize_sharded();
   return events;
 }
 

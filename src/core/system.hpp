@@ -84,6 +84,14 @@ struct SystemConfig {
   sim::ProfileMode profile = sim::ProfileMode::kOff;
   sim::Cycle profile_epoch = 1024;  ///< epoch length for sharing-set series
 
+  /// Per-transaction latency phase attribution (see sim/latency.hpp): kOff
+  /// costs one predicted branch per hook, kOn decomposes every coherence
+  /// transaction into queueing/service/fan-out phases with HDR tail
+  /// histograms and a worst-offender table. Same set-before-construction
+  /// contract as the tracer mode.
+  sim::LatencyMode latency = sim::LatencyMode::kOff;
+  unsigned latency_top_k = 16;  ///< worst-offender table size in latency.json
+
   /// Coherence checking (see check/checker.hpp): off by default, in which
   /// case no probe is installed and the hot paths pay one null-pointer
   /// branch per hook. Set before construction, like the tracer mode.

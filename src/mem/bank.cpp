@@ -30,6 +30,7 @@ Bank::Bank(sim::Simulator& sim, noc::Network& net, const AddressMap& map,
       tr_(&sim.tracer()),
       probe_(sim.probe()),
       pf_(&sim.profiler()),
+      lat_(&sim.latency()),
       bank_tid_(tid) {
   CCNOC_ASSERT((cfg_.block_bytes & (cfg_.block_bytes - 1)) == 0,
                "block size must be a power of two");
@@ -125,6 +126,11 @@ void Bank::start_service(Message req, sim::NodeId src) {
   port_free_ = start + cfg_.initiation_interval;
   st_.busy_cycles->inc(cfg_.initiation_interval);
   st_.queue_delay->add(double(start - sim_.now()));
+  // Phase attribution: arrival→start is pipeline-port queueing, then the
+  // directory/storage access itself. Both boundaries are known now.
+  lat_->mark(sim_.now(), it->second.req.txn, node_, sim::Phase::kBankQueue, start);
+  lat_->mark(sim_.now(), it->second.req.txn, node_, sim::Phase::kDirService,
+             start + service);
   // Service occupancy on the bank's trace track, one slice per request.
   tr_->complete(start, start + service, node_, to_string(rt),
                 sim::Tracer::kPidBank, bank_tid_);
@@ -441,6 +447,9 @@ void Bank::handle_write_back(const noc::Packet& pkt) {
 }
 
 void Bank::on_data_arrived(sim::Addr block, Txn& t, const Message& data_msg) {
+  // Time since the last boundary (end of directory service) was spent
+  // fetching the block from its dirty owner.
+  lat_->mark(sim_.now(), t.req.txn, node_, sim::Phase::kOwnerFetch, sim_.now());
   if (data_msg.data_len != 0) {
     CCNOC_ASSERT(data_msg.data_len == cfg_.block_bytes, "short fetch data");
     storage_.write(block, data_msg.data.data(), cfg_.block_bytes);
@@ -492,6 +501,11 @@ void Bank::on_data_arrived(sim::Addr block, Txn& t, const Message& data_msg) {
 }
 
 void Bank::on_acks_complete(sim::Addr block, Txn& t) {
+  // Bank-collected rounds converge here; direct-ack rounds converge at the
+  // requester, which attributes the fan-out phase itself.
+  if (t.had_inval_round && !t.direct_mode) {
+    lat_->mark(sim_.now(), t.req.txn, node_, sim::Phase::kFanoutAcks, sim_.now());
+  }
   // Direct-ack rounds shorten the critical path to 3 hops: request,
   // invalidate, ack-to-requester (the response overlaps the invalidations).
   unsigned hops = t.had_inval_round ? (t.direct_mode ? 3 : 4) : 2;

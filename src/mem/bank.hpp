@@ -190,6 +190,7 @@ class Bank : public noc::Endpoint {
   sim::Tracer* tr_;            ///< cached; guarded on tr_->on() / tr_->full()
   sim::CoherenceProbe* probe_; ///< cached; null unless checking is on
   sim::Profiler* pf_;          ///< cached; one predicted branch per hook when off
+  sim::LatencyObservatory* lat_;  ///< cached; same one-branch-when-off discipline
   unsigned trace_bank_id_ = 0;  ///< tracer telemetry slot for this bank
   unsigned profile_bank_id_ = 0;  ///< profiler queue slot for this bank
   std::uint32_t bank_tid_ = 0;  ///< thread id on the "bank" trace track

@@ -52,6 +52,7 @@ void L2Bank::deliver(const noc::Packet& pkt) {
     case MsgType::kWriteBackAck:
       // The memory bank acknowledged one of our eviction write-backs;
       // nothing is held on it (the line was already torn down).
+      lat_->txn_end(sim_.now(), pkt.msg.txn, node_);
       return;
     case MsgType::kInvalidateAck:
       if (recalls_.count(block) != 0) {
@@ -100,6 +101,7 @@ void L2Bank::start_fill(sim::Addr block) {
   Fill& f = fills_[block];
   f.txn = next_l2_txn();
   l2st_.fills->inc();
+  lat_->txn_begin(sim_.now(), f.txn, "l2.fill", node_);
   if (tr_->on()) {
     tr_->txn_note(sim_.now(), f.txn, node_, "l2_fill_start", "block", block);
   }
@@ -111,6 +113,11 @@ void L2Bank::try_launch_fill(sim::Addr block, Fill& f) {
     auto& set = sets_[set_of(block)];
     if (set.size() < l2cfg_.ways) {
       f.requested = true;
+      // A fill that waited out a recall (or a busy set) charges that wait
+      // to the retry phase; an immediate launch marks a zero-width span.
+      if (f.deferred) {
+        lat_->mark(sim_.now(), f.txn, node_, sim::Phase::kRetry, sim_.now());
+      }
       Message m;
       m.type = MsgType::kReadShared;
       m.addr = block;
@@ -123,7 +130,10 @@ void L2Bank::try_launch_fill(sim::Addr block, Fill& f) {
     // Set full: recall a victim. One recall at a time per set keeps the
     // replacement deterministic; its completion retries deferred fills.
     for (sim::Addr v : set) {
-      if (recalls_.count(v) != 0) return;
+      if (recalls_.count(v) != 0) {
+        f.deferred = true;
+        return;
+      }
     }
     sim::Addr victim = 0;
     bool found = false;
@@ -134,13 +144,19 @@ void L2Bank::try_launch_fill(sim::Addr block, Fill& f) {
       break;
     }
     // Every way is transaction-busy; a later completion retries this fill.
-    if (!found) return;
+    if (!found) {
+      f.deferred = true;
+      return;
+    }
     start_recall(victim);
     // A recall with no live L1 copies completes synchronously (its nested
     // complete_txn may even have launched this very fill — the f.requested
     // loop condition covers that); loop to re-check the freed way. An
     // in-flight recall retries us at its completion instead.
-    if (recalls_.count(victim) != 0) return;
+    if (recalls_.count(victim) != 0) {
+      f.deferred = true;
+      return;
+    }
   }
 }
 
@@ -171,6 +187,16 @@ void L2Bank::handle_fill_response(const noc::Packet& pkt) {
   if (tr_->on()) {
     tr_->txn_note(sim_.now(), pkt.msg.txn, node_, "l2_fill_done", "block", block);
   }
+  lat_->txn_end(sim_.now(), pkt.msg.txn, node_);
+  if (lat_->on()) [[unlikely]] {
+    // The L1 transactions queued behind this fill spent the interval since
+    // their last boundary waiting for the line to arrive from memory.
+    if (auto wit = waiting_.find(block); wit != waiting_.end()) {
+      for (const noc::Packet& p : wit->second) {
+        lat_->mark(sim_.now(), p.msg.txn, node_, sim::Phase::kL2Fill, sim_.now());
+      }
+    }
+  }
   complete_txn(block);  // unlock: queued L1 requests now run against the line
 }
 
@@ -183,6 +209,7 @@ void L2Bank::start_recall(sim::Addr victim) {
   Recall& r = recalls_[victim];
   r.txn = next_l2_txn();
   l2st_.recalls->inc();
+  lat_->txn_begin(sim_.now(), r.txn, "l2.recall", node_);
   if (tr_->on()) {
     tr_->txn_note(sim_.now(), r.txn, node_, "l2_recall_start", "block", victim);
   }
@@ -230,7 +257,12 @@ void L2Bank::recall_invalidate_ack(const noc::Packet& pkt) {
   proto::DirState before = dstate(block);
   dir_.remove_sharer(block, pkt.src);
   dir_event(block, before, proto::DirEvent::kSharerDrop);
-  if (--r.pending_acks == 0) finish_recall(block);
+  if (--r.pending_acks == 0) {
+    // The back-invalidation fan-out converged: everything since the recall
+    // opened was ack collection.
+    lat_->mark(sim_.now(), r.txn, node_, sim::Phase::kFanoutAcks, sim_.now());
+    finish_recall(block);
+  }
 }
 
 void L2Bank::recall_fetch_response(const noc::Packet& pkt) {
@@ -273,6 +305,7 @@ void L2Bank::absorb_recall_data(sim::Addr block, Recall& r,
   // data_len == 0: the owner silently evicted a clean Exclusive copy, so
   // the L2 copy is already current.
   r.waiting_data = false;
+  lat_->mark(sim_.now(), r.txn, node_, sim::Phase::kOwnerFetch, sim_.now());
   finish_recall(block);
 }
 
@@ -287,6 +320,15 @@ void L2Bank::finish_recall(sim::Addr block) {
   if (tr_->on()) {
     tr_->txn_note(sim_.now(), recalls_.at(block).txn, node_, "l2_recall_done",
                   "block", block);
+  }
+  lat_->txn_end(sim_.now(), recalls_.at(block).txn, node_);
+  if (lat_->on()) [[unlikely]] {
+    // L1 transactions queued behind the victim waited for this recall.
+    if (auto wit = waiting_.find(block); wit != waiting_.end()) {
+      for (const noc::Packet& p : wit->second) {
+        lat_->mark(sim_.now(), p.msg.txn, node_, sim::Phase::kL2Recall, sim_.now());
+      }
+    }
   }
   evict_line(block);
 }
@@ -308,6 +350,7 @@ void L2Bank::evict_line(sim::Addr block) {
     wb.type = MsgType::kWriteBack;
     wb.addr = block;
     wb.txn = next_l2_txn();
+    lat_->txn_begin(sim_.now(), wb.txn, "l2.writeback", node_);
     wb.requester = node_;
     wb.data_len = std::uint8_t(cfg_.block_bytes);
     storage_.read(block, wb.data.data(), cfg_.block_bytes);

@@ -118,6 +118,7 @@ class L2Bank final : public Bank {
   struct Fill {
     std::uint64_t txn = 0;
     bool requested = false;  ///< ReadShared sent to the memory bank
+    bool deferred = false;   ///< at least one launch attempt was blocked
   };
   /// A victim recall in flight: the victim's txn slot is held until every
   /// L1 ack (or the owner's data) arrived and the line is evicted.

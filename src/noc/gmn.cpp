@@ -27,6 +27,13 @@ void GmnNetwork::route(Packet&& pkt) {
   if (profiler_->on()) [[unlikely]] {
     profiler_->link_flits(plink_in_[pkt.src], flits);
   }
+  if (lat_->on()) [[unlikely]] {
+    // Send→in_start is ingress-port queueing behind earlier packets from
+    // this source. Recorded at the source — route() runs in its domain.
+    if (pkt.msg.txn != 0 && on_txn_critical_path(pkt.msg.type)) {
+      lat_->mark(now, pkt.msg.txn, pkt.src, sim::Phase::kNocIngress, in_start);
+    }
+  }
 
   // Hand the packet across the fabric as a keyed egress event. The key —
   // (source node, per-source sequence) — is a pure function of this node's

@@ -4,8 +4,28 @@
 
 namespace ccnoc::noc {
 
+bool on_txn_critical_path(MsgType t) {
+  switch (t) {
+    case MsgType::kReadShared:
+    case MsgType::kReadExclusive:
+    case MsgType::kUpgrade:
+    case MsgType::kWriteWord:
+    case MsgType::kAtomicSwap:
+    case MsgType::kAtomicAdd:
+    case MsgType::kWriteBack:
+    case MsgType::kReadResponse:
+    case MsgType::kWriteAck:
+    case MsgType::kSwapResponse:
+    case MsgType::kUpgradeAck:
+    case MsgType::kWriteBackAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Network::Network(sim::Simulator& s)
-    : sim_(s), tracer_(&s.tracer()), profiler_(&s.profiler()) {
+    : sim_(s), tracer_(&s.tracer()), profiler_(&s.profiler()), lat_(&s.latency()) {
   auto& st = sim_.stats();
   bytes_ctr_ = &st.counter("noc.bytes");
   packets_ctr_ = &st.counter("noc.packets");
@@ -105,6 +125,15 @@ void Network::schedule_delivery(sim::Cycle when, Packet&& pkt) {
       // receiving node's domain.
       tracer_->txn_note(sim_.now(), p.msg.txn, p.dst, to_string(p.msg.type),
                         "src", p.src, "dst", p.dst);
+    }
+    if (lat_->on()) [[unlikely]] {
+      // Everything since the last boundary (ingress on the GMN, the send
+      // cycle elsewhere) was fabric transit. Recorded at the destination —
+      // the delivery event executes in the receiving node's domain.
+      if (p.msg.txn != 0 && on_txn_critical_path(p.msg.type)) {
+        lat_->mark(sim_.now(), p.msg.txn, p.dst, sim::Phase::kNocTransit,
+                   sim_.now());
+      }
     }
     endpoints_[p.dst]->deliver(p);
   });

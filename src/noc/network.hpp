@@ -90,6 +90,7 @@ class Network {
   sim::Tracer* tracer_;    ///< cached; route() implementations report per-link
                            ///< flit telemetry through it
   sim::Profiler* profiler_;  ///< cached; per-line traffic attribution
+  sim::LatencyObservatory* lat_;  ///< cached; per-phase transit attribution
 
  private:
   /// Per-node traffic shard. The send-side fields are written only by the
@@ -117,6 +118,13 @@ class Network {
   std::array<sim::Counter*, kNumMsgTypes> pkt_type_ctr_{};
   sim::Sample* latency_sample_ = nullptr;
 };
+
+/// True for message types that lie on their transaction's critical path:
+/// requests, data responses and completion acks. Fan-out legs (invalidates,
+/// updates, fetches and their acks) run concurrently with each other and
+/// are attributed as one collective phase at the convergence point instead
+/// — marking each would double-count overlapping wire time.
+[[nodiscard]] bool on_txn_critical_path(MsgType t);
 
 /// Flit payload width. A 32-byte block plus header is ~10 flits.
 inline constexpr unsigned kFlitBytes = 4;

@@ -6,6 +6,7 @@
 
 #include "proto/coverage.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/latency.hpp"
 #include "sim/log.hpp"
 #include "sim/probe.hpp"
 #include "sim/profile.hpp"
@@ -48,6 +49,8 @@ class Simulator {
   const Tracer& tracer() const { return tracer_; }
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
+  LatencyObservatory& latency() { return latency_; }
+  const LatencyObservatory& latency() const { return latency_; }
   Rng& rng() { return rng_; }
 
   // --- domain partition (parallel core) ------------------------------------
@@ -193,6 +196,7 @@ class Simulator {
   Logger logger_;
   Tracer tracer_;
   Profiler profiler_;
+  LatencyObservatory latency_;
   Rng rng_;
   proto::CoverageSet coverage_;
   std::vector<proto::CoverageSet> coverage_shards_;

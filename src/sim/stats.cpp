@@ -14,7 +14,8 @@ std::string StatsRegistry::to_string() const {
        << " max=" << s.max() << "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    os << name << " : n=" << h.total() << " mean=" << h.mean() << "\n";
+    os << name << " : n=" << h.total() << " mean=" << h.mean()
+       << " overflow=" << h.overflow() << "\n";
   }
   return os.str();
 }

@@ -103,9 +103,12 @@ class Sample {
 };
 
 /// Histogram over integral values with unit-width buckets up to a cap;
-/// overflow values are accumulated in the last bucket. At least one bucket
-/// always exists (a zero-bucket histogram would make add() index out of
-/// bounds), so every value degenerates into the overflow bucket at size 1.
+/// overflow values still accumulate in the last bucket (so totals and the
+/// per-bucket series keep their historical meaning) but are additionally
+/// counted explicitly, so a saturated last bucket is distinguishable from a
+/// real one. At least one bucket always exists (a zero-bucket histogram
+/// would make add() index out of bounds), so every value degenerates into
+/// the overflow bucket at size 1.
 class Histogram {
  public:
   explicit Histogram(std::size_t buckets = 64) : buckets_(buckets == 0 ? 1 : buckets, 0) {}
@@ -113,6 +116,7 @@ class Histogram {
   void add(std::uint64_t v) {
     ++total_;
     sum_ += v;
+    if (v >= buckets_.size()) [[unlikely]] ++overflow_;
     std::size_t b = std::min<std::uint64_t>(v, buckets_.size() - 1);
     ++buckets_[b];
   }
@@ -121,11 +125,16 @@ class Histogram {
   [[nodiscard]] double mean() const { return total_ ? double(sum_) / double(total_) : 0.0; }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
   [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  /// Values that exceeded the bucket range and were folded into the last
+  /// bucket. bucket(num_buckets()-1) - overflow() is the last bucket's
+  /// genuine (in-range) population.
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
 
  private:
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;
   std::uint64_t sum_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 /// Name → statistic registry. Objects are created on first use; references

@@ -518,7 +518,7 @@ std::string Tracer::report_json() const {
     emit_series("max_queue_depth_per_epoch", banks_[i].max_depth_per_epoch);
     os << "}";
   }
-  os << "]}\n";
+  os << "]" << report_extra_ << "}\n";
   return os.str();
 }
 

@@ -221,6 +221,14 @@ class Tracer {
   void set_run_context(std::string engine, unsigned domains,
                        std::string fallback_reason, std::string observers);
 
+  /// Extra top-level JSON members appended verbatim to report_json() before
+  /// its closing brace (e.g. `,"latency":{...}` from the latency
+  /// observatory). Empty (the default) leaves the report byte-identical to
+  /// its historical form. Set by the runner after the run completes.
+  void set_report_extra(std::string json_fragment) {
+    report_extra_ = std::move(json_fragment);
+  }
+
   // --- inspection (tests, in-process consumers) -----------------------------
 
   struct KindStats {
@@ -365,6 +373,7 @@ class Tracer {
   unsigned run_domains_ = 1;
   std::string run_fallback_;
   std::string run_observers_;
+  std::string report_extra_;
 };
 
 }  // namespace ccnoc::sim

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "apps/ocean.hpp"
+#include "core/system.hpp"
+#include "sim/jsonv.hpp"
+#include "sim/latency.hpp"
+
+/// The latency observatory decomposes every traced transaction into
+/// telescoping phases, so on any run the books must balance EXACTLY:
+///  - per transaction, phase durations sum to the whole-span latency;
+///  - per phase, the per-kind aggregation equals the per-node aggregation
+///    (the same marks, folded two ways);
+///  - per kind, the observatory's population matches the tracer's span
+///    population (same call sites, same transactions).
+/// This is the acceptance gate for the observability layer — a traced,
+/// latency-attributed 4-CPU Ocean run that reconciles to the cycle under
+/// both protocols and on the two-level platform.
+
+namespace ccnoc::core {
+namespace {
+
+class LatencyReconcile : public ::testing::Test {
+ protected:
+  static constexpr unsigned kCpus = 4;
+
+  RunResult run(System& sys) {
+    apps::Ocean::Config oc;
+    oc.rows_per_thread = 2;
+    oc.iterations = 2;
+    oc.compute_per_cell = 8;
+    apps::Ocean workload(oc);
+    RunResult r = sys.run(workload);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.verified);
+    return r;
+  }
+
+  static SystemConfig config(mem::Protocol proto) {
+    SystemConfig cfg = SystemConfig::architecture1(kCpus, proto);
+    cfg.trace = sim::TraceMode::kFull;
+    cfg.latency = sim::LatencyMode::kOn;
+    // Unbounded worst-offender table: every completed transaction lands in
+    // worst(), so the per-transaction telescoping sum is checked for ALL of
+    // them, not a sample.
+    cfg.latency_top_k = 1u << 20;
+    return cfg;
+  }
+
+  /// The protocol-independent books: telescoping, two-way fold equality,
+  /// tracer population reconciliation.
+  static void expect_reconciles(System& sys) {
+    const sim::LatencyObservatory& lat = sys.simulator().latency();
+    EXPECT_EQ(lat.open_count(), 0u) << "unclosed transactions";
+
+    // Every completed transaction: phase sum ≡ whole span, exactly.
+    std::uint64_t txns = 0;
+    for (const auto& o : lat.worst()) {
+      std::uint64_t phase_sum = 0;
+      for (std::uint64_t p : o.phases) phase_sum += p;
+      ASSERT_EQ(phase_sum, o.latency())
+          << o.kind << " txn " << o.txn << " leaks cycles";
+      ++txns;
+    }
+
+    // Kind-side totals: histogram mass == phase mass, counts == table rows.
+    std::uint64_t kind_count = 0;
+    sim::PhaseCycles by_kind{};
+    for (const auto& [kind, k] : lat.kinds()) {
+      EXPECT_GT(k.count, 0u) << kind;
+      EXPECT_EQ(k.total.count(), k.count) << kind;
+      kind_count += k.count;
+      std::uint64_t phase_sum = 0;
+      for (std::size_t p = 0; p < sim::kNumPhases; ++p) {
+        by_kind[p] += k.phases[p];
+        phase_sum += k.phases[p];
+      }
+      EXPECT_EQ(phase_sum, k.total.sum()) << kind;
+    }
+    EXPECT_EQ(txns, kind_count) << "worst-offender table dropped transactions";
+
+    // Node-side fold of the very same marks must agree phase by phase.
+    sim::PhaseCycles by_node{};
+    for (const auto& [node, ph] : lat.node_phases()) {
+      for (std::size_t p = 0; p < sim::kNumPhases; ++p) by_node[p] += ph[p];
+    }
+    for (std::size_t p = 0; p < sim::kNumPhases; ++p) {
+      EXPECT_EQ(by_kind[p], by_node[p]) << sim::to_string(sim::Phase(p));
+    }
+
+    // The observatory opens a transaction everywhere the tracer opens a
+    // span (same call sites), so the populations must match kind for kind.
+    // The L2 tier's internal fills/recalls/write-backs are latency-only —
+    // they have no tracer span — and are the one permitted asymmetry.
+    const sim::Tracer& tr = sys.simulator().tracer();
+    for (const auto& [kind, s] : tr.txn_stats()) {
+      ASSERT_EQ(lat.kinds().count(kind), 1u) << kind;
+      EXPECT_EQ(lat.kinds().at(kind).count, s.count) << kind;
+    }
+    for (const auto& [kind, k] : lat.kinds()) {
+      if (tr.txn_stats().count(kind) == 0) {
+        EXPECT_EQ(kind.rfind("l2.", 0), 0u)
+            << kind << " is untracked by the tracer but not an L2-tier kind";
+      }
+    }
+  }
+};
+
+TEST_F(LatencyReconcile, WtiPhasesTelescopeAndMatchTracer) {
+  System sys(config(mem::Protocol::kWti));
+  run(sys);
+  expect_reconciles(sys);
+  const auto& kinds = sys.simulator().latency().kinds();
+  ASSERT_EQ(kinds.count("wti.load_miss"), 1u);
+  ASSERT_EQ(kinds.count("wti.write_through"), 1u);
+  ASSERT_EQ(kinds.count("ifetch_miss"), 1u);
+  // A WTI load miss crosses the fabric and is serviced by a directory bank;
+  // a run where those phases never register means dead instrumentation.
+  const auto& lm = kinds.at("wti.load_miss");
+  EXPECT_GT(lm.phases[std::size_t(sim::Phase::kNocTransit)], 0u);
+  EXPECT_GT(lm.phases[std::size_t(sim::Phase::kDirService)], 0u);
+}
+
+TEST_F(LatencyReconcile, MesiPhasesTelescopeAndMatchTracer) {
+  System sys(config(mem::Protocol::kWbMesi));
+  run(sys);
+  expect_reconciles(sys);
+  const auto& kinds = sys.simulator().latency().kinds();
+  ASSERT_EQ(kinds.count("mesi.read_miss"), 1u);
+  ASSERT_EQ(kinds.count("mesi.write_miss"), 1u);
+  ASSERT_EQ(kinds.count("mesi.upgrade"), 1u);
+  ASSERT_EQ(kinds.count("mesi.writeback"), 1u);
+  // Ocean shares rows between neighbours, so upgrades must spend cycles
+  // collecting invalidation acknowledgements somewhere in the run.
+  EXPECT_GT(kinds.at("mesi.upgrade").phases[std::size_t(sim::Phase::kFanoutAcks)],
+            0u);
+}
+
+TEST_F(LatencyReconcile, TwoLevelHierarchyAddsL2PhasesAndStillReconciles) {
+  SystemConfig cfg = config(mem::Protocol::kWbMesi);
+  cfg.hierarchy_levels = 2;
+  cfg.num_l2_banks = 2;
+  cfg.l2.size_bytes = 512;  // tiny: capacity recalls fire, not just fills
+  System sys(cfg);
+  run(sys);
+  expect_reconciles(sys);
+  const auto& kinds = sys.simulator().latency().kinds();
+  ASSERT_EQ(kinds.count("l2.fill"), 1u);
+  EXPECT_GT(kinds.at("l2.fill").count, 0u);
+  // L1 misses that queue behind a shared-L2 fill must show up in the
+  // dedicated hierarchy phases of the overall summary.
+  sim::PhaseCycles overall{};
+  for (const auto& [kind, k] : kinds) {
+    for (std::size_t p = 0; p < sim::kNumPhases; ++p) overall[p] += k.phases[p];
+  }
+  EXPECT_GT(overall[std::size_t(sim::Phase::kL2Fill)], 0u);
+}
+
+TEST_F(LatencyReconcile, ReportJsonEmbedsLatencyObjectWhenBothObserversOn) {
+  System sys(config(mem::Protocol::kWti));
+  run(sys);
+  const std::string report = sys.simulator().tracer().report_json();
+  EXPECT_NE(report.find(",\"latency\":{\"schema_version\":1,"
+                        "\"kind\":\"ccnoc-latency\""),
+            std::string::npos);
+  sim::Jsonv v;
+  std::string err;
+  ASSERT_TRUE(sim::jsonv_parse(report, v, err)) << err;
+  const sim::Jsonv* lat = v.get("latency");
+  ASSERT_NE(lat, nullptr);
+  ASSERT_NE(lat->get("summary"), nullptr);
+  ASSERT_NE(lat->get("summary")->get("transactions"), nullptr);
+  EXPECT_GT(lat->get("summary")->get("transactions")->number, 0.0);
+  // The standalone emitter and the embedded object are the same bytes.
+  EXPECT_NE(report.find(sim::latency_json(sys.simulator().latency())
+                            .substr(0, 60)),
+            std::string::npos);
+}
+
+TEST_F(LatencyReconcile, OffModeIsZeroPerturbation) {
+  // The observatory off is the default; turning it on must not move the
+  // simulation by a cycle or a byte — only observe it. Stats are compared
+  // as a full registry dump, the strongest no-perturbation check we have.
+  SystemConfig off_cfg = SystemConfig::architecture1(kCpus, mem::Protocol::kWbMesi);
+  SystemConfig on_cfg = off_cfg;
+  on_cfg.latency = sim::LatencyMode::kOn;
+
+  System off_sys(off_cfg);
+  System on_sys(on_cfg);
+  RunResult off_r = run(off_sys);
+  RunResult on_r = run(on_sys);
+
+  EXPECT_EQ(off_r.observers, "none");
+  EXPECT_EQ(on_r.observers, "latency");
+  EXPECT_EQ(off_r.exec_cycles, on_r.exec_cycles);
+  EXPECT_EQ(off_r.noc_bytes, on_r.noc_bytes);
+  EXPECT_EQ(off_r.noc_packets, on_r.noc_packets);
+  EXPECT_EQ(off_r.instructions, on_r.instructions);
+  EXPECT_EQ(off_sys.simulator().stats().to_string(),
+            on_sys.simulator().stats().to_string());
+
+  const sim::LatencyObservatory& off_lat = off_sys.simulator().latency();
+  EXPECT_EQ(off_lat.open_count(), 0u);
+  EXPECT_TRUE(off_lat.kinds().empty());
+  EXPECT_TRUE(off_lat.node_phases().empty());
+  EXPECT_TRUE(off_lat.worst().empty());
+  EXPECT_GT(on_sys.simulator().latency().kinds().size(), 0u);
+}
+
+}  // namespace
+}  // namespace ccnoc::core

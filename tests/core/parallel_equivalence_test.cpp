@@ -10,6 +10,7 @@
 #include "core/fuzz.hpp"
 #include "core/system.hpp"
 #include "sim/jsonv.hpp"
+#include "sim/latency.hpp"
 #include "sim/profile.hpp"
 
 /// The conservative parallel core's contract (EXPERIMENTS.md, "Parallel
@@ -211,6 +212,7 @@ struct ObservedCapture {
   std::string report;   ///< schema-v1 run report, "run" object stripped
   std::string profile;  ///< schema-v1 profile JSON
   std::string html;     ///< HTML report (heatmap inputs and all)
+  std::string latency;  ///< schema-v1 latency.json (empty when not enabled)
 };
 
 std::string strip_run_object(std::string j) {
@@ -223,14 +225,21 @@ std::string strip_run_object(std::string j) {
 
 ObservedCapture run_observed(unsigned cpus, std::uint64_t seed, unsigned domains,
                              unsigned workers = 0, unsigned rows = 1,
-                             unsigned iters = 1) {
+                             unsigned iters = 1, bool latency = false,
+                             unsigned l2_banks = 0) {
   SystemConfig cfg = SystemConfig::architecture1(cpus, mem::Protocol::kWbMesi);
   cfg.seed = seed;
   cfg.kernel.seed = seed;
   cfg.trace = sim::TraceMode::kFull;
   cfg.profile = sim::ProfileMode::kOn;
+  if (latency) cfg.latency = sim::LatencyMode::kOn;
   cfg.parallel_domains = domains;
   cfg.parallel_workers = workers;
+  if (l2_banks != 0) {
+    cfg.hierarchy_levels = 2;
+    cfg.num_l2_banks = l2_banks;
+    cfg.l2.size_bytes = 512;  // tiny: recalls cut across domain boundaries
+  }
   System sys(cfg);
   apps::Ocean::Config oc;
   oc.rows_per_thread = rows;
@@ -244,6 +253,7 @@ ObservedCapture run_observed(unsigned cpus, std::uint64_t seed, unsigned domains
   const sim::ProfileSnapshot snap = sys.simulator().profiler().snapshot("eq");
   c.profile = sim::profile_json(snap);
   c.html = sim::profile_html("eq", snap);
+  if (latency) c.latency = sim::latency_json(sys.simulator().latency());
   return c;
 }
 
@@ -254,6 +264,7 @@ void expect_observed_identical(const ObservedCapture& serial,
   EXPECT_EQ(serial.report, par.report);
   EXPECT_EQ(serial.profile, par.profile);
   EXPECT_EQ(serial.html, par.html);
+  EXPECT_EQ(serial.latency, par.latency);  // byte-for-byte, full latency.json
 }
 
 TEST(ParallelEquivalence, TracedProfiledRunsEngageParallelWithIdenticalOutput) {
@@ -303,6 +314,76 @@ TEST(ParallelEquivalence, ObserversOnLargePlatformMatchSerial) {
   EXPECT_EQ(par.r.engine, "parallel") << par.r.engine_fallback;
   EXPECT_EQ(par.r.engine_domains, 16u);
   expect_observed_identical(serial, par);
+}
+
+// --- latency-observatory equivalence -------------------------------------
+//
+// The latency observatory is the third parallel-native observer: hooks
+// append (cycle, node, seq)-stamped records to per-domain shards and the
+// merge replays them in canonical order, so latency.json — phase sums, HDR
+// percentiles, worst-offender table — is byte-identical between engines.
+// These rows pin the ISSUE's acceptance matrix: 4, 16 and 64 CPUs.
+
+TEST(ParallelEquivalence, LatencyJsonByteIdenticalAcrossDomainCounts) {
+  const ObservedCapture serial =
+      run_observed(4, 13, 0, 0, 2, 2, /*latency=*/true);
+  ASSERT_TRUE(serial.r.verified);
+  ASSERT_FALSE(serial.latency.empty());
+  EXPECT_EQ(serial.r.observers, "trace,profile,latency");
+  for (unsigned domains : {2u, 4u, 6u}) {
+    const ObservedCapture par =
+        run_observed(4, 13, domains, 0, 2, 2, /*latency=*/true);
+    EXPECT_EQ(par.r.engine, "parallel")
+        << "latency observer forced a fallback: " << par.r.engine_fallback;
+    EXPECT_EQ(par.r.engine_domains, domains);
+    expect_observed_identical(serial, par);
+  }
+}
+
+TEST(ParallelEquivalence, LatencyJsonUnchangedByWorkerPoolSize) {
+  const ObservedCapture serial =
+      run_observed(4, 17, 0, 0, 2, 2, /*latency=*/true);
+  for (unsigned workers : {2u, 4u}) {
+    const ObservedCapture par =
+        run_observed(4, 17, 4, workers, 2, 2, /*latency=*/true);
+    EXPECT_EQ(par.r.engine, "parallel") << par.r.engine_fallback;
+    expect_observed_identical(serial, par);
+  }
+}
+
+TEST(ParallelEquivalence, LatencyOnMediumPlatformMatchesSerial) {
+  const ObservedCapture serial = run_observed(16, 3, 0, 0, 1, 1, true);
+  ASSERT_TRUE(serial.r.verified);
+  for (unsigned domains : {4u, 8u}) {
+    const ObservedCapture par = run_observed(16, 3, domains, 0, 1, 1, true);
+    EXPECT_EQ(par.r.engine, "parallel") << par.r.engine_fallback;
+    expect_observed_identical(serial, par);
+  }
+}
+
+TEST(ParallelEquivalence, LatencyOnLargePlatformMatchesSerial) {
+  // The acceptance configuration: 64 CPUs with trace + profile + latency
+  // all on, merged from 16 domain shards.
+  const ObservedCapture serial = run_observed(64, 2, 0, 0, 1, 1, true);
+  ASSERT_TRUE(serial.r.verified);
+  const ObservedCapture par = run_observed(64, 2, 16, 0, 1, 1, true);
+  EXPECT_EQ(par.r.engine, "parallel") << par.r.engine_fallback;
+  EXPECT_EQ(par.r.engine_domains, 16u);
+  expect_observed_identical(serial, par);
+}
+
+TEST(ParallelEquivalence, LatencyOnTwoLevelHierarchyMatchesSerial) {
+  // L2 fills, recalls and eviction write-backs open latency transactions on
+  // the L2 banks' own NoC nodes; recall invalidations cut across domains.
+  const ObservedCapture serial =
+      run_observed(4, 7, 0, 0, 2, 2, /*latency=*/true, /*l2_banks=*/2);
+  ASSERT_TRUE(serial.r.verified);
+  for (unsigned domains : {2u, 4u}) {
+    const ObservedCapture par =
+        run_observed(4, 7, domains, 0, 2, 2, /*latency=*/true, /*l2_banks=*/2);
+    EXPECT_EQ(par.r.engine, "parallel") << par.r.engine_fallback;
+    expect_observed_identical(serial, par);
+  }
 }
 
 TEST(ParallelEquivalence, TraceLevelLoggingStillFallsBackSerial) {

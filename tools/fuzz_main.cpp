@@ -50,6 +50,8 @@ void usage(const char* argv0) {
                "                      (multi-seed runs overwrite; the minimized\n"
                "                      repro is re-recorded after --minimize)\n"
                "  --profile PATH      record a sharing profile of every run\n"
+               "  --latency PATH      record a per-phase latency breakdown of\n"
+               "                      every run (ccnoc-latency schema)\n"
                "  --heartbeat N       progress heartbeat every N ms on stderr\n"
                "  --heartbeat-json PATH  stream heartbeats as JSONL (ccnoc-heartbeat-v1)\n"
                "  --quiet             only print failures and the final tally\n",
@@ -74,6 +76,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::string trace_path;
   std::string profile_path;
+  std::string latency_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -143,6 +146,8 @@ int main(int argc, char** argv) {
       trace_path = value();
     } else if (a == "--profile") {
       profile_path = value();
+    } else if (a == "--latency") {
+      latency_path = value();
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--help" || a == "-h") {
@@ -164,6 +169,7 @@ int main(int argc, char** argv) {
     // on the sequenced engine.
     run.trace_path = trace_path;
     run.profile_path = profile_path;
+    run.latency_path = latency_path;
     FuzzOutcome out = ccnoc::core::run_fuzz(run);
     if (out.passed()) {
       if (!quiet) {
@@ -183,15 +189,17 @@ int main(int argc, char** argv) {
       FuzzOptions shrink = run;
       shrink.trace_path.clear();
       shrink.profile_path.clear();
+      shrink.latency_path.clear();
       ccnoc::core::MinimizeResult m = ccnoc::core::minimize_fuzz(shrink);
       std::printf("minimized after %u runs: cpus=%u ops=%u lock_every=%u "
                   "barrier_every=%u (%s)\n",
                   m.runs, m.reduced.cpus, m.reduced.ops, m.reduced.lock_every,
                   m.reduced.barrier_every, m.outcome.summary().c_str());
       run = m.reduced;
-      if (!trace_path.empty() || !profile_path.empty()) {
+      if (!trace_path.empty() || !profile_path.empty() || !latency_path.empty()) {
         run.trace_path = trace_path;
         run.profile_path = profile_path;
+        run.latency_path = latency_path;
         (void)ccnoc::core::run_fuzz(run);
       }
     }
@@ -201,6 +209,10 @@ int main(int argc, char** argv) {
     if (!profile_path.empty()) {
       std::printf("sharing profile of failing run written to %s\n",
                   profile_path.c_str());
+    }
+    if (!latency_path.empty()) {
+      std::printf("latency breakdown of failing run written to %s\n",
+                  latency_path.c_str());
     }
     std::printf("replay: %s\n", run.command_line().c_str());
   }
