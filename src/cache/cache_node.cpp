@@ -8,6 +8,10 @@ CacheNode::CacheNode(sim::Simulator& sim, noc::Network& net, const mem::AddressM
     : node_(map.cache_node(cpu_index)), proto_(proto) {
   std::string base = "cpu" + std::to_string(cpu_index);
   dcfg.protocol = proto;
+  // The I-cache is protocol-independent in behaviour (untracked reads),
+  // but its refills drive the line FSM through the platform's own table so
+  // the coverage bitmap and the model checker reconcile per platform.
+  icfg.protocol = proto;
   if (is_write_through(proto)) {
     dcache_ = std::make_unique<WtiController>(sim, net, map, node_, /*port=*/0, dcfg,
                                               base + ".dcache");

@@ -11,7 +11,7 @@ AccessResult ICacheController::access(const MemAccess& a, std::uint64_t* hit_val
                                       CompleteFn on_complete) {
   CCNOC_ASSERT(!a.is_store, "store issued to the instruction cache");
   CCNOC_ASSERT(!pending_, "I-cache already has a pending fetch");
-  sim::Addr block = tags_.block_of(a.addr);
+  const sim::Addr block = tags_.block_of(a.addr);
   if (CacheLine* l = tags_.find(block)) {
     hits_->inc();
     tags_.touch(*l);
@@ -43,8 +43,12 @@ void ICacheController::on_packet(const noc::Packet& pkt) {
                std::string("I-cache received ") + to_string(pkt.msg.type));
   CCNOC_ASSERT(pending_, "unexpected I-cache refill");
   CacheLine& l = tags_.victim(pkt.msg.addr);
+  // The refill is a real protocol transition: evict the victim and fill
+  // through the table so coverage and the model checker see the I-cache's
+  // line FSM (caught by ccnoc_lint proto-table-discipline).
+  if (l.state != LineState::kInvalid) fsm(l, proto::CacheEvent::kEvict);
   l.block = pkt.msg.addr;
-  l.state = LineState::kShared;
+  fsm(l, proto::CacheEvent::kFillShared);
   std::memcpy(l.data.data(), pkt.msg.data.data(), cfg_.block_bytes);
   tags_.touch(l);
   hops_fetch_miss_->add(pkt.msg.path_hops);
