@@ -44,7 +44,7 @@ MesiController::MesiController(sim::Simulator& sim, noc::Network& net,
 AccessResult MesiController::access(const MemAccess& a, std::uint64_t* hit_value,
                                     CompleteFn on_complete) {
   CCNOC_ASSERT(pending_ == Pending::kNone, "MESI controller already has a pending access");
-  sim::Addr block = tags_.block_of(a.addr);
+  const sim::Addr block = tags_.block_of(a.addr);
   CacheLine* l = tags_.find(block);
   pf_->access(sim_.now(), node_, a.addr, a.size,
               !a.is_store        ? sim::AccessClass::kLoad
@@ -113,7 +113,7 @@ void MesiController::start_miss(const MemAccess& a, CompleteFn cb) {
   pending_cb_ = std::move(cb);
   pending_is_upgrade_ = false;
 
-  sim::Addr block = tags_.block_of(a.addr);
+  const sim::Addr block = tags_.block_of(a.addr);
   pf_->miss(sim_.now(), node_, block);
   pending_txn_ = next_txn();
   tr_->txn_begin(sim_.now(), pending_txn_,
@@ -148,7 +148,7 @@ void MesiController::launch_miss() {
   // Time between txn_begin and this send was write-back-slot wait (zero
   // when the miss launched immediately).
   lat_->mark(sim_.now(), pending_txn_, node_, sim::Phase::kWbufWait, sim_.now());
-  sim::Addr block = tags_.block_of(pending_access_.addr);
+  const sim::Addr block = tags_.block_of(pending_access_.addr);
   Message m;
   m.type = pending_access_.is_store ? MsgType::kReadExclusive : MsgType::kReadShared;
   m.addr = block;

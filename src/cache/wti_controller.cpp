@@ -41,7 +41,7 @@ WtiController::WtiController(sim::Simulator& sim, noc::Network& net,
 AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
                                    CompleteFn on_complete) {
   CCNOC_ASSERT(pending_ == Pending::kNone, "WTI controller already has a pending access");
-  sim::Addr block = tags_.block_of(a.addr);
+  const sim::Addr block = tags_.block_of(a.addr);
   pf_->access(sim_.now(), node_, a.addr, a.size,
               !a.is_store        ? sim::AccessClass::kLoad
               : a.is_atomic()    ? sim::AccessClass::kAtomic
@@ -115,7 +115,7 @@ AccessResult WtiController::access(const MemAccess& a, std::uint64_t* hit_value,
 }
 
 void WtiController::perform_store(const MemAccess& a) {
-  sim::Addr block = tags_.block_of(a.addr);
+  const sim::Addr block = tags_.block_of(a.addr);
   if (CacheLine* l = tags_.find(block)) {
     // Write-through with local update on hit: the copy stays Valid and the
     // directory will not invalidate the writer.

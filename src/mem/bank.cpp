@@ -92,7 +92,7 @@ void Bank::deliver(const noc::Packet& pkt) {
 
 void Bank::enqueue_request(const noc::Packet& pkt) {
   st_.requests->inc();
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   if (txns_.count(block) != 0) {
     // Block busy: serialize behind the active transaction.
     waiting_[block].push_back(pkt);
@@ -109,7 +109,7 @@ void Bank::enqueue_request(const noc::Packet& pkt) {
 }
 
 void Bank::start_service(Message req, sim::NodeId src) {
-  sim::Addr block = block_of(req.addr);
+  const sim::Addr block = block_of(req.addr);
   auto [it, fresh] = txns_.emplace(block, Txn{});
   CCNOC_ASSERT(fresh, "transaction already active on block");
   it->second.req = std::move(req);
@@ -158,7 +158,7 @@ void Bank::read_block(sim::Addr block, Message& m) const {
 }
 
 void Bank::process_read_shared(Txn& t) {
-  sim::Addr block = block_of(t.req.addr);
+  const sim::Addr block = block_of(t.req.addr);
   DirEntry e = dir_.lookup(block);
 
   if (t.req.track && e.dirty && e.owner == t.src) {
@@ -207,7 +207,7 @@ void Bank::process_read_shared(Txn& t) {
 
 void Bank::process_read_exclusive(Txn& t) {
   CCNOC_ASSERT(proto_ == Protocol::kWbMesi, "ReadExclusive in a WTI platform");
-  sim::Addr block = block_of(t.req.addr);
+  const sim::Addr block = block_of(t.req.addr);
   DirEntry e = dir_.lookup(block);
 
   if (e.dirty && e.owner != t.src) {
@@ -226,7 +226,7 @@ void Bank::process_read_exclusive(Txn& t) {
 
 void Bank::process_upgrade(Txn& t) {
   CCNOC_ASSERT(proto_ == Protocol::kWbMesi, "Upgrade in a WTI platform");
-  sim::Addr block = block_of(t.req.addr);
+  const sim::Addr block = block_of(t.req.addr);
   DirEntry e = dir_.lookup(block);
 
   if (!e.is_sharer(t.src)) {
@@ -249,7 +249,7 @@ void Bank::process_upgrade(Txn& t) {
 
 void Bank::process_write_word(Txn& t) {
   CCNOC_ASSERT(is_write_through(proto_), "WriteWord in a MESI platform");
-  sim::Addr block = block_of(t.req.addr);
+  const sim::Addr block = block_of(t.req.addr);
   // An atomic invalidates the requester's own copy too (the cache dropped
   // it locally when issuing the operation).
   sim::NodeId except = t.req.type == MsgType::kWriteWord ? t.src : sim::kInvalidNode;
@@ -302,7 +302,7 @@ void Bank::send_updates(sim::Addr block, Txn& t, sim::NodeId except) {
 }
 
 void Bank::handle_update_ack(const noc::Packet& pkt) {
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   auto it = txns_.find(block);
   CCNOC_ASSERT(it != txns_.end(), "stray UpdateAck");
   Txn& t = it->second;
@@ -377,7 +377,7 @@ void Bank::request_fetch(sim::Addr block, Txn& t, MsgType fetch_type) {
 }
 
 void Bank::handle_invalidate_ack(const noc::Packet& pkt) {
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   auto it = txns_.find(block);
   CCNOC_ASSERT(it != txns_.end(), "stray InvalidateAck");
   Txn& t = it->second;
@@ -389,7 +389,7 @@ void Bank::handle_invalidate_ack(const noc::Packet& pkt) {
 }
 
 void Bank::handle_fetch_response(const noc::Packet& pkt) {
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   auto it = txns_.find(block);
   if (it == txns_.end() || !it->second.waiting_data || it->second.data_from != pkt.src ||
       it->second.req.txn != pkt.msg.txn) {
@@ -406,7 +406,7 @@ void Bank::handle_fetch_response(const noc::Packet& pkt) {
 
 void Bank::handle_write_back(const noc::Packet& pkt) {
   CCNOC_ASSERT(proto_ == Protocol::kWbMesi, "WriteBack in a WTI platform");
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   st_.writebacks->inc();
 
   // The write-back occupies one pipeline slot like any block write.
@@ -598,7 +598,7 @@ void Bank::on_acks_complete(sim::Addr block, Txn& t) {
 }
 
 void Bank::handle_txn_done(const noc::Packet& pkt) {
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   auto it = txns_.find(block);
   CCNOC_ASSERT(it != txns_.end() && it->second.direct_mode, "stray TxnDone");
   CCNOC_ASSERT(it->second.src == pkt.src, "TxnDone from a non-requester");

@@ -168,7 +168,7 @@ void L2Bank::retry_deferred_fills() {
 }
 
 void L2Bank::handle_fill_response(const noc::Packet& pkt) {
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   auto fit = fills_.find(block);
   CCNOC_ASSERT(fit != fills_.end() && fit->second.requested &&
                    pkt.msg.txn == fit->second.txn,
@@ -251,7 +251,7 @@ void L2Bank::start_recall(sim::Addr victim) {
 }
 
 void L2Bank::recall_invalidate_ack(const noc::Packet& pkt) {
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   Recall& r = recalls_.at(block);
   CCNOC_ASSERT(r.pending_acks > 0, "unexpected recall InvalidateAck");
   proto::DirState before = dstate(block);
@@ -266,7 +266,7 @@ void L2Bank::recall_invalidate_ack(const noc::Packet& pkt) {
 }
 
 void L2Bank::recall_fetch_response(const noc::Packet& pkt) {
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   Recall& r = recalls_.at(block);
   if (!r.waiting_data || pkt.src != r.owner || pkt.msg.txn != r.txn) {
     // The owner's spontaneous WriteBack crossed our FetchInv and already
@@ -278,7 +278,7 @@ void L2Bank::recall_fetch_response(const noc::Packet& pkt) {
 }
 
 void L2Bank::recall_write_back(const noc::Packet& pkt) {
-  sim::Addr block = block_of(pkt.msg.addr);
+  const sim::Addr block = block_of(pkt.msg.addr);
   Recall& r = recalls_.at(block);
   CCNOC_ASSERT(r.waiting_data && pkt.src == r.owner,
                "write-back from a non-owner during a recall");
@@ -383,7 +383,7 @@ void L2Bank::absorb_l1_flush(sim::Addr block, const std::uint8_t* data,
   storage_.write(block, data, len);
   // Untimed post-run bookkeeping, outside the protocol tables (like the L1
   // flush itself): DRAM no longer matches this line.
-  lines_[block] = proto::LineState::kModified;
+  lines_[block] = proto::LineState::kModified;  // ccnoc-lint: allow(proto-table-discipline)
 }
 
 }  // namespace ccnoc::mem

@@ -31,7 +31,7 @@ void SnoopCacheBase::write_line(CacheLine& l, sim::Addr a, unsigned size,
 AccessResult SnoopWtiCache::access(const MemAccess& a, std::uint64_t* hit_value,
                                    CompleteFn on_complete) {
   CCNOC_ASSERT(pending_ == Pending::kNone, "snoop-WTI cache already busy");
-  sim::Addr block = tags_.block_of(a.addr);
+  const sim::Addr block = tags_.block_of(a.addr);
 
   if (!a.is_store) {
     if (CacheLine* l = tags_.find(block)) {
@@ -204,7 +204,7 @@ SnoopReply SnoopWtiCache::snoop(const BusTxn& txn) {
 AccessResult SnoopMesiCache::access(const MemAccess& a, std::uint64_t* hit_value,
                                     CompleteFn on_complete) {
   CCNOC_ASSERT(pending_ == Pending::kNone, "snoop-MESI cache already busy");
-  sim::Addr block = tags_.block_of(a.addr);
+  const sim::Addr block = tags_.block_of(a.addr);
   CacheLine* l = tags_.find(block);
 
   if (!a.is_store) {
@@ -270,7 +270,7 @@ void SnoopMesiCache::start_miss(const MemAccess& a, CompleteFn cb) {
   pending_cb_ = std::move(cb);
   pending_ = Pending::kMiss;
 
-  sim::Addr block = tags_.block_of(a.addr);
+  const sim::Addr block = tags_.block_of(a.addr);
   CacheLine& victim = tags_.victim(block);
   pending_line_ = &victim;
   if (victim.state == LineState::kModified) {
@@ -295,7 +295,7 @@ void SnoopMesiCache::start_miss(const MemAccess& a, CompleteFn cb) {
 }
 
 void SnoopMesiCache::issue_fill() {
-  sim::Addr block = tags_.block_of(pending_access_.addr);
+  const sim::Addr block = tags_.block_of(pending_access_.addr);
   BusTxn t;
   t.op = pending_access_.is_store ? BusOp::kBusReadX : BusOp::kBusRead;
   t.addr = block;
