@@ -74,6 +74,14 @@ class ProtocolTable {
   /// Human-readable row description, e.g. "WTI cache: S --Invalidate--> I".
   [[nodiscard]] std::string row_name(int id) const;
 
+  // Raw rule access for the static table lint (verify/tablelint.hpp), which
+  // analyzes rows the lookups can never resolve — duplicates, extension rows
+  // shadowed by the flat-first fallback, unreachable from-states.
+  [[nodiscard]] std::span<const CacheRule> cache_rules() const { return cache_rules_; }
+  [[nodiscard]] std::span<const DirRule> dir_rules() const { return dir_rules_; }
+  /// row_name() prefix: the protocol name, or "<proto>-L2" for extensions.
+  [[nodiscard]] const std::string& tag() const { return tag_; }
+
  private:
   mem::Protocol proto_;
   std::string tag_;  ///< row_name() prefix (protocol name, or "<proto>-L2")

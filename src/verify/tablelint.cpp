@@ -1,0 +1,195 @@
+#include "verify/tablelint.hpp"
+
+#include <array>
+#include <cstddef>
+
+namespace ccnoc::verify {
+
+namespace {
+
+using proto::CacheRule;
+using proto::DirRule;
+using proto::DirState;
+using proto::LineState;
+
+std::string cache_row_str(const std::string& tag, const CacheRule& r) {
+  return tag + " cache: " + to_string(r.from) + " --" + to_string(r.ev) +
+         "--> " + to_string(r.to);
+}
+
+std::string dir_row_str(const std::string& tag, const DirRule& r) {
+  return tag + " dir: " + to_string(r.from) + " --" + to_string(r.ev) +
+         "--> " + to_string(r.to);
+}
+
+bool flat_has_cache(std::span<const CacheRule> flat, const CacheRule& r) {
+  for (const CacheRule& f : flat) {
+    if (f.from == r.from && f.ev == r.ev) return true;
+  }
+  return false;
+}
+
+bool flat_has_dir(std::span<const DirRule> flat, const DirRule& r) {
+  for (const DirRule& f : flat) {
+    if (f.from == r.from && f.ev == r.ev && f.to == r.to) return true;
+  }
+  return false;
+}
+
+/// Fixed-point closure of reachable from-states, starting at \p init, over
+/// every rule the flat-first/ext-fallback lookup can resolve. Rules are
+/// edges from-state -> to-state; the event is the row's trigger, not a
+/// reachability constraint (whether the event can be *delivered* is the
+/// dynamic coverage check's judgement — the lint only proves state-level
+/// feasibility, which is what makes an unreachable from-state a guard that
+/// can never be true under ANY event schedule).
+template <typename Rule, typename State>
+std::array<bool, 4> reach_closure(State init, std::span<const Rule> flat,
+                                  std::span<const Rule> ext) {
+  std::array<bool, 4> reach{};
+  reach[std::size_t(init)] = true;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    auto visit = [&](std::span<const Rule> rules) {
+      for (const Rule& r : rules) {
+        if (reach[std::size_t(r.from)] && !reach[std::size_t(r.to)]) {
+          reach[std::size_t(r.to)] = true;
+          grew = true;
+        }
+      }
+    };
+    visit(flat);
+    visit(ext);
+  }
+  return reach;
+}
+
+}  // namespace
+
+TableLintResult lint_rules(std::span<const CacheRule> flat_cache,
+                           std::span<const DirRule> flat_dir,
+                           const std::string& flat_tag,
+                           std::span<const CacheRule> ext_cache,
+                           std::span<const DirRule> ext_dir,
+                           const std::string& ext_tag) {
+  TableLintResult res;
+  auto add = [&res](const char* check, const std::string& table,
+                    const std::string& row, const std::string& detail) {
+    res.findings.push_back(TableFinding{check, table, row, detail});
+  };
+
+  // Intra-table duplicates: the second of two same-key rows can never be
+  // the one the first-match lookup resolves.
+  auto dup_cache = [&](std::span<const CacheRule> rules, const std::string& tag) {
+    for (std::size_t a = 0; a < rules.size(); ++a) {
+      for (std::size_t b = a + 1; b < rules.size(); ++b) {
+        if (rules[a].from == rules[b].from && rules[a].ev == rules[b].ev) {
+          add("duplicate-cache-row", tag, cache_row_str(tag, rules[b]),
+              "same (from, event) as row " + cache_row_str(tag, rules[a]) +
+                  "; find_cache() resolves the first, this row never fires");
+        }
+      }
+    }
+  };
+  auto dup_dir = [&](std::span<const DirRule> rules, const std::string& tag) {
+    for (std::size_t a = 0; a < rules.size(); ++a) {
+      for (std::size_t b = a + 1; b < rules.size(); ++b) {
+        if (rules[a].from == rules[b].from && rules[a].ev == rules[b].ev &&
+            rules[a].to == rules[b].to) {
+          add("duplicate-dir-row", tag, dir_row_str(tag, rules[b]),
+              "identical to an earlier row; find_dir() resolves the first, "
+              "this row's coverage id is dead on arrival");
+        }
+      }
+    }
+  };
+  dup_cache(flat_cache, flat_tag);
+  dup_dir(flat_dir, flat_tag);
+  dup_cache(ext_cache, ext_tag);
+  dup_dir(ext_dir, ext_tag);
+
+  // Extension rows shadowed by the flat-first lookup.
+  std::vector<bool> ext_cache_shadowed(ext_cache.size(), false);
+  std::vector<bool> ext_dir_shadowed(ext_dir.size(), false);
+  for (std::size_t i = 0; i < ext_cache.size(); ++i) {
+    if (flat_has_cache(flat_cache, ext_cache[i])) {
+      ext_cache_shadowed[i] = true;
+      add("shadowed-ext-row", ext_tag, cache_row_str(ext_tag, ext_cache[i]),
+          "flat table " + flat_tag + " declares the same (from, event); the "
+          "flat-first/ext-fallback lookup can never reach this row");
+    }
+  }
+  for (std::size_t i = 0; i < ext_dir.size(); ++i) {
+    if (flat_has_dir(flat_dir, ext_dir[i])) {
+      ext_dir_shadowed[i] = true;
+      add("shadowed-ext-row", ext_tag, dir_row_str(ext_tag, ext_dir[i]),
+          "flat table " + flat_tag + " declares the same (from, event, to); "
+          "the flat-first/ext-fallback lookup can never reach this row");
+    }
+  }
+
+  // Guard feasibility: a row whose from-state the machine can never occupy
+  // can never fire. Closure over flat + ext: the widest context the lookup
+  // serves (a flat-only platform reaches a subset, but a row unreachable
+  // even WITH the extension is dead everywhere).
+  const auto cache_reach = reach_closure<CacheRule, LineState>(
+      LineState::kInvalid, flat_cache, ext_cache);
+  const auto dir_reach = reach_closure<DirRule, DirState>(DirState::kUncached,
+                                                          flat_dir, ext_dir);
+  auto dead_cache = [&](std::span<const CacheRule> rules, const std::string& tag,
+                        const std::vector<bool>* shadowed) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (shadowed != nullptr && (*shadowed)[i]) continue;  // already reported
+      if (!cache_reach[std::size_t(rules[i].from)]) {
+        add("unreachable-row", tag, cache_row_str(tag, rules[i]),
+            std::string("from-state ") + to_string(rules[i].from) +
+                " is outside the reachable closure from I; this guard can "
+                "never be true");
+      }
+    }
+  };
+  auto dead_dir = [&](std::span<const DirRule> rules, const std::string& tag,
+                      const std::vector<bool>* shadowed) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (shadowed != nullptr && (*shadowed)[i]) continue;
+      if (!dir_reach[std::size_t(rules[i].from)]) {
+        add("unreachable-row", tag, dir_row_str(tag, rules[i]),
+            std::string("from-state ") + to_string(rules[i].from) +
+                " is outside the reachable closure from U; this guard can "
+                "never be true");
+      }
+    }
+  };
+  dead_cache(flat_cache, flat_tag, nullptr);
+  dead_dir(flat_dir, flat_tag, nullptr);
+  dead_cache(ext_cache, ext_tag, &ext_cache_shadowed);
+  dead_dir(ext_dir, ext_tag, &ext_dir_shadowed);
+
+  return res;
+}
+
+TableLintResult lint_all_tables() {
+  TableLintResult all;
+  for (mem::Protocol p :
+       {mem::Protocol::kWti, mem::Protocol::kWtu, mem::Protocol::kWbMesi}) {
+    const proto::ProtocolTable& flat = proto::table_for(p);
+    const proto::ProtocolTable& ext = proto::l2_table_for(p);
+    TableLintResult one =
+        lint_rules(flat.cache_rules(), flat.dir_rules(), flat.tag(),
+                   ext.cache_rules(), ext.dir_rules(), ext.tag());
+    all.findings.insert(all.findings.end(), one.findings.begin(),
+                        one.findings.end());
+  }
+  return all;
+}
+
+std::string to_string(const TableLintResult& r) {
+  std::string out;
+  for (const TableFinding& f : r.findings) {
+    out += "tablelint: [" + f.check + "] " + f.row + ": " + f.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace ccnoc::verify

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/tables.hpp"
+
+/// \file tablelint.hpp
+/// Static lint over the declarative protocol tables (proto/tables.hpp):
+/// finds the defects the *dynamic* coverage check cannot see, because they
+/// are not "a row that never ran" but "a row that can never run" — or two
+/// rows competing for the same transition.
+///
+/// Checks, per protocol (flat table, and flat+extension when a two-level
+/// extension exists):
+///  * duplicate-cache-row      two cache rows with the same (from, event):
+///                             find_cache() returns the first, the second is
+///                             nondeterministically shadowed. (The table
+///                             constructor also hard-asserts this; the lint
+///                             reports it as a diagnostic so fixtures and
+///                             CI see a message, not an abort.)
+///  * duplicate-dir-row        two identical (from, event, to) directory
+///                             rows: the second can never be the one
+///                             find_dir() resolves, so its coverage id is
+///                             dead on arrival.
+///  * shadowed-ext-row         an extension-table row whose key also exists
+///                             in the flat table. apply_cache/apply_dir
+///                             consult the flat table FIRST (PR 8's
+///                             flat-first/ext-fallback lookup), so the
+///                             extension row can never fire.
+///  * unreachable-row          a row whose from-state is outside the
+///                             reachable-state closure of its own machine:
+///                             cache closure from kInvalid, directory
+///                             closure from kUncached, over the union of
+///                             rows the lookup can actually resolve (flat
+///                             alone for flat platforms; flat+ext for
+///                             two-level ones). The row's from-state is its
+///                             guard predicate — an unreachable from-state
+///                             is a guard that can never be true.
+///
+/// lint_rules() works on raw rule spans so known-bad fixtures can be
+/// checked without constructing a ProtocolTable (whose constructor aborts
+/// on ambiguous cache rows); lint_tables()/lint_all_tables() run the same
+/// analysis over the registered tables.
+
+namespace ccnoc::verify {
+
+struct TableFinding {
+  std::string check;   ///< duplicate-cache-row | duplicate-dir-row |
+                       ///< shadowed-ext-row | unreachable-row
+  std::string table;   ///< e.g. "WTI", "WTU-L2"
+  std::string row;     ///< human-readable row, proto::row_name() style
+  std::string detail;  ///< why the row can never fire / what shadows it
+};
+
+struct TableLintResult {
+  std::vector<TableFinding> findings;
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+/// Lint one protocol's rule set. \p flat_cache / \p flat_dir are the flat
+/// table's rows; \p ext_cache / \p ext_dir the two-level extension's (empty
+/// spans when the protocol has none). \p flat_tag / \p ext_tag name the
+/// tables in findings.
+[[nodiscard]] TableLintResult lint_rules(
+    std::span<const proto::CacheRule> flat_cache,
+    std::span<const proto::DirRule> flat_dir, const std::string& flat_tag,
+    std::span<const proto::CacheRule> ext_cache = {},
+    std::span<const proto::DirRule> ext_dir = {},
+    const std::string& ext_tag = {});
+
+/// Lint every registered protocol table (flat + L2 extension for each of
+/// WTI/WTU/MESI), concatenating findings.
+[[nodiscard]] TableLintResult lint_all_tables();
+
+/// Render findings one per line ("tablelint: [check] table row: detail").
+[[nodiscard]] std::string to_string(const TableLintResult& r);
+
+}  // namespace ccnoc::verify

@@ -1,0 +1,163 @@
+#include "verify/tablelint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "proto/tables.hpp"
+
+// Static table lint (verify/tablelint.hpp): each check must fire on a
+// known-bad rule set and stay silent on the real registered tables. These
+// are the defects the dynamic dead-row coverage check cannot see — it
+// reports rows that never RAN, the lint proves rows that can never RUN.
+
+namespace {
+
+using ccnoc::proto::CacheEvent;
+using ccnoc::proto::CacheRule;
+using ccnoc::proto::DirEvent;
+using ccnoc::proto::DirRule;
+using ccnoc::proto::DirState;
+using ccnoc::proto::LineState;
+using ccnoc::verify::lint_all_tables;
+using ccnoc::verify::lint_rules;
+using ccnoc::verify::TableLintResult;
+
+constexpr LineState I = LineState::kInvalid;
+constexpr LineState S = LineState::kShared;
+constexpr LineState E = LineState::kExclusive;
+constexpr LineState M = LineState::kModified;
+constexpr DirState DU = DirState::kUncached;
+constexpr DirState DS = DirState::kShared;
+constexpr DirState DO = DirState::kOwned;
+
+bool has_check(const TableLintResult& r, const std::string& check) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const auto& f) { return f.check == check; });
+}
+
+unsigned count_check(const TableLintResult& r, const std::string& check) {
+  return unsigned(std::count_if(r.findings.begin(), r.findings.end(),
+                                [&](const auto& f) { return f.check == check; }));
+}
+
+TEST(TableLint, CleanTableHasNoFindings) {
+  const CacheRule cache[] = {
+      {I, CacheEvent::kFillShared, S},
+      {S, CacheEvent::kStoreHit, S},
+      {S, CacheEvent::kEvict, I},
+  };
+  const DirRule dir[] = {
+      {DU, DirEvent::kReadShared, DS},
+      {DS, DirEvent::kSharerDrop, DU},
+  };
+  const TableLintResult r = lint_rules(cache, dir, "FIX");
+  EXPECT_TRUE(r.clean()) << to_string(r);
+}
+
+TEST(TableLint, DuplicateCacheRowIsNondeterministic) {
+  // Two rows compete for (S, Evict): find_cache() always resolves the
+  // first, so the second — which claims a DIFFERENT successor — never
+  // fires and the table silently lies about its own semantics.
+  const CacheRule cache[] = {
+      {I, CacheEvent::kFillShared, S},
+      {S, CacheEvent::kEvict, I},
+      {S, CacheEvent::kEvict, S},
+  };
+  const TableLintResult r = lint_rules(cache, {}, "FIX");
+  EXPECT_TRUE(has_check(r, "duplicate-cache-row")) << to_string(r);
+  EXPECT_EQ(1u, count_check(r, "duplicate-cache-row"));
+}
+
+TEST(TableLint, DuplicateDirRowIsDeadOnArrival) {
+  const DirRule dir[] = {
+      {DU, DirEvent::kReadShared, DS},
+      {DS, DirEvent::kSharerDrop, DU},
+      {DS, DirEvent::kSharerDrop, DU},  // identical triple: never resolved
+  };
+  const TableLintResult r = lint_rules({}, dir, "FIX");
+  EXPECT_TRUE(has_check(r, "duplicate-dir-row")) << to_string(r);
+  EXPECT_EQ(1u, count_check(r, "duplicate-dir-row"));
+}
+
+TEST(TableLint, ExtensionRowShadowedByFlatFirstLookup) {
+  // The extension re-declares (S, Evict): apply_cache consults the flat
+  // table first, so the extension row can never be reached — exactly the
+  // mistake PR 8 avoided by making the MESI extension dir-only.
+  const CacheRule flat[] = {
+      {I, CacheEvent::kFillShared, S},
+      {S, CacheEvent::kEvict, I},
+  };
+  const CacheRule ext[] = {
+      {S, CacheEvent::kEvict, I},
+      {E, CacheEvent::kStoreHit, M},
+  };
+  const TableLintResult r = lint_rules(flat, {}, "FIX", ext, {}, "FIX-L2");
+  EXPECT_TRUE(has_check(r, "shadowed-ext-row")) << to_string(r);
+  EXPECT_EQ(1u, count_check(r, "shadowed-ext-row"));
+}
+
+TEST(TableLint, ShadowedDirRowDetected) {
+  const DirRule flat[] = {{DU, DirEvent::kReadShared, DS}};
+  const DirRule ext[] = {{DU, DirEvent::kReadShared, DS}};
+  const TableLintResult r = lint_rules({}, flat, "FIX", {}, ext, "FIX-L2");
+  EXPECT_TRUE(has_check(r, "shadowed-ext-row")) << to_string(r);
+}
+
+TEST(TableLint, UnreachableFromStateIsDeadGuard) {
+  // No row ever produces M, so (M, Fetch) guards on a state the machine
+  // can never occupy. The dynamic coverage check would only say the row
+  // "never ran"; the lint proves it never CAN.
+  const CacheRule cache[] = {
+      {I, CacheEvent::kFillShared, S},
+      {S, CacheEvent::kEvict, I},
+      {M, CacheEvent::kFetch, S},
+  };
+  const TableLintResult r = lint_rules(cache, {}, "FIX");
+  EXPECT_TRUE(has_check(r, "unreachable-row")) << to_string(r);
+  EXPECT_EQ(1u, count_check(r, "unreachable-row"));
+}
+
+TEST(TableLint, UnreachableDirStateIsDeadGuard) {
+  const DirRule dir[] = {
+      {DU, DirEvent::kReadShared, DS},
+      {DO, DirEvent::kWriteBack, DU},  // nothing ever reaches Owned
+  };
+  const TableLintResult r = lint_rules({}, dir, "FIX");
+  EXPECT_TRUE(has_check(r, "unreachable-row")) << to_string(r);
+}
+
+TEST(TableLint, ExtensionCanLegitimizeFlatOnlyUnreachableStates) {
+  // The WTU pattern from PR 8: (S, Invalidate) lives in the extension, S
+  // reachable only via the FLAT fill row. The closure must run over the
+  // flat-first/ext-fallback union, or this legitimate row would be flagged.
+  const CacheRule flat[] = {{I, CacheEvent::kFillShared, S}};
+  const CacheRule ext[] = {
+      {S, CacheEvent::kInvalidate, I},
+      {I, CacheEvent::kFillExclusive, E},
+      {E, CacheEvent::kStoreHit, M},
+      {M, CacheEvent::kEvictDirty, I},
+  };
+  const TableLintResult r = lint_rules(flat, {}, "FIX", ext, {}, "FIX-L2");
+  EXPECT_TRUE(r.clean()) << to_string(r);
+}
+
+TEST(TableLint, ShadowedRowNotDoubleReportedAsUnreachable) {
+  // A shadowed extension row is reported once, as shadowed — not a second
+  // time by the reachability pass.
+  const CacheRule flat[] = {{I, CacheEvent::kFillShared, S}};
+  const CacheRule ext[] = {{I, CacheEvent::kFillShared, S}};
+  const TableLintResult r = lint_rules(flat, {}, "FIX", ext, {}, "FIX-L2");
+  EXPECT_EQ(1u, unsigned(r.findings.size())) << to_string(r);
+  EXPECT_TRUE(has_check(r, "shadowed-ext-row"));
+}
+
+// The real registered tables — WTI/WTU/MESI flat and L2 extensions — must
+// be lint-clean: zero overlapping, shadowed, or dead-guard rows. This is
+// the acceptance gate CI runs as `ccnoc_model --lint`.
+TEST(TableLint, RegisteredTablesAreClean) {
+  const TableLintResult r = lint_all_tables();
+  EXPECT_TRUE(r.clean()) << to_string(r);
+}
+
+}  // namespace

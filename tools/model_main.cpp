@@ -22,6 +22,7 @@
 #include "proto/tables.hpp"
 #include "verify/hier.hpp"
 #include "verify/model.hpp"
+#include "verify/tablelint.hpp"
 
 namespace {
 
@@ -48,6 +49,10 @@ void usage(const char* argv0) {
                "  --json PATH      write the JSON verdict ('-' = stdout)\n"
                "  --dot PATH       write the explored graph as DOT\n"
                "  --dot-limit N    DOT node cap (default 2000)\n"
+               "  --lint           static table lint only: duplicate rows,\n"
+               "                   extension rows shadowed by the flat-first\n"
+               "                   lookup, rows whose from-state is\n"
+               "                   unreachable (exit 1 on any finding)\n"
                "  --all            verify every protocol at 2 and 3 caches,\n"
                "                   direct-ack off and on, plus the two-level\n"
                "                   hierarchy at 2 and 3 L1s; union coverage\n"
@@ -222,6 +227,7 @@ int main(int argc, char** argv) {
   ModelConfig cfg;
   bool all = false;
   bool hier = false;
+  bool lint = false;
   bool quiet = false;
   std::string json_path;
   std::string dot_path;
@@ -280,6 +286,8 @@ int main(int argc, char** argv) {
       dot_path = value();
     } else if (a == "--dot-limit" && parse_u(value(), &n)) {
       dot_limit = n;
+    } else if (a == "--lint") {
+      lint = true;
     } else if (a == "--all") {
       all = true;
     } else if (a == "--out-dir") {
@@ -294,6 +302,24 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  if (lint) {
+    // Static analysis of the declared tables themselves — the defects the
+    // dynamic dead-row coverage check cannot name (it only reports rows
+    // that never RAN; these rows can never run).
+    const ccnoc::verify::TableLintResult r = ccnoc::verify::lint_all_tables();
+    if (!r.clean()) {
+      std::string rendered = ccnoc::verify::to_string(r);
+      std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+      std::printf("table lint: %zu finding(s)\n", r.findings.size());
+      return 1;
+    }
+    std::printf(
+        "table lint: %d rows across WTI/WTU/MESI flat + L2 extension "
+        "tables, 0 findings\n",
+        ccnoc::proto::total_rows());
+    return 0;
   }
 
   if (all) return run_all(out_dir, max_states, quiet);
