@@ -1,0 +1,22 @@
+// Known-bad fixture for ccnoc_lint `hotpath-cost`: this observer breaks the
+// off-mode fast-path contract three ways — a virtual member (dispatch cost
+// even when off), work before the guard (the std::string allocates whether
+// or not the tracer is on, and the guard is missing [[unlikely]]), and a
+// *_slow declaration without __attribute__((cold)). Never compiled; input
+// data for the lint's own regression tests.
+#include <string>
+
+class Tracer {
+ public:
+  virtual void flush();  // virtual dispatch on an observer surface
+
+  void txn_begin(int now, const char* kind) {
+    std::string k(kind);  // allocates even when the tracer is off
+    if (on()) txn_begin_slow(now, k.c_str());
+  }
+
+ private:
+  [[nodiscard]] bool on() const { return on_; }
+  void txn_begin_slow(int now, const char* kind);  // not marked cold
+  bool on_ = false;
+};

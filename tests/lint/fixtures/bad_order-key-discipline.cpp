@@ -1,0 +1,16 @@
+// Known-bad fixture for ccnoc_lint `order-key-discipline`: one keyed
+// scheduling call passes a raw sequence number instead of the canonical
+// sim::cross_order_key(src, seq) (parallel replay would not be
+// deterministic), and one ORs in kLocalOrder, setting bit 63 — the bit the
+// EventQueue reserves so cross-domain events sort before same-cycle local
+// ones. Never compiled.
+#include <cstdint>
+
+struct Queue {
+  void schedule_keyed(std::uint64_t when, std::uint64_t key, void (*cb)());
+};
+
+void cross(Queue& q, std::uint64_t when, std::uint64_t seq) {
+  q.schedule_keyed(when, seq, nullptr);  // raw seq: not a canonical key
+  q.schedule_keyed(when, kLocalOrder | seq, nullptr);  // sets bit 63
+}

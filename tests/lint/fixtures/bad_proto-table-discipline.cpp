@@ -1,0 +1,32 @@
+// Known-bad fixture for ccnoc_lint `proto-table-discipline`: cache-line
+// state mutated directly instead of through proto::apply_cache (the tables
+// and the model checker never see the transition), a container write of a
+// LineState outside the dispatch path, and a directory mutator called
+// outside the bank's validated apply path. Never compiled.
+enum class LineState { kInvalid, kShared };
+
+struct CacheLine {
+  LineState state = LineState::kInvalid;
+};
+
+struct Directory {
+  void remove_sharer(unsigned node);
+};
+
+class Controller {
+ public:
+  void fill(CacheLine& l) {
+    l.state = LineState::kShared;  // bypasses proto::apply_cache
+  }
+
+  void absorb(unsigned block) {
+    lines_[block] = LineState::kShared;  // container write outside the tables
+  }
+
+  void downgrade(Directory& d, unsigned node) {
+    d.remove_sharer(node);  // directory mutated outside the bank
+  }
+
+ private:
+  LineState lines_[16];
+};

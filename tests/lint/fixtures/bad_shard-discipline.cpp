@@ -1,0 +1,26 @@
+// Known-bad fixture for ccnoc_lint `shard-discipline`: the shard struct is
+// not alignas(64) (false sharing between domain writers), the shard index is
+// not derived from the owning domain (two domains can race on one shard),
+// and a full sweep over shards_ happens outside the serial
+// begin/merge/finalize phases. Never compiled; lint regression input.
+#include <vector>
+
+class Recorder {
+ public:
+  void record(unsigned node, unsigned value) {
+    Shard& sh = shards_[value];  // index not derived from the owning domain
+    sh.sum += value + node;
+  }
+
+  unsigned peek_all() {
+    unsigned t = 0;
+    for (Shard& sh : shards_) t += sh.sum;  // sweep while workers may write
+    return t;
+  }
+
+ private:
+  struct Shard {  // missing alignas(64)
+    unsigned sum = 0;
+  };
+  std::vector<Shard> shards_;
+};

@@ -1,0 +1,21 @@
+// Known-bad fixture for ccnoc_lint `typed-stats-discipline`: a string-keyed
+// StatsRegistry lookup on the request path. The registry's map search plus
+// the name concatenation run once per access; the contract is to resolve a
+// typed Counter* handle once in the constructor and bump it. Never compiled.
+#include <string>
+
+struct Registry {
+  double& counter(const std::string& name);
+};
+
+class Bank {
+ public:
+  explicit Bank(Registry& r) : reg_(r) {}
+
+  void on_request() {
+    reg_.counter("bank.requests") += 1.0;  // map lookup on the hot path
+  }
+
+ private:
+  Registry& reg_;
+};

@@ -1,0 +1,76 @@
+// Negative fixture: the canonical form of every invariant ccnoc_lint
+// enforces, in one file. Run with --all-scopes (every check applied, path
+// scoping off) this must produce zero findings — near-miss patterns that
+// start firing here mean a check has grown a false positive.
+#include <cstdint>
+#include <vector>
+
+namespace sim {
+std::uint64_t cross_order_key(unsigned src, std::uint64_t seq);
+}
+
+struct Registry {
+  double& counter(const char* name);
+};
+
+struct Queue {
+  void schedule_keyed(std::uint64_t when, std::uint64_t key, void (*cb)());
+};
+
+enum class LineState { kInvalid, kShared };
+
+struct CacheLine {
+  LineState state = LineState::kInvalid;
+};
+
+struct CoverageSet {};
+LineState apply_cache(CoverageSet& cov, LineState from, int ev);
+
+class Observer {
+ public:
+  explicit Observer(Registry& r) : ops_(&r.counter("observer.ops")) {}
+
+  // hotpath-cost: the blessed wrapper shape — cheap guard, [[unlikely]],
+  // a single *_slow dispatch, nothing else.
+  void record(unsigned node, std::uint64_t value) {
+    if (on()) [[unlikely]] record_slow(node, value);
+  }
+
+  // shard-discipline: index derived from the owning domain.
+  void bump(unsigned node) { shards_[node % shards_.size()].sum += 1; }
+
+  // proto-table-discipline: state changes flow through the table dispatch.
+  void fill(CacheLine& l, int ev) { l.state = apply_cache(cov_, l.state, ev); }
+
+  // proto-table-discipline: bulk reset to Invalid in a clear/reset function
+  // is initialization, not a protocol transition.
+  void clear() {
+    for (CacheLine& l : lines_) l.state = LineState::kInvalid;
+  }
+
+  // order-key-discipline: canonical cross-domain key.
+  void cross(Queue& q, std::uint64_t when, unsigned src, std::uint64_t seq) {
+    q.schedule_keyed(when, sim::cross_order_key(src, seq), nullptr);
+  }
+
+  // shard-discipline: full sweeps are legal in the serial merge phase.
+  std::uint64_t finalize_sharded() {
+    std::uint64_t total = 0;
+    for (const Shard& sh : shards_) total += sh.sum;
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::uint64_t sum = 0;
+  };
+
+  [[nodiscard]] bool on() const { return on_; }
+  __attribute__((cold)) void record_slow(unsigned node, std::uint64_t value);
+
+  bool on_ = false;
+  double* ops_;  // typed-stats-discipline: handle resolved in the ctor
+  CoverageSet cov_;
+  std::vector<CacheLine> lines_;
+  std::vector<Shard> shards_;
+};

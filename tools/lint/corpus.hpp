@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+/// \file corpus.hpp
+/// Structural index over one translation-unit-free source file: function
+/// definitions (with body token ranges, enclosing class, constructor-ness)
+/// and record definitions (with alignas(64) detection). Built by a forward
+/// single-pass scope parser over the token stream — precise for this
+/// codebase's style, no template metaprogramming heroics required.
+///
+/// Suppressions: a comment `ccnoc-lint: allow(<check-id>)` on a line, or on
+/// the line directly above, silences that check for that line. Every allow
+/// is expected to carry a rationale next to it; the lint is a reviewer, not
+/// a gate you route around silently.
+
+namespace ccnoc::lint {
+
+struct Function {
+  std::string name;        ///< unqualified ("record", "Bank", "operator==")
+  std::string class_name;  ///< enclosing record or A in A::f; empty if free
+  bool is_ctor = false;    ///< name == class name (in-class or out-of-line)
+  bool is_inline = false;  ///< defined inside a record body
+  int line = 0;            ///< line of the name token
+  std::size_t head_begin = 0;  ///< token index of the name (covers init lists)
+  std::size_t body_begin = 0;  ///< token index of the body '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+};
+
+struct Record {
+  std::string name;
+  int line = 0;
+  bool alignas64 = false;      ///< declared struct/class alignas(64)
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< token index of matching '}'
+};
+
+struct SourceFile {
+  std::string path;  ///< normalized, '/'-separated, relative to the lint root
+  std::string text;  ///< owning buffer; tokens view into it
+  std::vector<Token> toks;
+  std::vector<Comment> comments;
+  std::vector<Function> functions;  ///< ordered by head_begin
+  std::vector<Record> records;      ///< ordered by body_begin
+  /// Parsed `ccnoc-lint: allow(<check>)` marks: (line, check-id).
+  std::vector<std::pair<int, std::string>> allow_marks;
+
+  /// Function whose [head_begin, body_end] contains token index `ti`; the
+  /// innermost match (out-of-line bodies never nest; in-class definitions
+  /// nest inside records, not other functions). nullptr at class/ns scope.
+  [[nodiscard]] const Function* enclosing_function(std::size_t ti) const;
+
+  /// Innermost record whose body contains token index `ti`, or nullptr.
+  [[nodiscard]] const Record* enclosing_record(std::size_t ti) const;
+
+  /// True if `// ccnoc-lint: allow(check)` appears on `line` or `line - 1`.
+  [[nodiscard]] bool allows(const std::string& check, int line) const;
+};
+
+/// Loads and indexes one file. `path` is used verbatim for reporting;
+/// `fs_path` is what is actually read. Returns false on IO failure.
+bool load_source(const std::string& fs_path, const std::string& path,
+                 SourceFile& out, std::string& err);
+
+/// Expands files/directories (recursing into dirs for .hpp/.cpp) and, when
+/// `build_dir` is non-empty, the sources named by its compile_commands.json
+/// plus sibling headers. Paths are reported relative to `root` when under
+/// it. Returns false (with `err`) on IO/parse failure.
+bool collect_sources(const std::vector<std::string>& paths,
+                     const std::string& build_dir, const std::string& root,
+                     std::vector<SourceFile>& out, std::string& err);
+
+}  // namespace ccnoc::lint

@@ -1,0 +1,190 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace ccnoc::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+// Multi-character punctuators, longest first within each leading character.
+// Enough to keep `==`/`=`, `->`/`-`, `::`/`:` unambiguous for the checks.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", ".*", "##",
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, std::vector<Comment>& comments) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace since the last newline
+
+  auto newline = [&] {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: skip to end of line, honouring continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          newline();
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;  // the newline itself handled above
+        ++i;
+      }
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      comments.push_back({start_line, std::string(src.substr(i + 2, j - i - 2))});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      comments.push_back({start_line, std::string(src.substr(i + 2, j - i - 2))});
+      i = (j + 1 < n) ? j + 2 : n;
+      at_line_start = false;
+      continue;
+    }
+
+    at_line_start = false;
+
+    // Raw string literal (with optional encoding prefix).
+    {
+      std::size_t p = i;
+      if (p < n && (src[p] == 'u' || src[p] == 'U' || src[p] == 'L')) {
+        if (src[p] == 'u' && p + 1 < n && src[p + 1] == '8') ++p;
+        ++p;
+      }
+      if (p < n && src[p] == 'R' && p + 1 < n && src[p + 1] == '"') {
+        std::size_t d = p + 2;  // delimiter begins after R"
+        while (d < n && src[d] != '(') ++d;
+        const std::string close = ")" + std::string(src.substr(p + 2, d - p - 2)) + "\"";
+        std::size_t e = src.find(close, d);
+        e = (e == std::string_view::npos) ? n : e + close.size();
+        const int start_line = line;
+        for (std::size_t k = i; k < e; ++k)
+          if (src[k] == '\n') ++line;
+        out.push_back({Tok::kString, src.substr(i, e - i), start_line});
+        i = e;
+        continue;
+      }
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      // Encoding-prefixed ordinary literal: u8"...", L'x' etc.
+      if (j < n && (src[j] == '"' || src[j] == '\'') && j - i <= 2 &&
+          (src.substr(i, j - i) == "u8" || src.substr(i, j - i) == "u" ||
+           src.substr(i, j - i) == "U" || src.substr(i, j - i) == "L")) {
+        // fall through into the literal scan below with the prefix attached
+        const char q = src[j];
+        std::size_t e = j + 1;
+        while (e < n && src[e] != q) {
+          if (src[e] == '\\' && e + 1 < n) ++e;
+          if (src[e] == '\n') ++line;
+          ++e;
+        }
+        if (e < n) ++e;
+        out.push_back({q == '"' ? Tok::kString : Tok::kChar, src.substr(i, e - i), line});
+        i = e;
+        continue;
+      }
+      out.push_back({Tok::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      // pp-number: digits, idents, ', ., and exponent signs.
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '.') {
+          ++j;
+        } else if (d == '\'' && j + 1 < n && ident_char(src[j + 1])) {
+          j += 2;
+        } else if ((d == '+' || d == '-') &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                    src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back({Tok::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      std::size_t e = i + 1;
+      while (e < n && src[e] != c) {
+        if (src[e] == '\\' && e + 1 < n) ++e;
+        if (src[e] == '\n') ++line;
+        ++e;
+      }
+      if (e < n) ++e;
+      out.push_back({c == '"' ? Tok::kString : Tok::kChar, src.substr(i, e - i), start_line});
+      i = e;
+      continue;
+    }
+
+    // Punctuator: longest match from the table, else a single character.
+    {
+      std::size_t len = 1;
+      for (const char* p : kPuncts) {
+        const std::string_view sv(p);
+        if (src.substr(i, sv.size()) == sv) {
+          len = sv.size();
+          break;
+        }
+      }
+      out.push_back({Tok::kPunct, src.substr(i, len), line});
+      i += len;
+    }
+  }
+
+  out.push_back({Tok::kEof, {}, line});
+  return out;
+}
+
+}  // namespace ccnoc::lint

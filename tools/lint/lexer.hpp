@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file lexer.hpp
+/// Token stream for ccnoc_lint. A real C++ tokenizer (strings, raw strings,
+/// char literals, multi-char punctuators, preprocessor-line skipping) but no
+/// preprocessing or name lookup: the checks downstream are structural and
+/// token-pattern based, which is exactly the level the project's
+/// hand-maintained invariants live at (guard shapes, call forms, naming
+/// conventions). Comments are captured separately so `// ccnoc-lint:
+/// allow(<check>)` suppressions survive lexing.
+
+namespace ccnoc::lint {
+
+enum class Tok {
+  kIdent,   ///< identifiers and keywords (no keyword table needed)
+  kNumber,  ///< integer / float literals, pp-number rules
+  kString,  ///< "..." including raw strings, with encoding prefix
+  kChar,    ///< '...'
+  kPunct,   ///< operators and punctuation, longest-match multi-char
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string_view text;  ///< view into the owning file buffer
+  int line = 0;           ///< 1-based line of the first character
+};
+
+struct Comment {
+  int line = 0;      ///< line the comment starts on
+  std::string text;  ///< body without the // or /* */ delimiters
+};
+
+/// Lexes `src` (which must outlive the returned tokens — they are views).
+/// Comments are appended to `comments` in order; preprocessor directives are
+/// skipped wholesale (line continuations honoured). Always ends with kEof.
+[[nodiscard]] std::vector<Token> lex(std::string_view src,
+                                     std::vector<Comment>& comments);
+
+}  // namespace ccnoc::lint
